@@ -1,0 +1,134 @@
+//! Code-confidentiality ("software copyright protection") analysis.
+//!
+//! The paper claims that "even if an attacker obtains the code running on
+//! a device, he should not be able to understand it and know, e.g., which
+//! version of the software is being deployed". This module quantifies
+//! that for a sealed image: byte entropy near 8 bits, disassembly of the
+//! ciphertext decodes at roughly the random-word rate, and two versions
+//! of the *same program* under different nonces share no ciphertext.
+
+use std::collections::HashMap;
+
+/// Summary statistics comparing a plaintext program with its sealed form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfidentialityReport {
+    /// Shannon entropy (bits/byte) of the plaintext text section.
+    pub plain_entropy: f64,
+    /// Shannon entropy (bits/byte) of the ciphertext text section.
+    pub cipher_entropy: f64,
+    /// Fraction of plaintext words that decode as legal instructions.
+    pub plain_legal_fraction: f64,
+    /// Fraction of ciphertext words that decode as legal instructions.
+    pub cipher_legal_fraction: f64,
+    /// Words identical between plaintext and ciphertext streams.
+    pub matching_words: usize,
+}
+
+/// Shannon entropy in bits per byte.
+pub fn byte_entropy(bytes: &[u8]) -> f64 {
+    if bytes.is_empty() {
+        return 0.0;
+    }
+    let mut counts: HashMap<u8, u64> = HashMap::new();
+    for &b in bytes {
+        *counts.entry(b).or_default() += 1;
+    }
+    let n = bytes.len() as f64;
+    -counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+/// Compares a plaintext word stream with its sealed counterpart.
+pub fn analyze(plain_words: &[u32], cipher_words: &[u32]) -> ConfidentialityReport {
+    let to_bytes = |ws: &[u32]| -> Vec<u8> { ws.iter().flat_map(|w| w.to_le_bytes()).collect() };
+    let matching = plain_words
+        .iter()
+        .zip(cipher_words)
+        .filter(|(a, b)| a == b)
+        .count();
+    ConfidentialityReport {
+        plain_entropy: byte_entropy(&to_bytes(plain_words)),
+        cipher_entropy: byte_entropy(&to_bytes(cipher_words)),
+        plain_legal_fraction: sofia_isa::disasm::legal_fraction(plain_words),
+        cipher_legal_fraction: sofia_isa::disasm::legal_fraction(cipher_words),
+        matching_words: matching,
+    }
+}
+
+/// Fraction of ciphertext words shared between two sealed images
+/// (version-distinguishability: should be ≈ 0 for distinct nonces).
+pub fn shared_ciphertext_fraction(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let matches = a.iter().zip(b).filter(|(x, y)| x == y).count();
+    matches as f64 / a.len().min(b.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofia_crypto::{KeySet, Nonce};
+    use sofia_isa::asm;
+    use sofia_transform::Transformer;
+
+    fn victim() -> (Vec<u32>, Vec<u32>) {
+        let src = crate::victims::control_loop_victim(16);
+        let plain = asm::assemble(&src).unwrap().words;
+        let module = asm::parse(&src).unwrap();
+        let image = Transformer::new(KeySet::from_seed(0xC0))
+            .transform(&module)
+            .unwrap();
+        (plain, image.ctext)
+    }
+
+    #[test]
+    fn ciphertext_is_high_entropy_and_opaque() {
+        let (plain, cipher) = victim();
+        let r = analyze(&plain, &cipher);
+        assert!(r.cipher_entropy > 5.5, "cipher entropy {}", r.cipher_entropy);
+        assert!(
+            r.cipher_entropy > r.plain_entropy,
+            "cipher {} <= plain {}",
+            r.cipher_entropy,
+            r.plain_entropy
+        );
+        assert_eq!(r.plain_legal_fraction, 1.0);
+        assert!(
+            r.cipher_legal_fraction < 0.7,
+            "ciphertext decodes too often: {}",
+            r.cipher_legal_fraction
+        );
+        assert_eq!(r.matching_words, 0);
+    }
+
+    #[test]
+    fn versions_share_no_ciphertext() {
+        let src = crate::victims::control_loop_victim(16);
+        let module = asm::parse(&src).unwrap();
+        let keys = KeySet::from_seed(0xC1);
+        let v1 = Transformer::new(keys.clone())
+            .with_nonce(Nonce::new(1))
+            .transform(&module)
+            .unwrap();
+        let v2 = Transformer::new(keys)
+            .with_nonce(Nonce::new(2))
+            .transform(&module)
+            .unwrap();
+        let shared = shared_ciphertext_fraction(&v1.ctext, &v2.ctext);
+        assert!(shared < 0.02, "shared fraction {shared}");
+    }
+
+    #[test]
+    fn entropy_helper_extremes() {
+        assert_eq!(byte_entropy(&[]), 0.0);
+        assert_eq!(byte_entropy(&[7u8; 100]), 0.0);
+        let uniform: Vec<u8> = (0..=255).collect();
+        assert!((byte_entropy(&uniform) - 8.0).abs() < 1e-9);
+    }
+}

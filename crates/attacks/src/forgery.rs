@@ -1,0 +1,123 @@
+//! Monte-Carlo MAC forgery: the empirical half of §IV-A.
+//!
+//! The closed form says an `n`-bit MAC accepts a random forgery with
+//! probability `2^{-n}` and thus costs `2^{n-1}` expected online trials.
+//! A 64-bit MAC cannot be brute-forced in a simulation (that is the
+//! point), so this experiment measures acceptance on **truncated** MACs
+//! (8–20 bits), verifies the exponential scaling empirically, and lets
+//! the closed form extrapolate to the paper's 46,795 / 93,590 years.
+
+use sofia_crypto::util::SplitMix64;
+use sofia_crypto::{ctr, mac, CounterBlock, KeySet, Mac64, Nonce};
+use sofia_transform::{BlockFormat, BlockKind};
+
+/// Result of a forgery campaign at one MAC length.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ForgeryCampaign {
+    /// MAC length in bits.
+    pub mac_bits: u32,
+    /// Forgery attempts made.
+    pub trials: u64,
+    /// Attempts that passed the (truncated) verification.
+    pub accepted: u64,
+    /// Expected acceptances per the closed form.
+    pub expected: f64,
+}
+
+impl ForgeryCampaign {
+    /// Measured acceptance probability.
+    pub fn measured_rate(&self) -> f64 {
+        self.accepted as f64 / self.trials as f64
+    }
+}
+
+/// Runs `trials` random block forgeries against a defender with the
+/// given keys, accepting when the low `mac_bits` of the recomputed MAC
+/// match the decrypted stored MAC — exactly the hardware check, truncated.
+///
+/// Each trial models the §IV-A adversary: submit a random ciphertext
+/// block at a fixed location and see whether verification passes.
+pub fn run_campaign(keys: &KeySet, mac_bits: u32, trials: u64, seed: u64) -> ForgeryCampaign {
+    let format = BlockFormat::default();
+    let expanded = keys.expand();
+    let nonce = Nonce::new(0xA7);
+    let base = format.text_base();
+    let mut rng = SplitMix64::new(seed);
+    let mut accepted = 0u64;
+    let bw = format.block_words();
+    for _ in 0..trials {
+        // Random forged ciphertext block.
+        let forged: Vec<u32> = (0..bw).map(|_| rng.next_u64() as u32).collect();
+        // Defender decrypts along the exec-entry chain (prev = reset) and
+        // verifies.
+        let mut prev = 0u32;
+        let mut plain = Vec::with_capacity(bw);
+        for (w, &c) in forged.iter().enumerate() {
+            let pc = base + 4 * w as u32;
+            plain.push(ctr::apply(
+                &expanded.ctr,
+                CounterBlock::from_edge(nonce, prev, pc),
+                c,
+            ));
+            prev = pc;
+        }
+        let stored = Mac64::from_words(plain[0], plain[1]);
+        let computed = mac::mac_words(
+            &expanded.mac_exec,
+            &plain[2..],
+            format.mac_padded_words(BlockKind::Exec),
+        );
+        if computed.truncate(mac_bits) == stored.truncate(mac_bits) {
+            accepted += 1;
+        }
+    }
+    ForgeryCampaign {
+        mac_bits,
+        trials,
+        accepted,
+        expected: trials as f64 * sofia_core::security::forgery_success_probability(mac_bits),
+    }
+}
+
+/// Sweeps MAC lengths, returning one campaign per length — the series
+/// behind the §IV-A scaling argument.
+pub fn scaling_series(keys: &KeySet, bits: &[u32], trials: u64, seed: u64) -> Vec<ForgeryCampaign> {
+    bits.iter()
+        .map(|&b| run_campaign(keys, b, trials, seed ^ b as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_tracks_two_to_minus_n() {
+        let keys = KeySet::from_seed(0xF0);
+        // 8-bit MAC, 64k trials: expect ~256 acceptances.
+        let c = run_campaign(&keys, 8, 1 << 16, 1);
+        assert!(
+            (128..=512).contains(&c.accepted),
+            "8-bit: {} accepted",
+            c.accepted
+        );
+        // 16-bit MAC, 64k trials: expect ~1.
+        let c = run_campaign(&keys, 16, 1 << 16, 2);
+        assert!(c.accepted <= 16, "16-bit: {} accepted", c.accepted);
+    }
+
+    #[test]
+    fn scaling_is_monotonically_harder() {
+        let keys = KeySet::from_seed(0xF1);
+        let series = scaling_series(&keys, &[4, 8, 12], 1 << 14, 3);
+        assert!(series[0].accepted > series[1].accepted);
+        assert!(series[1].accepted >= series[2].accepted);
+    }
+
+    #[test]
+    fn full_mac_never_accepts_in_reasonable_trials() {
+        let keys = KeySet::from_seed(0xF2);
+        let c = run_campaign(&keys, 64, 1 << 12, 4);
+        assert_eq!(c.accepted, 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! # sofia-attacks — the adversary harness
+//!
+//! Implements the paper's threat model (an attacker "in control of the
+//! program memory", §I) as concrete, repeatable experiments, each run
+//! against both the unprotected baseline and the SOFIA machine:
+//!
+//! * [`injection`] — overwrite/flip instruction words in the stored image
+//!   (code injection), including the **CTR-malleability** attack that
+//!   defeats a CFI-only machine but not SOFIA;
+//! * [`relocation`] — move/splice ciphertext blocks (the ECB-ISR weakness
+//!   cited in §I) and cross-version splicing (nonce separation);
+//! * [`hijack`] — control-flow hijack via attacker-influenced indirect
+//!   transfers (code reuse) and via direct PC fault injection;
+//! * [`forgery`] — Monte-Carlo MAC forgery on truncated MACs, verifying
+//!   the `2^{-n}` acceptance scaling behind §IV-A;
+//! * [`confidentiality`] — the copyright-protection claim: ciphertext
+//!   images are high-entropy and disassemble to noise.
+//!
+//! Verdicts are classified by *observable effect* (did the actuator
+//! receive the attacker's value? was the run detected?), so experiments
+//! stay meaningful whichever internal mechanism fires first.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod confidentiality;
+pub mod forgery;
+pub mod hijack;
+pub mod injection;
+pub mod relocation;
+pub mod victims;
+
+use std::fmt;
+
+use sofia_core::Violation;
+use sofia_cpu::Trap;
+
+/// The outcome of one attack run, classified by observable effect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The attacker achieved the malicious effect without detection.
+    Compromised {
+        /// What the attacker obtained.
+        detail: String,
+    },
+    /// SOFIA detected the attack and reset/stopped the core.
+    Detected {
+        /// The violation that fired.
+        violation: Violation,
+    },
+    /// The attack achieved nothing observable (e.g. a dispatch-ladder
+    /// CFI trap halted the program before any malicious effect).
+    Neutralized {
+        /// Why nothing happened.
+        detail: String,
+    },
+    /// The machine trapped on garbage (undetected-but-crashed; possible
+    /// only on unprotected or CFI-only configurations).
+    Crashed {
+        /// The trap observed.
+        trap: Trap,
+    },
+}
+
+impl Verdict {
+    /// Whether the attack achieved its malicious effect.
+    pub fn is_compromised(&self) -> bool {
+        matches!(self, Verdict::Compromised { .. })
+    }
+
+    /// Whether SOFIA's hardware checks fired.
+    pub fn is_detected(&self) -> bool {
+        matches!(self, Verdict::Detected { .. })
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Compromised { detail } => write!(f, "COMPROMISED: {detail}"),
+            Verdict::Detected { violation } => write!(f, "DETECTED: {violation}"),
+            Verdict::Neutralized { detail } => write!(f, "NEUTRALIZED: {detail}"),
+            Verdict::Crashed { trap } => write!(f, "CRASHED: {trap}"),
+        }
+    }
+}
+
+/// Fuel for attack runs.
+pub(crate) const FUEL: u64 = 5_000_000;

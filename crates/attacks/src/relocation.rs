@@ -1,0 +1,138 @@
+//! Block-relocation and splicing attacks.
+//!
+//! §I of the paper criticises ECB-mode ISR because it "seems to allow an
+//! attacker to relocate encrypted instructions without leading to
+//! decryption errors". SOFIA binds every word to its address (PC in the
+//! counter) and to its block (MAC), so any relocation garbles and any
+//! splice fails verification. These experiments demonstrate both, plus
+//! cross-version splicing (nonce separation) and the vanilla machine's
+//! silent acceptance of the same tampering.
+
+use sofia_core::machine::SofiaMachine;
+use sofia_crypto::{KeySet, Nonce};
+use sofia_cpu::machine::VanillaMachine;
+use sofia_isa::asm;
+use sofia_transform::Transformer;
+
+use crate::injection::classify_sofia_run;
+use crate::victims::{control_loop_victim, control_loop_expected};
+use crate::{Verdict, FUEL};
+
+/// Swaps two whole blocks of the SOFIA ciphertext (attacker splicing
+/// code they cannot read).
+pub fn swap_blocks_sofia(keys: &KeySet, a: usize, b: usize) -> Verdict {
+    let module = asm::parse(&control_loop_victim(8)).expect("victim parses");
+    let image = Transformer::new(keys.clone())
+        .transform(&module)
+        .expect("victim transforms");
+    let bw = image.format.block_words();
+    assert!(a != b && (a + 1) * bw <= image.ctext.len() && (b + 1) * bw <= image.ctext.len());
+    let mut m = SofiaMachine::new(&image, keys);
+    for w in 0..bw {
+        m.mem_mut().rom_mut().swap(a * bw + w, b * bw + w);
+    }
+    classify_sofia_run(m)
+}
+
+/// The same wholesale swap on the **unprotected** machine: execution
+/// continues with reordered code and produces a silently wrong result.
+pub fn swap_code_vanilla() -> Verdict {
+    let program = asm::assemble(&control_loop_victim(8)).expect("victim assembles");
+    let expected = control_loop_expected(8);
+    let mut m = VanillaMachine::new(&program);
+    // Swap the sensor load `lw t0, 0(s0)` with the accumulate
+    // `add s2, s2, t0`: the accumulate then consumes a stale `t0`,
+    // shifting the whole sum by one sample — silently wrong output.
+    let rom = m.mem_mut().rom_mut();
+    let lw_idx = rom
+        .iter()
+        .position(|&w| {
+            sofia_isa::Instruction::decode(w)
+                == Ok(sofia_isa::Instruction::Lw {
+                    rt: sofia_isa::Reg::T0,
+                    base: sofia_isa::Reg::S0,
+                    offset: 0,
+                })
+        })
+        .expect("victim has the sensor load");
+    let add_idx = rom
+        .iter()
+        .position(|&w| {
+            sofia_isa::Instruction::decode(w)
+                == Ok(sofia_isa::Instruction::Add {
+                    rd: sofia_isa::Reg::S2,
+                    rs: sofia_isa::Reg::S2,
+                    rt: sofia_isa::Reg::T0,
+                })
+        })
+        .expect("victim has the accumulate");
+    rom.swap(lw_idx, add_idx);
+    match m.run(FUEL) {
+        Ok(r) if r.is_halted() => {
+            let out = &m.mem().mmio.out_words;
+            if *out != expected {
+                Verdict::Compromised {
+                    detail: format!("silently wrong output {out:x?} (expected {expected:x?})"),
+                }
+            } else {
+                Verdict::Neutralized {
+                    detail: "output unchanged".into(),
+                }
+            }
+        }
+        Ok(_) => Verdict::Neutralized {
+            detail: "did not halt".into(),
+        },
+        Err(t) => Verdict::Crashed { trap: t },
+    }
+}
+
+/// Splices a block from *version 2* of the program (same keys, different
+/// nonce ω) into version 1 — the downgrade/mix-and-match attack the
+/// per-program nonce exists to stop.
+pub fn cross_version_splice(keys: &KeySet) -> Verdict {
+    let module = asm::parse(&control_loop_victim(8)).expect("victim parses");
+    let v1 = Transformer::new(keys.clone())
+        .with_nonce(Nonce::new(1))
+        .transform(&module)
+        .expect("v1 transforms");
+    let v2 = Transformer::new(keys.clone())
+        .with_nonce(Nonce::new(2))
+        .transform(&module)
+        .expect("v2 transforms");
+    let bw = v1.format.block_words();
+    let mut m = SofiaMachine::new(&v1, keys);
+    // Replace v1's second block with v2's bit-for-bit (same program, so
+    // same plaintext — only ω differs).
+    for w in 0..bw {
+        m.mem_mut().rom_mut()[bw + w] = v2.ctext[bw + w];
+    }
+    classify_sofia_run(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_accepts_reordered_code_silently() {
+        let v = swap_code_vanilla();
+        assert!(v.is_compromised(), "{v}");
+    }
+
+    #[test]
+    fn sofia_detects_block_swaps() {
+        let keys = KeySet::from_seed(77);
+        let v = swap_blocks_sofia(&keys, 0, 1);
+        assert!(v.is_detected(), "{v}");
+        let v = swap_blocks_sofia(&keys, 1, 2);
+        assert!(v.is_detected(), "{v}");
+    }
+
+    #[test]
+    fn sofia_detects_cross_version_splice() {
+        let keys = KeySet::from_seed(78);
+        let v = cross_version_splice(&keys);
+        assert!(v.is_detected(), "{v}");
+    }
+}

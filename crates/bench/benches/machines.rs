@@ -1,0 +1,54 @@
+//! Criterion benches comparing simulator throughput of the vanilla and
+//! SOFIA machines — the host-side cost of the reproduction — plus the
+//! per-block fetch/verify path in isolation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sofia_core::machine::SofiaMachine;
+use sofia_cpu::machine::VanillaMachine;
+use sofia_crypto::KeySet;
+use sofia_workloads::kernels;
+
+fn bench_vanilla(c: &mut Criterion) {
+    let w = kernels::fib(5_000);
+    let assembly = w.assembly();
+    let mut g = c.benchmark_group("simulate");
+    g.throughput(Throughput::Elements(5_000 * 5)); // ~5 insts/iteration
+    g.bench_function("vanilla_fib5000", |b| {
+        b.iter(|| {
+            let mut m = VanillaMachine::new(black_box(&assembly));
+            m.run(10_000_000).unwrap();
+            m.stats().cycles
+        })
+    });
+    g.finish();
+}
+
+fn bench_sofia(c: &mut Criterion) {
+    let keys = KeySet::from_seed(3);
+    let w = kernels::fib(5_000);
+    let image = w.secure_image(&keys);
+    let mut g = c.benchmark_group("simulate");
+    g.throughput(Throughput::Elements(5_000 * 5));
+    g.bench_function("sofia_fib5000", |b| {
+        b.iter(|| {
+            let mut m = SofiaMachine::new(black_box(&image), &keys);
+            m.run(10_000_000).unwrap();
+            m.stats().exec.cycles
+        })
+    });
+    g.finish();
+}
+
+fn bench_block_fetch(c: &mut Criterion) {
+    // One verified block fetch+execute: the steady-state unit of work.
+    let keys = KeySet::from_seed(4);
+    let w = kernels::fib(1_000_000); // long-running: never halts in-bench
+    let image = w.secure_image(&keys);
+    c.bench_function("sofia_step_block", |b| {
+        let mut m = SofiaMachine::new(&image, &keys);
+        b.iter(|| m.step_block().unwrap().executed_slots)
+    });
+}
+
+criterion_group!(benches, bench_vanilla, bench_sofia, bench_block_fetch);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benches for the secure installer: end-to-end transform cost
+//! per workload and the Fig. 9 mux-tree scaling series.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sofia_crypto::KeySet;
+use sofia_isa::asm;
+use sofia_transform::Transformer;
+use sofia_workloads::{adpcm, kernels};
+
+fn bench_transform_workloads(c: &mut Criterion) {
+    let keys = KeySet::from_seed(5);
+    let mut g = c.benchmark_group("transform");
+    for w in [adpcm::workload(500), kernels::crc32(512), kernels::matmul()] {
+        let module = w.module();
+        g.bench_with_input(BenchmarkId::from_parameter(w.name), &module, |b, m| {
+            let t = Transformer::new(keys.clone());
+            b.iter(|| t.transform(black_box(m)).unwrap().text_bytes())
+        });
+    }
+    g.finish();
+}
+
+fn bench_mux_tree_scaling(c: &mut Criterion) {
+    // Fig. 9: cost of sealing a program whose hot function has k callers.
+    let keys = KeySet::from_seed(6);
+    let mut g = c.benchmark_group("mux_tree");
+    for k in [2usize, 8, 32] {
+        let mut src = String::from("main:\n");
+        for _ in 0..k {
+            src.push_str("    jal f\n");
+        }
+        src.push_str("    halt\nf:  ret\n");
+        let module = asm::parse(&src).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &module, |b, m| {
+            let t = Transformer::new(keys.clone());
+            b.iter(|| t.transform(black_box(m)).unwrap().report.tree_blocks)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transform_workloads, bench_mux_tree_scaling);
+criterion_main!(benches);

@@ -1,0 +1,419 @@
+//! `repro` — regenerates every table and figure of the SOFIA paper.
+//!
+//! ```text
+//! cargo run -p sofia-bench --bin repro --release -- all
+//! cargo run -p sofia-bench --bin repro --release -- tab1 adpcm fig9
+//! ```
+//!
+//! Experiment ids (DESIGN.md §3): `fig1 fig2 fig3 fig4 fig5 fig6 fig7
+//! fig9 tab1 sec adpcm suite ablate-block ablate-unroll ablate-sched
+//! confid`.
+
+use sofia_bench::{format_row, measure, measure_with, row_header};
+use sofia_core::machine::SofiaMachine;
+use sofia_core::timing::{store_gate_table, CipherSchedule, SofiaTiming};
+use sofia_core::{security, SofiaConfig};
+use sofia_crypto::{ctr, CounterBlock, KeySet, Nonce};
+use sofia_cpu::machine::VanillaMachine;
+use sofia_isa::{asm, disasm, Instruction};
+use sofia_transform::{BlockFormat, Transformer, RESET_PREV_PC};
+use sofia_workloads::{adpcm, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all" || a == "--all") {
+        vec![
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "tab1", "sec",
+            "adpcm", "suite", "ablate-block", "ablate-unroll", "ablate-sched", "confid",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in wanted {
+        match id {
+            "fig1" => fig1(),
+            "fig2" => fig2(),
+            "fig3" => fig3(),
+            "fig4" => fig4(),
+            "fig5" => fig56(BlockFormat::exec4(), "fig5: 4-instruction execution block"),
+            "fig6" => fig56(BlockFormat::default(), "fig6: 6-instruction execution block"),
+            "fig7" => fig7(),
+            "fig9" => fig9(),
+            "tab1" => tab1(),
+            "sec" | "sec-si" | "sec-cfi" => security_eval(),
+            "adpcm" => adpcm_eval(),
+            "suite" => suite_eval(),
+            "ablate-block" => ablate_block(),
+            "ablate-unroll" => ablate_unroll(),
+            "ablate-sched" => ablate_sched(),
+            "confid" => confid(),
+            other => eprintln!("unknown experiment `{other}` (see DESIGN.md §3)"),
+        }
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Fig. 1 — architecture walk: block-by-block fetch → decrypt → verify →
+/// execute trace of a small program.
+fn fig1() {
+    banner("fig1: architecture trace (fetch -> decrypt -> verify -> execute)");
+    let keys = KeySet::from_seed(1);
+    let module = asm::parse(
+        "main: li t0, 2
+         loop: subi t0, t0, 1
+               bnez t0, loop
+               halt",
+    )
+    .unwrap();
+    let image = Transformer::new(keys.clone()).transform(&module).unwrap();
+    let mut m = SofiaMachine::new(&image, &keys);
+    let mut step = 0;
+    while !m.is_halted() && step < 12 {
+        let target = m.next_target();
+        let s = m.step_block().unwrap();
+        step += 1;
+        println!(
+            "  block {step}: target={target:#06x}  slots executed={}  violations={}",
+            s.executed_slots,
+            s.violation.map(|v| v.to_string()).unwrap_or_else(|| "none".into())
+        );
+    }
+    let st = m.stats();
+    println!(
+        "  total: {} blocks ({} exec, {} mux), {} CTR ops, {} CBC ops, {} cycles",
+        st.blocks, st.exec_blocks, st.mux_blocks, st.ctr_ops, st.cbc_ops, st.exec.cycles
+    );
+}
+
+/// Fig. 2 — valid vs invalid control-flow edge decryption.
+fn fig2() {
+    banner("fig2: CFG-edge-bound decryption (valid path vs invalid path)");
+    let keys = KeySet::from_seed(2).expand();
+    let nonce = Nonce::new(0xA5);
+    let addr = |node: u32| node * 4;
+    // Instruction 5 of the paper's example, encrypted on edge 2 -> 5.
+    let plain = Instruction::Addi { rt: sofia_isa::Reg::T1, rs: sofia_isa::Reg::T2, imm: 0 }
+        .encode();
+    let good = CounterBlock::from_edge(nonce, addr(2), addr(5));
+    let bad = CounterBlock::from_edge(nonce, addr(1), addr(5));
+    let c = ctr::apply(&keys.ctr, good, plain);
+    let via_good = ctr::apply(&keys.ctr, good, c);
+    let via_bad = ctr::apply(&keys.ctr, bad, c);
+    println!("  I5 = {{w || 2 || 5}} (valid):   {via_good:#010x} -> {}", disasm::word(via_good, addr(5)));
+    println!("  I5' = {{w || 1 || 5}} (invalid): {via_bad:#010x} -> {}", disasm::word(via_bad, addr(5)));
+    println!("  valid edge recovers the instruction: {}", via_good == plain);
+    println!("  invalid edge garbles it:             {}", via_bad != plain);
+}
+
+/// Fig. 3 — stored vs run-time MAC comparison on a tampered block.
+fn fig3() {
+    banner("fig3: SI verification (stored MAC vs run-time MAC)");
+    let keys = KeySet::from_seed(3);
+    let module = asm::parse("main: li t0, 7\n halt").unwrap();
+    let image = Transformer::new(keys.clone()).transform(&module).unwrap();
+    let mut clean = SofiaMachine::new(&image, &keys);
+    println!("  clean image:    {:?}", clean.run(1000).unwrap());
+    let mut tampered = SofiaMachine::new(&image, &keys);
+    tampered.mem_mut().rom_mut()[3] ^= 0x10;
+    println!("  tampered image: {:?}", tampered.run(1000).unwrap());
+}
+
+/// Fig. 4 — execution-block layout.
+fn fig4() {
+    banner("fig4: execution block layout (M1 M2 inst1..inst6)");
+    let keys = KeySet::from_seed(4);
+    let module = asm::parse("main: li t0, 1\n li t1, 2\n add t2, t0, t1\n halt").unwrap();
+    let image = Transformer::new(keys.clone()).transform(&module).unwrap();
+    let ks = keys.expand();
+    // Decrypt block 0 along the reset edge to show its structure.
+    let mut prev = RESET_PREV_PC;
+    for w in 0..image.format.block_words() {
+        let pc = image.text_base + 4 * w as u32;
+        let p = ctr::apply(
+            &ks.ctr,
+            CounterBlock::from_edge(image.nonce, prev, pc),
+            image.ctext[w],
+        );
+        let role = match w {
+            0 => "M1   ",
+            1 => "M2   ",
+            n => {
+                // instruction slot n-2
+                let _ = n;
+                "inst "
+            }
+        };
+        let shown = if w < 2 {
+            format!("{p:#010x} (MAC word)")
+        } else {
+            disasm::word(p, pc)
+        };
+        println!("  word {w}: {role} {shown}");
+        prev = pc;
+    }
+    println!(
+        "  report: {} blocks, {} pad nops, {} B -> {} B",
+        image.report.blocks, image.report.pad_nops, image.report.text_bytes_in, image.report.text_bytes_out
+    );
+}
+
+/// Figs. 5/6 — the store gate vs block geometry.
+fn fig56(format: BlockFormat, title: &str) {
+    banner(title);
+    let timing = SofiaTiming::default();
+    println!(
+        "  block = {} words, verification verdict at cycle {}",
+        format.block_words(),
+        timing.verify_done(&format)
+    );
+    println!("  slot  word  store-allowed  gate-stall(if store)");
+    for row in store_gate_table(&format, &timing) {
+        println!(
+            "  {:>4}  {:>4}  {:>13}  {:>6}",
+            row.slot, row.word_pos, row.allowed, row.stall
+        );
+    }
+}
+
+/// Figs. 7/8 — multiplexor block with two verified entries.
+fn fig7() {
+    banner("fig7/8: multiplexor block (two entries, shared M2)");
+    let keys = KeySet::from_seed(7);
+    let module = asm::parse(
+        "main: jal f
+               jal f
+               halt
+         f:    ret",
+    )
+    .unwrap();
+    let image = Transformer::new(keys.clone()).transform(&module).unwrap();
+    println!(
+        "  mux blocks: {}, exec blocks: {}",
+        image.report.mux_blocks, image.report.exec_blocks
+    );
+    let mut m = SofiaMachine::new(&image, &keys);
+    let outcome = m.run(10_000).unwrap();
+    let st = m.stats();
+    println!(
+        "  run: {outcome:?}; mux paths fetched {} times (7 words each vs 8 for exec)",
+        st.mux_blocks
+    );
+}
+
+/// Fig. 9 — multiplexor trees: cost vs number of callers.
+fn fig9() {
+    banner("fig9: multiplexor trees (k callers -> k-2 tree nodes)");
+    println!("  callers  tree-nodes  mux-blocks  sealed-bytes  sofia-cycles");
+    let keys = KeySet::from_seed(9);
+    for k in [2usize, 3, 4, 6, 8, 12, 16] {
+        let mut src = String::from("main:\n");
+        for _ in 0..k {
+            src.push_str("    jal f\n");
+        }
+        src.push_str("    halt\nf:  addi v0, a0, 1\n    ret\n");
+        let module = asm::parse(&src).unwrap();
+        let image = Transformer::new(keys.clone()).transform(&module).unwrap();
+        let mut m = SofiaMachine::new(&image, &keys);
+        let outcome = m.run(100_000).unwrap();
+        assert!(outcome.is_halted());
+        println!(
+            "  {:>7}  {:>10}  {:>10}  {:>12}  {:>12}",
+            k,
+            image.report.tree_blocks,
+            image.report.mux_blocks,
+            image.text_bytes(),
+            m.stats().exec.cycles
+        );
+    }
+}
+
+/// Table I — hardware area and clock.
+fn tab1() {
+    banner("tab1: hardware comparison (Table I)");
+    let (v, s) = sofia_hwmodel::table1();
+    println!("  Design    Slices    Clock Speed");
+    println!("  Vanilla   {:>6.0}    {:.1} MHz", v.slices, v.clock_mhz());
+    println!("  SOFIA     {:>6.0}    {:.1} MHz", s.slices, s.clock_mhz());
+    println!(
+        "  area +{:.1}% (paper: +28.2%), clock {:.1}% slower (paper: 84.6%)",
+        s.area_overhead_vs(&v),
+        s.clock_slowdown_vs(&v)
+    );
+}
+
+/// §IV-A — security evaluation: closed forms + Monte-Carlo scaling.
+fn security_eval() {
+    banner("sec: security evaluation (SIV-A)");
+    println!(
+        "  SI : 64-bit MAC, 8 cycles/trial @50MHz -> {:.0} years (paper: 46,795)",
+        security::paper_si_attack_years()
+    );
+    println!(
+        "  CFI: divert+forge, 16 cycles/trial     -> {:.0} years (paper: 93,590)",
+        security::paper_cfi_attack_years()
+    );
+    println!("  Monte-Carlo forgery on truncated MACs (2^16 trials each):");
+    println!("  bits  accepted  expected");
+    let keys = KeySet::from_seed(0x5EC);
+    for c in sofia_attacks::forgery::scaling_series(&keys, &[4, 8, 12, 16], 1 << 16, 99) {
+        println!(
+            "  {:>4}  {:>8}  {:>8.1}",
+            c.mac_bits, c.accepted, c.expected
+        );
+    }
+}
+
+/// §IV-B — the ADPCM benchmark table.
+fn adpcm_eval() {
+    banner("adpcm: MediaBench ADPCM overheads (SIV-B)");
+    let keys = KeySet::from_seed(0xADC);
+    let w = adpcm::workload(4000);
+    let row = measure(&w, &keys);
+    println!("  {}", row_header());
+    println!("  {}", format_row(&row));
+    // The paper's baseline was memory-bound (114 M cycles for ADPCM ->
+    // CPI >> 1 from external-memory wait states); under a comparable
+    // memory system the relative overhead shrinks toward the published
+    // 13.7 % (EXPERIMENTS.md discusses the calibration).
+    let mut paper_cfg = SofiaConfig::default();
+    paper_cfg.machine.pipeline = sofia_cpu::pipeline::PipelineModel::paper_memory();
+    let mut prow = measure_with(&w, &keys, BlockFormat::default(), &paper_cfg);
+    prow.name = "adpcm/slowmem".into();
+    println!("  {}", format_row(&prow));
+    println!(
+        "  paper: 6,976 B -> 16,816 B (2.41x); 114,188,673 -> 130,840,013 cycles (+13.7%); time +110%"
+    );
+    let s = &row.sofia;
+    println!(
+        "  breakdown: {} blocks, {} mac-nop slots, {} redirect-fill cyc, {} cipher-stall cyc, {} store-gate cyc, icache stalls {}",
+        s.blocks,
+        s.mac_nop_slots,
+        s.redirect_fill_cycles,
+        s.cipher_stall_cycles,
+        s.store_gate_stall_cycles,
+        s.exec.icache_stall_cycles
+    );
+}
+
+/// Extension — the same overheads across the whole kernel suite.
+fn suite_eval() {
+    banner("suite: overheads across all workloads (extension)");
+    let keys = KeySet::from_seed(0x517E);
+    println!("  {}", row_header());
+    for w in sofia_workloads::suite(Scale::Bench) {
+        let row = measure(&w, &keys);
+        println!("  {}", format_row(&row));
+    }
+}
+
+/// Ablation — exec6-with-restriction vs exec4-no-restriction (Figs. 5/6
+/// as an end-to-end trade-off).
+fn ablate_block() {
+    banner("ablate-block: 6-inst (restricted stores) vs 4-inst blocks");
+    let keys = KeySet::from_seed(0xB10C);
+    let w = adpcm::workload(1000);
+    println!("  {}", row_header());
+    for (label, format) in [("exec6", BlockFormat::default()), ("exec4", BlockFormat::exec4())] {
+        let mut row = measure_with(&w, &keys, format, &SofiaConfig::default());
+        row.name = format!("adpcm/{label}");
+        println!("  {}", format_row(&row));
+    }
+}
+
+/// Ablation — cipher unrolling factor: area, clock and end-to-end time.
+fn ablate_unroll() {
+    banner("ablate-unroll: cipher unrolling (area/clock/time trade-off)");
+    let keys = KeySet::from_seed(0xA11);
+    let w = adpcm::workload(1000);
+    let vrow = measure(&w, &keys); // vanilla cycles reused
+    let vperiod = sofia_hwmodel::vanilla().period_ns;
+    let vanilla_time = vrow.vanilla_cycles as f64 * vperiod;
+    println!("  unroll  slices  clock(MHz)  cyc/op  sofia-cycles  time-overhead");
+    for hw in sofia_hwmodel::unroll_sweep() {
+        let timing = SofiaTiming {
+            cipher_issue_interval: if hw.pipelined { 1 } else { hw.cycles_per_op },
+            cipher_latency: hw.cycles_per_op.max(1),
+            ..Default::default()
+        };
+        let config = SofiaConfig {
+            timing,
+            ..Default::default()
+        };
+        let row = measure_with(&w, &keys, BlockFormat::default(), &config);
+        let time = row.sofia_cycles as f64 * hw.period_ns;
+        println!(
+            "  {:>6}  {:>6.0}  {:>10.1}  {:>6}  {:>12}  {:>+12.1}%",
+            hw.unroll,
+            hw.slices,
+            hw.clock_mhz(),
+            hw.cycles_per_op,
+            row.sofia_cycles,
+            (time / vanilla_time - 1.0) * 100.0
+        );
+    }
+    println!("  (the paper's 13x point minimises end-to-end time: fewer cipher stalls than");
+    println!("   iterated designs, less clock loss than single-cycle)");
+}
+
+/// Ablation — CTR scheduling granularity.
+fn ablate_sched() {
+    banner("ablate-sched: CTR op granularity (paper 2-words/op vs per-word)");
+    let keys = KeySet::from_seed(0x5CED);
+    let w = adpcm::workload(1000);
+    println!("  {}", row_header());
+    for (label, schedule) in [
+        ("paper", CipherSchedule::Paper),
+        ("per-word", CipherSchedule::PerWord),
+    ] {
+        let config = SofiaConfig {
+            timing: SofiaTiming {
+                schedule,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut row = measure_with(&w, &keys, BlockFormat::default(), &config);
+        row.name = format!("adpcm/{label}");
+        println!("  {}", format_row(&row));
+    }
+}
+
+/// §I claim — code confidentiality of the sealed image.
+fn confid() {
+    banner("confid: code confidentiality (copyright protection)");
+    let keys = KeySet::from_seed(0xC0DE);
+    let w = adpcm::workload(500);
+    let plain = w.assembly().words;
+    let image = w.secure_image(&keys);
+    let r = sofia_attacks::confidentiality::analyze(&plain, &image.ctext);
+    println!("  plaintext entropy:  {:.2} bits/byte", r.plain_entropy);
+    println!("  ciphertext entropy: {:.2} bits/byte", r.cipher_entropy);
+    println!("  legal-instruction fraction: plain {:.3}, cipher {:.3}", r.plain_legal_fraction, r.cipher_legal_fraction);
+    println!("  identical words plain-vs-cipher: {}", r.matching_words);
+    // Version separation under a fresh nonce.
+    let module = w.module();
+    let v2 = Transformer::new(keys.clone())
+        .with_nonce(Nonce::new(2))
+        .transform(&module)
+        .unwrap();
+    println!(
+        "  ciphertext shared between versions (nonce 1 vs 2): {:.4}",
+        sofia_attacks::confidentiality::shared_ciphertext_fraction(&image.ctext, &v2.ctext)
+    );
+    // A vanilla machine pointed at the ciphertext goes nowhere.
+    let mut m = VanillaMachine::new(&sofia_isa::asm::Assembly {
+        text_base: image.text_base,
+        words: image.ctext.clone(),
+        data_base: image.data_base,
+        data: image.data.clone(),
+        symbols: Default::default(),
+        entry: image.text_base,
+    });
+    match m.run(10_000) {
+        Err(t) => println!("  executing ciphertext on a plain core: trap `{t}`"),
+        Ok(o) => println!("  executing ciphertext on a plain core: {o:?}"),
+    }
+}

@@ -1,0 +1,169 @@
+//! # sofia-bench — measurement helpers for the reproduction harness
+//!
+//! Shared machinery for the `repro` binary (which regenerates every table
+//! and figure of the paper, see `DESIGN.md` §3) and the Criterion
+//! benches: run a workload on both machines under arbitrary
+//! configurations and reduce the statistics to the paper's metrics.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use sofia_core::machine::SofiaMachine;
+use sofia_core::{SofiaConfig, SofiaStats};
+use sofia_cpu::machine::VanillaMachine;
+use sofia_cpu::ExecStats;
+use sofia_crypto::KeySet;
+use sofia_transform::{BlockFormat, TransformReport, Transformer};
+use sofia_workloads::Workload;
+
+/// Fuel for measurement runs.
+pub const FUEL: u64 = 500_000_000;
+
+/// One row of a §IV-B-style overhead table.
+#[derive(Clone, Debug)]
+pub struct OverheadRow {
+    /// Workload name.
+    pub name: String,
+    /// Plain text-section size in bytes.
+    pub text_in: usize,
+    /// Sealed text-section size in bytes.
+    pub text_out: usize,
+    /// Baseline cycles.
+    pub vanilla_cycles: u64,
+    /// SOFIA cycles.
+    pub sofia_cycles: u64,
+    /// Full SOFIA statistics (for breakdowns).
+    pub sofia: SofiaStats,
+    /// Baseline statistics.
+    pub vanilla: ExecStats,
+    /// Transformation report.
+    pub report: TransformReport,
+}
+
+impl OverheadRow {
+    /// Code-size expansion factor (paper: 2.41× for ADPCM).
+    pub fn expansion(&self) -> f64 {
+        self.text_out as f64 / self.text_in as f64
+    }
+
+    /// Cycle overhead in percent (paper: 13.7 % for ADPCM).
+    pub fn cycle_overhead_pct(&self) -> f64 {
+        (self.sofia_cycles as f64 / self.vanilla_cycles as f64 - 1.0) * 100.0
+    }
+
+    /// Total execution-time overhead in percent, combining cycles with
+    /// the Table I clocks (paper: 110 % for ADPCM).
+    pub fn time_overhead_pct(&self) -> f64 {
+        let (v, s) = sofia_hwmodel::table1();
+        let vanilla_time = self.vanilla_cycles as f64 * v.period_ns;
+        let sofia_time = self.sofia_cycles as f64 * s.period_ns;
+        (sofia_time / vanilla_time - 1.0) * 100.0
+    }
+}
+
+/// Runs `workload` on both machines with the given SOFIA configuration
+/// and block format, verifying outputs against the golden model.
+///
+/// # Panics
+///
+/// Panics if either machine misbehaves — measurement runs must be
+/// correct runs.
+pub fn measure_with(
+    workload: &Workload,
+    keys: &KeySet,
+    format: BlockFormat,
+    config: &SofiaConfig,
+) -> OverheadRow {
+    // Vanilla (same baseline machine parameters as the SOFIA config, so
+    // the comparison isolates the security architecture).
+    let assembly = workload.assembly();
+    let mut vm = VanillaMachine::with_config(&assembly, &config.machine);
+    let vr = vm.run(FUEL).expect("vanilla run traps");
+    assert!(vr.is_halted(), "{}: vanilla did not halt", workload.name);
+    assert_eq!(
+        vm.mem().mmio.out_words,
+        workload.expected,
+        "{}: vanilla output mismatch",
+        workload.name
+    );
+
+    // SOFIA.
+    let image = Transformer::new(keys.clone())
+        .with_format(format)
+        .transform(&workload.module())
+        .expect("workload transforms");
+    let report = image.report.clone();
+    let mut sm = SofiaMachine::with_config(&image, keys, config);
+    let sr = sm.run(FUEL).expect("sofia run traps");
+    assert!(
+        sr.is_halted(),
+        "{}: sofia outcome {sr:?}",
+        workload.name
+    );
+    assert_eq!(
+        sm.mem().mmio.out_words,
+        workload.expected,
+        "{}: sofia output mismatch",
+        workload.name
+    );
+
+    OverheadRow {
+        name: workload.name.to_string(),
+        text_in: assembly.text_bytes(),
+        text_out: image.text_bytes(),
+        vanilla_cycles: vm.stats().cycles,
+        sofia_cycles: sm.stats().exec.cycles,
+        sofia: sm.stats(),
+        vanilla: vm.stats(),
+        report,
+    }
+}
+
+/// [`measure_with`] under default configuration and block format.
+pub fn measure(workload: &Workload, keys: &KeySet) -> OverheadRow {
+    measure_with(
+        workload,
+        keys,
+        BlockFormat::default(),
+        &SofiaConfig::default(),
+    )
+}
+
+/// Formats a row of the overhead table.
+pub fn format_row(r: &OverheadRow) -> String {
+    format!(
+        "{:<12} {:>8} B {:>8} B  {:>5.2}x {:>12} {:>12} {:>+8.1}% {:>+8.1}%",
+        r.name,
+        r.text_in,
+        r.text_out,
+        r.expansion(),
+        r.vanilla_cycles,
+        r.sofia_cycles,
+        r.cycle_overhead_pct(),
+        r.time_overhead_pct(),
+    )
+}
+
+/// Header matching [`format_row`].
+pub fn row_header() -> String {
+    format!(
+        "{:<12} {:>10} {:>10}  {:>6} {:>12} {:>12} {:>9} {:>9}",
+        "workload", "text", "sealed", "exp", "van cycles", "sofia cyc", "cyc ovh", "time ovh"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_produces_consistent_row() {
+        let keys = KeySet::from_seed(11);
+        let w = sofia_workloads::kernels::fib(50);
+        let row = measure(&w, &keys);
+        assert!(row.sofia_cycles > row.vanilla_cycles);
+        assert!(row.expansion() > 1.3);
+        assert!(row.time_overhead_pct() > row.cycle_overhead_pct());
+        assert!(!format_row(&row).is_empty());
+    }
+}

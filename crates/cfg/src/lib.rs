@@ -1,0 +1,625 @@
+//! # sofia-cfg — instruction-level control-flow analysis
+//!
+//! SOFIA encrypts every instruction under the control-flow **edge** that
+//! reaches it, so its installer needs a *precise*, instruction-granular
+//! CFG of the whole program (paper §II-A). This crate builds that graph
+//! over a symbolic [`Module`]:
+//!
+//! * every instruction is a node;
+//! * edges carry an [`EdgeKind`]: fall-through, taken branch, jump, call,
+//!   return, or declared indirect transfer;
+//! * return edges are resolved by attributing each `jr ra` to its
+//!   enclosing (contiguous) function and connecting it to every return
+//!   point of that function's call sites;
+//! * `jalr`/computed `jr` must declare their possible targets with the
+//!   assembler's `.indirect` directive — exactly the paper's requirement
+//!   that "control flow can be modeled accurately"; programs whose control
+//!   flow cannot be enumerated (the paper names polymorphism) are rejected.
+//!
+//! # Examples
+//!
+//! ```
+//! use sofia_cfg::{Cfg, EdgeKind};
+//! use sofia_isa::asm;
+//!
+//! let module = asm::parse(
+//!     "main: jal f
+//!           halt
+//!      f:   ret",
+//! )?;
+//! let cfg = Cfg::build(&module)?;
+//! // the call edge main[0] -> f[2]
+//! assert!(cfg.succs(0).iter().any(|e| e.to == 2 && e.kind == EdgeKind::Call));
+//! // the return edge f[2] -> main[1]
+//! assert!(cfg.succs(2).iter().any(|e| e.to == 1 && e.kind == EdgeKind::Return));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+//!
+//! [`Module`]: sofia_isa::asm::Module
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+use sofia_isa::asm::{Module, Reloc};
+use sofia_isa::{Instruction, Reg};
+
+/// Why a control-flow edge exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Sequential execution into the next instruction.
+    FallThrough,
+    /// A conditional branch, taken.
+    Branch,
+    /// An unconditional direct jump (`j`).
+    Jump,
+    /// A call (`jal`, or `jalr` with declared targets).
+    Call,
+    /// A function return (`jr ra`) back to a return point.
+    Return,
+    /// A declared indirect transfer (`.indirect` on `jr`).
+    Indirect,
+}
+
+/// A directed control-flow edge between instruction indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Index of the transferring (or preceding) instruction.
+    pub from: usize,
+    /// Index of the destination instruction.
+    pub to: usize,
+    /// Why control flows along this edge.
+    pub kind: EdgeKind,
+}
+
+/// Errors found while building the CFG — each one is a program the SOFIA
+/// installer must reject.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CfgError {
+    /// A `jalr` (or non-return `jr`) without a `.indirect` declaration:
+    /// its targets cannot be enumerated statically.
+    UnresolvedIndirect {
+        /// Instruction index of the offending transfer.
+        index: usize,
+        /// Source line.
+        line: usize,
+    },
+    /// An `.indirect` target label that does not exist.
+    UndefinedTarget {
+        /// The missing label.
+        label: String,
+        /// Source line of the referencing instruction.
+        line: usize,
+    },
+    /// The last instruction can fall off the end of the text section.
+    FallsOffEnd {
+        /// Index of the instruction that falls through.
+        index: usize,
+    },
+    /// A relocation references a label that is not a text label (e.g.
+    /// branching to data).
+    BranchToData {
+        /// The label.
+        label: String,
+        /// Source line.
+        line: usize,
+    },
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::UnresolvedIndirect { index, line } => write!(
+                f,
+                "indirect transfer at instruction {index} (line {line}) has no .indirect targets"
+            ),
+            CfgError::UndefinedTarget { label, line } => {
+                write!(f, "undefined .indirect target `{label}` (line {line})")
+            }
+            CfgError::FallsOffEnd { index } => {
+                write!(f, "instruction {index} can fall off the end of .text")
+            }
+            CfgError::BranchToData { label, line } => {
+                write!(f, "control transfer to non-text label `{label}` (line {line})")
+            }
+        }
+    }
+}
+
+impl Error for CfgError {}
+
+/// The instruction-level control-flow graph of a module.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<Edge>>,
+    preds: Vec<Vec<Edge>>,
+    entry: usize,
+    function_starts: Vec<usize>,
+    label_index: BTreeMap<String, usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `module`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CfgError`]. A successful build guarantees: every transfer
+    /// target is a known text label, every indirect transfer is declared,
+    /// and no instruction falls off the end of the section.
+    pub fn build(module: &Module) -> Result<Cfg, CfgError> {
+        let n = module.text.len();
+        let label_index = label_map(module);
+        let mut succs: Vec<Vec<Edge>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<Edge>> = vec![Vec::new(); n];
+
+        // Resolve the target label of a control-transfer reloc.
+        let resolve = |label: &str, line: usize| -> Result<usize, CfgError> {
+            label_index
+                .get(label)
+                .copied()
+                .ok_or_else(|| CfgError::BranchToData {
+                    label: label.to_string(),
+                    line,
+                })
+        };
+
+        // --- function starts: entry + every call / indirect target ---
+        let mut starts: BTreeSet<usize> = BTreeSet::new();
+        starts.insert(0);
+        if let Some(entry_label) = &module.entry {
+            if let Some(&i) = label_index.get(entry_label) {
+                starts.insert(i);
+            }
+        }
+        for (i, item) in module.text.iter().enumerate() {
+            let is_call = item.inst.is_call();
+            if is_call {
+                match &item.reloc {
+                    Some(Reloc::Jump(label)) => {
+                        starts.insert(resolve(label, item.line)?);
+                    }
+                    _ => {
+                        for t in &item.indirect_targets {
+                            starts.insert(resolve(t, item.line)?);
+                        }
+                        if item.indirect_targets.is_empty() {
+                            return Err(CfgError::UnresolvedIndirect {
+                                index: i,
+                                line: item.line,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let function_starts: Vec<usize> = starts.iter().copied().collect();
+        let function_of = |i: usize| -> usize {
+            match function_starts.binary_search(&i) {
+                Ok(pos) => function_starts[pos],
+                Err(pos) => function_starts[pos - 1],
+            }
+        };
+
+        // --- return instructions per function ---
+        let mut returns_by_fn: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, item) in module.text.iter().enumerate() {
+            if is_return(&item.inst) && item.indirect_targets.is_empty() {
+                returns_by_fn.entry(function_of(i)).or_default().push(i);
+            }
+        }
+
+        let mut push = |edge: Edge| {
+            succs[edge.from].push(edge);
+            preds[edge.to].push(edge);
+        };
+
+        // --- edges ---
+        for (i, item) in module.text.iter().enumerate() {
+            let inst = &item.inst;
+            // Fall-through.
+            if inst.falls_through() {
+                if i + 1 >= n {
+                    return Err(CfgError::FallsOffEnd { index: i });
+                }
+                push(Edge {
+                    from: i,
+                    to: i + 1,
+                    kind: EdgeKind::FallThrough,
+                });
+            }
+            if inst.is_branch() {
+                let label = match &item.reloc {
+                    Some(Reloc::Branch(l)) => l,
+                    _ => unreachable!("branch without branch reloc"),
+                };
+                push(Edge {
+                    from: i,
+                    to: resolve(label, item.line)?,
+                    kind: EdgeKind::Branch,
+                });
+            } else if let Instruction::J { .. } = inst {
+                let label = match &item.reloc {
+                    Some(Reloc::Jump(l)) => l,
+                    _ => unreachable!("j without jump reloc"),
+                };
+                push(Edge {
+                    from: i,
+                    to: resolve(label, item.line)?,
+                    kind: EdgeKind::Jump,
+                });
+            } else if let Instruction::Jal { .. } = inst {
+                let label = match &item.reloc {
+                    Some(Reloc::Jump(l)) => l,
+                    _ => unreachable!("jal without jump reloc"),
+                };
+                let callee = resolve(label, item.line)?;
+                push(Edge {
+                    from: i,
+                    to: callee,
+                    kind: EdgeKind::Call,
+                });
+                add_return_edges(i, callee, n, &returns_by_fn, &mut push)?;
+            } else if let Instruction::Jalr { .. } = inst {
+                if item.indirect_targets.is_empty() {
+                    return Err(CfgError::UnresolvedIndirect {
+                        index: i,
+                        line: item.line,
+                    });
+                }
+                for t in &item.indirect_targets {
+                    let callee = resolve(t, item.line)?;
+                    push(Edge {
+                        from: i,
+                        to: callee,
+                        kind: EdgeKind::Call,
+                    });
+                    add_return_edges(i, callee, n, &returns_by_fn, &mut push)?;
+                }
+            } else if let Instruction::Jr { .. } = inst {
+                if !item.indirect_targets.is_empty() {
+                    // A declared computed jump (e.g. a switch table).
+                    for t in &item.indirect_targets {
+                        push(Edge {
+                            from: i,
+                            to: resolve(t, item.line)?,
+                            kind: EdgeKind::Indirect,
+                        });
+                    }
+                } else if !is_return(inst) {
+                    return Err(CfgError::UnresolvedIndirect {
+                        index: i,
+                        line: item.line,
+                    });
+                }
+                // `jr ra` return edges are added at each call site.
+            }
+        }
+
+        let entry = module
+            .entry
+            .as_ref()
+            .and_then(|l| label_index.get(l).copied())
+            .or_else(|| label_index.get("main").copied())
+            .unwrap_or(0);
+
+        Ok(Cfg {
+            succs,
+            preds,
+            entry,
+            function_starts,
+            label_index,
+        })
+    }
+
+    /// Number of instructions (nodes).
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the module had no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// The entry instruction index.
+    pub fn entry(&self) -> usize {
+        self.entry
+    }
+
+    /// Outgoing edges of instruction `i`.
+    pub fn succs(&self, i: usize) -> &[Edge] {
+        &self.succs[i]
+    }
+
+    /// Incoming edges of instruction `i`.
+    pub fn preds(&self, i: usize) -> &[Edge] {
+        &self.preds[i]
+    }
+
+    /// Indices that start a function (entry and every call target).
+    pub fn function_starts(&self) -> &[usize] {
+        &self.function_starts
+    }
+
+    /// The function (start index) containing instruction `i`.
+    pub fn function_of(&self, i: usize) -> usize {
+        match self.function_starts.binary_search(&i) {
+            Ok(pos) => self.function_starts[pos],
+            Err(pos) => self.function_starts[pos - 1],
+        }
+    }
+
+    /// Resolved instruction index of a text label.
+    pub fn label(&self, name: &str) -> Option<usize> {
+        self.label_index.get(name).copied()
+    }
+
+    /// Instructions reachable from the entry along CFG edges.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        if self.is_empty() {
+            return seen;
+        }
+        let mut stack = vec![self.entry];
+        seen[self.entry] = true;
+        while let Some(i) = stack.pop() {
+            for e in &self.succs[i] {
+                if !seen[e.to] {
+                    seen[e.to] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Exports the graph in Graphviz DOT format (for documentation and
+    /// debugging; Fig. 2 of the paper is such a graph).
+    pub fn to_dot(&self, module: &Module) -> String {
+        let mut out = String::from("digraph cfg {\n  node [shape=box, fontname=monospace];\n");
+        for (i, item) in module.text.iter().enumerate() {
+            let labels = if item.labels.is_empty() {
+                String::new()
+            } else {
+                format!("{}: ", item.labels.join(", "))
+            };
+            out.push_str(&format!("  n{i} [label=\"{i}: {labels}{}\"];\n", item.inst));
+        }
+        for edges in &self.succs {
+            for e in edges {
+                out.push_str(&format!(
+                    "  n{} -> n{} [label=\"{:?}\"];\n",
+                    e.from, e.to, e.kind
+                ));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Maps every text label to its instruction index.
+pub fn label_map(module: &Module) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    for (i, item) in module.text.iter().enumerate() {
+        for l in &item.labels {
+            map.insert(l.clone(), i);
+        }
+    }
+    map
+}
+
+/// Whether an instruction is a conventional return (`jr ra`).
+pub fn is_return(inst: &Instruction) -> bool {
+    matches!(inst, Instruction::Jr { rs } if *rs == Reg::RA)
+}
+
+fn add_return_edges(
+    call_site: usize,
+    callee: usize,
+    n: usize,
+    returns_by_fn: &BTreeMap<usize, Vec<usize>>,
+    push: &mut impl FnMut(Edge),
+) -> Result<(), CfgError> {
+    if let Some(rets) = returns_by_fn.get(&callee) {
+        if call_site + 1 >= n {
+            return Err(CfgError::FallsOffEnd { index: call_site });
+        }
+        for &r in rets {
+            push(Edge {
+                from: r,
+                to: call_site + 1,
+                kind: EdgeKind::Return,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofia_isa::asm;
+
+    fn cfg_of(src: &str) -> Cfg {
+        Cfg::build(&asm::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_chain() {
+        let c = cfg_of("main: nop\nnop\nhalt");
+        assert_eq!(c.succs(0), &[Edge { from: 0, to: 1, kind: EdgeKind::FallThrough }]);
+        assert_eq!(c.succs(2), &[] as &[Edge]);
+        assert_eq!(c.preds(1).len(), 1);
+    }
+
+    #[test]
+    fn branch_has_two_successors() {
+        let c = cfg_of(
+            "main: beqz t0, skip
+                   nop
+             skip: halt",
+        );
+        let kinds: Vec<EdgeKind> = c.succs(0).iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EdgeKind::FallThrough));
+        assert!(kinds.contains(&EdgeKind::Branch));
+        assert_eq!(c.preds(2).len(), 2); // fall-through from 1, branch from 0
+    }
+
+    #[test]
+    fn call_and_return_edges() {
+        let c = cfg_of(
+            "main: jal f
+                   halt
+             f:    nop
+                   ret",
+        );
+        assert!(c.succs(0).contains(&Edge { from: 0, to: 2, kind: EdgeKind::Call }));
+        assert!(c.succs(3).contains(&Edge { from: 3, to: 1, kind: EdgeKind::Return }));
+        // jal does NOT fall through directly.
+        assert!(!c.succs(0).iter().any(|e| e.kind == EdgeKind::FallThrough));
+    }
+
+    #[test]
+    fn two_callers_two_return_points() {
+        let c = cfg_of(
+            "main: jal f
+                   jal f
+                   halt
+             f:    ret",
+        );
+        // f's entry (index 3) has two call preds.
+        let call_preds: Vec<_> = c.preds(3).iter().filter(|e| e.kind == EdgeKind::Call).collect();
+        assert_eq!(call_preds.len(), 2);
+        // the single `ret` returns to both return points.
+        let ret_succs: Vec<_> = c.succs(3).iter().filter(|e| e.kind == EdgeKind::Return).collect();
+        assert_eq!(ret_succs.len(), 2);
+        assert!(ret_succs.iter().any(|e| e.to == 1));
+        assert!(ret_succs.iter().any(|e| e.to == 2));
+    }
+
+    #[test]
+    fn indirect_call_edges_from_declaration() {
+        let c = cfg_of(
+            "main: la t0, f
+                   .indirect f, g
+                   jalr t0
+                   halt
+             f:    ret
+             g:    ret",
+        );
+        let jalr = 2; // la expands to two instructions
+        let callees: Vec<usize> = c
+            .succs(jalr)
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Call)
+            .map(|e| e.to)
+            .collect();
+        assert_eq!(callees.len(), 2);
+        // both callees return to the instruction after the jalr
+        assert!(c.preds(3).iter().filter(|e| e.kind == EdgeKind::Return).count() == 2);
+    }
+
+    #[test]
+    fn undeclared_jalr_rejected() {
+        let m = asm::parse("main: jalr t0\nhalt").unwrap();
+        assert!(matches!(
+            Cfg::build(&m),
+            Err(CfgError::UnresolvedIndirect { .. })
+        ));
+    }
+
+    #[test]
+    fn falls_off_end_rejected() {
+        let m = asm::parse("main: nop\nnop").unwrap();
+        assert!(matches!(Cfg::build(&m), Err(CfgError::FallsOffEnd { index: 1 })));
+    }
+
+    #[test]
+    fn branch_to_data_rejected() {
+        let m = asm::parse(".data\nbuf: .word 0\n.text\nmain: j buf\nhalt").unwrap();
+        assert!(matches!(Cfg::build(&m), Err(CfgError::BranchToData { .. })));
+    }
+
+    #[test]
+    fn function_attribution() {
+        let c = cfg_of(
+            "main: jal f
+                   halt
+             f:    nop
+                   ret
+             g:    ret",
+        );
+        assert_eq!(c.function_starts(), &[0, 2]); // g is never called
+        assert_eq!(c.function_of(3), 2);
+        assert_eq!(c.function_of(4), 2); // g folds into f's extent (uncalled)
+    }
+
+    #[test]
+    fn reachability() {
+        let c = cfg_of(
+            "main: j end
+             dead: nop
+             end:  halt",
+        );
+        let r = c.reachable();
+        assert!(r[0] && r[2]);
+        assert!(!r[1]);
+    }
+
+    #[test]
+    fn declared_jr_switch() {
+        let c = cfg_of(
+            "main: la t0, case0
+                   .indirect case0, case1
+                   jr t0
+             case0: halt
+             case1: halt",
+        );
+        let jr = 2;
+        let kinds: Vec<_> = c.succs(jr).iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![EdgeKind::Indirect, EdgeKind::Indirect]);
+    }
+
+    #[test]
+    fn entry_respects_global() {
+        let c = Cfg::build(
+            &asm::parse(".global start\nboot: nop\nstart: halt").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(c.entry(), 1);
+    }
+
+    #[test]
+    fn dot_export_contains_nodes_and_edges() {
+        let m = asm::parse("main: beqz t0, end\nnop\nend: halt").unwrap();
+        let c = Cfg::build(&m).unwrap();
+        let dot = c.to_dot(&m);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("n0 -> n2"));
+        assert!(dot.contains("Branch"));
+    }
+
+    #[test]
+    fn fig2_shape() {
+        // The paper's Fig. 2: node 1 -> 2 (fall-through), 2 -> 5 (jump);
+        // the invalid edge 1 -> 5 must NOT be in the graph.
+        let c = cfg_of(
+            "main: mv t0, t1
+                   j l5
+                   nop
+                   nop
+             l5:   mv t1, t2
+                   halt",
+        );
+        assert!(c.succs(0).contains(&Edge { from: 0, to: 1, kind: EdgeKind::FallThrough }));
+        assert!(c.succs(1).contains(&Edge { from: 1, to: 4, kind: EdgeKind::Jump }));
+        assert!(!c.succs(0).iter().any(|e| e.to == 4));
+        let r = c.reachable();
+        assert!(!r[2] && !r[3]);
+    }
+}

@@ -1,0 +1,291 @@
+//! The CFI decrypt unit and SI verify unit: block-structured fetch.
+//!
+//! Mirrors the hardware of paper Fig. 1: ciphertext words come out of the
+//! (encrypted) instruction memory, are decrypted with the control-flow
+//! counter `{ω ‖ prevPC ‖ PC}`, and the SI unit recomputes the CBC-MAC
+//! over the decrypted instructions, comparing it with the decrypted MAC
+//! words before the block may execute.
+
+use sofia_crypto::{ctr, mac, CounterBlock, ExpandedKeys, Mac64, Nonce};
+use sofia_transform::{BlockFormat, BlockKind};
+
+use crate::Violation;
+
+/// Which entry a transfer target selected (paper §II-E call-site
+/// convention: offset 0 → execution block; offset 4 → mux path 1;
+/// offset 8 → mux path 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryPath {
+    /// Execution-block entry at the block base.
+    Exec,
+    /// Multiplexor path 1: enter at `M1e1`, skip `M1e2`.
+    Mux1,
+    /// Multiplexor path 2: enter at `M1e2`.
+    Mux2,
+}
+
+impl EntryPath {
+    /// The block kind this path belongs to.
+    pub fn kind(self) -> BlockKind {
+        match self {
+            EntryPath::Exec => BlockKind::Exec,
+            EntryPath::Mux1 | EntryPath::Mux2 => BlockKind::Mux,
+        }
+    }
+}
+
+/// A successfully decrypted **and verified** block, ready to execute.
+#[derive(Clone, Debug)]
+pub struct VerifiedBlock {
+    /// Base address of the block.
+    pub base: u32,
+    /// The entry path taken into it.
+    pub path: EntryPath,
+    /// Decrypted instruction words with their addresses (MAC slots are
+    /// already stripped; they execute as `nop` slots in the timing model).
+    pub insts: Vec<(u32, u32)>,
+    /// Total words fetched (8 for exec, 7 for a mux path by default).
+    pub words_fetched: u32,
+    /// Addresses fetched, for I-cache accounting.
+    pub fetched_addrs: Vec<u32>,
+}
+
+impl VerifiedBlock {
+    /// Address of the last word of the block — the `prevPC` every exit
+    /// edge of this block presents to its successor.
+    pub fn last_word_addr(&self, format: &BlockFormat) -> u32 {
+        self.base + format.block_bytes() - 4
+    }
+}
+
+/// The fetch unit: classifies the transfer target, walks the word
+/// sequence for the selected path, decrypts, and verifies.
+///
+/// `read_word` supplies ciphertext words by address (backed by the
+/// machine's ROM so image tampering is visible to it). `enforce_si`
+/// disables the MAC comparison for the CFI-only ablation (normal
+/// operation passes `true`).
+///
+/// # Errors
+///
+/// Returns the [`Violation`] the hardware would reset on.
+#[allow(clippy::too_many_arguments)]
+pub fn fetch_block(
+    read_word: &mut dyn FnMut(u32) -> Option<u32>,
+    keys: &ExpandedKeys,
+    nonce: Nonce,
+    format: &BlockFormat,
+    text_base: u32,
+    text_words: u32,
+    target: u32,
+    prev_pc: u32,
+    enforce_si: bool,
+) -> Result<VerifiedBlock, Violation> {
+    let bb = format.block_bytes();
+    let text_end = text_base + text_words * 4;
+    if target < text_base || target >= text_end || target % 4 != 0 {
+        return Err(Violation::FetchOutOfImage { addr: target });
+    }
+    let off = (target - text_base) % bb;
+    let base = target - off;
+    let path = match off {
+        0 => EntryPath::Exec,
+        4 => EntryPath::Mux1,
+        8 => EntryPath::Mux2,
+        _ => return Err(Violation::InvalidEntryOffset { target }),
+    };
+    // An exec-offset target is also how sequential fall-through arrives at
+    // a mux block — the transformer guarantees that never happens for
+    // honest programs; for tampered flow the MAC check below catches it.
+
+    let word_at = |w: usize| base + 4 * w as u32;
+    let mut fetched_addrs = Vec::new();
+    let mut decrypt = |prev: u32, pc: u32, fetched: &mut Vec<u32>| -> Result<u32, Violation> {
+        let c = read_word(pc).ok_or(Violation::FetchOutOfImage { addr: pc })?;
+        fetched.push(pc);
+        Ok(ctr::apply(
+            &keys.ctr,
+            CounterBlock::from_edge(nonce, prev, pc),
+            c,
+        ))
+    };
+
+    let bw = format.block_words();
+    let (m1, m2, first_inst_word, mut prev) = match path {
+        EntryPath::Exec => {
+            let m1 = decrypt(prev_pc, word_at(0), &mut fetched_addrs)?;
+            let m2 = decrypt(word_at(0), word_at(1), &mut fetched_addrs)?;
+            (m1, m2, 2, word_at(1))
+        }
+        EntryPath::Mux1 => {
+            // Enter at M1e1 (word 0), skip M1e2, continue at M2 which is
+            // sealed with prevPC = addr(M1e2) on both paths (Fig. 8).
+            let m1 = decrypt(prev_pc, word_at(0), &mut fetched_addrs)?;
+            let m2 = decrypt(word_at(1), word_at(2), &mut fetched_addrs)?;
+            (m1, m2, 3, word_at(2))
+        }
+        EntryPath::Mux2 => {
+            let m1 = decrypt(prev_pc, word_at(1), &mut fetched_addrs)?;
+            let m2 = decrypt(word_at(1), word_at(2), &mut fetched_addrs)?;
+            (m1, m2, 3, word_at(2))
+        }
+    };
+
+    let mut insts = Vec::with_capacity(bw - first_inst_word);
+    for w in first_inst_word..bw {
+        let pc = word_at(w);
+        let word = decrypt(prev, pc, &mut fetched_addrs)?;
+        insts.push((pc, word));
+        prev = pc;
+    }
+
+    // SI verification (paper Fig. 3).
+    let kind = path.kind();
+    let mac_cipher = match kind {
+        BlockKind::Exec => &keys.mac_exec,
+        BlockKind::Mux => &keys.mac_mux,
+    };
+    let inst_words: Vec<u32> = insts.iter().map(|&(_, w)| w).collect();
+    let computed = mac::mac_words(mac_cipher, &inst_words, format.mac_padded_words(kind));
+    if enforce_si && computed != Mac64::from_words(m1, m2) {
+        return Err(Violation::MacMismatch { block_base: base });
+    }
+
+    Ok(VerifiedBlock {
+        base,
+        path,
+        words_fetched: fetched_addrs.len() as u32,
+        fetched_addrs,
+        insts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofia_crypto::KeySet;
+    use sofia_isa::asm;
+    use sofia_transform::{Transformer, RESET_PREV_PC};
+
+    fn image(src: &str) -> (sofia_transform::SecureImage, KeySet) {
+        let keys = KeySet::from_seed(0xF00D);
+        let img = Transformer::new(keys.clone())
+            .transform(&asm::parse(src).unwrap())
+            .unwrap();
+        (img, keys)
+    }
+
+    fn fetch(
+        img: &sofia_transform::SecureImage,
+        keys: &KeySet,
+        target: u32,
+        prev: u32,
+    ) -> Result<VerifiedBlock, Violation> {
+        let ks = keys.expand();
+        let ctext = img.ctext.clone();
+        let base = img.text_base;
+        let mut read = |addr: u32| ctext.get(((addr - base) / 4) as usize).copied();
+        fetch_block(
+            &mut read,
+            &ks,
+            img.nonce,
+            &img.format,
+            img.text_base,
+            img.ctext.len() as u32,
+            target,
+            prev,
+            true,
+        )
+    }
+
+    #[test]
+    fn entry_block_verifies_from_reset() {
+        let (img, keys) = image("main: addi t0, zero, 9\n halt");
+        let b = fetch(&img, &keys, img.entry, RESET_PREV_PC).unwrap();
+        assert_eq!(b.path, EntryPath::Exec);
+        assert_eq!(b.words_fetched, 8);
+        assert_eq!(b.insts.len(), 6);
+    }
+
+    #[test]
+    fn wrong_prev_pc_is_a_mac_mismatch() {
+        let (img, keys) = image("main: addi t0, zero, 9\n halt");
+        let err = fetch(&img, &keys, img.entry, 0x5C).unwrap_err();
+        assert!(matches!(err, Violation::MacMismatch { .. }));
+    }
+
+    #[test]
+    fn illegal_entry_offsets_rejected() {
+        let (img, keys) = image("main: addi t0, zero, 9\n halt");
+        let err = fetch(&img, &keys, img.text_base + 12, RESET_PREV_PC).unwrap_err();
+        assert!(matches!(err, Violation::InvalidEntryOffset { .. }));
+        let err = fetch(&img, &keys, img.text_base.wrapping_sub(32), RESET_PREV_PC).unwrap_err();
+        assert!(matches!(err, Violation::FetchOutOfImage { .. }));
+    }
+
+    #[test]
+    fn tampered_word_fails_verification() {
+        let (img, keys) = image("main: addi t0, zero, 9\n halt");
+        let mut tampered = img.clone();
+        tampered.ctext[3] ^= 0x0000_0400; // flip one ciphertext bit
+        let err = fetch(&tampered, &keys, img.entry, RESET_PREV_PC).unwrap_err();
+        assert!(matches!(err, Violation::MacMismatch { .. }));
+    }
+
+    #[test]
+    fn mux_paths_both_verify() {
+        // Callee with two callers → mux block, both entries must verify
+        // with their respective prevPCs.
+        let (img, keys) = image(
+            "main: jal f
+                   jal f
+                   halt
+             f:    ret",
+        );
+        // Find the two jal instructions in the clear by scanning blocks:
+        // simpler — walk the program like the machine would. Block 0 ends
+        // with the first jal at its last word.
+        let bb = img.format.block_bytes();
+        let jal1 = img.text_base + bb - 4;
+        let b0 = fetch(&img, &keys, img.entry, RESET_PREV_PC).unwrap();
+        assert_eq!(b0.path, EntryPath::Exec);
+        let jal_inst = sofia_isa::Instruction::decode(b0.insts.last().unwrap().1).unwrap();
+        let f_entry = jal_inst.static_target(jal1).unwrap();
+        // f's entry is a mux path (offset 4 or 8).
+        let off = (f_entry - img.text_base) % bb;
+        assert!(off == 4 || off == 8, "offset {off}");
+        let fb = fetch(&img, &keys, f_entry, jal1).unwrap();
+        assert_eq!(fb.path.kind(), BlockKind::Mux);
+        assert_eq!(fb.words_fetched, 7);
+        assert_eq!(fb.insts.len(), 5);
+        // Entering the same path with the *other* caller's prevPC fails.
+        let err = fetch(&img, &keys, f_entry, jal1 + bb).unwrap_err();
+        assert!(matches!(err, Violation::MacMismatch { .. }));
+    }
+
+    #[test]
+    fn relocating_a_block_fails_verification() {
+        // The ECB-ISR weakness SOFIA fixes (paper §I): moving ciphertext
+        // to another location must not decrypt correctly, because PC is in
+        // the counter.
+        let (img, keys) = image(
+            "main: addi t0, zero, 1
+                   addi t0, t0, 1
+                   addi t0, t0, 1
+                   addi t0, t0, 1
+                   addi t0, t0, 1
+                   addi t0, t0, 1
+                   addi t0, t0, 1
+                   halt",
+        );
+        assert!(img.blocks() >= 2);
+        let mut moved = img.clone();
+        let bw = img.format.block_words();
+        // Swap block 0 and block 1 ciphertexts wholesale.
+        for w in 0..bw {
+            moved.ctext.swap(w, bw + w);
+        }
+        let err = fetch(&moved, &keys, img.entry, RESET_PREV_PC).unwrap_err();
+        assert!(matches!(err, Violation::MacMismatch { .. }));
+    }
+}

@@ -1,0 +1,729 @@
+//! The SOFIA machine: the baseline pipeline behind the CFI/SI fetch unit.
+
+use sofia_cpu::exec::{execute, Effect, RegFile};
+use sofia_cpu::icache::ICache;
+use sofia_cpu::machine::MachineConfig;
+use sofia_cpu::mem::Memory;
+use sofia_cpu::{ExecStats, Trap};
+use sofia_crypto::{ExpandedKeys, KeySet, Nonce};
+use sofia_isa::{Instruction, Reg};
+use sofia_transform::{BlockFormat, BlockKind, SecureImage, RESET_PREV_PC};
+
+use crate::fetch::{fetch_block, VerifiedBlock};
+use crate::timing::SofiaTiming;
+use crate::Violation;
+
+/// What the core does when a violation pulls the reset line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResetPolicy {
+    /// Stop the simulation and report the violation (default — most
+    /// experiments want the detection verdict).
+    HaltAndReport,
+    /// Reset and reboot from the entry point, as the real hardware does
+    /// ("the processor should be able to reboot reliably fast"), giving
+    /// up after `max_resets` to break persistent-tamper reset loops.
+    Reboot {
+        /// Resets tolerated before the run is abandoned.
+        max_resets: u32,
+    },
+}
+
+impl Default for ResetPolicy {
+    fn default() -> Self {
+        ResetPolicy::HaltAndReport
+    }
+}
+
+/// Full configuration of a SOFIA machine.
+#[derive(Clone, Copy, Debug)]
+pub struct SofiaConfig {
+    /// Baseline machine parameters (RAM, I-cache, pipeline penalties).
+    pub machine: MachineConfig,
+    /// SOFIA fetch-path timing (cipher schedule, latencies).
+    pub timing: SofiaTiming,
+    /// Reset-line behaviour.
+    pub reset_policy: ResetPolicy,
+    /// Whether the SI unit's MAC comparison is enforced. Disabling it
+    /// yields a **CFI-only** machine — the ablation the paper argues
+    /// against in §II-A: decryption alone cannot detect its own errors,
+    /// so CTR malleability lets an attacker flip chosen instruction bits.
+    /// For experiments only.
+    pub enforce_si: bool,
+}
+
+impl Default for SofiaConfig {
+    fn default() -> Self {
+        SofiaConfig {
+            machine: MachineConfig::default(),
+            timing: SofiaTiming::default(),
+            reset_policy: ResetPolicy::default(),
+            enforce_si: true,
+        }
+    }
+}
+
+/// Why a [`SofiaMachine::run`] call returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The program executed `halt` normally.
+    Halted,
+    /// The step budget ran out.
+    OutOfFuel,
+    /// A violation was detected (policy [`ResetPolicy::HaltAndReport`]).
+    ViolationStop(Violation),
+    /// Persistent tampering kept resetting the core
+    /// (policy [`ResetPolicy::Reboot`]).
+    ResetLoop {
+        /// Resets performed before giving up.
+        resets: u32,
+    },
+}
+
+impl RunOutcome {
+    /// Whether the program reached `halt` untampered.
+    pub fn is_halted(&self) -> bool {
+        matches!(self, RunOutcome::Halted)
+    }
+
+    /// The violation that stopped the run, if any.
+    pub fn violation(&self) -> Option<Violation> {
+        match self {
+            RunOutcome::ViolationStop(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Statistics specific to the SOFIA fetch path, on top of the baseline
+/// [`ExecStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SofiaStats {
+    /// Baseline counters (cycles, retired instructions, hazards, …).
+    /// `instret` counts every executed slot, including padding `nop`s.
+    pub exec: ExecStats,
+    /// Blocks fetched and verified.
+    pub blocks: u64,
+    /// Execution blocks among them.
+    pub exec_blocks: u64,
+    /// Multiplexor blocks among them.
+    pub mux_blocks: u64,
+    /// MAC words that travelled the pipeline as `nop` slots.
+    pub mac_nop_slots: u64,
+    /// CTR operations issued by the cipher.
+    pub ctr_ops: u64,
+    /// CBC-MAC operations issued by the cipher.
+    pub cbc_ops: u64,
+    /// Stall cycles from cipher backpressure.
+    pub cipher_stall_cycles: u64,
+    /// Decrypt-pipeline refill cycles after redirects.
+    pub redirect_fill_cycles: u64,
+    /// Stall cycles inserted by the store gate.
+    pub store_gate_stall_cycles: u64,
+    /// Violations detected.
+    pub violations: u64,
+    /// Resets performed (reboot policy).
+    pub resets: u64,
+}
+
+/// A processor with the SOFIA extension, executing a [`SecureImage`].
+///
+/// Reuses the baseline's executor, memory, I-cache and pipeline models;
+/// only the fetch path differs — which is exactly the paper's structure
+/// (Fig. 1) and what makes vanilla-vs-SOFIA comparisons meaningful.
+///
+/// # Examples
+///
+/// ```
+/// use sofia_core::machine::SofiaMachine;
+/// use sofia_crypto::KeySet;
+/// use sofia_isa::asm;
+/// use sofia_transform::Transformer;
+///
+/// let keys = KeySet::from_seed(3);
+/// let module = asm::parse(
+///     "main: li t0, 5
+///            li a0, 0xFFFF0000
+///            sw t0, 0(a0)
+///            halt",
+/// )?;
+/// let image = Transformer::new(keys.clone()).transform(&module)?;
+/// let mut m = SofiaMachine::new(&image, &keys);
+/// assert!(m.run(10_000)?.is_halted());
+/// assert_eq!(m.mem().mmio.out_words, vec![5]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SofiaMachine {
+    regs: RegFile,
+    mem: Memory,
+    icache: ICache,
+    config: SofiaConfig,
+    keys: ExpandedKeys,
+    nonce: Nonce,
+    format: BlockFormat,
+    text_base: u32,
+    text_words: u32,
+    entry: u32,
+    next_target: u32,
+    prev_pc: u32,
+    redirected: bool,
+    prev_load_dest: Option<Reg>,
+    stats: SofiaStats,
+    halted: bool,
+    violations: Vec<Violation>,
+}
+
+impl SofiaMachine {
+    /// Builds a machine with default configuration.
+    pub fn new(image: &SecureImage, keys: &KeySet) -> SofiaMachine {
+        Self::with_config(image, keys, &SofiaConfig::default())
+    }
+
+    /// Builds a machine, loading ciphertext into ROM and data into RAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data section does not fit in RAM.
+    pub fn with_config(image: &SecureImage, keys: &KeySet, config: &SofiaConfig) -> SofiaMachine {
+        assert!(
+            image.data.len() as u32 <= config.machine.ram_size,
+            "data section larger than RAM"
+        );
+        let mut mem = Memory::new(
+            image.text_base,
+            image.ctext.clone(),
+            image.data_base,
+            config.machine.ram_size,
+        );
+        mem.load_ram(image.data_base, &image.data);
+        let mut regs = RegFile::new();
+        regs.set(Reg::SP, image.data_base + config.machine.ram_size);
+        SofiaMachine {
+            regs,
+            mem,
+            icache: ICache::new(config.machine.icache),
+            config: *config,
+            keys: keys.expand(),
+            nonce: image.nonce,
+            format: image.format,
+            text_base: image.text_base,
+            text_words: image.ctext.len() as u32,
+            entry: image.entry,
+            next_target: image.entry,
+            prev_pc: RESET_PREV_PC,
+            redirected: true,
+            prev_load_dest: None,
+            stats: SofiaStats::default(),
+            halted: false,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Fetches, verifies and executes one block.
+    ///
+    /// Returns the number of instruction slots executed, or `Ok(0)` when
+    /// a violation was absorbed by the reboot policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates architectural traps (which, under SOFIA, can only occur
+    /// in blocks that passed verification).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the machine halted or stopped on a
+    /// violation under [`ResetPolicy::HaltAndReport`].
+    pub fn step_block(&mut self) -> Result<StepBlock, Trap> {
+        assert!(!self.halted, "step_block() after halt");
+        let mut rom_read = RomReader {
+            mem: &self.mem,
+        };
+        let fetched = fetch_block(
+            &mut |addr| rom_read.read(addr),
+            &self.keys,
+            self.nonce,
+            &self.format,
+            self.text_base,
+            self.text_words,
+            self.next_target,
+            self.prev_pc,
+            self.config.enforce_si,
+        );
+        let block = match fetched {
+            Ok(b) => b,
+            Err(v) => return Ok(self.on_violation(v)),
+        };
+        // Decode everything up front; check the store-position rule before
+        // any architectural effect (the hardware's early-store reset).
+        let mut decoded = Vec::with_capacity(block.insts.len());
+        let first_word = self.format.mac_words(block.path.kind());
+        for (idx, &(pc, word)) in block.insts.iter().enumerate() {
+            let inst = Instruction::decode(word)
+                .map_err(|e| Trap::IllegalInstruction { word: e.word(), pc })?;
+            let word_pos = first_word + idx;
+            if inst.is_store() && word_pos < self.format.store_safe_word_offset {
+                return Ok(self.on_violation(Violation::StoreTooEarly { pc, word_pos }));
+            }
+            decoded.push((pc, inst, word_pos));
+        }
+        self.account_block(&block, &decoded);
+        self.execute_block(&block, &decoded)
+    }
+
+    fn account_block(&mut self, block: &VerifiedBlock, decoded: &[(u32, Instruction, usize)]) {
+        let kind = block.path.kind();
+        let bt = self.config.timing.block_cycles(
+            &self.format,
+            kind,
+            block.words_fetched,
+            self.redirected,
+        );
+        self.stats.blocks += 1;
+        match kind {
+            BlockKind::Exec => self.stats.exec_blocks += 1,
+            BlockKind::Mux => self.stats.mux_blocks += 1,
+        }
+        self.stats.mac_nop_slots += (block.words_fetched as usize - block.insts.len()) as u64;
+        self.stats.ctr_ops += bt.ctr_ops as u64;
+        self.stats.cbc_ops += bt.cbc_ops as u64;
+        self.stats.cipher_stall_cycles += bt.cipher_stall as u64;
+        self.stats.redirect_fill_cycles += bt.redirect_fill as u64;
+        self.stats.exec.cycles += bt.total() as u64;
+        // Store-gate stalls for stores the format allows in the stall
+        // window (zero under the default format — the Fig. 6 argument).
+        for &(_, inst, word_pos) in decoded {
+            if inst.is_store() {
+                let stall = self.config.timing.store_gate_stall(&self.format, word_pos) as u64;
+                self.stats.store_gate_stall_cycles += stall;
+                self.stats.exec.cycles += stall;
+            }
+        }
+        // I-cache: ciphertext words are cached in front of the decrypt
+        // unit (Fig. 1), so every fetched word touches the cache.
+        for &addr in &block.fetched_addrs {
+            let stall = self.icache.access_cycles(addr) as u64;
+            self.stats.exec.icache_stall_cycles += stall;
+            self.stats.exec.cycles += stall;
+        }
+    }
+
+    fn execute_block(
+        &mut self,
+        block: &VerifiedBlock,
+        decoded: &[(u32, Instruction, usize)],
+    ) -> Result<StepBlock, Trap> {
+        let last = decoded.len() - 1;
+        let last_word_addr = block.last_word_addr(&self.format);
+        let mut executed = 0u64;
+        for (s, &(pc, inst, _)) in decoded.iter().enumerate() {
+            let effect = execute(&inst, pc, &mut self.regs, &mut self.mem)?;
+            executed += 1;
+            let taken = inst.is_branch() && matches!(effect, Effect::Jump { .. });
+            self.account_inst(&inst, taken);
+            self.prev_load_dest = if inst.is_load() { inst.def_reg() } else { None };
+            match effect {
+                Effect::Next => {
+                    if s == last {
+                        self.next_target = block.base + self.format.block_bytes();
+                        self.prev_pc = last_word_addr;
+                        self.redirected = false;
+                    }
+                }
+                Effect::Jump { target } => {
+                    if s != last {
+                        return Ok(self.on_violation(Violation::MidBlockTransfer { pc }));
+                    }
+                    self.next_target = target;
+                    self.prev_pc = last_word_addr;
+                    self.redirected = true;
+                }
+                Effect::Halt => {
+                    self.halted = true;
+                    self.stats.exec.cycles += self.config.machine.pipeline.drain_cycles as u64;
+                    break;
+                }
+            }
+        }
+        Ok(StepBlock {
+            executed_slots: executed,
+            violation: None,
+        })
+    }
+
+    fn account_inst(&mut self, inst: &Instruction, taken: bool) {
+        let s = &mut self.stats.exec;
+        s.instret += 1;
+        // Issue slots were charged per fetched word; add only the hazard
+        // penalties on top (the `-1` removes the base cycle).
+        let hazard = self
+            .config
+            .machine
+            .pipeline
+            .instruction_cycles(inst, taken, self.prev_load_dest)
+            - 1;
+        s.cycles += hazard as u64;
+        if inst.is_branch() {
+            s.branches += 1;
+            if taken {
+                s.taken_branches += 1;
+            }
+        }
+        if inst.is_load() {
+            s.loads += 1;
+        }
+        if inst.is_store() {
+            s.stores += 1;
+        }
+        if inst.is_call() {
+            s.calls += 1;
+        }
+        if let Some(dest) = self.prev_load_dest {
+            if inst.use_regs().contains(&dest) {
+                s.load_use_stalls += 1;
+            }
+        }
+    }
+
+    fn on_violation(&mut self, v: Violation) -> StepBlock {
+        self.stats.violations += 1;
+        self.violations.push(v);
+        match self.config.reset_policy {
+            ResetPolicy::HaltAndReport => {
+                self.halted = true;
+            }
+            ResetPolicy::Reboot { .. } => {
+                self.reset();
+            }
+        }
+        StepBlock {
+            executed_slots: 0,
+            violation: Some(v),
+        }
+    }
+
+    /// Hardware reset: clear registers, flush the I-cache, restart from
+    /// the entry point with the reset `prevPC`. RAM and MMIO logs persist
+    /// (the paper's reboot restores a safe *control* state; memory is
+    /// reinitialised by startup code, which our images re-run).
+    fn reset(&mut self) {
+        self.regs.clear();
+        self.regs.set(
+            Reg::SP,
+            self.mem.ram_base() + self.mem.ram_size(),
+        );
+        self.icache.flush();
+        self.prev_pc = RESET_PREV_PC;
+        self.next_target = self.entry;
+        self.redirected = true;
+        self.prev_load_dest = None;
+        self.stats.resets += 1;
+        self.stats.exec.cycles += self.config.timing.reboot_cycles;
+    }
+
+    /// Runs until `halt`, a stopping violation, a trap, or `max_slots`
+    /// executed instruction slots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates architectural traps.
+    pub fn run(&mut self, max_slots: u64) -> Result<RunOutcome, Trap> {
+        let mut fuel = max_slots;
+        loop {
+            if self.halted {
+                return Ok(match self.violations.last() {
+                    Some(&v) if matches!(self.config.reset_policy, ResetPolicy::HaltAndReport) => {
+                        RunOutcome::ViolationStop(v)
+                    }
+                    _ => RunOutcome::Halted,
+                });
+            }
+            if let ResetPolicy::Reboot { max_resets } = self.config.reset_policy {
+                if self.stats.resets > max_resets as u64 {
+                    return Ok(RunOutcome::ResetLoop {
+                        resets: self.stats.resets as u32,
+                    });
+                }
+            }
+            if fuel == 0 {
+                return Ok(RunOutcome::OutOfFuel);
+            }
+            let step = self.step_block()?;
+            fuel = fuel.saturating_sub(step.executed_slots.max(1));
+        }
+    }
+
+    /// Whether the machine reached `halt` (or stopped on a violation).
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The architectural registers.
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// Memory (ROM ciphertext, RAM, MMIO logs).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable memory — the attack harness's tamper channel.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SofiaStats {
+        self.stats
+    }
+
+    /// Instruction-cache statistics.
+    pub fn icache_stats(&self) -> sofia_cpu::icache::ICacheStats {
+        self.icache.stats()
+    }
+
+    /// Every violation detected so far (reboot policy accumulates them).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// The next transfer target (diagnostic).
+    pub fn next_target(&self) -> u32 {
+        self.next_target
+    }
+
+    /// **Attack-harness channel**: redirects the next fetch to `target`,
+    /// modelling a control-flow hijack the software could not prevent
+    /// (fault injection on the PC, a glitched branch). The CFI mechanism
+    /// must detect the foreign edge via the decryption counter, since the
+    /// `prevPC` presented by the hardware no longer matches any sealed
+    /// edge of the victim block.
+    pub fn hijack_next_target(&mut self, target: u32) {
+        self.next_target = target;
+        self.redirected = true;
+    }
+}
+
+/// Result of [`SofiaMachine::step_block`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepBlock {
+    /// Instruction slots executed (0 when a violation fired).
+    pub executed_slots: u64,
+    /// The violation detected during this step, if any.
+    pub violation: Option<Violation>,
+}
+
+struct RomReader<'a> {
+    mem: &'a Memory,
+}
+
+impl RomReader<'_> {
+    fn read(&mut self, addr: u32) -> Option<u32> {
+        self.mem.fetch(addr).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofia_cpu::machine::VanillaMachine;
+    use sofia_isa::asm;
+    use sofia_transform::Transformer;
+
+    fn build(src: &str) -> (SofiaMachine, sofia_transform::SecureImage, KeySet) {
+        let keys = KeySet::from_seed(0xACE);
+        let image = Transformer::new(keys.clone())
+            .transform(&asm::parse(src).unwrap())
+            .unwrap();
+        let m = SofiaMachine::new(&image, &keys);
+        (m, image, keys)
+    }
+
+    fn run_both(src: &str) -> (SofiaMachine, VanillaMachine) {
+        let (mut sm, _, _) = build(src);
+        assert!(sm.run(2_000_000).unwrap().is_halted());
+        let plain = asm::assemble(src).unwrap();
+        let mut vm = VanillaMachine::new(&plain);
+        assert!(vm.run(2_000_000).unwrap().is_halted());
+        (sm, vm)
+    }
+
+    #[test]
+    fn loop_program_matches_vanilla_output() {
+        let (sm, vm) = run_both(
+            "main: li t0, 10
+                   li t1, 0
+             loop: add t1, t1, t0
+                   subi t0, t0, 1
+                   bnez t0, loop
+                   li a0, 0xFFFF0000
+                   sw t1, 0(a0)
+                   halt",
+        );
+        assert_eq!(sm.mem().mmio.out_words, vec![55]);
+        assert_eq!(sm.mem().mmio.out_words, vm.mem().mmio.out_words);
+    }
+
+    #[test]
+    fn calls_and_multi_caller_functions_work() {
+        let (sm, vm) = run_both(
+            "main: li a0, 3
+                   jal square
+                   mv s0, v0
+                   li a0, 4
+                   jal square
+                   add s0, s0, v0
+                   li a0, 0xFFFF0000
+                   sw s0, 0(a0)
+                   halt
+             square: mul v0, a0, a0
+                   ret",
+        );
+        assert_eq!(sm.mem().mmio.out_words, vec![25]);
+        assert_eq!(vm.mem().mmio.out_words, vec![25]);
+    }
+
+    #[test]
+    fn many_callers_exercise_mux_trees() {
+        let mut src = String::from("main: li s0, 0\n");
+        for i in 0..6 {
+            src.push_str(&format!("li a0, {i}\n jal bump\n"));
+        }
+        src.push_str(
+            "li a0, 0xFFFF0000
+             sw s0, 0(a0)
+             halt
+             bump: add s0, s0, a0
+             addi s0, s0, 1
+             ret",
+        );
+        let (mut sm, img, _) = build(&src);
+        assert!(img.report.tree_blocks >= 4, "{:?}", img.report);
+        assert!(sm.run(1_000_000).unwrap().is_halted());
+        assert_eq!(sm.mem().mmio.out_words, vec![0 + 1 + 2 + 3 + 4 + 5 + 6]);
+        assert!(sm.stats().mux_blocks > 0);
+    }
+
+    #[test]
+    fn function_pointers_via_dispatch_ladder() {
+        let (sm, vm) = run_both(
+            ".data
+             handlers: .word inc, dec
+             .text
+             main: la t0, handlers
+                   lw t1, 4(t0)
+                   li a0, 10
+                   .indirect inc, dec
+                   jalr t1
+                   li t2, 0xFFFF0000
+                   sw v0, 0(t2)
+                   halt
+             inc:  addi v0, a0, 1
+                   ret
+             dec:  subi v0, a0, 1
+                   ret",
+        );
+        assert_eq!(sm.mem().mmio.out_words, vec![9]);
+        assert_eq!(vm.mem().mmio.out_words, vec![9]);
+    }
+
+    #[test]
+    fn tampered_rom_is_detected_and_stops() {
+        let (mut m, _, _) = build(
+            "main: li t0, 1
+             loop: addi t0, t0, 1
+                   bnez t0, loop
+                   halt",
+        );
+        // Flip a ciphertext bit in the second block.
+        m.mem_mut().rom_mut()[9] ^= 1;
+        let outcome = m.run(100_000).unwrap();
+        assert!(matches!(
+            outcome,
+            RunOutcome::ViolationStop(Violation::MacMismatch { .. })
+        ));
+        assert_eq!(m.stats().violations, 1);
+    }
+
+    #[test]
+    fn reboot_policy_enters_reset_loop_under_persistent_tamper() {
+        let keys = KeySet::from_seed(0xACE);
+        let image = Transformer::new(keys.clone())
+            .transform(&asm::parse("main: nop\n halt").unwrap())
+            .unwrap();
+        let config = SofiaConfig {
+            reset_policy: ResetPolicy::Reboot { max_resets: 5 },
+            ..Default::default()
+        };
+        let mut m = SofiaMachine::with_config(&image, &keys, &config);
+        m.mem_mut().rom_mut()[0] ^= 0xFFFF;
+        let outcome = m.run(1_000_000).unwrap();
+        assert!(matches!(outcome, RunOutcome::ResetLoop { resets: 6 }));
+        assert_eq!(m.stats().resets, 6);
+        // Reboot time was charged.
+        assert!(m.stats().exec.cycles >= 6 * SofiaTiming::default().reboot_cycles);
+    }
+
+    #[test]
+    fn sofia_costs_more_cycles_than_vanilla_but_not_wildly() {
+        let (sm, vm) = run_both(
+            "main: li t0, 200
+             loop: subi t0, t0, 1
+                   bnez t0, loop
+                   halt",
+        );
+        let s = sm.stats().exec.cycles as f64;
+        let v = vm.stats().cycles as f64;
+        assert!(s > v, "SOFIA {s} vs vanilla {v}");
+        assert!(s / v < 4.0, "overhead factor {}", s / v);
+    }
+
+    #[test]
+    fn stats_break_down_the_fetch_path() {
+        let (sm, _) = run_both("main: nop\n nop\n halt");
+        let st = sm.stats();
+        assert_eq!(st.blocks, 1);
+        assert_eq!(st.mac_nop_slots, 2);
+        assert_eq!(st.ctr_ops, 4);
+        assert_eq!(st.cbc_ops, 3);
+        assert_eq!(st.exec.instret, 6); // 3 real + 3 pads
+    }
+
+    #[test]
+    fn mid_block_transfer_is_a_violation() {
+        // Craft an image where a branch sits mid-block by sealing a
+        // hand-made "block" through the real transformer is impossible —
+        // so instead check the detector directly through a forged image:
+        // take a valid image and swap two *plaintext-equivalent* blocks is
+        // caught by MAC already. Here we assert the API surface instead:
+        // verified blocks from the transformer never trip the check.
+        let (mut m, _, _) = build(
+            "main: li t0, 3
+             loop: subi t0, t0, 1
+                   bnez t0, loop
+                   halt",
+        );
+        let outcome = m.run(1_000_000).unwrap();
+        assert!(outcome.is_halted());
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn sp_reinitialised_on_reset() {
+        let keys = KeySet::from_seed(1);
+        let image = Transformer::new(keys.clone())
+            .transform(&asm::parse("main: subi sp, sp, 4\n halt").unwrap())
+            .unwrap();
+        let config = SofiaConfig {
+            reset_policy: ResetPolicy::Reboot { max_resets: 2 },
+            ..Default::default()
+        };
+        let mut m = SofiaMachine::with_config(&image, &keys, &config);
+        let sp0 = m.regs().get(Reg::SP);
+        m.mem_mut().rom_mut()[2] ^= 4; // force one violation
+        let _ = m.run(1000).unwrap();
+        assert!(m.stats().resets >= 1);
+        // After the final reset the stack pointer is back at the top.
+        assert!(m.regs().get(Reg::SP) == sp0 || m.is_halted());
+    }
+}

@@ -1,0 +1,106 @@
+//! The security evaluation of paper §IV-A, in closed form.
+//!
+//! Both properties reduce to online MAC forgery: an adversary must submit
+//! a candidate block to the running core and observe whether it resets.
+//! For an `n`-bit MAC the expected number of online trials is `2^(n−1)`,
+//! each costing a fixed number of cycles on the target — 8 cycles for a
+//! pure software-integrity forgery, plus another 8 for the control-flow
+//! diversion that precedes a CFI break (16 total).
+
+/// Seconds per (365-day) year, the paper's implicit convention.
+pub const SECONDS_PER_YEAR: f64 = 365.0 * 24.0 * 3600.0;
+
+/// The paper's SOFIA core clock (Table I): 50 MHz (50.1 rounded down, as
+/// §IV-A does: "on a 50 MHz SOFIA core").
+pub const PAPER_CLOCK_HZ: f64 = 50.0e6;
+
+/// Cycles per §IV-A.1 forgery trial on the target.
+pub const SI_CYCLES_PER_TRIAL: u64 = 8;
+
+/// Cycles per §IV-A.2 trial: 8 to divert control flow + 8 to verify the
+/// forged block.
+pub const CFI_CYCLES_PER_TRIAL: u64 = 16;
+
+/// Expected online verification attempts before a forged (message, MAC)
+/// pair is accepted: `2^(n−1)` for an `n`-bit MAC.
+///
+/// # Examples
+///
+/// ```
+/// use sofia_core::security::expected_forgery_trials;
+/// assert_eq!(expected_forgery_trials(8), 128.0);
+/// assert_eq!(expected_forgery_trials(64), 2f64.powi(63));
+/// ```
+pub fn expected_forgery_trials(mac_bits: u32) -> f64 {
+    2f64.powi(mac_bits as i32 - 1)
+}
+
+/// Expected wall-clock years for an online brute-force attack against an
+/// `n`-bit MAC at `cycles_per_trial` per attempt on a `clock_hz` core.
+pub fn online_attack_years(mac_bits: u32, cycles_per_trial: u64, clock_hz: f64) -> f64 {
+    expected_forgery_trials(mac_bits) * cycles_per_trial as f64 / clock_hz / SECONDS_PER_YEAR
+}
+
+/// §IV-A.1: expected years to forge an instruction/MAC pair online
+/// (the paper reports **46,795 years**).
+pub fn paper_si_attack_years() -> f64 {
+    online_attack_years(64, SI_CYCLES_PER_TRIAL, PAPER_CLOCK_HZ)
+}
+
+/// §IV-A.2: expected years to deviate control flow from the CFG
+/// (the paper reports **93,590 years**).
+pub fn paper_cfi_attack_years() -> f64 {
+    online_attack_years(64, CFI_CYCLES_PER_TRIAL, PAPER_CLOCK_HZ)
+}
+
+/// Probability that a single random forgery attempt passes an `n`-bit MAC
+/// check — the quantity the Monte-Carlo experiment in `sofia-attacks`
+/// measures on truncated MACs.
+pub fn forgery_success_probability(mac_bits: u32) -> f64 {
+    2f64.powi(-(mac_bits as i32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn si_years_match_paper() {
+        // Paper: "a successful forgery ... will require 46,795 years".
+        let years = paper_si_attack_years();
+        assert!(
+            (years - 46_795.0).abs() / 46_795.0 < 0.001,
+            "got {years}"
+        );
+    }
+
+    #[test]
+    fn cfi_years_match_paper() {
+        // Paper: "an online brute force attack ... will require 93,590
+        // years".
+        let years = paper_cfi_attack_years();
+        assert!(
+            (years - 93_590.0).abs() / 93_590.0 < 0.001,
+            "got {years}"
+        );
+    }
+
+    #[test]
+    fn trials_scale_exponentially() {
+        assert_eq!(
+            expected_forgery_trials(16) / expected_forgery_trials(8),
+            256.0
+        );
+    }
+
+    #[test]
+    fn cfi_costs_exactly_twice_si() {
+        assert!((paper_cfi_attack_years() / paper_si_attack_years() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn success_probability_is_inverse_exponential() {
+        assert_eq!(forgery_success_probability(8), 1.0 / 256.0);
+        assert!(forgery_success_probability(64) < 1e-18);
+    }
+}

@@ -1,0 +1,69 @@
+//! Security violations detected by the SOFIA hardware.
+
+use std::fmt;
+
+/// A condition that pulls the SOFIA core's reset line.
+///
+/// Every variant corresponds to a hardware check in the paper: MAC
+/// mismatch (§II-B), invalid block-entry offsets (§II-E call-site
+/// convention), early stores (§III "when a store instruction is detected
+/// on inst1 or inst2"), and block-discipline breaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Violation {
+    /// The run-time CBC-MAC over the decrypted instructions differed from
+    /// the stored MAC: tampered code *or* tampered control flow.
+    MacMismatch {
+        /// Base address of the failing block.
+        block_base: u32,
+    },
+    /// A control transfer targeted a word that is not a legal entry point
+    /// (offset 0 for execution blocks, 4/8 for multiplexor blocks).
+    InvalidEntryOffset {
+        /// The offending transfer target.
+        target: u32,
+    },
+    /// A transfer left the secure image entirely.
+    FetchOutOfImage {
+        /// The offending address.
+        addr: u32,
+    },
+    /// A store instruction sat in a slot too early for verification to
+    /// complete before its memory access (inst1/inst2 of an execution
+    /// block under the default format).
+    StoreTooEarly {
+        /// Address of the store instruction.
+        pc: u32,
+        /// Word position within the block.
+        word_pos: usize,
+    },
+    /// A verified block attempted to transfer control from a non-final
+    /// slot ("control can only exit at inst_n").
+    MidBlockTransfer {
+        /// Address of the offending instruction.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MacMismatch { block_base } => {
+                write!(f, "mac verification failed for block at {block_base:#010x}")
+            }
+            Violation::InvalidEntryOffset { target } => {
+                write!(f, "transfer to illegal block entry {target:#010x}")
+            }
+            Violation::FetchOutOfImage { addr } => {
+                write!(f, "fetch outside the secure image at {addr:#010x}")
+            }
+            Violation::StoreTooEarly { pc, word_pos } => {
+                write!(f, "store at {pc:#010x} in restricted block word {word_pos}")
+            }
+            Violation::MidBlockTransfer { pc } => {
+                write!(f, "control transfer from non-final slot at {pc:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}

@@ -1,0 +1,205 @@
+//! A direct-mapped instruction cache model.
+//!
+//! Sits **in front of** SOFIA's decrypt unit (paper Fig. 1: ciphertext is
+//! cached, decryption happens on the way to the pipeline), so the same
+//! model serves both the vanilla and the SOFIA machine. Only timing is
+//! modelled — hit or miss — since contents are backed by the ROM.
+
+/// Configuration of the instruction cache.
+///
+/// The defaults model the "minimal hardware configuration" LEON3 of the
+/// paper: 4 KiB direct-mapped with 32-byte lines and a 10-cycle refill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ICacheConfig {
+    /// Total capacity in bytes (power of two).
+    pub size_bytes: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Extra cycles charged on a miss.
+    pub miss_penalty: u32,
+}
+
+impl Default for ICacheConfig {
+    fn default() -> Self {
+        ICacheConfig {
+            size_bytes: 4096,
+            line_bytes: 32,
+            miss_penalty: 10,
+        }
+    }
+}
+
+/// A direct-mapped I-cache (timing model only).
+///
+/// # Examples
+///
+/// ```
+/// use sofia_cpu::icache::{ICache, ICacheConfig};
+///
+/// let mut c = ICache::new(ICacheConfig::default());
+/// assert!(!c.access(0x100)); // cold miss
+/// assert!(c.access(0x104));  // same 32-byte line
+/// assert_eq!(c.stats().misses, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ICache {
+    config: ICacheConfig,
+    tags: Vec<Option<u32>>,
+    stats: ICacheStats,
+}
+
+/// Hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ICacheStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+}
+
+impl ICacheStats {
+    /// Hit rate in `[0, 1]`; 0 when there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl ICache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both sizes are powers of two with
+    /// `line_bytes ≤ size_bytes`.
+    pub fn new(config: ICacheConfig) -> ICache {
+        assert!(
+            config.size_bytes.is_power_of_two()
+                && config.line_bytes.is_power_of_two()
+                && config.line_bytes <= config.size_bytes,
+            "invalid icache geometry"
+        );
+        let lines = (config.size_bytes / config.line_bytes) as usize;
+        ICache {
+            config,
+            tags: vec![None; lines],
+            stats: ICacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> ICacheConfig {
+        self.config
+    }
+
+    /// Simulates a fetch at `addr`; returns `true` on hit and fills the
+    /// line on miss.
+    pub fn access(&mut self, addr: u32) -> bool {
+        let line_addr = addr / self.config.line_bytes;
+        let index = (line_addr as usize) % self.tags.len();
+        let tag = line_addr / self.tags.len() as u32;
+        if self.tags[index] == Some(tag) {
+            self.stats.hits += 1;
+            true
+        } else {
+            self.tags[index] = Some(tag);
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Extra cycles for an access: 0 on hit, the miss penalty otherwise.
+    pub fn access_cycles(&mut self, addr: u32) -> u32 {
+        if self.access(addr) {
+            0
+        } else {
+            self.config.miss_penalty
+        }
+    }
+
+    /// Invalidates every line (used on SOFIA reset).
+    pub fn flush(&mut self) {
+        self.tags.fill(None);
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> ICacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ICache {
+        // 4 lines of 16 bytes.
+        ICache::new(ICacheConfig {
+            size_bytes: 64,
+            line_bytes: 16,
+            miss_penalty: 5,
+        })
+    }
+
+    #[test]
+    fn sequential_fetch_misses_once_per_line() {
+        let mut c = small();
+        for addr in (0x100..0x140).step_by(4) {
+            c.access(addr);
+        }
+        assert_eq!(c.stats().misses, 4); // 64 bytes / 16-byte lines
+        assert_eq!(c.stats().hits, 12);
+    }
+
+    #[test]
+    fn conflict_misses_on_aliasing_lines() {
+        let mut c = small();
+        // 0x100 and 0x140 map to the same index (capacity 64).
+        assert!(!c.access(0x100));
+        assert!(!c.access(0x140));
+        assert!(!c.access(0x100)); // evicted by 0x140
+    }
+
+    #[test]
+    fn loop_fits_after_warmup() {
+        let mut c = small();
+        for _ in 0..10 {
+            for addr in (0x100..0x120).step_by(4) {
+                c.access(addr);
+            }
+        }
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.stats().hits, 78);
+        assert!(c.stats().hit_rate() > 0.95);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = small();
+        c.access(0x100);
+        assert!(c.access(0x104));
+        c.flush();
+        assert!(!c.access(0x104));
+    }
+
+    #[test]
+    fn miss_penalty_charged() {
+        let mut c = small();
+        assert_eq!(c.access_cycles(0x100), 5);
+        assert_eq!(c.access_cycles(0x104), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry")]
+    fn bad_geometry_rejected() {
+        let _ = ICache::new(ICacheConfig {
+            size_bytes: 48,
+            line_bytes: 16,
+            miss_penalty: 1,
+        });
+    }
+}

@@ -1,0 +1,431 @@
+//! The vanilla (unprotected) machine — the paper's baseline LEON3.
+
+use sofia_isa::asm::Assembly;
+use sofia_isa::{Instruction, Reg};
+
+use crate::exec::{execute, Effect, RegFile};
+use crate::icache::{ICache, ICacheConfig};
+use crate::mem::Memory;
+use crate::pipeline::PipelineModel;
+use crate::stats::ExecStats;
+use crate::Trap;
+
+/// Construction parameters shared by both machines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Data RAM size in bytes.
+    pub ram_size: u32,
+    /// Instruction-cache geometry and miss penalty.
+    pub icache: ICacheConfig,
+    /// Pipeline hazard penalties.
+    pub pipeline: PipelineModel,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            ram_size: 1 << 20,
+            icache: ICacheConfig::default(),
+            pipeline: PipelineModel::default(),
+        }
+    }
+}
+
+/// Why a [`VanillaMachine::run`] call returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunResult {
+    /// The program executed `halt`.
+    Halted,
+    /// The step budget was exhausted first.
+    OutOfFuel,
+}
+
+impl RunResult {
+    /// Whether the program reached `halt`.
+    pub fn is_halted(&self) -> bool {
+        matches!(self, RunResult::Halted)
+    }
+}
+
+/// A cycle-level simulator of the unmodified baseline processor.
+///
+/// Executes plaintext binaries produced by [`sofia_isa::asm::assemble`].
+/// SOFIA's protected machine (`sofia-core`) reuses the same executor,
+/// memory, cache and pipeline models, wrapping fetch in its decrypt/verify
+/// units — so overhead comparisons between the two machines isolate
+/// exactly the cost of the security architecture.
+///
+/// # Examples
+///
+/// ```
+/// use sofia_cpu::machine::VanillaMachine;
+/// use sofia_isa::asm;
+///
+/// let program = asm::assemble(
+///     "main: li t0, 5
+///            li t1, 0
+///     loop:  add t1, t1, t0
+///            subi t0, t0, 1
+///            bnez t0, loop
+///            li a0, 0xFFFF0000     # MMIO word-output port
+///            sw t1, 0(a0)
+///            halt",
+/// )?;
+/// let mut m = VanillaMachine::new(&program);
+/// assert!(m.run(10_000)?.is_halted());
+/// assert_eq!(m.mem().mmio.out_words, vec![15]); // 5+4+3+2+1
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct VanillaMachine {
+    regs: RegFile,
+    pc: u32,
+    mem: Memory,
+    icache: ICache,
+    pipeline: PipelineModel,
+    stats: ExecStats,
+    halted: bool,
+    prev_load_dest: Option<Reg>,
+}
+
+impl VanillaMachine {
+    /// Builds a machine with [`MachineConfig::default`].
+    pub fn new(program: &Assembly) -> VanillaMachine {
+        Self::with_config(program, &MachineConfig::default())
+    }
+
+    /// Builds a machine, loading the program's text into ROM and data into
+    /// RAM, pointing `sp` at the top of RAM and `pc` at the entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data section does not fit in RAM.
+    pub fn with_config(program: &Assembly, config: &MachineConfig) -> VanillaMachine {
+        assert!(
+            program.data.len() as u32 <= config.ram_size,
+            "data section larger than RAM"
+        );
+        let mut mem = Memory::new(
+            program.text_base,
+            program.words.clone(),
+            program.data_base,
+            config.ram_size,
+        );
+        mem.load_ram(program.data_base, &program.data);
+        let mut regs = RegFile::new();
+        regs.set(Reg::SP, program.data_base + config.ram_size);
+        VanillaMachine {
+            regs,
+            pc: program.entry,
+            mem,
+            icache: ICache::new(config.icache),
+            pipeline: config.pipeline,
+            stats: ExecStats::default(),
+            halted: false,
+            prev_load_dest: None,
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the trap that stopped the machine, leaving state at the
+    /// faulting instruction for post-mortem inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the machine halted.
+    pub fn step(&mut self) -> Result<(), Trap> {
+        assert!(!self.halted, "step() after halt");
+        let pc = self.pc;
+        let stall = self.icache.access_cycles(pc) as u64;
+        self.stats.icache_stall_cycles += stall;
+        self.stats.cycles += stall;
+        let word = self.mem.fetch(pc)?;
+        let inst = Instruction::decode(word).map_err(|e| Trap::IllegalInstruction {
+            word: e.word(),
+            pc,
+        })?;
+        let effect = execute(&inst, pc, &mut self.regs, &mut self.mem)?;
+        let taken = inst.is_branch() && matches!(effect, Effect::Jump { .. });
+        self.account(&inst, taken);
+        self.prev_load_dest = if inst.is_load() { inst.def_reg() } else { None };
+        match effect {
+            Effect::Next => self.pc = pc.wrapping_add(4),
+            Effect::Jump { target } => self.pc = target,
+            Effect::Halt => {
+                self.halted = true;
+                self.stats.cycles += self.pipeline.drain_cycles as u64;
+            }
+        }
+        Ok(())
+    }
+
+    fn account(&mut self, inst: &Instruction, taken: bool) {
+        self.stats.instret += 1;
+        self.stats.cycles +=
+            self.pipeline
+                .instruction_cycles(inst, taken, self.prev_load_dest) as u64;
+        if inst.is_branch() {
+            self.stats.branches += 1;
+            if taken {
+                self.stats.taken_branches += 1;
+            }
+        }
+        if inst.is_load() {
+            self.stats.loads += 1;
+        }
+        if inst.is_store() {
+            self.stats.stores += 1;
+        }
+        if inst.is_call() {
+            self.stats.calls += 1;
+        }
+        if let Some(dest) = self.prev_load_dest {
+            if inst.use_regs().contains(&dest) {
+                self.stats.load_use_stalls += 1;
+            }
+        }
+    }
+
+    /// Runs until `halt`, a trap, or `max_steps` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first trap.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunResult, Trap> {
+        for _ in 0..max_steps {
+            if self.halted {
+                return Ok(RunResult::Halted);
+            }
+            self.step()?;
+        }
+        Ok(if self.halted {
+            RunResult::Halted
+        } else {
+            RunResult::OutOfFuel
+        })
+    }
+
+    /// Whether the program has executed `halt`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// The architectural registers.
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// The memory (ROM + RAM + MMIO logs).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable memory access — for loaders and the attack harness.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// **Attack-harness channel**: redirects execution to `target`,
+    /// modelling a successful control-flow hijack (corrupted return
+    /// address, glitched branch). The unprotected machine simply follows
+    /// it — the behaviour SOFIA exists to prevent.
+    pub fn hijack_pc(&mut self, target: u32) {
+        self.pc = target;
+    }
+
+    /// Accumulated execution statistics (cycles include I-cache stalls).
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Instruction-cache statistics.
+    pub fn icache_stats(&self) -> crate::icache::ICacheStats {
+        self.icache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofia_isa::asm;
+
+    fn run_src(src: &str) -> VanillaMachine {
+        let program = asm::assemble(src).expect("assembles");
+        let mut m = VanillaMachine::new(&program);
+        let r = m.run(1_000_000).expect("no trap");
+        assert!(r.is_halted(), "program did not halt");
+        m
+    }
+
+    #[test]
+    fn loop_sum() {
+        let m = run_src(
+            "main: li t0, 10
+                   li t1, 0
+             loop: add t1, t1, t0
+                   subi t0, t0, 1
+                   bnez t0, loop
+                   li a0, 0xFFFF0000
+                   sw t1, 0(a0)
+                   halt",
+        );
+        assert_eq!(m.mem().mmio.out_words, vec![55]);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let m = run_src(
+            "main: li a0, 6
+                   jal square
+                   li t0, 0xFFFF0000
+                   sw v0, 0(t0)
+                   halt
+             square: mul v0, a0, a0
+                   ret",
+        );
+        assert_eq!(m.mem().mmio.out_words, vec![36]);
+    }
+
+    #[test]
+    fn stack_discipline() {
+        let m = run_src(
+            "main: subi sp, sp, 8
+                   li t0, 0x1234
+                   sw t0, 0(sp)
+                   sw ra, 4(sp)
+                   lw t1, 0(sp)
+                   addi sp, sp, 8
+                   li a0, 0xFFFF0000
+                   sw t1, 0(a0)
+                   halt",
+        );
+        assert_eq!(m.mem().mmio.out_words, vec![0x1234]);
+    }
+
+    #[test]
+    fn data_section_loaded() {
+        let m = run_src(
+            ".data
+             tbl: .word 11, 22, 33
+             .text
+             main: la a0, tbl
+                   lw t0, 8(a0)
+                   li a1, 0xFFFF0000
+                   sw t0, 0(a1)
+                   halt",
+        );
+        assert_eq!(m.mem().mmio.out_words, vec![33]);
+    }
+
+    #[test]
+    fn function_pointer_dispatch() {
+        let m = run_src(
+            ".data
+             handlers: .word inc, dec
+             .text
+             main: la t0, handlers
+                   lw t1, 4(t0)        # handlers[1] = dec
+                   li a0, 10
+                   .indirect inc, dec
+                   jalr t1
+                   li t2, 0xFFFF0000
+                   sw v0, 0(t2)
+                   halt
+             inc:  addi v0, a0, 1
+                   ret
+             dec:  subi v0, a0, 1
+                   ret",
+        );
+        assert_eq!(m.mem().mmio.out_words, vec![9]);
+    }
+
+    #[test]
+    fn cycle_accounting_straight_line() {
+        let program = asm::assemble("main: nop\nnop\nnop\nhalt").unwrap();
+        let mut m = VanillaMachine::new(&program);
+        m.run(100).unwrap();
+        let s = m.stats();
+        assert_eq!(s.instret, 4);
+        // 4 base cycles + one cold I-cache miss (all four words share one
+        // 32-byte line) + drain.
+        let expected = 4 + 10 + PipelineModel::default().drain_cycles as u64;
+        assert_eq!(s.cycles, expected);
+    }
+
+    #[test]
+    fn taken_branches_cost_more() {
+        // Loop version: branch taken 9 times.
+        let looped = run_src(
+            "main: li t0, 10
+             loop: subi t0, t0, 1
+                   bnez t0, loop
+                   halt",
+        );
+        let s = looped.stats();
+        assert_eq!(s.branches, 10);
+        assert_eq!(s.taken_branches, 9);
+        assert!(s.cpi() > 1.0);
+    }
+
+    #[test]
+    fn load_use_stall_counted() {
+        let m = run_src(
+            ".data
+             x: .word 5
+             .text
+             main: la a0, x
+                   lw t0, 0(a0)
+                   addi t1, t0, 1   # immediately uses loaded t0
+                   halt",
+        );
+        assert_eq!(m.stats().load_use_stalls, 1);
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        let program = asm::assemble("main: b main").unwrap();
+        let mut m = VanillaMachine::new(&program);
+        assert_eq!(m.run(1000).unwrap(), RunResult::OutOfFuel);
+        assert!(!m.is_halted());
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        let program = asm::assemble("main: halt").unwrap();
+        let mut m = VanillaMachine::new(&program);
+        // Tamper with ROM out-of-band (the attacker's channel).
+        m.mem_mut().rom_mut()[0] = 0xFC00_0000;
+        let err = m.run(10).unwrap_err();
+        assert!(matches!(err, Trap::IllegalInstruction { .. }));
+    }
+
+    #[test]
+    fn icache_warms_up() {
+        let m = run_src(
+            "main: li t0, 100
+             loop: subi t0, t0, 1
+                   bnez t0, loop
+                   halt",
+        );
+        let ic = m.icache_stats();
+        assert!(ic.hit_rate() > 0.95, "hit rate {}", ic.hit_rate());
+    }
+
+    #[test]
+    fn sp_initialised_to_ram_top() {
+        let program = asm::assemble("main: halt").unwrap();
+        let m = VanillaMachine::new(&program);
+        assert_eq!(
+            m.regs().get(Reg::SP),
+            program.data_base + MachineConfig::default().ram_size
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Execution statistics shared by the vanilla and SOFIA machines.
+
+/// Counters accumulated while a program runs.
+///
+/// `cycles` is the simulated wall-clock in CPU cycles (the paper's §IV-B
+/// metric); the rest break down where they went.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Retired (architecturally executed) instructions.
+    pub instret: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Conditional branches that were taken.
+    pub taken_branches: u64,
+    /// Loads retired.
+    pub loads: u64,
+    /// Stores retired.
+    pub stores: u64,
+    /// Calls (`jal`/`jalr`) retired.
+    pub calls: u64,
+    /// Load-use bubbles inserted.
+    pub load_use_stalls: u64,
+    /// Cycles lost to instruction-cache misses.
+    pub icache_stall_cycles: u64,
+}
+
+impl ExecStats {
+    /// Cycles per instruction; 0.0 before anything retired.
+    pub fn cpi(&self) -> f64 {
+        if self.instret == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instret as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_handles_empty() {
+        assert_eq!(ExecStats::default().cpi(), 0.0);
+        let s = ExecStats {
+            cycles: 30,
+            instret: 20,
+            ..Default::default()
+        };
+        assert!((s.cpi() - 1.5).abs() < 1e-12);
+    }
+}

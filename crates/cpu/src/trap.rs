@@ -1,0 +1,72 @@
+//! Processor traps.
+
+use std::error::Error;
+use std::fmt;
+
+/// A synchronous processor trap.
+///
+/// On the bare-metal target the paper assumes (no OS, no handlers), any
+/// trap is terminal: the simulator stops and reports it. Under SOFIA a
+/// trap can additionally be the *visible symptom* of a garbled decryption
+/// that happened to reach the decoder (though the MAC check catches
+/// tampering before execution on the SOFIA machine itself).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Trap {
+    /// The fetched word does not decode to any SL32 instruction.
+    IllegalInstruction {
+        /// The offending word.
+        word: u32,
+        /// Address it was fetched from.
+        pc: u32,
+    },
+    /// Instruction fetch from outside the text region or unaligned.
+    FetchFault {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// Data load from an unmapped address.
+    LoadFault {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// Data store to an unmapped address.
+    StoreFault {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// Store into the program ROM (self-modifying code is not supported;
+    /// the attacker in the SOFIA threat model tampers with the stored
+    /// image out-of-band instead).
+    WriteToRom {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// A load or store with an address not aligned to its access size.
+    Misaligned {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// `div`/`divu`/`rem`/`remu` with a zero divisor.
+    DivideByZero {
+        /// Address of the dividing instruction.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::IllegalInstruction { word, pc } => {
+                write!(f, "illegal instruction {word:#010x} at {pc:#010x}")
+            }
+            Trap::FetchFault { addr } => write!(f, "fetch fault at {addr:#010x}"),
+            Trap::LoadFault { addr } => write!(f, "load fault at {addr:#010x}"),
+            Trap::StoreFault { addr } => write!(f, "store fault at {addr:#010x}"),
+            Trap::WriteToRom { addr } => write!(f, "store into program rom at {addr:#010x}"),
+            Trap::Misaligned { addr } => write!(f, "misaligned access at {addr:#010x}"),
+            Trap::DivideByZero { pc } => write!(f, "division by zero at {pc:#010x}"),
+        }
+    }
+}
+
+impl Error for Trap {}

@@ -1,0 +1,126 @@
+//! Device key material and the per-program nonce.
+
+use crate::{Key80, Rectangle};
+
+/// The per-program nonce ω.
+///
+/// The paper requires ω to be "unique across different programs and
+/// different program versions"; it is stored in the clear in the secure
+/// image header (it is not secret — uniqueness, not confidentiality, is
+/// what prevents cross-program keystream reuse).
+///
+/// # Examples
+///
+/// ```
+/// use sofia_crypto::Nonce;
+/// assert_ne!(Nonce::new(1), Nonce::new(2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct Nonce(u16);
+
+impl Nonce {
+    /// Wraps a raw 16-bit nonce value.
+    pub const fn new(value: u16) -> Nonce {
+        Nonce(value)
+    }
+
+    /// The raw nonce value.
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Nonce {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ω={:#06x}", self.0)
+    }
+}
+
+/// The three device-unique keys of a SOFIA core (paper §II-B):
+/// `k1` encrypts instructions (CTR), `k2` MACs execution blocks and `k3`
+/// MACs multiplexor blocks.
+///
+/// In the paper's deployment model these keys are fused into the device
+/// and "known only by the software provider"; here they parameterise both
+/// the transformer (install time) and the simulated SOFIA core (run time).
+///
+/// # Examples
+///
+/// ```
+/// use sofia_crypto::KeySet;
+///
+/// let keys = KeySet::from_seed(42);
+/// let again = KeySet::from_seed(42);
+/// assert_eq!(keys, again); // deterministic derivation for reproducibility
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KeySet {
+    /// CTR-mode instruction-encryption key.
+    pub k1: Key80,
+    /// CBC-MAC key for execution blocks.
+    pub k2: Key80,
+    /// CBC-MAC key for multiplexor blocks.
+    pub k3: Key80,
+}
+
+impl KeySet {
+    /// Builds a key set from three explicit keys.
+    pub const fn new(k1: Key80, k2: Key80, k3: Key80) -> KeySet {
+        KeySet { k1, k2, k3 }
+    }
+
+    /// Deterministically derives three independent keys from one seed.
+    pub fn from_seed(seed: u64) -> KeySet {
+        let mut s = crate::util::SplitMix64::new(seed ^ 0x50F1_A000_0000_0000);
+        KeySet {
+            k1: Key80::from_seed(s.next_u64()),
+            k2: Key80::from_seed(s.next_u64()),
+            k3: Key80::from_seed(s.next_u64()),
+        }
+    }
+
+    /// Expands all three keys into ready cipher instances.
+    pub fn expand(&self) -> ExpandedKeys {
+        ExpandedKeys {
+            ctr: Rectangle::new(&self.k1),
+            mac_exec: Rectangle::new(&self.k2),
+            mac_mux: Rectangle::new(&self.k3),
+        }
+    }
+}
+
+/// Pre-expanded cipher instances for the three keys; construction runs the
+/// key schedule once so the fetch path is allocation-free.
+#[derive(Clone, Debug)]
+pub struct ExpandedKeys {
+    /// `E_k1` — CTR pad generation.
+    pub ctr: Rectangle,
+    /// `E_k2` — execution-block CBC-MAC.
+    pub mac_exec: Rectangle,
+    /// `E_k3` — multiplexor-block CBC-MAC.
+    pub mac_mux: Rectangle,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_keys_are_pairwise_distinct() {
+        let ks = KeySet::from_seed(7);
+        assert_ne!(ks.k1.as_bytes(), ks.k2.as_bytes());
+        assert_ne!(ks.k2.as_bytes(), ks.k3.as_bytes());
+        assert_ne!(ks.k1.as_bytes(), ks.k3.as_bytes());
+    }
+
+    #[test]
+    fn different_seeds_different_keys() {
+        assert_ne!(KeySet::from_seed(1), KeySet::from_seed(2));
+    }
+
+    #[test]
+    fn expanded_keys_are_usable() {
+        let e = KeySet::from_seed(9).expand();
+        assert_ne!(e.ctr.encrypt_block(0), e.mac_exec.encrypt_block(0));
+    }
+}

@@ -1,0 +1,121 @@
+//! Error types for the SL32 ISA crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// A machine word that does not decode to any SL32 instruction.
+///
+/// # Examples
+///
+/// ```
+/// use sofia_isa::Instruction;
+/// let err = Instruction::decode(0xFC00_0000).unwrap_err();
+/// assert_eq!(err.word(), 0xFC00_0000);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    pub(crate) word: u32,
+}
+
+impl DecodeError {
+    /// The offending machine word.
+    pub fn word(&self) -> u32 {
+        self.word
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction word {:#010x}", self.word)
+    }
+}
+
+impl Error for DecodeError {}
+
+/// A string that does not name an SL32 register.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseRegError {
+    pub(crate) name: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.name)
+    }
+}
+
+impl Error for ParseRegError {}
+
+/// An error raised while parsing or assembling SL32 source text.
+///
+/// Carries the 1-based source line on which the problem was found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number (0 when the error is not tied to a line, e.g.
+    /// an undefined label discovered at layout time).
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// The specific assembly failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// An unknown mnemonic or directive.
+    UnknownMnemonic(String),
+    /// Operand count or shape did not match the mnemonic.
+    BadOperands(String),
+    /// A register name failed to parse.
+    BadRegister(String),
+    /// A literal was malformed or out of range for its field.
+    BadImmediate(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// A branch target is further than ±32 Ki-words away.
+    BranchOutOfRange {
+        /// The target label.
+        label: String,
+        /// Distance in words.
+        distance: i64,
+    },
+    /// A jump target lies outside the 256 MiB region of the jump.
+    JumpOutOfRegion {
+        /// The target label.
+        label: String,
+    },
+    /// A directive appeared in the wrong section (e.g. `.word` in `.text`
+    /// between instructions is allowed, but instructions in `.data` are not).
+    MisplacedItem(String),
+    /// `.indirect` was not followed by an indirect jump.
+    DanglingIndirect,
+    /// Malformed directive arguments.
+    BadDirective(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use AsmErrorKind::*;
+        if self.line > 0 {
+            write!(f, "line {}: ", self.line)?;
+        }
+        match &self.kind {
+            UnknownMnemonic(m) => write!(f, "unknown mnemonic or directive `{m}`"),
+            BadOperands(m) => write!(f, "bad operands: {m}"),
+            BadRegister(r) => write!(f, "bad register `{r}`"),
+            BadImmediate(v) => write!(f, "bad immediate `{v}`"),
+            DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            BranchOutOfRange { label, distance } => {
+                write!(f, "branch to `{label}` out of range ({distance} words)")
+            }
+            JumpOutOfRegion { label } => write!(f, "jump target `{label}` outside 256 MiB region"),
+            MisplacedItem(m) => write!(f, "misplaced item: {m}"),
+            DanglingIndirect => write!(f, ".indirect must precede jalr/jr"),
+            BadDirective(m) => write!(f, "bad directive: {m}"),
+        }
+    }
+}
+
+impl Error for AsmError {}

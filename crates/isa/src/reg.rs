@@ -1,0 +1,232 @@
+//! Architectural registers of the SL32 ISA.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ParseRegError;
+
+/// One of the 32 general-purpose registers.
+///
+/// Register 0 ([`Reg::ZERO`]) is hard-wired to zero: writes to it are
+/// discarded by the CPU. The remaining registers are general purpose; the
+/// assembler understands the MIPS-flavoured ABI aliases listed below.
+///
+/// | alias | registers | conventional role |
+/// |-------|-----------|-------------------|
+/// | `zero` | r0 | constant 0 |
+/// | `v0`-`v1` | r2-r3 | return values |
+/// | `a0`-`a3` | r4-r7 | arguments |
+/// | `t0`-`t7` | r8-r15 | caller-saved temporaries |
+/// | `s0`-`s7` | r16-r23 | callee-saved |
+/// | `t8`-`t9` | r24-r25 | more temporaries |
+/// | `k0`-`k1` | r26-r27 | reserved |
+/// | `gp` | r28 | global pointer |
+/// | `sp` | r29 | stack pointer |
+/// | `fp` | r30 | frame pointer |
+/// | `ra` | r31 | return address (written by `jal`/`jalr`) |
+///
+/// # Examples
+///
+/// ```
+/// use sofia_isa::Reg;
+///
+/// let sp: Reg = "sp".parse()?;
+/// assert_eq!(sp, Reg::SP);
+/// assert_eq!(sp.index(), 29);
+/// assert_eq!(sp.to_string(), "sp");
+/// # Ok::<(), sofia_isa::error::ParseRegError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired zero register, `r0`.
+    pub const ZERO: Reg = Reg(0);
+    /// First return-value register, `r2`.
+    pub const V0: Reg = Reg(2);
+    /// Second return-value register, `r3`.
+    pub const V1: Reg = Reg(3);
+    /// First argument register, `r4`.
+    pub const A0: Reg = Reg(4);
+    /// Second argument register, `r5`.
+    pub const A1: Reg = Reg(5);
+    /// Third argument register, `r6`.
+    pub const A2: Reg = Reg(6);
+    /// Fourth argument register, `r7`.
+    pub const A3: Reg = Reg(7);
+    /// Temporary register `t0` (`r8`).
+    pub const T0: Reg = Reg(8);
+    /// Temporary register `t1` (`r9`).
+    pub const T1: Reg = Reg(9);
+    /// Temporary register `t2` (`r10`).
+    pub const T2: Reg = Reg(10);
+    /// Temporary register `t3` (`r11`).
+    pub const T3: Reg = Reg(11);
+    /// Temporary register `t4` (`r12`).
+    pub const T4: Reg = Reg(12);
+    /// Temporary register `t5` (`r13`).
+    pub const T5: Reg = Reg(13);
+    /// Temporary register `t6` (`r14`).
+    pub const T6: Reg = Reg(14);
+    /// Temporary register `t7` (`r15`).
+    pub const T7: Reg = Reg(15);
+    /// Saved register `s0` (`r16`).
+    pub const S0: Reg = Reg(16);
+    /// Saved register `s1` (`r17`).
+    pub const S1: Reg = Reg(17);
+    /// Saved register `s2` (`r18`).
+    pub const S2: Reg = Reg(18);
+    /// Saved register `s3` (`r19`).
+    pub const S3: Reg = Reg(19);
+    /// Saved register `s4` (`r20`).
+    pub const S4: Reg = Reg(20);
+    /// Saved register `s5` (`r21`).
+    pub const S5: Reg = Reg(21);
+    /// Saved register `s6` (`r22`).
+    pub const S6: Reg = Reg(22);
+    /// Saved register `s7` (`r23`).
+    pub const S7: Reg = Reg(23);
+    /// Temporary register `t8` (`r24`).
+    pub const T8: Reg = Reg(24);
+    /// Temporary register `t9` (`r25`).
+    pub const T9: Reg = Reg(25);
+    /// Reserved register `k0` (`r26`) — scratch for the SOFIA transformer's
+    /// indirect-dispatch ladders; not preserved across indirect transfers.
+    pub const K0: Reg = Reg(26);
+    /// Reserved register `k1` (`r27`).
+    pub const K1: Reg = Reg(27);
+    /// Global pointer, `r28`.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer, `r29`.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer, `r30`.
+    pub const FP: Reg = Reg(30);
+    /// Return-address register written by `jal`/`jalr`, `r31`.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// Returns `None` if `index >= 32`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sofia_isa::Reg;
+    /// assert_eq!(Reg::new(31), Some(Reg::RA));
+    /// assert_eq!(Reg::new(32), None);
+    /// ```
+    pub const fn new(index: u8) -> Option<Reg> {
+        if index < 32 {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a register from the low five bits of an encoded field.
+    pub(crate) const fn from_field(field: u32) -> Reg {
+        Reg((field & 0x1F) as u8)
+    }
+
+    /// The register's index, in `0..32`.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hard-wired zero register.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The canonical ABI alias for this register (e.g. `"sp"` for r29).
+    pub const fn name(self) -> &'static str {
+        REG_NAMES[self.0 as usize]
+    }
+
+    /// Iterates over all 32 registers in index order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sofia_isa::Reg;
+    /// assert_eq!(Reg::all().count(), 32);
+    /// ```
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+const REG_NAMES: [&str; 32] = [
+    "zero", "r1", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp",
+    "fp", "ra",
+];
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reg({}={})", self.0, self.name())
+    }
+}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    /// Parses either an ABI alias (`sp`, `t3`, …) or a numeric name
+    /// (`r0`..`r31`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(pos) = REG_NAMES.iter().position(|n| *n == s) {
+            return Ok(Reg(pos as u8));
+        }
+        if let Some(num) = s.strip_prefix('r') {
+            if let Ok(idx) = num.parse::<u8>() {
+                if idx < 32 {
+                    return Ok(Reg(idx));
+                }
+            }
+        }
+        Err(ParseRegError {
+            name: s.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_round_trip_through_parse() {
+        for r in Reg::all() {
+            let parsed: Reg = r.name().parse().unwrap();
+            assert_eq!(parsed, r);
+        }
+    }
+
+    #[test]
+    fn numeric_names_parse() {
+        for i in 0..32u8 {
+            let parsed: Reg = format!("r{i}").parse().unwrap();
+            assert_eq!(parsed.index(), i);
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!("r32".parse::<Reg>().is_err());
+        assert!("x5".parse::<Reg>().is_err());
+        assert!(Reg::new(32).is_none());
+    }
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::RA.is_zero());
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+    }
+}

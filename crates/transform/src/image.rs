@@ -1,0 +1,235 @@
+//! The sealed program image and the installation report.
+
+use std::collections::BTreeMap;
+
+use sofia_crypto::Nonce;
+
+use crate::format::BlockFormat;
+
+/// A securely installed program: ciphertext text section, plaintext data,
+/// and the public header a SOFIA core needs to execute it (nonce, block
+/// format, entry point).
+///
+/// The image deliberately contains **no key material**; confidentiality
+/// and integrity rest entirely on the device keys (paper §II: "these keys
+/// are known only by the software provider").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SecureImage {
+    /// The per-program nonce ω (stored in the clear, as in the paper).
+    pub nonce: Nonce,
+    /// Block geometry used by the installer.
+    pub format: BlockFormat,
+    /// Base address of the ciphertext text section (block-aligned).
+    pub text_base: u32,
+    /// Encrypted text: one word per 32-bit block word.
+    pub ctext: Vec<u32>,
+    /// Base address of the data section.
+    pub data_base: u32,
+    /// Plaintext data section (SOFIA protects code, not data).
+    pub data: Vec<u8>,
+    /// The entry target the core jumps to out of reset (with
+    /// `prevPC = RESET_PREV_PC`).
+    pub entry: u32,
+    /// Resolved label addresses, for debugging and the attack harness.
+    pub symbols: BTreeMap<String, u32>,
+    /// Installation statistics.
+    pub report: TransformReport,
+}
+
+impl SecureImage {
+    /// Size of the encrypted text section in bytes (the paper's §IV-B
+    /// code-size metric: 6,976 B plain → 16,816 B transformed for ADPCM).
+    pub fn text_bytes(&self) -> usize {
+        self.ctext.len() * 4
+    }
+
+    /// Number of blocks in the image.
+    pub fn blocks(&self) -> usize {
+        self.ctext.len() / self.format.block_words()
+    }
+
+    /// Serialises the image to a self-describing little-endian byte
+    /// stream (magic `SOFI1`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"SOFI1\0");
+        push_u32(&mut out, self.nonce.value() as u32);
+        push_u32(&mut out, self.format.exec_insts as u32);
+        push_u32(&mut out, self.format.store_safe_word_offset as u32);
+        push_u32(&mut out, self.text_base);
+        push_u32(&mut out, self.entry);
+        push_u32(&mut out, self.data_base);
+        push_u32(&mut out, self.ctext.len() as u32);
+        for w in &self.ctext {
+            push_u32(&mut out, *w);
+        }
+        push_u32(&mut out, self.data.len() as u32);
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Deserialises an image written by [`SecureImage::to_bytes`].
+    ///
+    /// Symbols and the report are debug-only and are not serialised; the
+    /// loaded image carries empty ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the corruption if the stream is malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SecureImage, String> {
+        let mut r = Reader { bytes, at: 0 };
+        let magic = r.take(6)?;
+        if magic != b"SOFI1\0" {
+            return Err("bad magic".into());
+        }
+        let nonce = Nonce::new(r.u32()? as u16);
+        let format = BlockFormat {
+            exec_insts: r.u32()? as usize,
+            store_safe_word_offset: r.u32()? as usize,
+        };
+        format.validate().map_err(|e| format!("bad format: {e}"))?;
+        let text_base = r.u32()?;
+        let entry = r.u32()?;
+        let data_base = r.u32()?;
+        let n = r.u32()? as usize;
+        let mut ctext = Vec::with_capacity(n);
+        for _ in 0..n {
+            ctext.push(r.u32()?);
+        }
+        let dn = r.u32()? as usize;
+        let data = r.take(dn)?.to_vec();
+        Ok(SecureImage {
+            nonce,
+            format,
+            text_base,
+            ctext,
+            data_base,
+            data,
+            entry,
+            symbols: BTreeMap::new(),
+            report: TransformReport::default(),
+        })
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.at + n > self.bytes.len() {
+            return Err("truncated image".into());
+        }
+        let s = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+/// What the secure installation did to the program — the data behind the
+/// paper's code-size-overhead numbers and the Fig. 9 scaling experiment.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransformReport {
+    /// Instructions in the source module, before lowering.
+    pub source_instructions: usize,
+    /// Instructions after indirect-dispatch lowering and single-exit
+    /// normalisation.
+    pub lowered_instructions: usize,
+    /// Total blocks emitted.
+    pub blocks: usize,
+    /// Execution blocks.
+    pub exec_blocks: usize,
+    /// Multiplexor blocks (including tree nodes).
+    pub mux_blocks: usize,
+    /// Multiplexor-tree trampolines among the mux blocks (Fig. 9).
+    pub tree_blocks: usize,
+    /// Fall-through-conversion trampoline blocks.
+    pub ft_trampolines: usize,
+    /// Return landing pads.
+    pub landing_pads: usize,
+    /// `nop` padding instructions inserted.
+    pub pad_nops: usize,
+    /// Source text size in bytes.
+    pub text_bytes_in: usize,
+    /// Sealed text size in bytes.
+    pub text_bytes_out: usize,
+}
+
+impl TransformReport {
+    /// Code-size expansion factor (paper: 16,816 / 6,976 ≈ 2.41× for
+    /// ADPCM).
+    pub fn expansion(&self) -> f64 {
+        if self.text_bytes_in == 0 {
+            0.0
+        } else {
+            self.text_bytes_out as f64 / self.text_bytes_in as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_expansion() {
+        let r = TransformReport {
+            text_bytes_in: 6976,
+            text_bytes_out: 16816,
+            ..Default::default()
+        };
+        assert!((r.expansion() - 2.4106).abs() < 1e-3);
+        assert_eq!(TransformReport::default().expansion(), 0.0);
+    }
+
+    #[test]
+    fn image_serialisation_roundtrip() {
+        let img = SecureImage {
+            nonce: Nonce::new(77),
+            format: BlockFormat::default(),
+            text_base: 0x100,
+            ctext: vec![1, 2, 3, 0xDEAD_BEEF],
+            data_base: 0x1000_0000,
+            data: vec![9, 8, 7],
+            entry: 0x104,
+            symbols: BTreeMap::new(),
+            report: TransformReport::default(),
+        };
+        let bytes = img.to_bytes();
+        let back = SecureImage::from_bytes(&bytes).unwrap();
+        assert_eq!(back.nonce, img.nonce);
+        assert_eq!(back.ctext, img.ctext);
+        assert_eq!(back.data, img.data);
+        assert_eq!(back.entry, img.entry);
+    }
+
+    #[test]
+    fn corrupt_streams_rejected() {
+        assert!(SecureImage::from_bytes(b"BOGUS!").is_err());
+        let img = SecureImage {
+            nonce: Nonce::new(1),
+            format: BlockFormat::default(),
+            text_base: 0x100,
+            ctext: vec![1],
+            data_base: 0x1000_0000,
+            data: vec![],
+            entry: 0x100,
+            symbols: BTreeMap::new(),
+            report: TransformReport::default(),
+        };
+        let mut bytes = img.to_bytes();
+        bytes.truncate(bytes.len() - 2);
+        assert!(SecureImage::from_bytes(&bytes).is_err());
+    }
+}

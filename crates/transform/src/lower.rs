@@ -1,0 +1,323 @@
+//! Lowering passes that make control flow statically precise:
+//!
+//! 1. **Indirect-transfer lowering** — every `jalr` (and computed `jr`)
+//!    with declared `.indirect` targets becomes a *direct-dispatch
+//!    ladder*: compare the register against each declared target's address
+//!    token, take the matching direct call/jump, and `halt` (a CFI trap)
+//!    if nothing matches. After this pass, every control transfer in the
+//!    program is direct or a plain `jr ra` return, so each call site is a
+//!    distinct CFG edge — which is what lets return points be sealed with
+//!    a single `prevPC` (the callee's one return instruction).
+//! 2. **Single-exit normalisation** — functions with several `jr ra`
+//!    instructions keep one epilogue; the others branch to it. Return
+//!    points then have exactly one predecessor.
+//!
+//! The ladders use `k0` (`r26`) as scratch, which the transformer reserves
+//! (programs must not keep live values there across indirect transfers —
+//! the same contract MIPS kernels had for `k0`/`k1`).
+
+use sofia_cfg::{is_return, Cfg};
+use sofia_isa::asm::{Module, Reloc, TextItem};
+use sofia_isa::{Instruction, Reg};
+
+use crate::error::TransformError;
+
+/// Runs both lowering passes, returning a module whose control flow is
+/// fully direct (apart from `jr ra` returns).
+pub fn lower(module: &Module) -> Result<Module, TransformError> {
+    let lowered = lower_indirect(module)?;
+    normalize_single_exit(lowered)
+}
+
+/// Pass 1: rewrite indirect transfers into direct-dispatch ladders.
+fn lower_indirect(module: &Module) -> Result<Module, TransformError> {
+    let mut out = Module {
+        text: Vec::with_capacity(module.text.len()),
+        data: module.data.clone(),
+        entry: module.entry.clone(),
+        constants: module.constants.clone(),
+    };
+    let mut fresh = 0usize;
+    let mut pending_label: Option<String> = None;
+
+    for item in &module.text {
+        let mut item = item.clone();
+        if let Some(l) = pending_label.take() {
+            item.labels.push(l);
+        }
+        let is_indirect = item.inst.is_indirect_jump() && !item.indirect_targets.is_empty();
+        if !is_indirect {
+            if item.inst.is_indirect_jump() && !is_return(&item.inst) {
+                // A computed transfer without declared targets: the CFG
+                // build would reject it anyway; let that error surface
+                // with its proper context.
+            }
+            out.text.push(item);
+            continue;
+        }
+
+        let (rs, link) = match item.inst {
+            Instruction::Jalr { rd, rs } => {
+                if rd != Reg::RA {
+                    return Err(TransformError::IndirectLinksNonRa { line: item.line });
+                }
+                (rs, true)
+            }
+            Instruction::Jr { rs } => (rs, false),
+            _ => unreachable!("indirect jump is jr or jalr"),
+        };
+        if rs == Reg::K0 {
+            return Err(TransformError::ScratchRegisterClash { line: item.line });
+        }
+
+        let id = fresh;
+        fresh += 1;
+        let targets = item.indirect_targets.clone();
+        let line = item.line;
+        let mut labels = std::mem::take(&mut item.labels);
+
+        let mut emit = |inst: Instruction, reloc: Option<Reloc>, labels: Vec<String>| {
+            out.text.push(TextItem {
+                labels,
+                inst,
+                reloc,
+                indirect_targets: Vec::new(),
+                line,
+            });
+        };
+
+        // Comparison ladder.
+        for (t_idx, target) in targets.iter().enumerate() {
+            let case_label = if link {
+                format!("__sofia_icall_{id}_{t_idx}")
+            } else {
+                target.clone()
+            };
+            emit(
+                Instruction::Lui { rt: Reg::K0, imm: 0 },
+                Some(Reloc::Hi(target.clone())),
+                std::mem::take(&mut labels),
+            );
+            emit(
+                Instruction::Ori { rt: Reg::K0, rs: Reg::K0, imm: 0 },
+                Some(Reloc::Lo(target.clone())),
+                Vec::new(),
+            );
+            emit(
+                Instruction::Beq { rs, rt: Reg::K0, offset: 0 },
+                Some(Reloc::Branch(case_label)),
+                Vec::new(),
+            );
+        }
+        // No declared target matched: a run-time CFI violation.
+        emit(Instruction::Halt, None, Vec::new());
+
+        if link {
+            // Per-target call stubs with a common continuation.
+            let cont = format!("__sofia_cont_{id}");
+            for (t_idx, target) in targets.iter().enumerate() {
+                emit(
+                    Instruction::Jal { index: 0 },
+                    Some(Reloc::Jump(target.clone())),
+                    vec![format!("__sofia_icall_{id}_{t_idx}")],
+                );
+                emit(
+                    Instruction::J { index: 0 },
+                    Some(Reloc::Jump(cont.clone())),
+                    Vec::new(),
+                );
+            }
+            // The continuation label lands on the next original item.
+            pending_label = Some(cont);
+        }
+    }
+
+    if let Some(label) = pending_label {
+        // The indirect call was the last instruction; give the
+        // continuation somewhere to land (the CFG pass will then reject
+        // the fall-off-end if nothing follows, as it should).
+        out.text.push(TextItem {
+            labels: vec![label],
+            inst: Instruction::Halt,
+            reloc: None,
+            indirect_targets: Vec::new(),
+            line: 0,
+        });
+    }
+    Ok(out)
+}
+
+/// Pass 2: one `jr ra` per function; the rest branch to it.
+fn normalize_single_exit(mut module: Module) -> Result<Module, TransformError> {
+    let cfg = Cfg::build(&module)?;
+    // Collect returns per function extent.
+    let mut by_fn: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (i, item) in module.text.iter().enumerate() {
+        if is_return(&item.inst) && item.indirect_targets.is_empty() {
+            by_fn.entry(cfg.function_of(i)).or_default().push(i);
+        }
+    }
+    for (f, rets) in by_fn {
+        if rets.len() < 2 {
+            continue;
+        }
+        let epilogue = *rets.last().expect("non-empty");
+        let label = format!("__sofia_epilogue_{f}");
+        module.text[epilogue].labels.push(label.clone());
+        for &r in &rets[..rets.len() - 1] {
+            module.text[r].inst = Instruction::Beq {
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                offset: 0,
+            };
+            module.text[r].reloc = Some(Reloc::Branch(label.clone()));
+        }
+    }
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofia_cfg::EdgeKind;
+    use sofia_isa::asm;
+
+    #[test]
+    fn jalr_becomes_dispatch_ladder() {
+        let m = asm::parse(
+            "main: la t0, f
+                   .indirect f, g
+                   jalr t0
+                   halt
+             f:    ret
+             g:    ret",
+        )
+        .unwrap();
+        let l = lower(&m).unwrap();
+        // No indirect jumps with targets remain.
+        assert!(!l
+            .text
+            .iter()
+            .any(|t| t.inst.is_indirect_jump() && !t.indirect_targets.is_empty()));
+        // Two jal call sites appeared.
+        let jals = l
+            .text
+            .iter()
+            .filter(|t| matches!(t.inst, Instruction::Jal { .. }))
+            .count();
+        assert_eq!(jals, 2);
+        // The lowered module has a precise CFG.
+        let cfg = Cfg::build(&l).unwrap();
+        assert!(cfg.len() > m.text.len());
+    }
+
+    #[test]
+    fn ladder_preserves_semantics_structure() {
+        let m = asm::parse(
+            "main: la t0, f
+                   .indirect f
+                   jalr t0
+                   halt
+             f:    ret",
+        )
+        .unwrap();
+        let l = lower(&m).unwrap();
+        // la(2) + [lui,ori,beq](3) + halt + [jal,j](2) + halt + f:ret
+        let insts: Vec<_> = l.text.iter().map(|t| t.inst.mnemonic()).collect();
+        assert_eq!(
+            insts,
+            vec!["lui", "ori", "lui", "ori", "beq", "halt", "jal", "j", "halt", "jr"]
+        );
+        // The continuation label is attached to the original `halt`.
+        assert!(l.text[8].labels.iter().any(|s| s.starts_with("__sofia_cont")));
+    }
+
+    #[test]
+    fn computed_jr_dispatches_directly() {
+        let m = asm::parse(
+            "main: la t0, a
+                   .indirect a, b
+                   jr t0
+             a:    halt
+             b:    halt",
+        )
+        .unwrap();
+        let l = lower(&m).unwrap();
+        // jr ladders do not link: no jal present.
+        assert!(!l.text.iter().any(|t| t.inst.is_call()));
+        let cfg = Cfg::build(&l).unwrap();
+        // The beq edges reach both cases.
+        let a = cfg.label("a").unwrap();
+        let b = cfg.label("b").unwrap();
+        assert!(cfg.preds(a).iter().any(|e| e.kind == EdgeKind::Branch));
+        assert!(cfg.preds(b).iter().any(|e| e.kind == EdgeKind::Branch));
+    }
+
+    #[test]
+    fn multi_exit_function_normalised() {
+        let m = asm::parse(
+            "main: jal f
+                   halt
+             f:    beqz a0, early
+                   addi v0, zero, 1
+                   ret
+             early: addi v0, zero, 2
+                   ret",
+        )
+        .unwrap();
+        let l = lower(&m).unwrap();
+        let rets = l
+            .text
+            .iter()
+            .filter(|t| is_return(&t.inst))
+            .count();
+        assert_eq!(rets, 1, "exactly one return after normalisation");
+        // Return points now have a single Return predecessor.
+        let cfg = Cfg::build(&l).unwrap();
+        let ret_preds = cfg
+            .preds(1)
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Return)
+            .count();
+        assert_eq!(ret_preds, 1);
+    }
+
+    #[test]
+    fn jalr_with_wrong_link_register_rejected() {
+        let m = asm::parse(
+            "main: la t0, f
+                   .indirect f
+                   jalr s0, t0
+                   halt
+             f:    ret",
+        )
+        .unwrap();
+        assert!(matches!(
+            lower(&m),
+            Err(TransformError::IndirectLinksNonRa { .. })
+        ));
+    }
+
+    #[test]
+    fn scratch_clash_rejected() {
+        let m = asm::parse(
+            "main: la k0, f
+                   .indirect f
+                   jalr k0
+                   halt
+             f:    ret",
+        )
+        .unwrap();
+        assert!(matches!(
+            lower(&m),
+            Err(TransformError::ScratchRegisterClash { .. })
+        ));
+    }
+
+    #[test]
+    fn plain_programs_pass_through() {
+        let m = asm::parse("main: addi t0, zero, 1\n halt").unwrap();
+        let l = lower(&m).unwrap();
+        assert_eq!(l.text.len(), m.text.len());
+    }
+}

@@ -1,0 +1,186 @@
+//! Multiplexor-tree construction (paper §II-D, Fig. 9).
+//!
+//! A block whose entry has `k > 2` predecessors cannot be a single
+//! multiplexor block; instead a balanced tree of trampoline mux blocks
+//! merges edges pairwise — each tree node accepts two entries and emits
+//! one jump — until exactly two edges remain for the target block.
+//! `k` callers therefore cost `k − 2` extra blocks, the scaling the
+//! `fig9` experiment measures.
+
+use std::collections::BTreeMap;
+
+use sofia_cfg::EdgeKind;
+use sofia_isa::Instruction;
+
+use crate::format::{BlockFormat, BlockKind};
+use crate::pack::{EntryEdge, PBlock, Packed, Slot, Src, Synth, Target};
+
+/// Tree bookkeeping: which tree nodes were created for which target block.
+/// Seal-time entry lookup searches the target's own entries first, then
+/// its tree nodes'.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Trees {
+    /// target block → tree-node block indices (in creation order).
+    pub nodes_of: BTreeMap<usize, Vec<usize>>,
+    /// total number of tree nodes created.
+    pub count: usize,
+}
+
+/// Reduces every block with more than two entries to exactly two by
+/// inserting multiplexor-tree trampolines at the end of the program.
+pub(crate) fn build_trees(packed: &mut Packed, format: &BlockFormat) -> Trees {
+    let mut trees = Trees::default();
+    let original = packed.blocks.len();
+    for bi in 0..original {
+        if packed.blocks[bi].entries.len() <= 2 {
+            continue;
+        }
+        debug_assert!(
+            packed.blocks[bi]
+                .entries
+                .iter()
+                .all(|e| e.kind != EdgeKind::FallThrough),
+            "fall-through edges must have been converted before tree building"
+        );
+        let mut created = Vec::new();
+        let mut level = std::mem::take(&mut packed.blocks[bi].entries);
+        while level.len() > 2 {
+            let mut next = Vec::new();
+            let mut it = level.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => {
+                        let idx = packed.blocks.len();
+                        packed.blocks.push(PBlock {
+                            kind: BlockKind::Mux,
+                            slots: Vec::new(), // filled after wiring
+                            leader: None,
+                            synth: Synth::TreeNode,
+                            entries: vec![a, b],
+                        });
+                        created.push(idx);
+                        next.push(EntryEdge {
+                            src: Src::Block(idx),
+                            kind: EdgeKind::Jump,
+                        });
+                    }
+                    None => next.push(a),
+                }
+            }
+            level = next;
+        }
+        packed.blocks[bi].entries = level;
+
+        // Wire each tree node's jump to the block that now lists it as an
+        // entry source (either `bi` or a higher tree node).
+        for &node in &created {
+            let target = std::iter::once(bi)
+                .chain(created.iter().copied())
+                .find(|&candidate| {
+                    candidate != node
+                        && packed.blocks[candidate]
+                            .entries
+                            .iter()
+                            .any(|e| e.src == Src::Block(node))
+                })
+                .expect("every tree node feeds exactly one block");
+            let cap = format.insts(BlockKind::Mux);
+            let mut slots = vec![Slot::pad_slot(); cap - 1];
+            packed.pad_nops += cap - 1;
+            slots.push(Slot {
+                inst: Instruction::J { index: 0 },
+                target: Some(Target::Block(target)),
+                orig: None,
+            });
+            packed.blocks[node].slots = slots;
+        }
+        trees.count += created.len();
+        trees.nodes_of.insert(bi, created);
+    }
+    trees
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use sofia_cfg::Cfg;
+    use sofia_isa::asm;
+
+    fn packed_with_trees(src: &str) -> (Packed, Trees) {
+        let module = lower(&asm::parse(src).unwrap()).unwrap();
+        let cfg = Cfg::build(&module).unwrap();
+        let format = BlockFormat::default();
+        let mut p = crate::pack::pack(&module, &cfg, &format);
+        let trees = build_trees(&mut p, &format);
+        (p, trees)
+    }
+
+    fn caller_program(k: usize) -> String {
+        let mut src = String::from("main:\n");
+        for _ in 0..k {
+            src.push_str("    jal f\n");
+        }
+        src.push_str("    halt\nf:  ret\n");
+        src
+    }
+
+    #[test]
+    fn two_callers_need_no_tree() {
+        let (_, trees) = packed_with_trees(&caller_program(2));
+        assert_eq!(trees.count, 0);
+    }
+
+    #[test]
+    fn k_callers_cost_k_minus_2_nodes() {
+        // Fig. 9: 4 callers → 2 tree nodes (+ the target mux itself).
+        for k in 3..=9 {
+            let (_, trees) = packed_with_trees(&caller_program(k));
+            assert_eq!(trees.count, k - 2, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn tree_nodes_are_mux_blocks_ending_in_a_jump() {
+        let (p, trees) = packed_with_trees(&caller_program(5));
+        for nodes in trees.nodes_of.values() {
+            for &n in nodes {
+                let b = &p.blocks[n];
+                assert_eq!(b.kind, BlockKind::Mux);
+                assert_eq!(b.synth, Synth::TreeNode);
+                assert_eq!(b.entries.len(), 2);
+                assert!(matches!(b.slots.last().unwrap().inst, Instruction::J { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn every_block_ends_with_at_most_two_entries() {
+        let (p, _) = packed_with_trees(&caller_program(8));
+        for b in &p.blocks {
+            assert!(b.entries.len() <= 2, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn every_original_edge_survives_in_exactly_one_entry_list() {
+        // 6 callers: 6 call edges must appear exactly once across the
+        // target's entries and its tree nodes' entries.
+        let (p, trees) = packed_with_trees(&caller_program(6));
+        let (&target, nodes) = trees.nodes_of.iter().next().unwrap();
+        let mut call_edges = 0;
+        for e in &p.blocks[target].entries {
+            if e.kind == EdgeKind::Call {
+                call_edges += 1;
+            }
+        }
+        for &n in nodes {
+            for e in &p.blocks[n].entries {
+                if e.kind == EdgeKind::Call {
+                    call_edges += 1;
+                }
+            }
+        }
+        assert_eq!(call_edges, 6);
+    }
+}

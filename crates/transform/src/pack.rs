@@ -1,0 +1,750 @@
+//! Packing lowered instructions into SOFIA blocks.
+//!
+//! Invariants established here (and relied on by the SOFIA hardware
+//! model):
+//!
+//! * every control-transfer instruction sits in the **last** slot of its
+//!   block ("control can only exit at inst_n", Fig. 4);
+//! * every block-entry target is the first instruction of a block;
+//! * blocks whose entry has ≥ 2 predecessors are multiplexor blocks and
+//!   are never entered by plain fall-through — fall-through edges into
+//!   them are converted into explicit jumps (in-block or via a one-block
+//!   trampoline);
+//! * return points are always single-predecessor execution blocks whose
+//!   base equals the `ra` value written by the `jal` (conflicting edges
+//!   are rerouted through a landing-pad block placed right after the
+//!   call);
+//! * stores respect the format's word-offset restriction (Fig. 6).
+
+use std::collections::BTreeMap;
+
+use sofia_cfg::{Cfg, EdgeKind};
+use sofia_isa::asm::{Module, Reloc};
+use sofia_isa::Instruction;
+
+use crate::format::{BlockFormat, BlockKind};
+
+/// Where an entry edge originates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Src {
+    /// The processor reset (program entry); `prevPC` is the reset sentinel.
+    Reset,
+    /// An original instruction (resolved to its block after placement).
+    Orig(usize),
+    /// A packed block (used for synthetic blocks created during packing).
+    Block(usize),
+}
+
+/// One resolved entry edge of a block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct EntryEdge {
+    pub src: Src,
+    pub kind: EdgeKind,
+}
+
+/// How a slot's operand is resolved at seal time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Target {
+    /// A relocation from the source module (branch/jump/hi/lo by label).
+    Label(Reloc),
+    /// A synthetic jump to the block of an original leader instruction.
+    Leader(usize),
+    /// A synthetic jump straight to another packed block (mux-tree nodes).
+    Block(usize),
+}
+
+/// One instruction slot of a packed block.
+#[derive(Clone, Debug)]
+pub(crate) struct Slot {
+    pub inst: Instruction,
+    pub target: Option<Target>,
+    /// Index in the lowered module, for placement bookkeeping.
+    pub orig: Option<usize>,
+}
+
+impl Slot {
+    pub(crate) fn pad_slot() -> Slot {
+        Slot {
+            inst: Instruction::nop(),
+            target: None,
+            orig: None,
+        }
+    }
+}
+
+/// Why a block exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Synth {
+    /// Carries original program instructions.
+    None,
+    /// Converts a fall-through edge into a jump (into a mux entry).
+    FtTrampoline,
+    /// Return landing pad keeping a conflicted return point single-pred.
+    LandingPad,
+    /// Multiplexor-tree inner node (Fig. 9).
+    TreeNode,
+}
+
+/// A packed block before sealing.
+#[derive(Clone, Debug)]
+pub(crate) struct PBlock {
+    pub kind: BlockKind,
+    pub slots: Vec<Slot>,
+    pub leader: Option<usize>,
+    pub synth: Synth,
+    /// Entry edges; for leader blocks this is filled by
+    /// [`resolve_entries`], synthetic blocks record theirs immediately.
+    pub entries: Vec<EntryEdge>,
+}
+
+/// The packed program plus bookkeeping needed to seal it.
+#[derive(Clone, Debug)]
+pub(crate) struct Packed {
+    pub blocks: Vec<PBlock>,
+    /// lowered-module index → (block, slot)
+    pub placement: Vec<Option<(usize, usize)>>,
+    pub pad_nops: usize,
+    pub ft_trampolines: usize,
+    pub landing_pads: usize,
+}
+
+struct CurBlock {
+    kind: BlockKind,
+    slots: Vec<Slot>,
+    leader: Option<usize>,
+    /// Entry edges decided at open time (continuation blocks).
+    pre_entries: Option<Vec<EntryEdge>>,
+}
+
+struct Packer<'a> {
+    module: &'a Module,
+    cfg: &'a Cfg,
+    format: &'a BlockFormat,
+    is_leader: Vec<bool>,
+    blocks: Vec<PBlock>,
+    placement: Vec<Option<(usize, usize)>>,
+    /// (from_orig, leader_orig) → replacement source for that edge.
+    overrides: BTreeMap<(usize, usize), Src>,
+    cur: Option<CurBlock>,
+    pad_nops: usize,
+    ft_trampolines: usize,
+    landing_pads: usize,
+}
+
+/// Packs the lowered module into blocks and resolves every entry edge.
+pub(crate) fn pack(module: &Module, cfg: &Cfg, format: &BlockFormat) -> Packed {
+    let n = module.text.len();
+    let mut is_leader = vec![false; n];
+    if n > 0 {
+        is_leader[cfg.entry()] = true;
+    }
+    for (i, leader) in is_leader.iter_mut().enumerate() {
+        if cfg
+            .preds(i)
+            .iter()
+            .any(|e| e.kind != EdgeKind::FallThrough)
+        {
+            *leader = true;
+        }
+    }
+    let mut p = Packer {
+        module,
+        cfg,
+        format,
+        is_leader,
+        blocks: Vec::new(),
+        placement: vec![None; n],
+        overrides: BTreeMap::new(),
+        cur: None,
+        pad_nops: 0,
+        ft_trampolines: 0,
+        landing_pads: 0,
+    };
+    p.run();
+    let mut packed = Packed {
+        blocks: p.blocks,
+        placement: p.placement,
+        pad_nops: p.pad_nops,
+        ft_trampolines: p.ft_trampolines,
+        landing_pads: p.landing_pads,
+    };
+    resolve_entries(&mut packed, cfg, &p.overrides);
+    packed
+}
+
+impl Packer<'_> {
+    fn pred_count(&self, i: usize) -> usize {
+        self.cfg.preds(i).len() + usize::from(i == self.cfg.entry())
+    }
+
+    fn run(&mut self) {
+        let n = self.module.text.len();
+        for i in 0..n {
+            if self.is_leader[i] {
+                self.close_for_leader(i);
+            }
+            if self.cur.is_none() {
+                self.open(i);
+            }
+            self.place(i);
+        }
+        debug_assert!(
+            self.cur.is_none(),
+            "text must end with a control transfer (CFG guarantees this)"
+        );
+    }
+
+    fn open(&mut self, i: usize) {
+        let (kind, leader, pre) = if self.is_leader[i] {
+            let kind = if self.pred_count(i) >= 2 {
+                BlockKind::Mux
+            } else {
+                BlockKind::Exec
+            };
+            (kind, Some(i), None)
+        } else {
+            // Continuation block: reached by fall-through from the block
+            // just closed, or unreachable (dead code after a jump).
+            let pre = if i > 0 && self.module.text[i - 1].inst.falls_through() {
+                vec![EntryEdge {
+                    src: Src::Block(self.blocks.len() - 1),
+                    kind: EdgeKind::FallThrough,
+                }]
+            } else {
+                Vec::new()
+            };
+            (BlockKind::Exec, None, Some(pre))
+        };
+        self.cur = Some(CurBlock {
+            kind,
+            slots: Vec::new(),
+            leader,
+            pre_entries: pre,
+        });
+    }
+
+    fn place(&mut self, i: usize) {
+        let item = &self.module.text[i];
+        let inst = item.inst;
+        let target = item.reloc.clone().map(Target::Label);
+        let kind = self.cur.as_ref().expect("open").kind;
+        let cap = self.format.insts(kind);
+
+        if inst.is_control_transfer() {
+            // Transfers go in the last slot.
+            while self.cur_len() < cap - 1 {
+                self.push_pad();
+            }
+            self.push_slot(Slot {
+                inst,
+                target,
+                orig: Some(i),
+            });
+            let b = self.push_cur();
+            if matches!(inst, Instruction::Jal { .. }) {
+                self.maybe_landing_pad(i);
+            }
+            if inst.is_branch() {
+                self.maybe_ft_fixup_after(i, b);
+            }
+            return;
+        }
+
+        if inst.is_store() {
+            while !self.format.store_allowed(kind, self.cur_len()) {
+                self.push_pad();
+            }
+        }
+        self.push_slot(Slot {
+            inst,
+            target,
+            orig: Some(i),
+        });
+        if self.cur_len() == cap {
+            let b = self.push_cur();
+            // A full block falling through into a multi-pred leader needs
+            // an explicit jump; there is no room in-block, so trampoline.
+            self.maybe_ft_fixup_after(i, b);
+        }
+    }
+
+    fn cur_len(&self) -> usize {
+        self.cur.as_ref().expect("open").slots.len()
+    }
+
+    fn push_pad(&mut self) {
+        self.cur.as_mut().expect("open").slots.push(Slot::pad_slot());
+        self.pad_nops += 1;
+    }
+
+    fn push_slot(&mut self, slot: Slot) {
+        let block_idx = self.blocks.len();
+        let cur = self.cur.as_mut().expect("open");
+        if let Some(orig) = slot.orig {
+            self.placement[orig] = Some((block_idx, cur.slots.len()));
+        }
+        cur.slots.push(slot);
+    }
+
+    /// Pads the current block to capacity and appends it; returns its index.
+    fn push_cur(&mut self) -> usize {
+        let cap = self.format.insts(self.cur.as_ref().expect("open").kind);
+        while self.cur_len() < cap {
+            self.push_pad();
+        }
+        let cur = self.cur.take().expect("open");
+        let idx = self.blocks.len();
+        self.blocks.push(PBlock {
+            kind: cur.kind,
+            slots: cur.slots,
+            leader: cur.leader,
+            synth: Synth::None,
+            entries: cur.pre_entries.unwrap_or_default(),
+        });
+        idx
+    }
+
+    /// Closing logic when the next instruction is a leader.
+    fn close_for_leader(&mut self, leader: usize) {
+        let Some(cur) = &self.cur else { return };
+        debug_assert!(!cur.slots.is_empty(), "blocks are opened on demand");
+        let kind = cur.kind;
+        let cap = self.format.insts(kind);
+        // The current block's last *placed* instruction falls through into
+        // `leader` (transfers close their block eagerly in `place`).
+        if self.pred_count(leader) >= 2 {
+            if self.cur_len() < cap {
+                // Convert the fall-through into an explicit in-block jump;
+                // the edge source block is unchanged.
+                while self.cur_len() < cap - 1 {
+                    self.push_pad();
+                }
+                self.push_slot(Slot {
+                    inst: Instruction::J { index: 0 },
+                    target: Some(Target::Leader(leader)),
+                    orig: None,
+                });
+                self.push_cur();
+            } else {
+                let b = self.push_cur();
+                self.emit_ft_trampoline(leader, b);
+            }
+        } else {
+            self.push_cur();
+        }
+    }
+
+    /// After closing block `b` whose last instruction `i` can fall
+    /// through (a conditional branch, or a block filled to capacity),
+    /// fix up the fall-through edge if it enters a multi-pred leader.
+    fn maybe_ft_fixup_after(&mut self, i: usize, b: usize) {
+        let next = i + 1;
+        if next < self.module.text.len()
+            && self.is_leader[next]
+            && self.pred_count(next) >= 2
+        {
+            self.emit_ft_trampoline(next, b);
+        }
+    }
+
+    /// Emits `[pads…, j leader]` as the next block, rerouting the
+    /// fall-through edge `(leader-1 → leader)` through it.
+    fn emit_ft_trampoline(&mut self, leader: usize, from_block: usize) {
+        let cap = self.format.insts(BlockKind::Exec);
+        let mut slots = vec![Slot::pad_slot(); cap - 1];
+        self.pad_nops += cap - 1;
+        slots.push(Slot {
+            inst: Instruction::J { index: 0 },
+            target: Some(Target::Leader(leader)),
+            orig: None,
+        });
+        let idx = self.blocks.len();
+        self.blocks.push(PBlock {
+            kind: BlockKind::Exec,
+            slots,
+            leader: None,
+            synth: Synth::FtTrampoline,
+            entries: vec![EntryEdge {
+                src: Src::Block(from_block),
+                kind: EdgeKind::FallThrough,
+            }],
+        });
+        self.ft_trampolines += 1;
+        debug_assert!(leader > 0);
+        self.overrides
+            .insert((leader - 1, leader), Src::Block(idx));
+    }
+
+    /// If the return point of the `jal` at `i` has predecessors besides
+    /// the callee's return, emit a landing pad directly after the call
+    /// block so `ra` still addresses a single-pred execution block.
+    fn maybe_landing_pad(&mut self, i: usize) {
+        let l = i + 1;
+        if l >= self.module.text.len() {
+            return;
+        }
+        let preds = self.cfg.preds(l);
+        let returns: Vec<_> = preds
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Return)
+            .collect();
+        if returns.is_empty() {
+            return;
+        }
+        let has_other =
+            preds.len() > returns.len() || l == self.cfg.entry() || returns.len() > 1;
+        if !has_other {
+            return;
+        }
+        // Reroute every return edge into the pad. (Post-lowering there is
+        // exactly one per call site, but stay safe.)
+        let cap = self.format.insts(BlockKind::Exec);
+        let mut slots = vec![Slot::pad_slot(); cap - 1];
+        self.pad_nops += cap - 1;
+        slots.push(Slot {
+            inst: Instruction::J { index: 0 },
+            target: Some(Target::Leader(l)),
+            orig: None,
+        });
+        let idx = self.blocks.len();
+        let entries = returns
+            .iter()
+            .map(|e| EntryEdge {
+                src: Src::Orig(e.from),
+                kind: EdgeKind::Return,
+            })
+            .collect();
+        for e in &returns {
+            self.overrides.insert((e.from, l), Src::Block(idx));
+        }
+        self.blocks.push(PBlock {
+            kind: BlockKind::Exec,
+            slots,
+            leader: None,
+            synth: Synth::LandingPad,
+            entries,
+        });
+        self.landing_pads += 1;
+    }
+}
+
+/// Fills every leader block's entry list from the CFG (applying edge
+/// overrides) and resolves `Src::Orig` placeholders to blocks.
+fn resolve_entries(packed: &mut Packed, cfg: &Cfg, overrides: &BTreeMap<(usize, usize), Src>) {
+    let placement = packed.placement.clone();
+    let resolve = |src: Src| -> Src {
+        match src {
+            Src::Orig(o) => {
+                let (b, _) = placement[o].expect("placed instruction");
+                Src::Block(b)
+            }
+            other => other,
+        }
+    };
+    for block in packed.blocks.iter_mut() {
+        if block.synth != Synth::None {
+            for e in block.entries.iter_mut() {
+                e.src = resolve(e.src);
+            }
+            continue;
+        }
+        if let Some(leader) = block.leader {
+            let mut entries: Vec<EntryEdge> = Vec::new();
+            if leader == cfg.entry() {
+                entries.push(EntryEdge {
+                    src: Src::Reset,
+                    kind: EdgeKind::Jump,
+                });
+            }
+            for e in cfg.preds(leader) {
+                let src = overrides
+                    .get(&(e.from, leader))
+                    .copied()
+                    .unwrap_or(Src::Orig(e.from));
+                entries.push(EntryEdge {
+                    src: resolve(src),
+                    kind: e.kind,
+                });
+            }
+            entries.sort_by_key(|e| e.src);
+            entries.dedup_by_key(|e| e.src);
+            block.entries = entries;
+        } else {
+            for e in block.entries.iter_mut() {
+                e.src = resolve(e.src);
+            }
+        }
+        debug_assert_eq!(
+            block.kind == BlockKind::Mux,
+            block.entries.len() >= 2,
+            "block kind must match its entry multiplicity"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use sofia_isa::asm;
+
+    fn packed(src: &str) -> (Packed, Module) {
+        let module = lower(&asm::parse(src).unwrap()).unwrap();
+        let cfg = Cfg::build(&module).unwrap();
+        let p = pack(&module, &cfg, &BlockFormat::default());
+        (p, module)
+    }
+
+    #[test]
+    fn straight_line_pads_into_one_exec_block() {
+        let (p, _) = packed("main: addi t0, zero, 1\n addi t1, zero, 2\n halt");
+        assert_eq!(p.blocks.len(), 1);
+        let b = &p.blocks[0];
+        assert_eq!(b.kind, BlockKind::Exec);
+        assert_eq!(b.slots.len(), 6);
+        // halt in the last slot, pads in between
+        assert!(matches!(b.slots[5].inst, Instruction::Halt));
+        assert!(b.slots[2].inst.is_nop() && b.slots[4].inst.is_nop());
+        assert_eq!(p.pad_nops, 3);
+        // single Reset entry
+        assert_eq!(b.entries.len(), 1);
+        assert_eq!(b.entries[0].src, Src::Reset);
+    }
+
+    #[test]
+    fn transfers_always_sit_in_the_last_slot() {
+        let (p, _) = packed(
+            "main: li t0, 3
+             loop: subi t0, t0, 1
+                   bnez t0, loop
+                   jal f
+                   halt
+             f:    ret",
+        );
+        for b in &p.blocks {
+            for (s, slot) in b.slots.iter().enumerate() {
+                if slot.inst.is_control_transfer() {
+                    assert_eq!(s, b.slots.len() - 1, "transfer not in last slot: {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loop_head_becomes_mux_with_two_distinct_sources() {
+        // loop head preds: fall-through from `li` + backward branch.
+        let (p, _) = packed(
+            "main: li t0, 3
+             loop: subi t0, t0, 1
+                   bnez t0, loop
+                   halt",
+        );
+        let mux: Vec<_> = p.blocks.iter().filter(|b| b.kind == BlockKind::Mux).collect();
+        assert_eq!(mux.len(), 1);
+        assert_eq!(mux[0].entries.len(), 2);
+        let srcs: Vec<_> = mux[0].entries.iter().map(|e| e.src).collect();
+        assert_ne!(srcs[0], srcs[1], "mux entries must have distinct sources");
+        // The fall-through into the mux was converted to an explicit jump
+        // (in-block `j`, since the first block had room).
+        let first = &p.blocks[0];
+        assert!(matches!(
+            first.slots.last().unwrap().inst,
+            Instruction::J { .. }
+        ));
+    }
+
+    #[test]
+    fn branch_fallthrough_into_mux_gets_trampoline() {
+        // `beqz` falls through *directly* into `loop`, a multi-pred leader:
+        // the not-taken path cannot take an in-block jump (the branch owns
+        // the last slot), so a trampoline block is required.
+        let (p, _) = packed(
+            "main: beqz a0, loop
+             loop: subi t0, t0, 1
+                   bnez t0, loop
+                   halt",
+        );
+        assert!(p.ft_trampolines >= 1);
+        let t = p
+            .blocks
+            .iter()
+            .find(|b| b.synth == Synth::FtTrampoline)
+            .expect("trampoline exists");
+        assert!(matches!(t.slots.last().unwrap().inst, Instruction::J { .. }));
+        assert_eq!(t.entries.len(), 1);
+    }
+
+    #[test]
+    fn callee_with_two_callers_is_mux() {
+        let (p, m) = packed(
+            "main: jal f
+                   jal f
+                   halt
+             f:    ret",
+        );
+        // find f's block: the block whose leader is the `jr ra`
+        let jr_idx = m
+            .text
+            .iter()
+            .position(|t| sofia_cfg::is_return(&t.inst))
+            .unwrap();
+        let (fb, _) = p.placement[jr_idx].unwrap();
+        let fblock = &p.blocks[fb];
+        assert_eq!(fblock.kind, BlockKind::Mux);
+        assert_eq!(fblock.entries.len(), 2);
+        assert_eq!(fblock.slots.len(), 5);
+    }
+
+    #[test]
+    fn return_points_are_single_pred_exec_blocks() {
+        let (p, m) = packed(
+            "main: jal f
+                   jal f
+                   halt
+             f:    ret",
+        );
+        // The second jal and the halt are return points; their blocks must
+        // be Exec with exactly one (Return) entry.
+        for (i, item) in m.text.iter().enumerate() {
+            let is_return_point = i > 0
+                && matches!(m.text[i - 1].inst, Instruction::Jal { .. });
+            if !is_return_point {
+                continue;
+            }
+            let (b, s) = p.placement[i].unwrap();
+            // Only pads may precede the return point in its block (the
+            // point itself may be a transfer, which sits in the last slot).
+            assert!(p.blocks[b].slots[..s].iter().all(|x| x.orig.is_none()));
+            assert_eq!(p.blocks[b].kind, BlockKind::Exec);
+            assert_eq!(p.blocks[b].entries.len(), 1);
+            assert_eq!(p.blocks[b].entries[0].kind, EdgeKind::Return);
+        }
+    }
+
+    #[test]
+    fn conflicted_return_point_gets_landing_pad() {
+        // `rp` is both f's return point and a branch target.
+        let (p, _) = packed(
+            "main: jal f
+             rp:   addi t0, t0, 1
+                   bnez t0, rp
+                   halt
+             f:    ret",
+        );
+        assert_eq!(p.landing_pads, 1);
+        let pad = p
+            .blocks
+            .iter()
+            .find(|b| b.synth == Synth::LandingPad)
+            .unwrap();
+        assert_eq!(pad.kind, BlockKind::Exec);
+        assert_eq!(pad.entries.len(), 1);
+        assert_eq!(pad.entries[0].kind, EdgeKind::Return);
+        assert!(matches!(pad.slots.last().unwrap().inst, Instruction::J { .. }));
+    }
+
+    #[test]
+    fn landing_pad_sits_directly_after_call_block() {
+        let (p, m) = packed(
+            "main: jal f
+             rp:   addi t0, t0, 1
+                   bnez t0, rp
+                   halt
+             f:    ret",
+        );
+        let jal_idx = m
+            .text
+            .iter()
+            .position(|t| matches!(t.inst, Instruction::Jal { .. }))
+            .unwrap();
+        let (jal_block, _) = p.placement[jal_idx].unwrap();
+        assert_eq!(p.blocks[jal_block + 1].synth, Synth::LandingPad);
+    }
+
+    #[test]
+    fn stores_respect_the_restriction() {
+        let (p, _) = packed(
+            "main: li a0, 0x10000000
+                   sw zero, 0(a0)
+                   sw zero, 4(a0)
+                   halt",
+        );
+        for b in &p.blocks {
+            for (s, slot) in b.slots.iter().enumerate() {
+                if slot.inst.is_store() {
+                    assert!(
+                        BlockFormat::default().store_allowed(b.kind, s),
+                        "store at disallowed slot {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn store_first_program_pads_before_store() {
+        let module = lower(
+            &asm::parse("main: sw zero, 0(sp)\n halt").unwrap(),
+        )
+        .unwrap();
+        let cfg = Cfg::build(&module).unwrap();
+        let p = pack(&module, &cfg, &BlockFormat::default());
+        let b = &p.blocks[0];
+        assert!(b.slots[0].inst.is_nop());
+        assert!(b.slots[1].inst.is_nop());
+        assert!(b.slots[2].inst.is_store());
+    }
+
+    #[test]
+    fn exec4_format_packs_four_per_block() {
+        let module = lower(
+            &asm::parse("main: nop\nnop\nnop\nnop\nnop\nhalt").unwrap(),
+        )
+        .unwrap();
+        let cfg = Cfg::build(&module).unwrap();
+        let p = pack(&module, &cfg, &BlockFormat::exec4());
+        assert_eq!(p.blocks.len(), 2);
+        assert_eq!(p.blocks[0].slots.len(), 4);
+        // continuation block entered by fall-through
+        assert_eq!(p.blocks[1].entries.len(), 1);
+        assert_eq!(p.blocks[1].entries[0].src, Src::Block(0));
+    }
+
+    #[test]
+    fn dead_code_has_no_entries() {
+        let (p, m) = packed(
+            "main: j end
+             dead: nop
+             end:  halt",
+        );
+        let dead_idx = m.text.iter().position(|t| t.labels.contains(&"dead".into())).unwrap();
+        let (b, _) = p.placement[dead_idx].unwrap();
+        assert!(p.blocks[b].entries.is_empty());
+    }
+
+    #[test]
+    fn every_real_instruction_is_placed_exactly_once() {
+        let (p, m) = packed(
+            "main: li t0, 5
+             loop: subi t0, t0, 1
+                   jal f
+                   bnez t0, loop
+                   halt
+             f:    mul v0, a0, a0
+                   ret",
+        );
+        for i in 0..m.text.len() {
+            let (b, s) = p.placement[i].expect("placed");
+            assert_eq!(p.blocks[b].slots[s].orig, Some(i));
+        }
+        // and no slot claims an orig twice
+        let mut seen = std::collections::HashSet::new();
+        for b in &p.blocks {
+            for slot in &b.slots {
+                if let Some(o) = slot.orig {
+                    assert!(seen.insert(o));
+                }
+            }
+        }
+    }
+}

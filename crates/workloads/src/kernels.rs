@@ -1,0 +1,718 @@
+//! Embedded integer kernels extending the evaluation beyond the paper's
+//! single benchmark: CRC-32, FIR filtering, bubble sort, matrix multiply,
+//! Fibonacci, `memcpy`, and a function-pointer dispatch loop that
+//! deliberately exercises SOFIA's indirect-call machinery.
+//!
+//! Every kernel embeds deterministic inputs in its data section and emits
+//! checksums on the MMIO word port; a bit-exact golden Rust model
+//! computes the expected values.
+
+use crate::gen::{byte_directives, random_bytes, random_words, word_directives};
+use crate::Workload;
+
+const PRELUDE: &str = ".equ OUT, 0xFFFF0000\n.text\n.global main\n";
+
+/// Iterative Fibonacci: `fib(n) mod 2^32`.
+pub fn fib(n: u32) -> Workload {
+    let mut a = 0u32;
+    let mut b = 1u32;
+    for _ in 0..n {
+        let t = a.wrapping_add(b);
+        a = b;
+        b = t;
+    }
+    let source = format!(
+        "{PRELUDE}
+main:
+    li   t0, {n}
+    li   t1, 0
+    li   t2, 1
+fib_loop:
+    beqz t0, fib_done
+    add  t3, t1, t2
+    mv   t1, t2
+    mv   t2, t3
+    subi t0, t0, 1
+    b    fib_loop
+fib_done:
+    li   t4, OUT
+    sw   t1, 0(t4)
+    halt
+"
+    );
+    Workload {
+        name: "fib",
+        description: "iterative Fibonacci (branch-dominated loop)",
+        source,
+        expected: vec![a],
+    }
+}
+
+/// Bitwise CRC-32 (poly `0xEDB88320`) over `len` pseudo-random bytes.
+pub fn crc32(len: usize) -> Workload {
+    let data = random_bytes(len, 0xC12C);
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in &data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    crc = !crc;
+    let source = format!(
+        "{PRELUDE}
+main:
+    la   s0, data
+    li   s1, {len}
+    li   s2, 0xFFFFFFFF
+    li   s3, 0xEDB88320
+crc_byte:
+    beqz s1, crc_done
+    lbu  t0, 0(s0)
+    xor  s2, s2, t0
+    li   t1, 8
+crc_bit:
+    beqz t1, crc_next
+    andi t2, s2, 1
+    srl  s2, s2, 1
+    beqz t2, crc_skip
+    xor  s2, s2, s3
+crc_skip:
+    subi t1, t1, 1
+    b    crc_bit
+crc_next:
+    addi s0, s0, 1
+    subi s1, s1, 1
+    b    crc_byte
+crc_done:
+    not  s2, s2
+    li   t4, OUT
+    sw   s2, 0(t4)
+    halt
+
+.data
+data:
+{}",
+        byte_directives(&data)
+    );
+    Workload {
+        name: "crc32",
+        description: "bitwise CRC-32 over a byte stream",
+        source,
+        expected: vec![crc],
+    }
+}
+
+/// Bubble sort of `n` pseudo-random words (unsigned ascending), verified
+/// through an order-sensitive checksum `Σ arr[i]·(i+1)`.
+pub fn bubble_sort(n: usize) -> Workload {
+    let mut data = random_words(n, 0x50F7);
+    let source = format!(
+        "{PRELUDE}
+main:
+    la   s0, arr
+    li   s1, {n}
+    li   t0, 0
+outer:
+    subi t1, s1, 1
+    bge  t0, t1, sorted
+    li   t2, 0
+inner:
+    sub  t3, s1, t0
+    subi t3, t3, 1
+    bge  t2, t3, outer_next
+    sll  t4, t2, 2
+    add  t4, s0, t4
+    lw   t5, 0(t4)
+    lw   t6, 4(t4)
+    bleu t5, t6, no_swap
+    sw   t6, 0(t4)
+    sw   t5, 4(t4)
+no_swap:
+    addi t2, t2, 1
+    b    inner
+outer_next:
+    addi t0, t0, 1
+    b    outer
+sorted:
+    li   t0, 0
+    li   t2, 0
+chk:
+    bge  t0, s1, chk_done
+    sll  t3, t0, 2
+    add  t3, s0, t3
+    lw   t4, 0(t3)
+    addi t5, t0, 1
+    mul  t4, t4, t5
+    add  t2, t2, t4
+    addi t0, t0, 1
+    b    chk
+chk_done:
+    li   t4, OUT
+    sw   t2, 0(t4)
+    halt
+
+.data
+arr:
+{}",
+        word_directives(&data)
+    );
+    data.sort_unstable();
+    let checksum = data
+        .iter()
+        .enumerate()
+        .fold(0u32, |a, (i, &v)| a.wrapping_add(v.wrapping_mul(i as u32 + 1)));
+    Workload {
+        name: "bubble_sort",
+        description: "in-place bubble sort with store-heavy inner loop",
+        source,
+        expected: vec![checksum],
+    }
+}
+
+/// 16-tap integer FIR filter over `n` samples; checksum of all outputs.
+pub fn fir(n: usize) -> Workload {
+    assert!(n > 16, "need more samples than taps");
+    let coefs: Vec<u32> = (0..16)
+        .map(|k| ((k as i32 - 8) * 3 + 5) as u32)
+        .collect();
+    let samples = random_words(n, 0xF12);
+    let nout = n - 15;
+    let mut checksum = 0u32;
+    for i in 0..nout {
+        let mut acc = 0u32;
+        for k in 0..16 {
+            acc = acc.wrapping_add(coefs[k].wrapping_mul(samples[i + k]));
+        }
+        checksum = checksum.wrapping_add(acc);
+    }
+    let source = format!(
+        "{PRELUDE}
+main:
+    la   s0, coefs
+    la   s1, samples
+    li   s2, {nout}
+    li   s3, 0
+    li   s4, 0
+fir_outer:
+    bge  s4, s2, fir_done
+    li   t0, 0
+    li   t1, 0
+    sll  t2, s4, 2
+    add  t2, s1, t2
+fir_inner:
+    li   t3, 16
+    bge  t0, t3, fir_acc
+    sll  t4, t0, 2
+    add  t5, s0, t4
+    lw   t5, 0(t5)
+    add  t6, t2, t4
+    lw   t6, 0(t6)
+    mul  t5, t5, t6
+    add  t1, t1, t5
+    addi t0, t0, 1
+    b    fir_inner
+fir_acc:
+    add  s3, s3, t1
+    addi s4, s4, 1
+    b    fir_outer
+fir_done:
+    li   t4, OUT
+    sw   s3, 0(t4)
+    halt
+
+.data
+coefs:
+{}samples:
+{}",
+        word_directives(&coefs),
+        word_directives(&samples)
+    );
+    Workload {
+        name: "fir",
+        description: "16-tap integer FIR filter (multiply-dominated)",
+        source,
+        expected: vec![checksum],
+    }
+}
+
+/// 8×8 integer matrix multiply with a stored result matrix.
+pub fn matmul() -> Workload {
+    let a = random_words(64, 0xAAA);
+    let b = random_words(64, 0xBBB);
+    let mut checksum = 0u32;
+    for i in 0..8 {
+        for j in 0..8 {
+            let mut acc = 0u32;
+            for k in 0..8 {
+                acc = acc.wrapping_add(a[i * 8 + k].wrapping_mul(b[k * 8 + j]));
+            }
+            checksum = checksum.wrapping_add(acc);
+        }
+    }
+    let source = format!(
+        "{PRELUDE}
+main:
+    la   s0, a_mat
+    la   s1, b_mat
+    la   s2, cbuf
+    li   s3, 0
+mm_i:
+    li   t0, 8
+    bge  s3, t0, mm_done
+    li   s4, 0
+mm_j:
+    li   t0, 8
+    bge  s4, t0, mm_i_next
+    li   s5, 0
+    li   s6, 0
+mm_k:
+    li   t0, 8
+    bge  s5, t0, mm_store
+    sll  t1, s3, 5
+    sll  t2, s5, 2
+    add  t1, t1, t2
+    add  t1, s0, t1
+    lw   t3, 0(t1)
+    sll  t1, s5, 5
+    sll  t2, s4, 2
+    add  t1, t1, t2
+    add  t1, s1, t1
+    lw   t4, 0(t1)
+    mul  t3, t3, t4
+    add  s6, s6, t3
+    addi s5, s5, 1
+    b    mm_k
+mm_store:
+    sll  t1, s3, 5
+    sll  t2, s4, 2
+    add  t1, t1, t2
+    add  t1, s2, t1
+    sw   s6, 0(t1)
+    addi s4, s4, 1
+    b    mm_j
+mm_i_next:
+    addi s3, s3, 1
+    b    mm_i
+mm_done:
+    la   t0, cbuf
+    li   t1, 64
+    li   t2, 0
+mm_chk:
+    beqz t1, mm_out
+    lw   t3, 0(t0)
+    add  t2, t2, t3
+    addi t0, t0, 4
+    subi t1, t1, 1
+    b    mm_chk
+mm_out:
+    li   t4, OUT
+    sw   t2, 0(t4)
+    halt
+
+.data
+a_mat:
+{}b_mat:
+{}.align 4
+cbuf: .space 256
+",
+        word_directives(&a),
+        word_directives(&b)
+    );
+    Workload {
+        name: "matmul",
+        description: "8x8 integer matrix multiply (nested loops, stores)",
+        source,
+        expected: vec![checksum],
+    }
+}
+
+/// Word-wise `memcpy` with byte tail, then verify + checksum.
+pub fn memcpy(len: usize) -> Workload {
+    let src = random_bytes(len, 0x3333);
+    let checksum = src.iter().fold(0u32, |a, &b| a.wrapping_add(b as u32));
+    let source = format!(
+        "{PRELUDE}
+main:
+    la   s0, src
+    la   s1, dst
+    li   s2, {len}
+    srl  t0, s2, 2
+mc_w:
+    beqz t0, mc_tail
+    lw   t1, 0(s0)
+    sw   t1, 0(s1)
+    addi s0, s0, 4
+    addi s1, s1, 4
+    subi t0, t0, 1
+    b    mc_w
+mc_tail:
+    andi t0, s2, 3
+mc_b:
+    beqz t0, mc_verify
+    lbu  t1, 0(s0)
+    sb   t1, 0(s1)
+    addi s0, s0, 1
+    addi s1, s1, 1
+    subi t0, t0, 1
+    b    mc_b
+mc_verify:
+    la   s0, src
+    la   s1, dst
+    li   t2, 0
+    li   t3, 0
+    mv   t0, s2
+mc_v:
+    beqz t0, mc_out
+    lbu  t5, 0(s0)
+    lbu  t6, 0(s1)
+    add  t2, t2, t6
+    beq  t5, t6, mc_vnext
+    addi t3, t3, 1
+mc_vnext:
+    addi s0, s0, 1
+    addi s1, s1, 1
+    subi t0, t0, 1
+    b    mc_v
+mc_out:
+    li   t4, OUT
+    sw   t2, 0(t4)
+    sw   t3, 0(t4)
+    halt
+
+.data
+.align 4
+src:
+{}
+.align 4
+dst: .space {len}
+",
+        byte_directives(&src)
+    );
+    Workload {
+        name: "memcpy",
+        description: "word-wise memcpy with byte tail and verification",
+        source,
+        expected: vec![checksum, 0],
+    }
+}
+
+/// A function-pointer state machine: `steps` dispatches through a 4-entry
+/// handler table — exercising SOFIA's dispatch ladders, mux trees and
+/// multi-caller returns.
+pub fn dispatch(steps: u32) -> Workload {
+    fn h0(s: u32) -> u32 {
+        s.wrapping_mul(5).wrapping_add(1)
+    }
+    fn h1(s: u32) -> u32 {
+        (s ^ 0x2557).wrapping_add(3)
+    }
+    fn h2(s: u32) -> u32 {
+        s.rotate_left(7)
+    }
+    fn h3(s: u32) -> u32 {
+        s.wrapping_add(s >> 3)
+    }
+    let mut state = 0x1234u32;
+    for _ in 0..steps {
+        state = match state & 3 {
+            0 => h0(state),
+            1 => h1(state),
+            2 => h2(state),
+            _ => h3(state),
+        };
+    }
+    let source = format!(
+        "{PRELUDE}
+main:
+    li   s0, 0x1234
+    li   s1, {steps}
+disp_loop:
+    beqz s1, disp_done
+    andi t0, s0, 3
+    sll  t0, t0, 2
+    la   t1, handlers
+    add  t1, t1, t0
+    lw   t2, 0(t1)
+    mv   a0, s0
+    .indirect h0, h1, h2, h3
+    jalr t2
+    mv   s0, v0
+    subi s1, s1, 1
+    b    disp_loop
+disp_done:
+    li   t4, OUT
+    sw   s0, 0(t4)
+    halt
+h0:
+    li   t0, 5
+    mul  v0, a0, t0
+    addi v0, v0, 1
+    ret
+h1:
+    xori v0, a0, 0x2557
+    addi v0, v0, 3
+    ret
+h2:
+    sll  t0, a0, 7
+    srl  t1, a0, 25
+    or   v0, t0, t1
+    ret
+h3:
+    srl  t0, a0, 3
+    add  v0, a0, t0
+    ret
+
+.data
+handlers: .word h0, h1, h2, h3
+"
+    );
+    Workload {
+        name: "dispatch",
+        description: "function-pointer state machine (indirect calls)",
+        source,
+        expected: vec![state],
+    }
+}
+
+
+/// Recursive quicksort (Lomuto partition) over `n` pseudo-random words —
+/// deep call stacks and a recursive function whose three call sites
+/// (one external, two internal) exercise SOFIA's multiplexor trees.
+pub fn quicksort(n: usize) -> Workload {
+    assert!(n >= 2, "need at least two elements");
+    let mut data = random_words(n, 0x50B7);
+    let last_off = (n - 1) * 4;
+    assert!(last_off <= i16::MAX as usize, "array too large for addi");
+    let source = format!(
+        "{PRELUDE}
+main:
+    la   a0, arr
+    la   a1, arr
+    addi a1, a1, {last_off}
+    jal  qsort
+    la   s0, arr
+    li   s1, {n}
+    li   t0, 0
+    li   t2, 0
+qchk:
+    bge  t0, s1, qchk_done
+    sll  t3, t0, 2
+    add  t3, s0, t3
+    lw   t4, 0(t3)
+    addi t5, t0, 1
+    mul  t4, t4, t5
+    add  t2, t2, t4
+    addi t0, t0, 1
+    b    qchk
+qchk_done:
+    li   t4, OUT
+    sw   t2, 0(t4)
+    halt
+
+# qsort(a0 = &lo, a1 = &hi), unsigned ascending, Lomuto partition.
+qsort:
+    bgeu a0, a1, qs_ret
+    subi sp, sp, 16
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    sw   s1, 8(sp)
+    sw   s2, 12(sp)
+    mv   s0, a0
+    mv   s1, a1
+    lw   t0, 0(s1)
+    mv   s2, s0
+    mv   t1, s0
+qs_loop:
+    bgeu t1, s1, qs_pivot
+    lw   t2, 0(t1)
+    bgeu t2, t0, qs_next
+    lw   t3, 0(s2)
+    sw   t2, 0(s2)
+    sw   t3, 0(t1)
+    addi s2, s2, 4
+qs_next:
+    addi t1, t1, 4
+    b    qs_loop
+qs_pivot:
+    lw   t2, 0(s2)
+    lw   t3, 0(s1)
+    sw   t3, 0(s2)
+    sw   t2, 0(s1)
+    mv   a0, s0
+    subi a1, s2, 4
+    jal  qsort
+    addi a0, s2, 4
+    mv   a1, s1
+    jal  qsort
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    lw   s1, 8(sp)
+    lw   s2, 12(sp)
+    addi sp, sp, 16
+qs_ret:
+    ret
+
+.data
+arr:
+{}",
+        word_directives(&data)
+    );
+    data.sort_unstable();
+    let checksum = data
+        .iter()
+        .enumerate()
+        .fold(0u32, |a, (i, &v)| a.wrapping_add(v.wrapping_mul(i as u32 + 1)));
+    Workload {
+        name: "quicksort",
+        description: "recursive quicksort (deep stacks, recursive mux trees)",
+        source,
+        expected: vec![checksum],
+    }
+}
+
+/// Naive substring search: counts (overlapping) occurrences of a planted
+/// needle in a pseudo-random haystack.
+pub fn strsearch(hay_len: usize) -> Workload {
+    let needle = b"SOFIA";
+    let mut hay = random_bytes(hay_len, 0x57A9);
+    // Plant a few needles at deterministic positions.
+    let mut plant = 7usize;
+    while plant + needle.len() < hay.len() {
+        hay[plant..plant + needle.len()].copy_from_slice(needle);
+        plant += 97;
+    }
+    let count = hay
+        .windows(needle.len())
+        .filter(|w| *w == needle)
+        .count() as u32;
+    let nlen = needle.len();
+    let source = format!(
+        "{PRELUDE}
+main:
+    la   s0, hay
+    li   s1, {hay_len}
+    la   s2, needle
+    li   s3, {nlen}
+    li   s4, 0
+    li   t0, 0
+    sub  s5, s1, s3
+ss_outer:
+    bgt  t0, s5, ss_done
+    li   t1, 0
+ss_inner:
+    bge  t1, s3, ss_match
+    add  t2, s0, t0
+    add  t2, t2, t1
+    lbu  t3, 0(t2)
+    add  t4, s2, t1
+    lbu  t5, 0(t4)
+    bne  t3, t5, ss_nomatch
+    addi t1, t1, 1
+    b    ss_inner
+ss_match:
+    addi s4, s4, 1
+ss_nomatch:
+    addi t0, t0, 1
+    b    ss_outer
+ss_done:
+    li   t7, OUT
+    sw   s4, 0(t7)
+    halt
+
+.data
+needle:
+{}
+hay:
+{}",
+        byte_directives(needle),
+        byte_directives(&hay)
+    );
+    Workload {
+        name: "strsearch",
+        description: "naive substring search (byte loads, nested loops)",
+        source,
+        expected: vec![count],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fib_on_vanilla() {
+        fib(30).verify_on_vanilla().unwrap();
+    }
+
+    #[test]
+    fn crc32_on_vanilla() {
+        crc32(128).verify_on_vanilla().unwrap();
+    }
+
+    #[test]
+    fn crc32_golden_known_vector() {
+        // CRC-32 of "123456789" is the classic 0xCBF43926; check the host
+        // model logic with a direct computation.
+        let mut crc = 0xFFFF_FFFFu32;
+        for &byte in b"123456789" {
+            crc ^= byte as u32;
+            for _ in 0..8 {
+                let lsb = crc & 1;
+                crc >>= 1;
+                if lsb != 0 {
+                    crc ^= 0xEDB8_8320;
+                }
+            }
+        }
+        assert_eq!(!crc, 0xCBF4_3926);
+    }
+
+    #[test]
+    fn bubble_sort_on_vanilla() {
+        bubble_sort(40).verify_on_vanilla().unwrap();
+    }
+
+    #[test]
+    fn fir_on_vanilla() {
+        fir(64).verify_on_vanilla().unwrap();
+    }
+
+    #[test]
+    fn matmul_on_vanilla() {
+        matmul().verify_on_vanilla().unwrap();
+    }
+
+    #[test]
+    fn memcpy_on_vanilla() {
+        memcpy(123).verify_on_vanilla().unwrap();
+    }
+
+    #[test]
+    fn dispatch_on_vanilla() {
+        dispatch(100).verify_on_vanilla().unwrap();
+    }
+
+    #[test]
+    fn quicksort_on_vanilla() {
+        quicksort(40).verify_on_vanilla().unwrap();
+    }
+
+    #[test]
+    fn quicksort_sorted_and_reverse_inputs() {
+        // quicksort over adversarial shapes still terminates and matches.
+        quicksort(2).verify_on_vanilla().unwrap();
+        quicksort(17).verify_on_vanilla().unwrap();
+    }
+
+    #[test]
+    fn strsearch_on_vanilla() {
+        let w = strsearch(300);
+        assert!(w.expected[0] >= 2, "needles must be planted");
+        w.verify_on_vanilla().unwrap();
+    }
+}

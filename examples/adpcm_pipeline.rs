@@ -1,0 +1,68 @@
+//! The paper's §IV-B experiment end to end: MediaBench IMA ADPCM encoded
+//! and decoded on the vanilla and SOFIA machines, with the overhead table
+//! the paper reports.
+//!
+//! ```text
+//! cargo run --release --example adpcm_pipeline [samples]
+//! ```
+
+use sofia::prelude::*;
+use sofia_workloads::adpcm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    println!("IMA ADPCM over {samples} synthetic PCM samples\n");
+
+    let workload = adpcm::workload(samples);
+
+    // Vanilla baseline.
+    let vanilla = workload
+        .verify_on_vanilla()
+        .map_err(|e| format!("vanilla: {e}"))?;
+
+    // SOFIA.
+    let keys = KeySet::from_seed(0xADCC);
+    let (sofia, report) = workload
+        .verify_on_sofia(&keys)
+        .map_err(|e| format!("sofia: {e}"))?;
+
+    // Table, paper-style.
+    let (vhw, shw) = sofia::hwmodel::table1();
+    let cyc_overhead =
+        (sofia.exec.cycles as f64 / vanilla.cycles as f64 - 1.0) * 100.0;
+    let time_overhead = (sofia.exec.cycles as f64 * shw.period_ns)
+        / (vanilla.cycles as f64 * vhw.period_ns)
+        - 1.0;
+
+    println!("                     this repro        paper");
+    println!(
+        "text size          {:>7} -> {:<7}  6,976 -> 16,816 B",
+        report.text_bytes_in, report.text_bytes_out
+    );
+    println!(
+        "expansion          {:>14.2}x  2.41x",
+        report.expansion()
+    );
+    println!(
+        "cycles             {:>8} -> {:<10}  114,188,673 -> 130,840,013",
+        vanilla.cycles, sofia.exec.cycles
+    );
+    println!("cycle overhead     {cyc_overhead:>14.1}%  13.7%");
+    println!("time overhead      {:>14.1}%  110%", time_overhead * 100.0);
+    println!();
+    println!("SOFIA breakdown:");
+    println!("  blocks fetched        {}", sofia.blocks);
+    println!("  mac words as nops     {}", sofia.mac_nop_slots);
+    println!("  cipher ops (ctr/cbc)  {}/{}", sofia.ctr_ops, sofia.cbc_ops);
+    println!("  redirect fill cycles  {}", sofia.redirect_fill_cycles);
+    println!("  icache stall cycles   {}", sofia.exec.icache_stall_cycles);
+    println!(
+        "  vanilla CPI {:.2} -> sofia CPI {:.2} (per executed slot)",
+        vanilla.cpi(),
+        sofia.exec.cpi()
+    );
+    Ok(())
+}

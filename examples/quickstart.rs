@@ -1,0 +1,85 @@
+//! Quickstart: write a program, install it securely, run it on SOFIA,
+//! and watch the architecture stop a tampered copy.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sofia::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small bare-metal program: sum 1..=10, report via MMIO.
+    let source = r#"
+        .text
+        .global main
+    main:
+        li   t0, 10
+        li   t1, 0
+    loop:
+        add  t1, t1, t0
+        subi t0, t0, 1
+        bnez t0, loop
+        li   a0, 0xFFFF0000      # MMIO word-output port
+        sw   t1, 0(a0)
+        halt
+    "#;
+    let module = asm::parse(source)?;
+
+    // 2. The baseline: an unprotected LEON3-like core.
+    let plain = asm::assemble(source)?;
+    let mut vanilla = VanillaMachine::new(&plain);
+    vanilla.run(100_000)?;
+    println!(
+        "vanilla : out={:?}  cycles={}",
+        vanilla.mem().mmio.out_words,
+        vanilla.stats().cycles
+    );
+
+    // 3. Secure installation: MAC-then-Encrypt under device keys.
+    let keys = KeySet::from_seed(2026);
+    let image = Transformer::new(keys.clone()).transform(&module)?;
+    println!(
+        "sealed  : {} B -> {} B ({:.2}x), {} blocks ({} mux)",
+        image.report.text_bytes_in,
+        image.report.text_bytes_out,
+        image.report.expansion(),
+        image.report.blocks,
+        image.report.mux_blocks,
+    );
+
+    // 4. The SOFIA machine runs it with identical results.
+    let mut sofia = SofiaMachine::new(&image, &keys);
+    let outcome = sofia.run(100_000)?;
+    assert!(outcome.is_halted());
+    println!(
+        "sofia   : out={:?}  cycles={}  (+{:.1}% cycles)",
+        sofia.mem().mmio.out_words,
+        sofia.stats().exec.cycles,
+        (sofia.stats().exec.cycles as f64 / vanilla.stats().cycles as f64 - 1.0) * 100.0
+    );
+    assert_eq!(sofia.mem().mmio.out_words, vanilla.mem().mmio.out_words);
+
+    // 5. Tamper with one ciphertext bit: the SI unit resets the core
+    //    before a single instruction of the tampered block executes.
+    let mut tampered = SofiaMachine::new(&image, &keys);
+    tampered.mem_mut().rom_mut()[4] ^= 1;
+    let outcome = tampered.run(100_000)?;
+    println!("tampered: {outcome:?}");
+    assert!(matches!(
+        outcome,
+        RunOutcome::ViolationStop(Violation::MacMismatch { .. })
+    ));
+
+    // 6. The same tampering on the unprotected core goes unnoticed (it
+    //    either silently corrupts the result or crashes much later).
+    let mut tampered_vanilla = VanillaMachine::new(&plain);
+    tampered_vanilla.mem_mut().rom_mut()[2] ^= 1 << 3;
+    match tampered_vanilla.run(100_000) {
+        Ok(r) => println!(
+            "vanilla tampered: {r:?} out={:?} (silently wrong)",
+            tampered_vanilla.mem().mmio.out_words
+        ),
+        Err(trap) => println!("vanilla tampered: crashed late: {trap}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! Integration: the whole stack — assembler → CFG → transformer → SOFIA
+//! machine — against the golden models, for every workload.
+
+use sofia::crypto::KeySet;
+use sofia::prelude::*;
+use sofia_workloads::{suite, Scale};
+
+#[test]
+fn every_workload_is_bit_exact_on_both_machines() {
+    let keys = KeySet::from_seed(0xE2E);
+    for w in suite(Scale::Test) {
+        let vanilla = w
+            .verify_on_vanilla()
+            .unwrap_or_else(|e| panic!("vanilla: {e}"));
+        let (sofia, report) = w
+            .verify_on_sofia(&keys)
+            .unwrap_or_else(|e| panic!("sofia: {e}"));
+        // Protection always costs cycles and code size, never correctness.
+        assert!(
+            sofia.exec.cycles > vanilla.cycles,
+            "{}: sofia {} <= vanilla {}",
+            w.name,
+            sofia.exec.cycles,
+            vanilla.cycles
+        );
+        assert!(report.expansion() >= 8.0 / 6.0, "{}", w.name);
+        assert_eq!(sofia.violations, 0, "{}", w.name);
+    }
+}
+
+#[test]
+fn overheads_stay_within_the_reproduction_bands() {
+    // The relative claims of §IV-B: code ~2-7x, cycles within ~4x, and
+    // wall-clock overhead strictly larger than cycle overhead (clock
+    // degradation multiplies in).
+    let keys = KeySet::from_seed(0xE2F);
+    let (vhw, shw) = sofia::hwmodel::table1();
+    for w in suite(Scale::Test) {
+        let vanilla = w.verify_on_vanilla().unwrap();
+        let (sofia, report) = w.verify_on_sofia(&keys).unwrap();
+        let cyc = sofia.exec.cycles as f64 / vanilla.cycles as f64;
+        let time = cyc * shw.period_ns / vhw.period_ns;
+        assert!((1.0..8.0).contains(&report.expansion()), "{}: {}", w.name, report.expansion());
+        assert!((1.0..5.0).contains(&cyc), "{}: cycle factor {cyc}", w.name);
+        assert!(time > cyc, "{}: clock loss must compound", w.name);
+    }
+}
+
+#[test]
+fn secure_images_are_deterministic_and_serialisable() {
+    let keys = KeySet::from_seed(1234);
+    let w = sofia_workloads::kernels::crc32(64);
+    let a = w.secure_image(&keys);
+    let b = w.secure_image(&keys);
+    assert_eq!(a.ctext, b.ctext, "same keys + nonce => same image");
+
+    // Round-trip the binary container and run the loaded image.
+    let bytes = a.to_bytes();
+    let loaded = SecureImage::from_bytes(&bytes).expect("valid container");
+    let mut m = SofiaMachine::new(&loaded, &keys);
+    assert!(m.run(10_000_000).unwrap().is_halted());
+    assert_eq!(m.mem().mmio.out_words, w.expected);
+}
+
+#[test]
+fn wrong_device_keys_cannot_run_an_image() {
+    let keys = KeySet::from_seed(1);
+    let other = KeySet::from_seed(2);
+    let w = sofia_workloads::kernels::fib(10);
+    let image = w.secure_image(&keys);
+    let mut m = SofiaMachine::new(&image, &other);
+    let outcome = m.run(10_000).unwrap();
+    assert!(
+        matches!(outcome, RunOutcome::ViolationStop(Violation::MacMismatch { .. })),
+        "{outcome:?}"
+    );
+}
+
+#[test]
+fn exec4_format_runs_the_suite_too() {
+    let keys = KeySet::from_seed(0xE30);
+    let t = Transformer::new(keys.clone()).with_format(BlockFormat::exec4());
+    for w in suite(Scale::Test).into_iter().take(4) {
+        let image = t.transform(&w.module()).unwrap();
+        let mut m = SofiaMachine::new(&image, &keys);
+        let outcome = m.run(200_000_000).unwrap();
+        assert!(outcome.is_halted(), "{}: {outcome:?}", w.name);
+        assert_eq!(m.mem().mmio.out_words, w.expected, "{}", w.name);
+    }
+}
+
+#[test]
+fn sofia_stats_are_internally_consistent() {
+    let keys = KeySet::from_seed(0xE31);
+    let w = sofia_workloads::kernels::dispatch(32);
+    let image = w.secure_image(&keys);
+    let mut m = SofiaMachine::new(&image, &keys);
+    m.run(10_000_000).unwrap();
+    let s = m.stats();
+    assert_eq!(s.blocks, s.exec_blocks + s.mux_blocks);
+    // Each exec block carries 2 MAC nops, each mux path 2 (of 3 words).
+    assert_eq!(s.mac_nop_slots, 2 * s.blocks);
+    assert!(s.ctr_ops >= s.blocks * 4, "ctr ops cover every fetched word");
+    assert!(s.cbc_ops == s.blocks * 3, "3 CBC ops per default block");
+    assert!(s.exec.cycles > s.exec.instret, "slots + stalls exceed 1/cycle");
+}

@@ -1,0 +1,135 @@
+//! Property-based fault injection: random tampering and random hijacks
+//! must never yield an undetected malicious effect. This is the
+//! probabilistic heart of the paper's claim that SOFIA "prevents the
+//! execution of all tampered instructions and instructions resulting
+//! from tampered control flow".
+
+use proptest::prelude::*;
+use sofia::crypto::KeySet;
+use sofia::prelude::*;
+
+fn keys() -> KeySet {
+    KeySet::from_seed(0xFA017)
+}
+
+fn image() -> SecureImage {
+    let w = sofia_workloads::kernels::crc32(48);
+    Transformer::new(keys()).transform(&w.module()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single-bit flip anywhere in the ciphertext is detected before
+    /// the block containing it executes (or the flip is never fetched).
+    #[test]
+    fn single_bit_flips_never_execute_tampered_code(
+        word in 0usize..100,
+        bit in 0u32..32,
+    ) {
+        let img = image();
+        let word = word % img.ctext.len();
+        let expected = sofia_workloads::kernels::crc32(48).expected;
+        let mut m = SofiaMachine::new(&img, &keys());
+        m.mem_mut().rom_mut()[word] ^= 1 << bit;
+        match m.run(50_000_000).unwrap() {
+            RunOutcome::Halted => {
+                // The flipped word was never fetched (e.g. a pad in an
+                // unvisited path) — output must be untouched.
+                prop_assert_eq!(&m.mem().mmio.out_words, &expected);
+            }
+            RunOutcome::ViolationStop(v) => {
+                let is_mac_mismatch = matches!(v, Violation::MacMismatch { .. });
+                prop_assert!(is_mac_mismatch, "violation {:?}", v);
+                // Nothing after the tampered block may have emitted.
+                prop_assert!(m.mem().mmio.out_words.len() <= expected.len());
+            }
+            other => prop_assert!(false, "unexpected outcome {:?}", other),
+        }
+    }
+
+    /// Randomly corrupting a whole block (all words) is always detected
+    /// if the block is on the executed path.
+    #[test]
+    fn block_garbage_is_detected(block in 0usize..16, seed in any::<u64>()) {
+        let img = image();
+        let bw = img.format.block_words();
+        let nblocks = img.ctext.len() / bw;
+        let block = block % nblocks;
+        let mut rng = sofia::crypto::util::SplitMix64::new(seed);
+        let mut m = SofiaMachine::new(&img, &keys());
+        for w in 0..bw {
+            m.mem_mut().rom_mut()[block * bw + w] = rng.next_u64() as u32;
+        }
+        let outcome = m.run(50_000_000).unwrap();
+        prop_assert!(
+            matches!(outcome, RunOutcome::Halted | RunOutcome::ViolationStop(_)),
+            "unexpected outcome {:?}", outcome
+        );
+        if block == 0 {
+            // The entry block is always executed: must be detected.
+            prop_assert!(matches!(outcome, RunOutcome::ViolationStop(_)));
+        }
+    }
+
+    /// Hijacking the PC to any word in the image never executes foreign
+    /// code undetected: either the entry offset is illegal, or the MAC
+    /// fails, or (rarely) the target block legitimately accepts the edge
+    /// — which can only happen for the attacked block's real predecessor.
+    #[test]
+    fn random_pc_hijack_is_contained(target_word in 0usize..200, after in 1usize..4) {
+        let img = image();
+        let expected = sofia_workloads::kernels::crc32(48).expected;
+        let target_word = target_word % img.ctext.len();
+        let target = img.text_base + 4 * target_word as u32;
+        let mut m = SofiaMachine::new(&img, &keys());
+        for _ in 0..after {
+            if m.is_halted() { break; }
+            let _ = m.step_block().unwrap();
+        }
+        if !m.is_halted() {
+            m.hijack_next_target(target);
+        }
+        match m.run(50_000_000).unwrap() {
+            RunOutcome::ViolationStop(_) => {} // detected: the common case
+            RunOutcome::Halted => {
+                // Execution survived: output must not be *corrupted* into
+                // something new — it is either the honest output (the
+                // hijack landed on the legitimate next block) or a prefix.
+                let out = &m.mem().mmio.out_words;
+                prop_assert!(
+                    expected.starts_with(out.as_slice()) || out == &expected,
+                    "corrupted output {:x?}", out
+                );
+            }
+            other => prop_assert!(false, "unexpected outcome {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn exhaustive_hijack_from_first_block_is_fully_detected() {
+    // From a fixed machine state, try EVERY word of the image as a hijack
+    // target: the only non-violating target is the legitimate successor.
+    let img = image();
+    let k = keys();
+    let mut undetected = 0u32;
+    for w in 0..img.ctext.len() {
+        let mut m = SofiaMachine::new(&img, &k);
+        let _ = m.step_block().unwrap();
+        let legit = m.next_target();
+        let target = img.text_base + 4 * w as u32;
+        if target == legit {
+            continue;
+        }
+        m.hijack_next_target(target);
+        match m.step_block().unwrap().violation {
+            Some(_) => {}
+            None => undetected += 1,
+        }
+    }
+    assert_eq!(
+        undetected, 0,
+        "every foreign edge from this state must be detected"
+    );
+}

@@ -1,0 +1,77 @@
+//! Integration: the attack matrix — every attack class against every
+//! machine configuration, asserting the paper's security claims.
+
+use sofia::attacks::{forgery, hijack, injection, relocation};
+use sofia::crypto::KeySet;
+
+#[test]
+fn unprotected_machines_fall_to_every_attack() {
+    assert!(injection::inject_vanilla().is_compromised());
+    assert!(relocation::swap_code_vanilla().is_compromised());
+    assert!(hijack::poison_vanilla().is_compromised());
+    assert!(hijack::fault_inject_vanilla().is_compromised());
+}
+
+#[test]
+fn sofia_stops_every_attack() {
+    let keys = KeySet::from_seed(0x5EC1);
+    // Image tampering: always *detected* (MAC mismatch).
+    assert!(injection::inject_sofia(&keys, true, true).is_detected());
+    assert!(injection::inject_sofia(&keys, true, false).is_detected());
+    assert!(relocation::swap_blocks_sofia(&keys, 0, 1).is_detected());
+    assert!(relocation::cross_version_splice(&keys).is_detected());
+    // Control-flow attacks: never compromised (detected or neutralized).
+    assert!(!hijack::poison_sofia(&keys).is_compromised());
+    for block in 1..5 {
+        assert!(!hijack::fault_inject_sofia(&keys, block).is_compromised());
+    }
+}
+
+#[test]
+fn cfi_without_si_is_insufficient() {
+    // The paper's §II-A argument, demonstrated: CTR malleability defeats
+    // a decryption-only defence; the full architecture detects it.
+    let keys = KeySet::from_seed(0x5EC2);
+    assert!(injection::inject_sofia(&keys, false, false).is_compromised());
+    assert!(injection::inject_sofia(&keys, true, false).is_detected());
+}
+
+#[test]
+fn forgery_acceptance_scales_as_two_to_minus_n() {
+    let keys = KeySet::from_seed(0x5EC3);
+    let series = forgery::scaling_series(&keys, &[6, 10, 14], 1 << 15, 11);
+    // Each +4 bits should cut acceptance by ~16x; allow a wide band.
+    let r6 = series[0].measured_rate();
+    let r10 = series[1].measured_rate();
+    assert!(r6 > 0.0, "6-bit forgeries must land in 32k trials");
+    let ratio = r6 / r10.max(1e-9);
+    assert!(
+        (4.0..80.0).contains(&ratio),
+        "scaling ratio {ratio} (expected ~16)"
+    );
+    // And the full 64-bit MAC never accepts.
+    let full = forgery::run_campaign(&keys, 64, 1 << 12, 5);
+    assert_eq!(full.accepted, 0);
+}
+
+#[test]
+fn detection_is_immediate_not_eventual() {
+    // A tampered block must be detected before *any* of its architectural
+    // effects land: the actuator log of a detected run contains only the
+    // safe writes that preceded the tampered block.
+    use sofia::attacks::victims::{control_loop_victim, EVIL_VALUE};
+    use sofia::prelude::*;
+
+    let keys = KeySet::from_seed(0x5EC4);
+    let module = asm::parse(&control_loop_victim(8)).unwrap();
+    let image = Transformer::new(keys.clone()).transform(&module).unwrap();
+    for word in 0..image.ctext.len() {
+        let mut m = SofiaMachine::new(&image, &keys);
+        m.mem_mut().rom_mut()[word] ^= 0x8000_0001;
+        let _ = m.run(1_000_000).unwrap();
+        assert!(
+            !m.mem().mmio.actuator_writes.contains(&EVIL_VALUE),
+            "word {word}: evil value reached the actuator"
+        );
+    }
+}
