@@ -91,7 +91,11 @@ mod tests {
     fn ciphertext_is_high_entropy_and_opaque() {
         let (plain, cipher) = victim();
         let r = analyze(&plain, &cipher);
-        assert!(r.cipher_entropy > 5.5, "cipher entropy {}", r.cipher_entropy);
+        assert!(
+            r.cipher_entropy > 5.5,
+            "cipher entropy {}",
+            r.cipher_entropy
+        );
         assert!(
             r.cipher_entropy > r.plain_entropy,
             "cipher {} <= plain {}",

@@ -86,8 +86,7 @@ pub fn fault_inject_sofia(keys: &KeySet, target_offset_blocks: usize) -> Verdict
         .expect("victim transforms");
     let mut m = SofiaMachine::new(&image, keys);
     let _ = m.step_block().expect("first block runs");
-    let target =
-        image.text_base + (target_offset_blocks as u32) * image.format.block_bytes();
+    let target = image.text_base + (target_offset_blocks as u32) * image.format.block_bytes();
     m.hijack_next_target(target);
     classify_sofia_run(m)
 }
@@ -128,7 +127,10 @@ mod tests {
         let program = asm::assemble(&rop_victim()).unwrap();
         let mut vm = VanillaMachine::new(&program);
         assert!(vm.run(FUEL).unwrap().is_halted());
-        assert_eq!(vm.mem().mmio.out_words, crate::victims::rop_victim_expected());
+        assert_eq!(
+            vm.mem().mmio.out_words,
+            crate::victims::rop_victim_expected()
+        );
         assert!(!vm.mem().mmio.actuator_writes.contains(&EVIL_VALUE));
 
         let keys = KeySet::from_seed(5);
@@ -136,7 +138,10 @@ mod tests {
         let image = Transformer::new(keys.clone()).transform(&module).unwrap();
         let mut sm = SofiaMachine::new(&image, &keys);
         assert!(sm.run(FUEL).unwrap().is_halted());
-        assert_eq!(sm.mem().mmio.out_words, crate::victims::rop_victim_expected());
+        assert_eq!(
+            sm.mem().mmio.out_words,
+            crate::victims::rop_victim_expected()
+        );
     }
 
     #[test]
@@ -163,10 +168,7 @@ mod tests {
         let keys = KeySet::from_seed(7);
         for block in 1..6 {
             let v = fault_inject_sofia(&keys, block);
-            assert!(
-                v.is_detected() || !v.is_compromised(),
-                "block {block}: {v}"
-            );
+            assert!(v.is_detected() || !v.is_compromised(), "block {block}: {v}");
         }
     }
 }

@@ -9,13 +9,13 @@
 //! silent acceptance of the same tampering.
 
 use sofia_core::machine::SofiaMachine;
-use sofia_crypto::{KeySet, Nonce};
 use sofia_cpu::machine::VanillaMachine;
+use sofia_crypto::{KeySet, Nonce};
 use sofia_isa::asm;
 use sofia_transform::Transformer;
 
 use crate::injection::classify_sofia_run;
-use crate::victims::{control_loop_victim, control_loop_expected};
+use crate::victims::{control_loop_expected, control_loop_victim};
 use crate::{Verdict, FUEL};
 
 /// Swaps two whole blocks of the SOFIA ciphertext (attacker splicing

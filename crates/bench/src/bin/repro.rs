@@ -13,8 +13,8 @@ use sofia_bench::{format_row, measure, measure_with, row_header};
 use sofia_core::machine::SofiaMachine;
 use sofia_core::timing::{store_gate_table, CipherSchedule, SofiaTiming};
 use sofia_core::{security, SofiaConfig};
-use sofia_crypto::{ctr, CounterBlock, KeySet, Nonce};
 use sofia_cpu::machine::VanillaMachine;
+use sofia_crypto::{ctr, CounterBlock, KeySet, Nonce};
 use sofia_isa::{asm, disasm, Instruction};
 use sofia_transform::{BlockFormat, Transformer, RESET_PREV_PC};
 use sofia_workloads::{adpcm, Scale};
@@ -23,8 +23,22 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all" || a == "--all") {
         vec![
-            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "tab1", "sec",
-            "adpcm", "suite", "ablate-block", "ablate-unroll", "ablate-sched", "confid",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig9",
+            "tab1",
+            "sec",
+            "adpcm",
+            "suite",
+            "ablate-block",
+            "ablate-unroll",
+            "ablate-sched",
+            "confid",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -36,7 +50,10 @@ fn main() {
             "fig3" => fig3(),
             "fig4" => fig4(),
             "fig5" => fig56(BlockFormat::exec4(), "fig5: 4-instruction execution block"),
-            "fig6" => fig56(BlockFormat::default(), "fig6: 6-instruction execution block"),
+            "fig6" => fig56(
+                BlockFormat::default(),
+                "fig6: 6-instruction execution block",
+            ),
             "fig7" => fig7(),
             "fig9" => fig9(),
             "tab1" => tab1(),
@@ -78,7 +95,9 @@ fn fig1() {
         println!(
             "  block {step}: target={target:#06x}  slots executed={}  violations={}",
             s.executed_slots,
-            s.violation.map(|v| v.to_string()).unwrap_or_else(|| "none".into())
+            s.violation
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "none".into())
         );
     }
     let st = m.stats();
@@ -95,17 +114,33 @@ fn fig2() {
     let nonce = Nonce::new(0xA5);
     let addr = |node: u32| node * 4;
     // Instruction 5 of the paper's example, encrypted on edge 2 -> 5.
-    let plain = Instruction::Addi { rt: sofia_isa::Reg::T1, rs: sofia_isa::Reg::T2, imm: 0 }
-        .encode();
+    let plain = Instruction::Addi {
+        rt: sofia_isa::Reg::T1,
+        rs: sofia_isa::Reg::T2,
+        imm: 0,
+    }
+    .encode();
     let good = CounterBlock::from_edge(nonce, addr(2), addr(5));
     let bad = CounterBlock::from_edge(nonce, addr(1), addr(5));
     let c = ctr::apply(&keys.ctr, good, plain);
     let via_good = ctr::apply(&keys.ctr, good, c);
     let via_bad = ctr::apply(&keys.ctr, bad, c);
-    println!("  I5 = {{w || 2 || 5}} (valid):   {via_good:#010x} -> {}", disasm::word(via_good, addr(5)));
-    println!("  I5' = {{w || 1 || 5}} (invalid): {via_bad:#010x} -> {}", disasm::word(via_bad, addr(5)));
-    println!("  valid edge recovers the instruction: {}", via_good == plain);
-    println!("  invalid edge garbles it:             {}", via_bad != plain);
+    println!(
+        "  I5 = {{w || 2 || 5}} (valid):   {via_good:#010x} -> {}",
+        disasm::word(via_good, addr(5))
+    );
+    println!(
+        "  I5' = {{w || 1 || 5}} (invalid): {via_bad:#010x} -> {}",
+        disasm::word(via_bad, addr(5))
+    );
+    println!(
+        "  valid edge recovers the instruction: {}",
+        via_good == plain
+    );
+    println!(
+        "  invalid edge garbles it:             {}",
+        via_bad != plain
+    );
 }
 
 /// Fig. 3 — stored vs run-time MAC comparison on a tampered block.
@@ -156,7 +191,10 @@ fn fig4() {
     }
     println!(
         "  report: {} blocks, {} pad nops, {} B -> {} B",
-        image.report.blocks, image.report.pad_nops, image.report.text_bytes_in, image.report.text_bytes_out
+        image.report.blocks,
+        image.report.pad_nops,
+        image.report.text_bytes_in,
+        image.report.text_bytes_out
     );
 }
 
@@ -316,7 +354,10 @@ fn ablate_block() {
     let keys = KeySet::from_seed(0xB10C);
     let w = adpcm::workload(1000);
     println!("  {}", row_header());
-    for (label, format) in [("exec6", BlockFormat::default()), ("exec4", BlockFormat::exec4())] {
+    for (label, format) in [
+        ("exec6", BlockFormat::default()),
+        ("exec4", BlockFormat::exec4()),
+    ] {
         let mut row = measure_with(&w, &keys, format, &SofiaConfig::default());
         row.name = format!("adpcm/{label}");
         println!("  {}", format_row(&row));
@@ -391,7 +432,10 @@ fn confid() {
     let r = sofia_attacks::confidentiality::analyze(&plain, &image.ctext);
     println!("  plaintext entropy:  {:.2} bits/byte", r.plain_entropy);
     println!("  ciphertext entropy: {:.2} bits/byte", r.cipher_entropy);
-    println!("  legal-instruction fraction: plain {:.3}, cipher {:.3}", r.plain_legal_fraction, r.cipher_legal_fraction);
+    println!(
+        "  legal-instruction fraction: plain {:.3}, cipher {:.3}",
+        r.plain_legal_fraction, r.cipher_legal_fraction
+    );
     println!("  identical words plain-vs-cipher: {}", r.matching_words);
     // Version separation under a fresh nonce.
     let module = w.module();

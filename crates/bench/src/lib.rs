@@ -95,11 +95,7 @@ pub fn measure_with(
     let report = image.report.clone();
     let mut sm = SofiaMachine::with_config(&image, keys, config);
     let sr = sm.run(FUEL).expect("sofia run traps");
-    assert!(
-        sr.is_halted(),
-        "{}: sofia outcome {sr:?}",
-        workload.name
-    );
+    assert!(sr.is_halted(), "{}: sofia outcome {sr:?}", workload.name);
     assert_eq!(
         sm.mem().mmio.out_words,
         workload.expected,

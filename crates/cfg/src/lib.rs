@@ -124,7 +124,10 @@ impl fmt::Display for CfgError {
                 write!(f, "instruction {index} can fall off the end of .text")
             }
             CfgError::BranchToData { label, line } => {
-                write!(f, "control transfer to non-text label `{label}` (line {line})")
+                write!(
+                    f,
+                    "control transfer to non-text label `{label}` (line {line})"
+                )
             }
         }
     }
@@ -452,7 +455,14 @@ mod tests {
     #[test]
     fn straight_line_chain() {
         let c = cfg_of("main: nop\nnop\nhalt");
-        assert_eq!(c.succs(0), &[Edge { from: 0, to: 1, kind: EdgeKind::FallThrough }]);
+        assert_eq!(
+            c.succs(0),
+            &[Edge {
+                from: 0,
+                to: 1,
+                kind: EdgeKind::FallThrough
+            }]
+        );
         assert_eq!(c.succs(2), &[] as &[Edge]);
         assert_eq!(c.preds(1).len(), 1);
     }
@@ -478,8 +488,16 @@ mod tests {
              f:    nop
                    ret",
         );
-        assert!(c.succs(0).contains(&Edge { from: 0, to: 2, kind: EdgeKind::Call }));
-        assert!(c.succs(3).contains(&Edge { from: 3, to: 1, kind: EdgeKind::Return }));
+        assert!(c.succs(0).contains(&Edge {
+            from: 0,
+            to: 2,
+            kind: EdgeKind::Call
+        }));
+        assert!(c.succs(3).contains(&Edge {
+            from: 3,
+            to: 1,
+            kind: EdgeKind::Return
+        }));
         // jal does NOT fall through directly.
         assert!(!c.succs(0).iter().any(|e| e.kind == EdgeKind::FallThrough));
     }
@@ -493,10 +511,18 @@ mod tests {
              f:    ret",
         );
         // f's entry (index 3) has two call preds.
-        let call_preds: Vec<_> = c.preds(3).iter().filter(|e| e.kind == EdgeKind::Call).collect();
+        let call_preds: Vec<_> = c
+            .preds(3)
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Call)
+            .collect();
         assert_eq!(call_preds.len(), 2);
         // the single `ret` returns to both return points.
-        let ret_succs: Vec<_> = c.succs(3).iter().filter(|e| e.kind == EdgeKind::Return).collect();
+        let ret_succs: Vec<_> = c
+            .succs(3)
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Return)
+            .collect();
         assert_eq!(ret_succs.len(), 2);
         assert!(ret_succs.iter().any(|e| e.to == 1));
         assert!(ret_succs.iter().any(|e| e.to == 2));
@@ -521,7 +547,13 @@ mod tests {
             .collect();
         assert_eq!(callees.len(), 2);
         // both callees return to the instruction after the jalr
-        assert!(c.preds(3).iter().filter(|e| e.kind == EdgeKind::Return).count() == 2);
+        assert!(
+            c.preds(3)
+                .iter()
+                .filter(|e| e.kind == EdgeKind::Return)
+                .count()
+                == 2
+        );
     }
 
     #[test]
@@ -536,7 +568,10 @@ mod tests {
     #[test]
     fn falls_off_end_rejected() {
         let m = asm::parse("main: nop\nnop").unwrap();
-        assert!(matches!(Cfg::build(&m), Err(CfgError::FallsOffEnd { index: 1 })));
+        assert!(matches!(
+            Cfg::build(&m),
+            Err(CfgError::FallsOffEnd { index: 1 })
+        ));
     }
 
     #[test]
@@ -587,10 +622,7 @@ mod tests {
 
     #[test]
     fn entry_respects_global() {
-        let c = Cfg::build(
-            &asm::parse(".global start\nboot: nop\nstart: halt").unwrap(),
-        )
-        .unwrap();
+        let c = Cfg::build(&asm::parse(".global start\nboot: nop\nstart: halt").unwrap()).unwrap();
         assert_eq!(c.entry(), 1);
     }
 
@@ -616,8 +648,16 @@ mod tests {
              l5:   mv t1, t2
                    halt",
         );
-        assert!(c.succs(0).contains(&Edge { from: 0, to: 1, kind: EdgeKind::FallThrough }));
-        assert!(c.succs(1).contains(&Edge { from: 1, to: 4, kind: EdgeKind::Jump }));
+        assert!(c.succs(0).contains(&Edge {
+            from: 0,
+            to: 1,
+            kind: EdgeKind::FallThrough
+        }));
+        assert!(c.succs(1).contains(&Edge {
+            from: 1,
+            to: 4,
+            kind: EdgeKind::Jump
+        }));
         assert!(!c.succs(0).iter().any(|e| e.to == 4));
         let r = c.reachable();
         assert!(!r[2] && !r[3]);

@@ -6,9 +6,13 @@
 //! over the decrypted instructions, comparing it with the decrypted MAC
 //! words before the block may execute.
 
-use sofia_crypto::{ctr, mac, CounterBlock, ExpandedKeys, Mac64, Nonce};
-use sofia_transform::{BlockFormat, BlockKind};
+use sofia_cpu::fetch::{FetchCtx, FetchUnit, Slot, SlotOutcome};
+use sofia_cpu::Trap;
+use sofia_crypto::{ctr, mac, CounterBlock, ExpandedKeys, KeySet, Mac64, Nonce};
+use sofia_isa::Instruction;
+use sofia_transform::{BlockFormat, BlockKind, SecureImage, RESET_PREV_PC};
 
+use crate::timing::SofiaTiming;
 use crate::Violation;
 
 /// Which entry a transfer target selected (paper §II-E call-site
@@ -160,12 +164,227 @@ pub fn fetch_block(
     })
 }
 
+/// Counters specific to the SOFIA fetch path, accumulated by
+/// [`SofiaFetchUnit`] on top of the engine's baseline
+/// [`sofia_cpu::ExecStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FetchPathStats {
+    /// Blocks fetched and verified.
+    pub blocks: u64,
+    /// Execution blocks among them.
+    pub exec_blocks: u64,
+    /// Multiplexor blocks among them.
+    pub mux_blocks: u64,
+    /// MAC words that travelled the pipeline as `nop` slots.
+    pub mac_nop_slots: u64,
+    /// CTR operations issued by the cipher.
+    pub ctr_ops: u64,
+    /// CBC-MAC operations issued by the cipher.
+    pub cbc_ops: u64,
+    /// Stall cycles from cipher backpressure.
+    pub cipher_stall_cycles: u64,
+    /// Decrypt-pipeline refill cycles after redirects.
+    pub redirect_fill_cycles: u64,
+    /// Stall cycles inserted by the store gate.
+    pub store_gate_stall_cycles: u64,
+}
+
+/// The SOFIA fetch unit: the CFI decrypt unit, the SI verify unit and the
+/// block sequencer, packaged as a [`FetchUnit`] for the generic
+/// [`sofia_cpu::Pipeline`] engine.
+///
+/// Owns all the security state of paper Fig. 1 — keys, nonce, block
+/// format, the `{prevPC, PC}` edge registers — plus the fetch-path timing
+/// model. The engine drives it exactly like [`sofia_cpu::PlainFetch`],
+/// which is what makes vanilla-vs-SOFIA comparisons a controlled
+/// experiment.
+#[derive(Clone, Debug)]
+pub struct SofiaFetchUnit {
+    keys: ExpandedKeys,
+    nonce: Nonce,
+    format: BlockFormat,
+    timing: SofiaTiming,
+    enforce_si: bool,
+    text_base: u32,
+    text_words: u32,
+    entry: u32,
+    next_target: u32,
+    prev_pc: u32,
+    redirected: bool,
+    cur_base: u32,
+    cur_last_word: u32,
+    stats: FetchPathStats,
+}
+
+impl SofiaFetchUnit {
+    /// A unit fetching `image` under `keys`, with `enforce_si = false`
+    /// yielding the CFI-only ablation (§II-A: decryption alone cannot
+    /// detect its own errors).
+    pub fn new(image: &SecureImage, keys: &KeySet, timing: SofiaTiming, enforce_si: bool) -> Self {
+        SofiaFetchUnit {
+            keys: keys.expand(),
+            nonce: image.nonce,
+            format: image.format,
+            timing,
+            enforce_si,
+            text_base: image.text_base,
+            text_words: image.ctext.len() as u32,
+            entry: image.entry,
+            next_target: image.entry,
+            prev_pc: RESET_PREV_PC,
+            redirected: true,
+            cur_base: image.entry,
+            cur_last_word: RESET_PREV_PC,
+            stats: FetchPathStats::default(),
+        }
+    }
+
+    /// Fetch-path counters.
+    pub fn stats(&self) -> FetchPathStats {
+        self.stats
+    }
+
+    /// The next transfer target (diagnostic).
+    pub fn next_target(&self) -> u32 {
+        self.next_target
+    }
+
+    /// The `prevPC` the hardware will present for the next fetch — the
+    /// sealed-edge source (diagnostic; lets harnesses re-verify an edge
+    /// out-of-band with [`fetch_block`]).
+    pub fn prev_pc(&self) -> u32 {
+        self.prev_pc
+    }
+
+    /// **Attack-harness channel**: redirects the next fetch to `target`,
+    /// modelling a control-flow hijack the software could not prevent.
+    pub fn hijack(&mut self, target: u32) {
+        self.next_target = target;
+        self.redirected = true;
+    }
+
+    fn account_block(&mut self, block: &VerifiedBlock, slots: &[Slot], ctx: &mut FetchCtx<'_>) {
+        let kind = block.path.kind();
+        let bt = self
+            .timing
+            .block_cycles(&self.format, kind, block.words_fetched, self.redirected);
+        self.stats.blocks += 1;
+        match kind {
+            BlockKind::Exec => self.stats.exec_blocks += 1,
+            BlockKind::Mux => self.stats.mux_blocks += 1,
+        }
+        self.stats.mac_nop_slots += (block.words_fetched as usize - slots.len()) as u64;
+        self.stats.ctr_ops += bt.ctr_ops as u64;
+        self.stats.cbc_ops += bt.cbc_ops as u64;
+        self.stats.cipher_stall_cycles += bt.cipher_stall as u64;
+        self.stats.redirect_fill_cycles += bt.redirect_fill as u64;
+        ctx.stats.cycles += bt.total() as u64;
+        // Store-gate stalls for stores the format allows in the stall
+        // window (zero under the default format — the Fig. 6 argument).
+        let first_word = self.format.mac_words(kind);
+        for (idx, slot) in slots.iter().enumerate() {
+            if slot.inst.is_store() {
+                let stall = self.timing.store_gate_stall(&self.format, first_word + idx) as u64;
+                self.stats.store_gate_stall_cycles += stall;
+                ctx.stats.cycles += stall;
+            }
+        }
+        // I-cache: ciphertext words are cached in front of the decrypt
+        // unit (Fig. 1), so every fetched word touches the cache.
+        for &addr in &block.fetched_addrs {
+            let stall = ctx.icache.access_cycles(addr) as u64;
+            ctx.stats.icache_stall_cycles += stall;
+            ctx.stats.cycles += stall;
+        }
+    }
+}
+
+impl FetchUnit for SofiaFetchUnit {
+    type Violation = Violation;
+
+    /// Block fetch charges one issue slot per fetched word (MAC words
+    /// travel as `nop`s), so the engine adds only hazard penalties.
+    const ISSUE_CHARGED_IN_FETCH: bool = true;
+
+    fn fetch_batch(
+        &mut self,
+        ctx: &mut FetchCtx<'_>,
+        out: &mut Vec<Slot>,
+    ) -> Result<Option<Violation>, Trap> {
+        let fetched = fetch_block(
+            &mut |addr| ctx.mem.fetch(addr).ok(),
+            &self.keys,
+            self.nonce,
+            &self.format,
+            self.text_base,
+            self.text_words,
+            self.next_target,
+            self.prev_pc,
+            self.enforce_si,
+        );
+        let block = match fetched {
+            Ok(b) => b,
+            Err(v) => return Ok(Some(v)),
+        };
+        // Decode everything up front; check the store-position rule before
+        // any architectural effect (the hardware's early-store reset).
+        let first_word = self.format.mac_words(block.path.kind());
+        for (idx, &(pc, word)) in block.insts.iter().enumerate() {
+            let inst = Instruction::decode(word)
+                .map_err(|e| Trap::IllegalInstruction { word: e.word(), pc })?;
+            let word_pos = first_word + idx;
+            if inst.is_store() && word_pos < self.format.store_safe_word_offset {
+                return Ok(Some(Violation::StoreTooEarly { pc, word_pos }));
+            }
+            out.push(Slot { pc, inst });
+        }
+        self.account_block(&block, out, ctx);
+        self.cur_base = block.base;
+        self.cur_last_word = block.last_word_addr(&self.format);
+        Ok(None)
+    }
+
+    fn retire(
+        &mut self,
+        pc: u32,
+        slot: usize,
+        batch_len: usize,
+        outcome: SlotOutcome,
+    ) -> Result<(), Violation> {
+        let last = slot + 1 == batch_len;
+        match outcome {
+            SlotOutcome::Sequential => {
+                if last {
+                    self.next_target = self.cur_base + self.format.block_bytes();
+                    self.prev_pc = self.cur_last_word;
+                    self.redirected = false;
+                }
+            }
+            SlotOutcome::Transfer { target } => {
+                if !last {
+                    return Err(Violation::MidBlockTransfer { pc });
+                }
+                self.next_target = target;
+                self.prev_pc = self.cur_last_word;
+                self.redirected = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn on_reset(&mut self) -> u64 {
+        self.prev_pc = RESET_PREV_PC;
+        self.next_target = self.entry;
+        self.redirected = true;
+        self.timing.reboot_cycles
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sofia_crypto::KeySet;
     use sofia_isa::asm;
-    use sofia_transform::{Transformer, RESET_PREV_PC};
+    use sofia_transform::Transformer;
 
     fn image(src: &str) -> (sofia_transform::SecureImage, KeySet) {
         let keys = KeySet::from_seed(0xF00D);

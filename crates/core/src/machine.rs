@@ -1,23 +1,24 @@
-//! The SOFIA machine: the baseline pipeline behind the CFI/SI fetch unit.
+//! The SOFIA machine: the shared pipeline engine behind the CFI/SI fetch
+//! unit.
 
-use sofia_cpu::exec::{execute, Effect, RegFile};
-use sofia_cpu::icache::ICache;
+use sofia_cpu::engine::{Disposition, EngineOutcome, Pipeline};
+use sofia_cpu::exec::RegFile;
 use sofia_cpu::machine::MachineConfig;
 use sofia_cpu::mem::Memory;
 use sofia_cpu::{ExecStats, Trap};
-use sofia_crypto::{ExpandedKeys, KeySet, Nonce};
-use sofia_isa::{Instruction, Reg};
-use sofia_transform::{BlockFormat, BlockKind, SecureImage, RESET_PREV_PC};
+use sofia_crypto::KeySet;
+use sofia_transform::SecureImage;
 
-use crate::fetch::{fetch_block, VerifiedBlock};
+use crate::fetch::SofiaFetchUnit;
 use crate::timing::SofiaTiming;
 use crate::Violation;
 
 /// What the core does when a violation pulls the reset line.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ResetPolicy {
     /// Stop the simulation and report the violation (default — most
     /// experiments want the detection verdict).
+    #[default]
     HaltAndReport,
     /// Reset and reboot from the entry point, as the real hardware does
     /// ("the processor should be able to reboot reliably fast"), giving
@@ -28,9 +29,18 @@ pub enum ResetPolicy {
     },
 }
 
-impl Default for ResetPolicy {
-    fn default() -> Self {
-        ResetPolicy::HaltAndReport
+impl ResetPolicy {
+    /// What this policy does about a violation after `resets_so_far`
+    /// resets — the single dispatch both [`SofiaMachine::step_block`] and
+    /// [`SofiaMachine::run`] apply.
+    fn dispose(self, resets_so_far: u64) -> Disposition {
+        match self {
+            ResetPolicy::HaltAndReport => Disposition::Stop,
+            ResetPolicy::Reboot { max_resets } if resets_so_far >= max_resets as u64 => {
+                Disposition::Abandon
+            }
+            ResetPolicy::Reboot { .. } => Disposition::Reset,
+        }
     }
 }
 
@@ -127,9 +137,11 @@ pub struct SofiaStats {
 
 /// A processor with the SOFIA extension, executing a [`SecureImage`].
 ///
-/// Reuses the baseline's executor, memory, I-cache and pipeline models;
-/// only the fetch path differs — which is exactly the paper's structure
-/// (Fig. 1) and what makes vanilla-vs-SOFIA comparisons meaningful.
+/// The same generic [`Pipeline`] engine as the baseline
+/// [`sofia_cpu::machine::VanillaMachine`], wrapped around a
+/// [`SofiaFetchUnit`] instead of plaintext fetch — which is exactly the
+/// paper's structure (Fig. 1) and what makes vanilla-vs-SOFIA
+/// comparisons meaningful: same engine, different fetch unit.
 ///
 /// # Examples
 ///
@@ -154,22 +166,8 @@ pub struct SofiaStats {
 /// ```
 #[derive(Clone, Debug)]
 pub struct SofiaMachine {
-    regs: RegFile,
-    mem: Memory,
-    icache: ICache,
-    config: SofiaConfig,
-    keys: ExpandedKeys,
-    nonce: Nonce,
-    format: BlockFormat,
-    text_base: u32,
-    text_words: u32,
-    entry: u32,
-    next_target: u32,
-    prev_pc: u32,
-    redirected: bool,
-    prev_load_dest: Option<Reg>,
-    stats: SofiaStats,
-    halted: bool,
+    engine: Pipeline<SofiaFetchUnit>,
+    reset_policy: ResetPolicy,
     violations: Vec<Violation>,
 }
 
@@ -185,36 +183,17 @@ impl SofiaMachine {
     ///
     /// Panics if the data section does not fit in RAM.
     pub fn with_config(image: &SecureImage, keys: &KeySet, config: &SofiaConfig) -> SofiaMachine {
-        assert!(
-            image.data.len() as u32 <= config.machine.ram_size,
-            "data section larger than RAM"
-        );
-        let mut mem = Memory::new(
-            image.text_base,
-            image.ctext.clone(),
-            image.data_base,
-            config.machine.ram_size,
-        );
-        mem.load_ram(image.data_base, &image.data);
-        let mut regs = RegFile::new();
-        regs.set(Reg::SP, image.data_base + config.machine.ram_size);
+        let unit = SofiaFetchUnit::new(image, keys, config.timing, config.enforce_si);
         SofiaMachine {
-            regs,
-            mem,
-            icache: ICache::new(config.machine.icache),
-            config: *config,
-            keys: keys.expand(),
-            nonce: image.nonce,
-            format: image.format,
-            text_base: image.text_base,
-            text_words: image.ctext.len() as u32,
-            entry: image.entry,
-            next_target: image.entry,
-            prev_pc: RESET_PREV_PC,
-            redirected: true,
-            prev_load_dest: None,
-            stats: SofiaStats::default(),
-            halted: false,
+            engine: Pipeline::new(
+                unit,
+                image.text_base,
+                image.ctext.clone(),
+                image.data_base,
+                &image.data,
+                &config.machine,
+            ),
+            reset_policy: config.reset_policy,
             violations: Vec::new(),
         }
     }
@@ -234,252 +213,97 @@ impl SofiaMachine {
     /// Panics if called after the machine halted or stopped on a
     /// violation under [`ResetPolicy::HaltAndReport`].
     pub fn step_block(&mut self) -> Result<StepBlock, Trap> {
-        assert!(!self.halted, "step_block() after halt");
-        let mut rom_read = RomReader {
-            mem: &self.mem,
-        };
-        let fetched = fetch_block(
-            &mut |addr| rom_read.read(addr),
-            &self.keys,
-            self.nonce,
-            &self.format,
-            self.text_base,
-            self.text_words,
-            self.next_target,
-            self.prev_pc,
-            self.config.enforce_si,
-        );
-        let block = match fetched {
-            Ok(b) => b,
-            Err(v) => return Ok(self.on_violation(v)),
-        };
-        // Decode everything up front; check the store-position rule before
-        // any architectural effect (the hardware's early-store reset).
-        let mut decoded = Vec::with_capacity(block.insts.len());
-        let first_word = self.format.mac_words(block.path.kind());
-        for (idx, &(pc, word)) in block.insts.iter().enumerate() {
-            let inst = Instruction::decode(word)
-                .map_err(|e| Trap::IllegalInstruction { word: e.word(), pc })?;
-            let word_pos = first_word + idx;
-            if inst.is_store() && word_pos < self.format.store_safe_word_offset {
-                return Ok(self.on_violation(Violation::StoreTooEarly { pc, word_pos }));
+        let step = self.engine.step_batch()?;
+        if let Some(v) = step.violation {
+            self.violations.push(v);
+            match self.reset_policy.dispose(self.engine.resets()) {
+                Disposition::Stop => self.engine.force_halt(),
+                Disposition::Reset => self.engine.reset(),
+                // The reset budget is spent: halt so step-driven harness
+                // loops terminate too (run() reports this as ResetLoop).
+                Disposition::Abandon => self.engine.force_halt(),
             }
-            decoded.push((pc, inst, word_pos));
-        }
-        self.account_block(&block, &decoded);
-        self.execute_block(&block, &decoded)
-    }
-
-    fn account_block(&mut self, block: &VerifiedBlock, decoded: &[(u32, Instruction, usize)]) {
-        let kind = block.path.kind();
-        let bt = self.config.timing.block_cycles(
-            &self.format,
-            kind,
-            block.words_fetched,
-            self.redirected,
-        );
-        self.stats.blocks += 1;
-        match kind {
-            BlockKind::Exec => self.stats.exec_blocks += 1,
-            BlockKind::Mux => self.stats.mux_blocks += 1,
-        }
-        self.stats.mac_nop_slots += (block.words_fetched as usize - block.insts.len()) as u64;
-        self.stats.ctr_ops += bt.ctr_ops as u64;
-        self.stats.cbc_ops += bt.cbc_ops as u64;
-        self.stats.cipher_stall_cycles += bt.cipher_stall as u64;
-        self.stats.redirect_fill_cycles += bt.redirect_fill as u64;
-        self.stats.exec.cycles += bt.total() as u64;
-        // Store-gate stalls for stores the format allows in the stall
-        // window (zero under the default format — the Fig. 6 argument).
-        for &(_, inst, word_pos) in decoded {
-            if inst.is_store() {
-                let stall = self.config.timing.store_gate_stall(&self.format, word_pos) as u64;
-                self.stats.store_gate_stall_cycles += stall;
-                self.stats.exec.cycles += stall;
-            }
-        }
-        // I-cache: ciphertext words are cached in front of the decrypt
-        // unit (Fig. 1), so every fetched word touches the cache.
-        for &addr in &block.fetched_addrs {
-            let stall = self.icache.access_cycles(addr) as u64;
-            self.stats.exec.icache_stall_cycles += stall;
-            self.stats.exec.cycles += stall;
-        }
-    }
-
-    fn execute_block(
-        &mut self,
-        block: &VerifiedBlock,
-        decoded: &[(u32, Instruction, usize)],
-    ) -> Result<StepBlock, Trap> {
-        let last = decoded.len() - 1;
-        let last_word_addr = block.last_word_addr(&self.format);
-        let mut executed = 0u64;
-        for (s, &(pc, inst, _)) in decoded.iter().enumerate() {
-            let effect = execute(&inst, pc, &mut self.regs, &mut self.mem)?;
-            executed += 1;
-            let taken = inst.is_branch() && matches!(effect, Effect::Jump { .. });
-            self.account_inst(&inst, taken);
-            self.prev_load_dest = if inst.is_load() { inst.def_reg() } else { None };
-            match effect {
-                Effect::Next => {
-                    if s == last {
-                        self.next_target = block.base + self.format.block_bytes();
-                        self.prev_pc = last_word_addr;
-                        self.redirected = false;
-                    }
-                }
-                Effect::Jump { target } => {
-                    if s != last {
-                        return Ok(self.on_violation(Violation::MidBlockTransfer { pc }));
-                    }
-                    self.next_target = target;
-                    self.prev_pc = last_word_addr;
-                    self.redirected = true;
-                }
-                Effect::Halt => {
-                    self.halted = true;
-                    self.stats.exec.cycles += self.config.machine.pipeline.drain_cycles as u64;
-                    break;
-                }
-            }
+            return Ok(StepBlock {
+                executed_slots: 0,
+                violation: Some(v),
+            });
         }
         Ok(StepBlock {
-            executed_slots: executed,
+            executed_slots: step.executed_slots,
             violation: None,
         })
     }
 
-    fn account_inst(&mut self, inst: &Instruction, taken: bool) {
-        let s = &mut self.stats.exec;
-        s.instret += 1;
-        // Issue slots were charged per fetched word; add only the hazard
-        // penalties on top (the `-1` removes the base cycle).
-        let hazard = self
-            .config
-            .machine
-            .pipeline
-            .instruction_cycles(inst, taken, self.prev_load_dest)
-            - 1;
-        s.cycles += hazard as u64;
-        if inst.is_branch() {
-            s.branches += 1;
-            if taken {
-                s.taken_branches += 1;
-            }
-        }
-        if inst.is_load() {
-            s.loads += 1;
-        }
-        if inst.is_store() {
-            s.stores += 1;
-        }
-        if inst.is_call() {
-            s.calls += 1;
-        }
-        if let Some(dest) = self.prev_load_dest {
-            if inst.use_regs().contains(&dest) {
-                s.load_use_stalls += 1;
-            }
-        }
-    }
-
-    fn on_violation(&mut self, v: Violation) -> StepBlock {
-        self.stats.violations += 1;
-        self.violations.push(v);
-        match self.config.reset_policy {
-            ResetPolicy::HaltAndReport => {
-                self.halted = true;
-            }
-            ResetPolicy::Reboot { .. } => {
-                self.reset();
-            }
-        }
-        StepBlock {
-            executed_slots: 0,
-            violation: Some(v),
-        }
-    }
-
-    /// Hardware reset: clear registers, flush the I-cache, restart from
-    /// the entry point with the reset `prevPC`. RAM and MMIO logs persist
-    /// (the paper's reboot restores a safe *control* state; memory is
-    /// reinitialised by startup code, which our images re-run).
-    fn reset(&mut self) {
-        self.regs.clear();
-        self.regs.set(
-            Reg::SP,
-            self.mem.ram_base() + self.mem.ram_size(),
-        );
-        self.icache.flush();
-        self.prev_pc = RESET_PREV_PC;
-        self.next_target = self.entry;
-        self.redirected = true;
-        self.prev_load_dest = None;
-        self.stats.resets += 1;
-        self.stats.exec.cycles += self.config.timing.reboot_cycles;
-    }
-
     /// Runs until `halt`, a stopping violation, a trap, or `max_slots`
-    /// executed instruction slots.
+    /// executed instruction slots — the generic engine's run loop with
+    /// this machine's [`ResetPolicy`] deciding each violation's fate.
     ///
     /// # Errors
     ///
     /// Propagates architectural traps.
     pub fn run(&mut self, max_slots: u64) -> Result<RunOutcome, Trap> {
-        let mut fuel = max_slots;
-        loop {
-            if self.halted {
-                return Ok(match self.violations.last() {
-                    Some(&v) if matches!(self.config.reset_policy, ResetPolicy::HaltAndReport) => {
-                        RunOutcome::ViolationStop(v)
-                    }
-                    _ => RunOutcome::Halted,
-                });
-            }
-            if let ResetPolicy::Reboot { max_resets } = self.config.reset_policy {
-                if self.stats.resets > max_resets as u64 {
-                    return Ok(RunOutcome::ResetLoop {
-                        resets: self.stats.resets as u32,
-                    });
+        let policy = self.reset_policy;
+        let violations = &mut self.violations;
+        let outcome = self.engine.run(max_slots, |v, resets_so_far| {
+            violations.push(v);
+            policy.dispose(resets_so_far)
+        })?;
+        Ok(match outcome {
+            EngineOutcome::Halted => match self.violations.last() {
+                Some(&v) if matches!(self.reset_policy, ResetPolicy::HaltAndReport) => {
+                    RunOutcome::ViolationStop(v)
                 }
-            }
-            if fuel == 0 {
-                return Ok(RunOutcome::OutOfFuel);
-            }
-            let step = self.step_block()?;
-            fuel = fuel.saturating_sub(step.executed_slots.max(1));
-        }
+                _ => RunOutcome::Halted,
+            },
+            EngineOutcome::OutOfFuel => RunOutcome::OutOfFuel,
+            EngineOutcome::Stopped(v) => RunOutcome::ViolationStop(v),
+            EngineOutcome::ResetLoop { resets } => RunOutcome::ResetLoop { resets },
+        })
     }
 
     /// Whether the machine reached `halt` (or stopped on a violation).
     pub fn is_halted(&self) -> bool {
-        self.halted
+        self.engine.is_halted()
     }
 
     /// The architectural registers.
     pub fn regs(&self) -> &RegFile {
-        &self.regs
+        self.engine.regs()
     }
 
     /// Memory (ROM ciphertext, RAM, MMIO logs).
     pub fn mem(&self) -> &Memory {
-        &self.mem
+        self.engine.mem()
     }
 
     /// Mutable memory — the attack harness's tamper channel.
     pub fn mem_mut(&mut self) -> &mut Memory {
-        &mut self.mem
+        self.engine.mem_mut()
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics, combining the engine's baseline counters
+    /// with the fetch unit's security-path counters.
     pub fn stats(&self) -> SofiaStats {
-        self.stats
+        let f = self.engine.fetch().stats();
+        SofiaStats {
+            exec: self.engine.stats(),
+            blocks: f.blocks,
+            exec_blocks: f.exec_blocks,
+            mux_blocks: f.mux_blocks,
+            mac_nop_slots: f.mac_nop_slots,
+            ctr_ops: f.ctr_ops,
+            cbc_ops: f.cbc_ops,
+            cipher_stall_cycles: f.cipher_stall_cycles,
+            redirect_fill_cycles: f.redirect_fill_cycles,
+            store_gate_stall_cycles: f.store_gate_stall_cycles,
+            violations: self.violations.len() as u64,
+            resets: self.engine.resets(),
+        }
     }
 
     /// Instruction-cache statistics.
     pub fn icache_stats(&self) -> sofia_cpu::icache::ICacheStats {
-        self.icache.stats()
+        self.engine.icache_stats()
     }
 
     /// Every violation detected so far (reboot policy accumulates them).
@@ -489,7 +313,14 @@ impl SofiaMachine {
 
     /// The next transfer target (diagnostic).
     pub fn next_target(&self) -> u32 {
-        self.next_target
+        self.engine.fetch().next_target()
+    }
+
+    /// The `prevPC` the hardware will present for the next fetch — the
+    /// sealed-edge source (diagnostic; lets harnesses re-verify an edge
+    /// out-of-band with [`crate::fetch::fetch_block`]).
+    pub fn prev_pc(&self) -> u32 {
+        self.engine.fetch().prev_pc()
     }
 
     /// **Attack-harness channel**: redirects the next fetch to `target`,
@@ -499,8 +330,7 @@ impl SofiaMachine {
     /// `prevPC` presented by the hardware no longer matches any sealed
     /// edge of the victim block.
     pub fn hijack_next_target(&mut self, target: u32) {
-        self.next_target = target;
-        self.redirected = true;
+        self.engine.fetch_mut().hijack(target);
     }
 }
 
@@ -513,21 +343,11 @@ pub struct StepBlock {
     pub violation: Option<Violation>,
 }
 
-struct RomReader<'a> {
-    mem: &'a Memory,
-}
-
-impl RomReader<'_> {
-    fn read(&mut self, addr: u32) -> Option<u32> {
-        self.mem.fetch(addr).ok()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use sofia_cpu::machine::VanillaMachine;
-    use sofia_isa::asm;
+    use sofia_isa::{asm, Reg};
     use sofia_transform::Transformer;
 
     fn build(src: &str) -> (SofiaMachine, sofia_transform::SecureImage, KeySet) {
@@ -600,7 +420,8 @@ mod tests {
         let (mut sm, img, _) = build(&src);
         assert!(img.report.tree_blocks >= 4, "{:?}", img.report);
         assert!(sm.run(1_000_000).unwrap().is_halted());
-        assert_eq!(sm.mem().mmio.out_words, vec![0 + 1 + 2 + 3 + 4 + 5 + 6]);
+        // Arguments 0..=5 plus one increment per call: 15 + 6.
+        assert_eq!(sm.mem().mmio.out_words, vec![21]);
         assert!(sm.stats().mux_blocks > 0);
     }
 
@@ -658,10 +479,38 @@ mod tests {
         let mut m = SofiaMachine::with_config(&image, &keys, &config);
         m.mem_mut().rom_mut()[0] ^= 0xFFFF;
         let outcome = m.run(1_000_000).unwrap();
-        assert!(matches!(outcome, RunOutcome::ResetLoop { resets: 6 }));
-        assert_eq!(m.stats().resets, 6);
-        // Reboot time was charged.
-        assert!(m.stats().exec.cycles >= 6 * SofiaTiming::default().reboot_cycles);
+        // Exactly `max_resets` reboots are attempted; the next violation
+        // abandons the run instead of spinning forever.
+        assert!(matches!(outcome, RunOutcome::ResetLoop { resets: 5 }));
+        assert_eq!(m.stats().resets, 5);
+        assert_eq!(m.stats().violations, 6);
+        // Reboot time was charged for every reset performed.
+        assert!(m.stats().exec.cycles >= 5 * SofiaTiming::default().reboot_cycles);
+    }
+
+    #[test]
+    fn step_block_honours_the_reset_budget() {
+        // A step-driven harness loop must terminate under persistent
+        // tamper too: once the reboot budget is spent, step_block halts
+        // the machine instead of resetting forever.
+        let keys = KeySet::from_seed(0xACE);
+        let image = Transformer::new(keys.clone())
+            .transform(&asm::parse("main: nop\n halt").unwrap())
+            .unwrap();
+        let config = SofiaConfig {
+            reset_policy: ResetPolicy::Reboot { max_resets: 2 },
+            ..Default::default()
+        };
+        let mut m = SofiaMachine::with_config(&image, &keys, &config);
+        m.mem_mut().rom_mut()[0] ^= 0xFFFF;
+        let mut steps = 0;
+        while !m.is_halted() {
+            let _ = m.step_block().unwrap();
+            steps += 1;
+            assert!(steps < 100, "step loop failed to terminate");
+        }
+        assert_eq!(m.stats().resets, 2);
+        assert_eq!(m.stats().violations, 3);
     }
 
     #[test]
@@ -725,5 +574,43 @@ mod tests {
         assert!(m.stats().resets >= 1);
         // After the final reset the stack pointer is back at the top.
         assert!(m.regs().get(Reg::SP) == sp0 || m.is_halted());
+    }
+
+    #[test]
+    fn cfi_only_ablation_runs_honest_programs() {
+        // The enforce_si = false seam must keep working through the
+        // generic engine: the CFI-only machine executes honest programs
+        // identically, it just cannot detect tampering via the MAC.
+        let keys = KeySet::from_seed(0xB0B);
+        let image = Transformer::new(keys.clone())
+            .transform(
+                &asm::parse(
+                    "main: li t0, 7
+                           li a0, 0xFFFF0000
+                           sw t0, 0(a0)
+                           halt",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let config = SofiaConfig {
+            enforce_si: false,
+            ..Default::default()
+        };
+        let mut m = SofiaMachine::with_config(&image, &keys, &config);
+        assert!(m.run(10_000).unwrap().is_halted());
+        assert_eq!(m.mem().mmio.out_words, vec![7]);
+        // A flipped ciphertext bit is *not* caught by the absent MAC
+        // check: the CTR-decrypted garbage flows to the decoder, where it
+        // either decodes (malleability — §II-A's argument) or traps.
+        let mut tampered = SofiaMachine::with_config(&image, &keys, &config);
+        tampered.mem_mut().rom_mut()[2] ^= 1;
+        match tampered.run(10_000) {
+            Ok(outcome) => assert!(!matches!(
+                outcome,
+                RunOutcome::ViolationStop(Violation::MacMismatch { .. })
+            )),
+            Err(_trap) => {} // garbled word failed to decode — also fine
+        }
     }
 }

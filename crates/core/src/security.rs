@@ -68,10 +68,7 @@ mod tests {
     fn si_years_match_paper() {
         // Paper: "a successful forgery ... will require 46,795 years".
         let years = paper_si_attack_years();
-        assert!(
-            (years - 46_795.0).abs() / 46_795.0 < 0.001,
-            "got {years}"
-        );
+        assert!((years - 46_795.0).abs() / 46_795.0 < 0.001, "got {years}");
     }
 
     #[test]
@@ -79,10 +76,7 @@ mod tests {
         // Paper: "an online brute force attack ... will require 93,590
         // years".
         let years = paper_cfi_attack_years();
-        assert!(
-            (years - 93_590.0).abs() / 93_590.0 < 0.001,
-            "got {years}"
-        );
+        assert!((years - 93_590.0).abs() / 93_590.0 < 0.001, "got {years}");
     }
 
     #[test]

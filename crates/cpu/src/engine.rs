@@ -1,0 +1,333 @@
+//! The generic step/run engine shared by every machine.
+//!
+//! [`Pipeline`] owns the architectural state — registers, memory,
+//! I-cache, hazard model, statistics — and runs the fetch → execute →
+//! retire loop against a pluggable [`FetchUnit`]. The vanilla baseline
+//! and the SOFIA machine are thin wrappers around it, so overhead
+//! comparisons between them isolate exactly the fetch path by
+//! construction: same engine, different fetch unit.
+
+use sofia_isa::{Instruction, Reg};
+
+use crate::exec::{execute, Effect, RegFile};
+use crate::fetch::{FetchCtx, FetchUnit, Slot, SlotOutcome};
+use crate::icache::{ICache, ICacheConfig, ICacheStats};
+use crate::mem::Memory;
+use crate::pipeline::PipelineModel;
+use crate::stats::ExecStats;
+use crate::Trap;
+
+/// Construction parameters shared by all machines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Data RAM size in bytes.
+    pub ram_size: u32,
+    /// Instruction-cache geometry and miss penalty.
+    pub icache: ICacheConfig,
+    /// Pipeline hazard penalties.
+    pub pipeline: PipelineModel,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            ram_size: 1 << 20,
+            icache: ICacheConfig::default(),
+            pipeline: PipelineModel::default(),
+        }
+    }
+}
+
+/// Result of one [`Pipeline::step_batch`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchStep<V> {
+    /// Instruction slots executed before the batch ended.
+    pub executed_slots: u64,
+    /// The violation the fetch unit raised, if any. The engine applies no
+    /// policy to it — the wrapping machine decides (halt, reset, …).
+    pub violation: Option<V>,
+}
+
+/// What a machine's reset policy tells the run loop to do about a
+/// violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Disposition {
+    /// Halt and surface the violation ([`EngineOutcome::Stopped`]).
+    Stop,
+    /// Pull the reset line and keep running.
+    Reset,
+    /// Give up ([`EngineOutcome::ResetLoop`]) — the persistent-tamper
+    /// escape once a policy's reset budget is spent.
+    Abandon,
+}
+
+/// Why a [`Pipeline::run`] call returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineOutcome<V> {
+    /// The program executed `halt`.
+    Halted,
+    /// The slot budget was exhausted first.
+    OutOfFuel,
+    /// A violation stopped the run ([`Disposition::Stop`]).
+    Stopped(V),
+    /// Persistent violations kept resetting the core until the policy
+    /// abandoned the run ([`Disposition::Reset`] with `abandon_after`).
+    ResetLoop {
+        /// Total resets performed, including the final one.
+        resets: u32,
+    },
+}
+
+/// The generic execution engine: architectural state plus the shared
+/// fetch → execute → retire loop, parameterised by the fetch unit `F`.
+#[derive(Clone, Debug)]
+pub struct Pipeline<F: FetchUnit> {
+    fetch: F,
+    regs: RegFile,
+    mem: Memory,
+    icache: ICache,
+    model: PipelineModel,
+    stats: ExecStats,
+    batch: Vec<Slot>,
+    prev_load_dest: Option<Reg>,
+    halted: bool,
+    resets: u64,
+}
+
+impl<F: FetchUnit> Pipeline<F> {
+    /// Builds an engine: loads `text` into ROM and `data` into a zeroed
+    /// RAM at `data_base`, points `sp` at the top of RAM, and hands
+    /// sequencing to `fetch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data section does not fit in RAM.
+    pub fn new(
+        fetch: F,
+        text_base: u32,
+        text: Vec<u32>,
+        data_base: u32,
+        data: &[u8],
+        config: &MachineConfig,
+    ) -> Pipeline<F> {
+        assert!(
+            data.len() as u32 <= config.ram_size,
+            "data section larger than RAM"
+        );
+        let mut mem = Memory::new(text_base, text, data_base, config.ram_size);
+        mem.load_ram(data_base, data);
+        let mut regs = RegFile::new();
+        regs.set(Reg::SP, data_base + config.ram_size);
+        Pipeline {
+            fetch,
+            regs,
+            mem,
+            icache: ICache::new(config.icache),
+            model: config.pipeline,
+            stats: ExecStats::default(),
+            batch: Vec::new(),
+            prev_load_dest: None,
+            halted: false,
+            resets: 0,
+        }
+    }
+
+    /// Fetches one batch from the fetch unit and executes its slots.
+    ///
+    /// Violations are returned, not acted upon: the caller applies its
+    /// reset policy (and [`Pipeline::force_halt`] / [`Pipeline::reset`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates architectural traps, leaving state at the faulting
+    /// instruction for post-mortem inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the machine halted.
+    pub fn step_batch(&mut self) -> Result<BatchStep<F::Violation>, Trap> {
+        assert!(!self.halted, "step after halt");
+        self.batch.clear();
+        let mut ctx = FetchCtx {
+            mem: &self.mem,
+            icache: &mut self.icache,
+            stats: &mut self.stats,
+        };
+        if let Some(v) = self.fetch.fetch_batch(&mut ctx, &mut self.batch)? {
+            return Ok(BatchStep {
+                executed_slots: 0,
+                violation: Some(v),
+            });
+        }
+        let len = self.batch.len();
+        let mut executed = 0u64;
+        for i in 0..len {
+            let Slot { pc, inst } = self.batch[i];
+            let effect = execute(&inst, pc, &mut self.regs, &mut self.mem)?;
+            executed += 1;
+            let taken = inst.is_branch() && matches!(effect, Effect::Jump { .. });
+            self.account(&inst, taken);
+            self.prev_load_dest = if inst.is_load() { inst.def_reg() } else { None };
+            let outcome = match effect {
+                Effect::Next => SlotOutcome::Sequential,
+                Effect::Jump { target } => SlotOutcome::Transfer { target },
+                Effect::Halt => {
+                    self.halted = true;
+                    self.stats.cycles += self.model.drain_cycles as u64;
+                    break;
+                }
+            };
+            if let Err(v) = self.fetch.retire(pc, i, len, outcome) {
+                return Ok(BatchStep {
+                    executed_slots: executed,
+                    violation: Some(v),
+                });
+            }
+        }
+        Ok(BatchStep {
+            executed_slots: executed,
+            violation: None,
+        })
+    }
+
+    fn account(&mut self, inst: &Instruction, taken: bool) {
+        self.stats.instret += 1;
+        let cycles = self
+            .model
+            .instruction_cycles(inst, taken, self.prev_load_dest) as u64;
+        // Block-structured fetch units already charge one issue slot per
+        // fetched word; only the hazard penalties remain.
+        self.stats.cycles += if F::ISSUE_CHARGED_IN_FETCH {
+            cycles - 1
+        } else {
+            cycles
+        };
+        if inst.is_branch() {
+            self.stats.branches += 1;
+            if taken {
+                self.stats.taken_branches += 1;
+            }
+        }
+        if inst.is_load() {
+            self.stats.loads += 1;
+        }
+        if inst.is_store() {
+            self.stats.stores += 1;
+        }
+        if inst.is_call() {
+            self.stats.calls += 1;
+        }
+        if let Some(dest) = self.prev_load_dest {
+            if inst.use_regs().contains(&dest) {
+                self.stats.load_use_stalls += 1;
+            }
+        }
+    }
+
+    /// Runs until `halt`, a trap, an exhausted slot budget, or whatever
+    /// `on_violation` decides about a detected violation. The closure
+    /// receives each violation and the resets performed so far; the
+    /// engine applies the returned [`Disposition`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates architectural traps.
+    pub fn run(
+        &mut self,
+        max_slots: u64,
+        mut on_violation: impl FnMut(F::Violation, u64) -> Disposition,
+    ) -> Result<EngineOutcome<F::Violation>, Trap> {
+        let mut fuel = max_slots;
+        loop {
+            if self.halted {
+                return Ok(EngineOutcome::Halted);
+            }
+            if fuel == 0 {
+                return Ok(EngineOutcome::OutOfFuel);
+            }
+            let step = self.step_batch()?;
+            fuel = fuel.saturating_sub(step.executed_slots.max(1));
+            if let Some(v) = step.violation {
+                match on_violation(v, self.resets) {
+                    Disposition::Stop => {
+                        self.halted = true;
+                        return Ok(EngineOutcome::Stopped(v));
+                    }
+                    Disposition::Reset => self.reset(),
+                    Disposition::Abandon => {
+                        return Ok(EngineOutcome::ResetLoop {
+                            resets: self.resets as u32,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hardware reset: clear registers, re-point `sp` at the top of RAM,
+    /// flush the I-cache, and restart the fetch unit from the entry
+    /// point, charging its reboot time. RAM and MMIO logs persist (a
+    /// reboot restores a safe *control* state; memory is reinitialised by
+    /// startup code, which reloaded images re-run).
+    pub fn reset(&mut self) {
+        self.regs.clear();
+        self.regs
+            .set(Reg::SP, self.mem.ram_base() + self.mem.ram_size());
+        self.icache.flush();
+        self.prev_load_dest = None;
+        self.resets += 1;
+        self.stats.cycles += self.fetch.on_reset();
+    }
+
+    /// Marks the machine halted (a machine's `Stop` policy outside
+    /// [`Pipeline::run`], e.g. in single-step harnesses).
+    pub fn force_halt(&mut self) {
+        self.halted = true;
+    }
+
+    /// Whether the machine has halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Resets performed so far.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// The architectural registers.
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// The memory (ROM + RAM + MMIO logs).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable memory access — for loaders and the attack harness.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Accumulated execution statistics (cycles include I-cache stalls
+    /// and fetch-path costs).
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Instruction-cache statistics.
+    pub fn icache_stats(&self) -> ICacheStats {
+        self.icache.stats()
+    }
+
+    /// The fetch unit.
+    pub fn fetch(&self) -> &F {
+        &self.fetch
+    }
+
+    /// Mutable fetch-unit access — the attack harness's hijack channel.
+    pub fn fetch_mut(&mut self) -> &mut F {
+        &mut self.fetch
+    }
+}

@@ -307,7 +307,10 @@ mod tests {
     use super::*;
 
     fn setup() -> (RegFile, Memory) {
-        (RegFile::new(), Memory::new(0x100, vec![0; 4], 0x1000_0000, 256))
+        (
+            RegFile::new(),
+            Memory::new(0x100, vec![0; 4], 0x1000_0000, 256),
+        )
     }
 
     fn run1(inst: Instruction, regs: &mut RegFile, mem: &mut Memory) -> Effect {
@@ -319,11 +322,35 @@ mod tests {
         let (mut r, mut m) = setup();
         r.set(Reg::T0, 7);
         r.set(Reg::T1, 0xFFFF_FFFF); // -1
-        run1(Instruction::Add { rd: Reg::T2, rs: Reg::T0, rt: Reg::T1 }, &mut r, &mut m);
+        run1(
+            Instruction::Add {
+                rd: Reg::T2,
+                rs: Reg::T0,
+                rt: Reg::T1,
+            },
+            &mut r,
+            &mut m,
+        );
         assert_eq!(r.get(Reg::T2), 6);
-        run1(Instruction::Sub { rd: Reg::T3, rs: Reg::T0, rt: Reg::T1 }, &mut r, &mut m);
+        run1(
+            Instruction::Sub {
+                rd: Reg::T3,
+                rs: Reg::T0,
+                rt: Reg::T1,
+            },
+            &mut r,
+            &mut m,
+        );
         assert_eq!(r.get(Reg::T3), 8);
-        run1(Instruction::Mul { rd: Reg::T4, rs: Reg::T0, rt: Reg::T1 }, &mut r, &mut m);
+        run1(
+            Instruction::Mul {
+                rd: Reg::T4,
+                rs: Reg::T0,
+                rt: Reg::T1,
+            },
+            &mut r,
+            &mut m,
+        );
         assert_eq!(r.get(Reg::T4) as i32, -7);
     }
 
@@ -332,9 +359,25 @@ mod tests {
         let (mut r, mut m) = setup();
         r.set(Reg::T0, 0xFFFF_FFFF); // -1 signed, max unsigned
         r.set(Reg::T1, 1);
-        run1(Instruction::Slt { rd: Reg::T2, rs: Reg::T0, rt: Reg::T1 }, &mut r, &mut m);
+        run1(
+            Instruction::Slt {
+                rd: Reg::T2,
+                rs: Reg::T0,
+                rt: Reg::T1,
+            },
+            &mut r,
+            &mut m,
+        );
         assert_eq!(r.get(Reg::T2), 1); // -1 < 1
-        run1(Instruction::Sltu { rd: Reg::T3, rs: Reg::T0, rt: Reg::T1 }, &mut r, &mut m);
+        run1(
+            Instruction::Sltu {
+                rd: Reg::T3,
+                rs: Reg::T0,
+                rt: Reg::T1,
+            },
+            &mut r,
+            &mut m,
+        );
         assert_eq!(r.get(Reg::T3), 0); // max > 1
     }
 
@@ -343,14 +386,34 @@ mod tests {
         let (mut r, mut m) = setup();
         r.set(Reg::T0, 0x8000_0000); // i32::MIN
         r.set(Reg::T1, 0xFFFF_FFFF); // -1
-        run1(Instruction::Div { rd: Reg::T2, rs: Reg::T0, rt: Reg::T1 }, &mut r, &mut m);
+        run1(
+            Instruction::Div {
+                rd: Reg::T2,
+                rs: Reg::T0,
+                rt: Reg::T1,
+            },
+            &mut r,
+            &mut m,
+        );
         assert_eq!(r.get(Reg::T2), 0x8000_0000); // wrapping overflow
         r.set(Reg::T3, 7);
         r.set(Reg::T4, 2);
-        run1(Instruction::Rem { rd: Reg::T5, rs: Reg::T3, rt: Reg::T4 }, &mut r, &mut m);
+        run1(
+            Instruction::Rem {
+                rd: Reg::T5,
+                rs: Reg::T3,
+                rt: Reg::T4,
+            },
+            &mut r,
+            &mut m,
+        );
         assert_eq!(r.get(Reg::T5), 1);
         let err = execute(
-            &Instruction::Div { rd: Reg::T2, rs: Reg::T0, rt: Reg::ZERO },
+            &Instruction::Div {
+                rd: Reg::T2,
+                rs: Reg::T0,
+                rt: Reg::ZERO,
+            },
             0x100,
             &mut r,
             &mut m,
@@ -362,12 +425,36 @@ mod tests {
     fn shifts() {
         let (mut r, mut m) = setup();
         r.set(Reg::T0, 0x8000_0001);
-        run1(Instruction::Srl { rd: Reg::T1, rt: Reg::T0, shamt: 1 }, &mut r, &mut m);
+        run1(
+            Instruction::Srl {
+                rd: Reg::T1,
+                rt: Reg::T0,
+                shamt: 1,
+            },
+            &mut r,
+            &mut m,
+        );
         assert_eq!(r.get(Reg::T1), 0x4000_0000);
-        run1(Instruction::Sra { rd: Reg::T2, rt: Reg::T0, shamt: 1 }, &mut r, &mut m);
+        run1(
+            Instruction::Sra {
+                rd: Reg::T2,
+                rt: Reg::T0,
+                shamt: 1,
+            },
+            &mut r,
+            &mut m,
+        );
         assert_eq!(r.get(Reg::T2), 0xC000_0000);
         r.set(Reg::T3, 33); // shift amounts are mod 32
-        run1(Instruction::Sllv { rd: Reg::T4, rt: Reg::T0, rs: Reg::T3 }, &mut r, &mut m);
+        run1(
+            Instruction::Sllv {
+                rd: Reg::T4,
+                rt: Reg::T0,
+                rs: Reg::T3,
+            },
+            &mut r,
+            &mut m,
+        );
         assert_eq!(r.get(Reg::T4), 2);
     }
 
@@ -376,13 +463,45 @@ mod tests {
         let (mut r, mut m) = setup();
         m.store(0x1000_0000, Width::Word, 0x0000_80FF).unwrap();
         r.set(Reg::A0, 0x1000_0000);
-        run1(Instruction::Lb { rt: Reg::T0, base: Reg::A0, offset: 0 }, &mut r, &mut m);
+        run1(
+            Instruction::Lb {
+                rt: Reg::T0,
+                base: Reg::A0,
+                offset: 0,
+            },
+            &mut r,
+            &mut m,
+        );
         assert_eq!(r.get(Reg::T0), 0xFFFF_FFFF); // 0xFF sign-extends
-        run1(Instruction::Lbu { rt: Reg::T1, base: Reg::A0, offset: 0 }, &mut r, &mut m);
+        run1(
+            Instruction::Lbu {
+                rt: Reg::T1,
+                base: Reg::A0,
+                offset: 0,
+            },
+            &mut r,
+            &mut m,
+        );
         assert_eq!(r.get(Reg::T1), 0xFF);
-        run1(Instruction::Lh { rt: Reg::T2, base: Reg::A0, offset: 0 }, &mut r, &mut m);
+        run1(
+            Instruction::Lh {
+                rt: Reg::T2,
+                base: Reg::A0,
+                offset: 0,
+            },
+            &mut r,
+            &mut m,
+        );
         assert_eq!(r.get(Reg::T2), 0xFFFF_80FF);
-        run1(Instruction::Lhu { rt: Reg::T3, base: Reg::A0, offset: 0 }, &mut r, &mut m);
+        run1(
+            Instruction::Lhu {
+                rt: Reg::T3,
+                base: Reg::A0,
+                offset: 0,
+            },
+            &mut r,
+            &mut m,
+        );
         assert_eq!(r.get(Reg::T3), 0x80FF);
     }
 
@@ -391,7 +510,11 @@ mod tests {
         let (mut r, mut m) = setup();
         r.set(Reg::T0, 1);
         let taken = execute(
-            &Instruction::Bne { rs: Reg::T0, rt: Reg::ZERO, offset: 3 },
+            &Instruction::Bne {
+                rs: Reg::T0,
+                rt: Reg::ZERO,
+                offset: 3,
+            },
             0x100,
             &mut r,
             &mut m,
@@ -399,7 +522,11 @@ mod tests {
         .unwrap();
         assert_eq!(taken, Effect::Jump { target: 0x110 });
         let not_taken = execute(
-            &Instruction::Beq { rs: Reg::T0, rt: Reg::ZERO, offset: 3 },
+            &Instruction::Beq {
+                rs: Reg::T0,
+                rt: Reg::ZERO,
+                offset: 3,
+            },
             0x100,
             &mut r,
             &mut m,
@@ -407,13 +534,22 @@ mod tests {
         .unwrap();
         assert_eq!(not_taken, Effect::Next);
 
-        let jal = execute(&Instruction::Jal { index: 0x200 >> 2 }, 0x100, &mut r, &mut m).unwrap();
+        let jal = execute(
+            &Instruction::Jal { index: 0x200 >> 2 },
+            0x100,
+            &mut r,
+            &mut m,
+        )
+        .unwrap();
         assert_eq!(jal, Effect::Jump { target: 0x200 });
         assert_eq!(r.get(Reg::RA), 0x104);
 
         r.set(Reg::T5, 0x300);
         let jalr = execute(
-            &Instruction::Jalr { rd: Reg::S0, rs: Reg::T5 },
+            &Instruction::Jalr {
+                rd: Reg::S0,
+                rs: Reg::T5,
+            },
             0x104,
             &mut r,
             &mut m,
@@ -429,7 +565,10 @@ mod tests {
         let (mut r, mut m) = setup();
         r.set(Reg::T0, 0x280);
         let e = execute(
-            &Instruction::Jalr { rd: Reg::T0, rs: Reg::T0 },
+            &Instruction::Jalr {
+                rd: Reg::T0,
+                rs: Reg::T0,
+            },
             0x100,
             &mut r,
             &mut m,

@@ -1,0 +1,178 @@
+//! The fetch-unit seam: what varies between the vanilla baseline and a
+//! protected machine is *only* how instructions get from memory into the
+//! pipeline (paper Fig. 1). Everything downstream — execute, memory
+//! access, hazard accounting, the run loop — is identical, so it lives
+//! once in [`crate::engine::Pipeline`] and machines differ by the
+//! [`FetchUnit`] they plug in front of it.
+//!
+//! * [`PlainFetch`] — word-at-a-time plaintext fetch (the baseline);
+//! * `sofia_core::fetch::SofiaFetchUnit` — block fetch through the CFI
+//!   decrypt and SI verify units;
+//! * future backends (CFI-only ablations, other ciphers, reboot studies)
+//!   implement this trait instead of duplicating a machine.
+
+use sofia_isa::Instruction;
+
+use crate::icache::ICache;
+use crate::mem::Memory;
+use crate::stats::ExecStats;
+use crate::Trap;
+
+/// The machine state a fetch unit may consult or charge while fetching:
+/// read-only memory access plus the shared I-cache and cycle counters
+/// (ciphertext is cached in front of any decrypt unit, paper Fig. 1, so
+/// the cache model is common property).
+pub struct FetchCtx<'a> {
+    /// The physical memory (fetches read ROM).
+    pub mem: &'a Memory,
+    /// The instruction cache; fetch units account hit/miss stalls here.
+    pub icache: &'a mut ICache,
+    /// Baseline counters; fetch-path cycles are charged into
+    /// [`ExecStats::cycles`] (and stall breakdowns where applicable).
+    pub stats: &'a mut ExecStats,
+}
+
+/// One decoded instruction slot delivered by a fetch unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slot {
+    /// The address the instruction was fetched from.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub inst: Instruction,
+}
+
+/// The control-flow outcome of one executed slot, reported back to the
+/// fetch unit so it can sequence the next batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotOutcome {
+    /// Fell through to the next instruction.
+    Sequential,
+    /// Transferred control (branch taken, jump, call, return).
+    Transfer {
+        /// The transfer target.
+        target: u32,
+    },
+}
+
+/// The violation type of a machine that cannot raise one: the baseline
+/// fetches anything executable without checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NoViolation {}
+
+/// A pluggable instruction-delivery unit in front of the shared pipeline.
+///
+/// The unit owns all sequencing state (program counter or block cursor)
+/// and all security state; the engine owns the architectural state. Per
+/// step the engine asks for a batch, executes its slots, and reports each
+/// slot's control-flow outcome back via [`FetchUnit::retire`].
+pub trait FetchUnit {
+    /// The security-violation type this unit can detect.
+    /// [`NoViolation`] (uninhabited) for unchecked fetch.
+    type Violation: Copy + std::fmt::Debug;
+
+    /// Whether the unit already charges one issue cycle per delivered
+    /// slot while fetching (block-structured units charge per fetched
+    /// word, MAC/pad words included). When `true` the engine charges only
+    /// hazard penalties per retired instruction instead of the full
+    /// base-plus-hazard cost.
+    const ISSUE_CHARGED_IN_FETCH: bool = false;
+
+    /// Fetches and decodes the next batch of slots into `out` (cleared by
+    /// the engine beforehand), charging fetch-path cycles through `ctx`.
+    ///
+    /// Returns `Ok(Some(violation))` when the unit refuses to deliver the
+    /// batch (tampered code, forged edge, …) — the engine executes
+    /// nothing and lets the machine's reset policy decide what happens.
+    ///
+    /// # Errors
+    ///
+    /// Architectural traps (fetch faults, undecodable words on the
+    /// unchecked baseline) propagate as `Err`.
+    fn fetch_batch(
+        &mut self,
+        ctx: &mut FetchCtx<'_>,
+        out: &mut Vec<Slot>,
+    ) -> Result<Option<Self::Violation>, Trap>;
+
+    /// Reports the control-flow outcome of slot `slot` (of `batch_len`)
+    /// at address `pc`, so the unit can sequence the next fetch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation an outcome constitutes under the unit's
+    /// policy (e.g. SOFIA's "control can only exit at the final slot").
+    fn retire(
+        &mut self,
+        pc: u32,
+        slot: usize,
+        batch_len: usize,
+        outcome: SlotOutcome,
+    ) -> Result<(), Self::Violation>;
+
+    /// Hardware reset: restart sequencing from the entry point. Returns
+    /// the cycles the reset costs (reboot time; 0 for the baseline).
+    fn on_reset(&mut self) -> u64;
+}
+
+/// The baseline's fetch unit: one plaintext word per batch, no checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlainFetch {
+    pc: u32,
+    entry: u32,
+}
+
+impl PlainFetch {
+    /// A unit starting (and restarting on reset) at `entry`.
+    pub fn new(entry: u32) -> PlainFetch {
+        PlainFetch { pc: entry, entry }
+    }
+
+    /// The current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Redirects the next fetch — the attack harness's hijack channel.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+}
+
+impl FetchUnit for PlainFetch {
+    type Violation = NoViolation;
+
+    fn fetch_batch(
+        &mut self,
+        ctx: &mut FetchCtx<'_>,
+        out: &mut Vec<Slot>,
+    ) -> Result<Option<NoViolation>, Trap> {
+        let pc = self.pc;
+        let stall = ctx.icache.access_cycles(pc) as u64;
+        ctx.stats.icache_stall_cycles += stall;
+        ctx.stats.cycles += stall;
+        let word = ctx.mem.fetch(pc)?;
+        let inst = Instruction::decode(word)
+            .map_err(|e| Trap::IllegalInstruction { word: e.word(), pc })?;
+        out.push(Slot { pc, inst });
+        Ok(None)
+    }
+
+    fn retire(
+        &mut self,
+        pc: u32,
+        _slot: usize,
+        _batch_len: usize,
+        outcome: SlotOutcome,
+    ) -> Result<(), NoViolation> {
+        self.pc = match outcome {
+            SlotOutcome::Sequential => pc.wrapping_add(4),
+            SlotOutcome::Transfer { target } => target,
+        };
+        Ok(())
+    }
+
+    fn on_reset(&mut self) -> u64 {
+        self.pc = self.entry;
+        0
+    }
+}

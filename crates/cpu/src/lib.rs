@@ -13,6 +13,10 @@
 //!   decrypt unit, paper Fig. 1, so the model is shared verbatim);
 //! * [`exec`] — pure architectural semantics of every instruction;
 //! * [`pipeline`] — hazard-based cycle accounting;
+//! * [`fetch`] — the [`fetch::FetchUnit`] seam: how instructions reach
+//!   the pipeline (plaintext words vs. decrypted/verified blocks);
+//! * [`engine`] — [`engine::Pipeline`], the generic step/run engine every
+//!   machine wraps;
 //! * [`machine`] — [`machine::VanillaMachine`], the assembled baseline.
 //!
 //! # Examples
@@ -32,7 +36,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod engine;
 pub mod exec;
+pub mod fetch;
 pub mod icache;
 pub mod machine;
 pub mod mem;
@@ -40,5 +46,7 @@ pub mod pipeline;
 pub mod stats;
 mod trap;
 
+pub use engine::{BatchStep, Disposition, EngineOutcome, MachineConfig, Pipeline};
+pub use fetch::{FetchCtx, FetchUnit, NoViolation, PlainFetch, Slot, SlotOutcome};
 pub use stats::ExecStats;
 pub use trap::Trap;

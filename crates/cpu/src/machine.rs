@@ -1,35 +1,15 @@
 //! The vanilla (unprotected) machine — the paper's baseline LEON3.
 
 use sofia_isa::asm::Assembly;
-use sofia_isa::{Instruction, Reg};
 
-use crate::exec::{execute, Effect, RegFile};
-use crate::icache::{ICache, ICacheConfig};
+use crate::engine::{EngineOutcome, Pipeline};
+use crate::exec::RegFile;
+use crate::fetch::PlainFetch;
 use crate::mem::Memory;
-use crate::pipeline::PipelineModel;
 use crate::stats::ExecStats;
 use crate::Trap;
 
-/// Construction parameters shared by both machines.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct MachineConfig {
-    /// Data RAM size in bytes.
-    pub ram_size: u32,
-    /// Instruction-cache geometry and miss penalty.
-    pub icache: ICacheConfig,
-    /// Pipeline hazard penalties.
-    pub pipeline: PipelineModel,
-}
-
-impl Default for MachineConfig {
-    fn default() -> Self {
-        MachineConfig {
-            ram_size: 1 << 20,
-            icache: ICacheConfig::default(),
-            pipeline: PipelineModel::default(),
-        }
-    }
-}
+pub use crate::engine::MachineConfig;
 
 /// Why a [`VanillaMachine::run`] call returned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,11 +29,11 @@ impl RunResult {
 
 /// A cycle-level simulator of the unmodified baseline processor.
 ///
-/// Executes plaintext binaries produced by [`sofia_isa::asm::assemble`].
-/// SOFIA's protected machine (`sofia-core`) reuses the same executor,
-/// memory, cache and pipeline models, wrapping fetch in its decrypt/verify
-/// units — so overhead comparisons between the two machines isolate
-/// exactly the cost of the security architecture.
+/// Executes plaintext binaries produced by [`sofia_isa::asm::assemble`]:
+/// the generic [`Pipeline`] engine behind a [`PlainFetch`] unit. SOFIA's
+/// protected machine (`sofia-core`) wraps the *same* engine behind its
+/// decrypt/verify fetch unit — so overhead comparisons between the two
+/// machines isolate exactly the cost of the security architecture.
 ///
 /// # Examples
 ///
@@ -78,14 +58,7 @@ impl RunResult {
 /// ```
 #[derive(Clone, Debug)]
 pub struct VanillaMachine {
-    regs: RegFile,
-    pc: u32,
-    mem: Memory,
-    icache: ICache,
-    pipeline: PipelineModel,
-    stats: ExecStats,
-    halted: bool,
-    prev_load_dest: Option<Reg>,
+    engine: Pipeline<PlainFetch>,
 }
 
 impl VanillaMachine {
@@ -101,28 +74,15 @@ impl VanillaMachine {
     ///
     /// Panics if the data section does not fit in RAM.
     pub fn with_config(program: &Assembly, config: &MachineConfig) -> VanillaMachine {
-        assert!(
-            program.data.len() as u32 <= config.ram_size,
-            "data section larger than RAM"
-        );
-        let mut mem = Memory::new(
-            program.text_base,
-            program.words.clone(),
-            program.data_base,
-            config.ram_size,
-        );
-        mem.load_ram(program.data_base, &program.data);
-        let mut regs = RegFile::new();
-        regs.set(Reg::SP, program.data_base + config.ram_size);
         VanillaMachine {
-            regs,
-            pc: program.entry,
-            mem,
-            icache: ICache::new(config.icache),
-            pipeline: config.pipeline,
-            stats: ExecStats::default(),
-            halted: false,
-            prev_load_dest: None,
+            engine: Pipeline::new(
+                PlainFetch::new(program.entry),
+                program.text_base,
+                program.words.clone(),
+                program.data_base,
+                &program.data,
+                config,
+            ),
         }
     }
 
@@ -137,55 +97,10 @@ impl VanillaMachine {
     ///
     /// Panics if called after the machine halted.
     pub fn step(&mut self) -> Result<(), Trap> {
-        assert!(!self.halted, "step() after halt");
-        let pc = self.pc;
-        let stall = self.icache.access_cycles(pc) as u64;
-        self.stats.icache_stall_cycles += stall;
-        self.stats.cycles += stall;
-        let word = self.mem.fetch(pc)?;
-        let inst = Instruction::decode(word).map_err(|e| Trap::IllegalInstruction {
-            word: e.word(),
-            pc,
-        })?;
-        let effect = execute(&inst, pc, &mut self.regs, &mut self.mem)?;
-        let taken = inst.is_branch() && matches!(effect, Effect::Jump { .. });
-        self.account(&inst, taken);
-        self.prev_load_dest = if inst.is_load() { inst.def_reg() } else { None };
-        match effect {
-            Effect::Next => self.pc = pc.wrapping_add(4),
-            Effect::Jump { target } => self.pc = target,
-            Effect::Halt => {
-                self.halted = true;
-                self.stats.cycles += self.pipeline.drain_cycles as u64;
-            }
-        }
-        Ok(())
-    }
-
-    fn account(&mut self, inst: &Instruction, taken: bool) {
-        self.stats.instret += 1;
-        self.stats.cycles +=
-            self.pipeline
-                .instruction_cycles(inst, taken, self.prev_load_dest) as u64;
-        if inst.is_branch() {
-            self.stats.branches += 1;
-            if taken {
-                self.stats.taken_branches += 1;
-            }
-        }
-        if inst.is_load() {
-            self.stats.loads += 1;
-        }
-        if inst.is_store() {
-            self.stats.stores += 1;
-        }
-        if inst.is_call() {
-            self.stats.calls += 1;
-        }
-        if let Some(dest) = self.prev_load_dest {
-            if inst.use_regs().contains(&dest) {
-                self.stats.load_use_stalls += 1;
-            }
+        match self.engine.step_batch()?.violation {
+            // PlainFetch's violation type is uninhabited.
+            Some(v) => match v {},
+            None => Ok(()),
         }
     }
 
@@ -195,42 +110,39 @@ impl VanillaMachine {
     ///
     /// Propagates the first trap.
     pub fn run(&mut self, max_steps: u64) -> Result<RunResult, Trap> {
-        for _ in 0..max_steps {
-            if self.halted {
-                return Ok(RunResult::Halted);
+        match self.engine.run(max_steps, |v, _| match v {})? {
+            EngineOutcome::Halted => Ok(RunResult::Halted),
+            EngineOutcome::OutOfFuel => Ok(RunResult::OutOfFuel),
+            EngineOutcome::Stopped(v) => match v {},
+            EngineOutcome::ResetLoop { .. } => {
+                unreachable!("reset loop without a violation type")
             }
-            self.step()?;
         }
-        Ok(if self.halted {
-            RunResult::Halted
-        } else {
-            RunResult::OutOfFuel
-        })
     }
 
     /// Whether the program has executed `halt`.
     pub fn is_halted(&self) -> bool {
-        self.halted
+        self.engine.is_halted()
     }
 
     /// The current program counter.
     pub fn pc(&self) -> u32 {
-        self.pc
+        self.engine.fetch().pc()
     }
 
     /// The architectural registers.
     pub fn regs(&self) -> &RegFile {
-        &self.regs
+        self.engine.regs()
     }
 
     /// The memory (ROM + RAM + MMIO logs).
     pub fn mem(&self) -> &Memory {
-        &self.mem
+        self.engine.mem()
     }
 
     /// Mutable memory access — for loaders and the attack harness.
     pub fn mem_mut(&mut self) -> &mut Memory {
-        &mut self.mem
+        self.engine.mem_mut()
     }
 
     /// **Attack-harness channel**: redirects execution to `target`,
@@ -238,24 +150,25 @@ impl VanillaMachine {
     /// address, glitched branch). The unprotected machine simply follows
     /// it — the behaviour SOFIA exists to prevent.
     pub fn hijack_pc(&mut self, target: u32) {
-        self.pc = target;
+        self.engine.fetch_mut().set_pc(target);
     }
 
     /// Accumulated execution statistics (cycles include I-cache stalls).
     pub fn stats(&self) -> ExecStats {
-        self.stats
+        self.engine.stats()
     }
 
     /// Instruction-cache statistics.
     pub fn icache_stats(&self) -> crate::icache::ICacheStats {
-        self.icache.stats()
+        self.engine.icache_stats()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sofia_isa::asm;
+    use crate::pipeline::PipelineModel;
+    use sofia_isa::{asm, Reg};
 
     fn run_src(src: &str) -> VanillaMachine {
         let program = asm::assemble(src).expect("assembles");
@@ -427,5 +340,27 @@ mod tests {
             m.regs().get(Reg::SP),
             program.data_base + MachineConfig::default().ram_size
         );
+    }
+
+    #[test]
+    fn hijack_pc_is_followed_blindly() {
+        // The baseline follows a forged transfer without complaint — the
+        // behaviour the SOFIA fetch unit exists to stop.
+        let m = {
+            let program = asm::assemble(
+                "main: b main
+                 out:  li t0, 0xFFFF0000
+                       sw zero, 0(t0)
+                       halt",
+            )
+            .unwrap();
+            let mut m = VanillaMachine::new(&program);
+            m.run(3).unwrap();
+            m.hijack_pc(program.text_base + 4);
+            m.run(100).unwrap();
+            m
+        };
+        assert!(m.is_halted());
+        assert_eq!(m.mem().mmio.out_words, vec![0]);
     }
 }

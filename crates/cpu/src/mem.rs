@@ -193,9 +193,7 @@ impl Memory {
                 let in_word = off % 4;
                 return Ok(match width {
                     Width::Byte => bytes[in_word] as u32,
-                    Width::Half => {
-                        u16::from_le_bytes([bytes[in_word], bytes[in_word + 1]]) as u32
-                    }
+                    Width::Half => u16::from_le_bytes([bytes[in_word], bytes[in_word + 1]]) as u32,
                     Width::Word => self.rom[word_idx],
                 });
             }

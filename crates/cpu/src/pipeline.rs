@@ -131,13 +131,21 @@ mod tests {
 
     #[test]
     fn plain_alu_is_one_cycle() {
-        let add = Instruction::Add { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 };
+        let add = Instruction::Add {
+            rd: Reg::T0,
+            rs: Reg::T1,
+            rt: Reg::T2,
+        };
         assert_eq!(model().instruction_cycles(&add, false, None), 1);
     }
 
     #[test]
     fn taken_branch_pays_flush() {
-        let b = Instruction::Beq { rs: Reg::T0, rt: Reg::T1, offset: 1 };
+        let b = Instruction::Beq {
+            rs: Reg::T0,
+            rt: Reg::T1,
+            offset: 1,
+        };
         assert_eq!(model().instruction_cycles(&b, true, None), 4);
         assert_eq!(model().instruction_cycles(&b, false, None), 1);
     }
@@ -152,7 +160,11 @@ mod tests {
 
     #[test]
     fn load_use_bubble_only_when_dependent() {
-        let dep = Instruction::Add { rd: Reg::T2, rs: Reg::T0, rt: Reg::T1 };
+        let dep = Instruction::Add {
+            rd: Reg::T2,
+            rs: Reg::T0,
+            rt: Reg::T1,
+        };
         assert_eq!(model().instruction_cycles(&dep, false, Some(Reg::T0)), 2);
         assert_eq!(model().instruction_cycles(&dep, false, Some(Reg::T5)), 1);
         assert_eq!(model().instruction_cycles(&dep, false, None), 1);
@@ -160,8 +172,16 @@ mod tests {
 
     #[test]
     fn long_latency_units() {
-        let mul = Instruction::Mul { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 };
-        let div = Instruction::Div { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 };
+        let mul = Instruction::Mul {
+            rd: Reg::T0,
+            rs: Reg::T1,
+            rt: Reg::T2,
+        };
+        let div = Instruction::Div {
+            rd: Reg::T0,
+            rs: Reg::T1,
+            rt: Reg::T2,
+        };
         assert_eq!(model().instruction_cycles(&mul, false, None), 4);
         assert_eq!(model().instruction_cycles(&div, false, None), 35);
     }

@@ -46,9 +46,7 @@ impl CounterBlock {
             prev_w < (1 << PC_BITS) && pc_w < (1 << PC_BITS),
             "PC outside 24-bit word-address space"
         );
-        CounterBlock(
-            ((nonce.value() as u64) << 48) | ((prev_w as u64) << PC_BITS) | pc_w as u64,
-        )
+        CounterBlock(((nonce.value() as u64) << 48) | ((prev_w as u64) << PC_BITS) | pc_w as u64)
     }
 
     /// The raw 64-bit counter value fed to the block cipher.

@@ -40,4 +40,6 @@ pub mod util;
 pub use ctr::CounterBlock;
 pub use keys::{ExpandedKeys, KeySet, Nonce};
 pub use mac::Mac64;
-pub use rectangle::{Key80, Rectangle, CYCLES_ITERATED, CYCLES_UNROLLED_13, ROUNDS, SBOX, SBOX_INV};
+pub use rectangle::{
+    Key80, Rectangle, CYCLES_ITERATED, CYCLES_UNROLLED_13, ROUNDS, SBOX, SBOX_INV,
+};

@@ -238,11 +238,10 @@ impl Module {
             let inst = match &item.reloc {
                 None => item.inst,
                 Some(reloc) => {
-                    let target =
-                        *symbols.get(reloc.label()).ok_or_else(|| AsmError {
-                            line: item.line,
-                            kind: AsmErrorKind::UndefinedLabel(reloc.label().to_string()),
-                        })?;
+                    let target = *symbols.get(reloc.label()).ok_or_else(|| AsmError {
+                        line: item.line,
+                        kind: AsmErrorKind::UndefinedLabel(reloc.label().to_string()),
+                    })?;
                     apply_reloc(item.inst, reloc, pc, target).map_err(|mut e| {
                         e.line = item.line;
                         e
@@ -304,18 +303,24 @@ mod tests {
 
     #[test]
     fn branch_offsets_resolve_backwards_and_forwards() {
-        let a = assemble(
-            "main: beq zero, zero, fwd\nnop\nfwd: bne zero, zero, main\nhalt",
-        )
-        .unwrap();
+        let a =
+            assemble("main: beq zero, zero, fwd\nnop\nfwd: bne zero, zero, main\nhalt").unwrap();
         let insts = a.decode_text();
         assert_eq!(
             insts[0],
-            Instruction::Beq { rs: Reg::ZERO, rt: Reg::ZERO, offset: 1 }
+            Instruction::Beq {
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                offset: 1
+            }
         );
         assert_eq!(
             insts[2],
-            Instruction::Bne { rs: Reg::ZERO, rt: Reg::ZERO, offset: -3 }
+            Instruction::Bne {
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                offset: -3
+            }
         );
     }
 
@@ -332,10 +337,20 @@ mod tests {
         let a = assemble(".text\nmain: la a0, buf\nhalt\n.data\nbuf: .word 42").unwrap();
         let insts = a.decode_text();
         let buf = a.symbols["buf"];
-        assert_eq!(insts[0], Instruction::Lui { rt: Reg::A0, imm: (buf >> 16) as u16 });
+        assert_eq!(
+            insts[0],
+            Instruction::Lui {
+                rt: Reg::A0,
+                imm: (buf >> 16) as u16
+            }
+        );
         assert_eq!(
             insts[1],
-            Instruction::Ori { rt: Reg::A0, rs: Reg::A0, imm: (buf & 0xFFFF) as u16 }
+            Instruction::Ori {
+                rt: Reg::A0,
+                rs: Reg::A0,
+                imm: (buf & 0xFFFF) as u16
+            }
         );
         assert_eq!(&a.data[0..4], &42u32.to_le_bytes());
     }
@@ -356,10 +371,7 @@ mod tests {
 
     #[test]
     fn word_label_builds_function_pointer_table() {
-        let a = assemble(
-            ".text\nmain: halt\nf: ret\ng: ret\n.data\ntbl: .word f, g",
-        )
-        .unwrap();
+        let a = assemble(".text\nmain: halt\nf: ret\ng: ret\n.data\ntbl: .word f, g").unwrap();
         let f = a.symbols["f"];
         let g = a.symbols["g"];
         assert_eq!(&a.data[0..4], &f.to_le_bytes());
@@ -386,7 +398,10 @@ mod tests {
     fn custom_bases() {
         let m = parse("main: halt").unwrap();
         let a = m
-            .layout(&LayoutOptions { text_base: 0x4000, data_base: 0x2000_0000 })
+            .layout(&LayoutOptions {
+                text_base: 0x4000,
+                data_base: 0x2000_0000,
+            })
             .unwrap();
         assert_eq!(a.text_base, 0x4000);
         assert_eq!(a.entry, 0x4000);

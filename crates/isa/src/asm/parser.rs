@@ -117,7 +117,9 @@ impl Parser {
             }
             "equ" => {
                 let (name, value) = rest.split_once(',').ok_or_else(|| {
-                    self.err(AsmErrorKind::BadDirective(".equ needs `name, value`".into()))
+                    self.err(AsmErrorKind::BadDirective(
+                        ".equ needs `name, value`".into(),
+                    ))
                 })?;
                 let name = name.trim().to_string();
                 let value = self.parse_int(value.trim())?;
@@ -340,7 +342,14 @@ impl Parser {
                 if !(-32768..=32767).contains(&neg) {
                     return Err(self.err(AsmErrorKind::BadImmediate(ops[2].clone())));
                 }
-                self.emit_inst(Addi { rt, rs, imm: neg as i16 }, None)
+                self.emit_inst(
+                    Addi {
+                        rt,
+                        rs,
+                        imm: neg as i16,
+                    },
+                    None,
+                )
             }
             "andi" | "ori" | "xori" => {
                 need!(3);
@@ -413,10 +422,26 @@ impl Parser {
                 let label = ops[1].clone();
                 let z = Reg::ZERO;
                 let inst = match m {
-                    "beqz" => Beq { rs, rt: z, offset: 0 },
-                    "bnez" => Bne { rs, rt: z, offset: 0 },
-                    "bltz" => Blt { rs, rt: z, offset: 0 },
-                    _ => Bge { rs, rt: z, offset: 0 },
+                    "beqz" => Beq {
+                        rs,
+                        rt: z,
+                        offset: 0,
+                    },
+                    "bnez" => Bne {
+                        rs,
+                        rt: z,
+                        offset: 0,
+                    },
+                    "bltz" => Blt {
+                        rs,
+                        rt: z,
+                        offset: 0,
+                    },
+                    _ => Bge {
+                        rs,
+                        rt: z,
+                        offset: 0,
+                    },
                 };
                 self.emit_inst(inst, Some(Reloc::Branch(label)))
             }
@@ -424,7 +449,11 @@ impl Parser {
                 need!(1);
                 let z = Reg::ZERO;
                 self.emit_inst(
-                    Beq { rs: z, rt: z, offset: 0 },
+                    Beq {
+                        rs: z,
+                        rt: z,
+                        offset: 0,
+                    },
                     Some(Reloc::Branch(ops[0].clone())),
                 )
             }
@@ -477,13 +506,27 @@ impl Parser {
                 need!(2);
                 let rd = self.reg(&ops[0])?;
                 let rs = self.reg(&ops[1])?;
-                self.emit_inst(Nor { rd, rs, rt: Reg::ZERO }, None)
+                self.emit_inst(
+                    Nor {
+                        rd,
+                        rs,
+                        rt: Reg::ZERO,
+                    },
+                    None,
+                )
             }
             "neg" => {
                 need!(2);
                 let rd = self.reg(&ops[0])?;
                 let rt = self.reg(&ops[1])?;
-                self.emit_inst(Sub { rd, rs: Reg::ZERO, rt }, None)
+                self.emit_inst(
+                    Sub {
+                        rd,
+                        rs: Reg::ZERO,
+                        rt,
+                    },
+                    None,
+                )
             }
             "li" => {
                 need!(2);
@@ -520,9 +563,21 @@ impl Parser {
                 None,
             )
         } else if v & 0xFFFF == 0 {
-            self.emit_inst(Lui { rt, imm: (v >> 16) as u16 }, None)
+            self.emit_inst(
+                Lui {
+                    rt,
+                    imm: (v >> 16) as u16,
+                },
+                None,
+            )
         } else {
-            self.emit_inst(Lui { rt, imm: (v >> 16) as u16 }, None)?;
+            self.emit_inst(
+                Lui {
+                    rt,
+                    imm: (v >> 16) as u16,
+                },
+                None,
+            )?;
             self.emit_inst(
                 Ori {
                     rt,
@@ -590,8 +645,7 @@ impl Parser {
             Some(rest) => (true, rest.trim()),
             None => (false, s),
         };
-        let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X"))
-        {
+        let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
             i64::from_str_radix(&hex.replace('_', ""), 16).map_err(|_| bad())?
         } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
             i64::from_str_radix(&bin.replace('_', ""), 2).map_err(|_| bad())?
@@ -672,8 +726,11 @@ fn split_label(line: &str) -> Option<(&str, &str)> {
 
 fn is_valid_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
 }
 
 /// Splits operands on top-level commas (commas inside quotes are kept).
@@ -760,13 +817,33 @@ mod tests {
         assert_eq!(m.text_len(), 5);
         assert_eq!(
             m.text[0].inst,
-            Instruction::Addi { rt: Reg::T0, rs: Reg::ZERO, imm: 5 }
+            Instruction::Addi {
+                rt: Reg::T0,
+                rs: Reg::ZERO,
+                imm: 5
+            }
         );
-        assert_eq!(m.text[1].inst, Instruction::Lui { rt: Reg::T1, imm: 0x1234 });
-        assert_eq!(m.text[2].inst, Instruction::Lui { rt: Reg::T2, imm: 0x1234 });
+        assert_eq!(
+            m.text[1].inst,
+            Instruction::Lui {
+                rt: Reg::T1,
+                imm: 0x1234
+            }
+        );
+        assert_eq!(
+            m.text[2].inst,
+            Instruction::Lui {
+                rt: Reg::T2,
+                imm: 0x1234
+            }
+        );
         assert_eq!(
             m.text[3].inst,
-            Instruction::Ori { rt: Reg::T2, rs: Reg::T2, imm: 0x5678 }
+            Instruction::Ori {
+                rt: Reg::T2,
+                rs: Reg::T2,
+                imm: 0x5678
+            }
         );
     }
 
@@ -782,11 +859,19 @@ mod tests {
         let m = parse("main: addi t0, zero, -32768\nandi t1, t0, 0xFFFF\nhalt").unwrap();
         assert_eq!(
             m.text[0].inst,
-            Instruction::Addi { rt: Reg::T0, rs: Reg::ZERO, imm: -32768 }
+            Instruction::Addi {
+                rt: Reg::T0,
+                rs: Reg::ZERO,
+                imm: -32768
+            }
         );
         assert_eq!(
             m.text[1].inst,
-            Instruction::Andi { rt: Reg::T1, rs: Reg::T0, imm: 0xFFFF }
+            Instruction::Andi {
+                rt: Reg::T1,
+                rs: Reg::T0,
+                imm: 0xFFFF
+            }
         );
     }
 
@@ -795,7 +880,11 @@ mod tests {
         let m = parse(".equ MMIO, 0x1000\n.text\nmain: li t0, MMIO\nhalt").unwrap();
         assert_eq!(
             m.text[0].inst,
-            Instruction::Addi { rt: Reg::T0, rs: Reg::ZERO, imm: 0x1000 }
+            Instruction::Addi {
+                rt: Reg::T0,
+                rs: Reg::ZERO,
+                imm: 0x1000
+            }
         );
     }
 
@@ -804,15 +893,27 @@ mod tests {
         let m = parse("main: lw t0, 8(sp)\nsw t0, (a0)\nlb t1, -4(fp)\nhalt").unwrap();
         assert_eq!(
             m.text[0].inst,
-            Instruction::Lw { rt: Reg::T0, base: Reg::SP, offset: 8 }
+            Instruction::Lw {
+                rt: Reg::T0,
+                base: Reg::SP,
+                offset: 8
+            }
         );
         assert_eq!(
             m.text[1].inst,
-            Instruction::Sw { rt: Reg::T0, base: Reg::A0, offset: 0 }
+            Instruction::Sw {
+                rt: Reg::T0,
+                base: Reg::A0,
+                offset: 0
+            }
         );
         assert_eq!(
             m.text[2].inst,
-            Instruction::Lb { rt: Reg::T1, base: Reg::FP, offset: -4 }
+            Instruction::Lb {
+                rt: Reg::T1,
+                base: Reg::FP,
+                offset: -4
+            }
         );
     }
 
@@ -849,16 +950,17 @@ mod tests {
 
     #[test]
     fn indirect_attaches_to_jalr() {
-        let m = parse(
-            ".text\nmain: la t0, f\n.indirect f, g\njalr t0\nhalt\nf: ret\ng: ret",
-        )
-        .unwrap();
+        let m =
+            parse(".text\nmain: la t0, f\n.indirect f, g\njalr t0\nhalt\nf: ret\ng: ret").unwrap();
         let jalr = m
             .text
             .iter()
             .find(|t| t.inst.is_indirect_jump() && t.inst.is_call())
             .unwrap();
-        assert_eq!(jalr.indirect_targets, vec!["f".to_string(), "g".to_string()]);
+        assert_eq!(
+            jalr.indirect_targets,
+            vec!["f".to_string(), "g".to_string()]
+        );
     }
 
     #[test]
@@ -869,10 +971,8 @@ mod tests {
 
     #[test]
     fn comments_and_strings() {
-        let m = parse(
-            ".data\nmsg: .strz \"hi # not a comment\" # real comment\n.text\nmain: halt",
-        )
-        .unwrap();
+        let m = parse(".data\nmsg: .strz \"hi # not a comment\" # real comment\n.text\nmain: halt")
+            .unwrap();
         match &m.data[0].kind {
             super::super::DataKind::Bytes(b) => {
                 assert_eq!(b, b"hi # not a comment\0")

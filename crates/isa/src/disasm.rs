@@ -29,8 +29,12 @@ pub fn word(w: u32, pc: u32) -> String {
 pub fn inst_at(inst: &Instruction, pc: u32) -> String {
     use Instruction::*;
     match *inst {
-        Beq { rs, rt, .. } | Bne { rs, rt, .. } | Blt { rs, rt, .. } | Bge { rs, rt, .. }
-        | Bltu { rs, rt, .. } | Bgeu { rs, rt, .. } => {
+        Beq { rs, rt, .. }
+        | Bne { rs, rt, .. }
+        | Blt { rs, rt, .. }
+        | Bge { rs, rt, .. }
+        | Bltu { rs, rt, .. }
+        | Bgeu { rs, rt, .. } => {
             let target = inst.static_target(pc).expect("branches have targets");
             format!("{} {rs}, {rt}, {target:#x}", inst.mnemonic())
         }

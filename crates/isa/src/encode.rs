@@ -181,13 +181,9 @@ impl Instruction {
                 F_SRAV => Srav { rd, rt, rs },
                 F_JR => Jr { rs },
                 F_JALR => Jalr { rd, rs },
-                F_HALT => {
-                    if word == F_HALT {
-                        Halt
-                    } else {
-                        return Err(err());
-                    }
-                }
+                // `halt` must have all-zero register fields.
+                F_HALT if word == F_HALT => Halt,
+                F_HALT => return Err(err()),
                 F_MUL => Mul { rd, rs, rt },
                 F_DIV => Div { rd, rs, rt },
                 F_DIVU => Divu { rd, rs, rt },
@@ -205,12 +201,36 @@ impl Instruction {
             },
             OP_J => J { index },
             OP_JAL => Jal { index },
-            OP_BEQ => Beq { rs, rt, offset: simm },
-            OP_BNE => Bne { rs, rt, offset: simm },
-            OP_BLT => Blt { rs, rt, offset: simm },
-            OP_BGE => Bge { rs, rt, offset: simm },
-            OP_BLTU => Bltu { rs, rt, offset: simm },
-            OP_BGEU => Bgeu { rs, rt, offset: simm },
+            OP_BEQ => Beq {
+                rs,
+                rt,
+                offset: simm,
+            },
+            OP_BNE => Bne {
+                rs,
+                rt,
+                offset: simm,
+            },
+            OP_BLT => Blt {
+                rs,
+                rt,
+                offset: simm,
+            },
+            OP_BGE => Bge {
+                rs,
+                rt,
+                offset: simm,
+            },
+            OP_BLTU => Bltu {
+                rs,
+                rt,
+                offset: simm,
+            },
+            OP_BGEU => Bgeu {
+                rs,
+                rt,
+                offset: simm,
+            },
             OP_ADDI => Addi { rt, rs, imm: simm },
             OP_SLTI => Slti { rt, rs, imm: simm },
             OP_SLTIU => Sltiu { rt, rs, imm: simm },
@@ -218,14 +238,46 @@ impl Instruction {
             OP_ORI => Ori { rt, rs, imm },
             OP_XORI => Xori { rt, rs, imm },
             OP_LUI => Lui { rt, imm },
-            OP_LB => Lb { rt, base: rs, offset: simm },
-            OP_LBU => Lbu { rt, base: rs, offset: simm },
-            OP_LH => Lh { rt, base: rs, offset: simm },
-            OP_LHU => Lhu { rt, base: rs, offset: simm },
-            OP_LW => Lw { rt, base: rs, offset: simm },
-            OP_SB => Sb { rt, base: rs, offset: simm },
-            OP_SH => Sh { rt, base: rs, offset: simm },
-            OP_SW => Sw { rt, base: rs, offset: simm },
+            OP_LB => Lb {
+                rt,
+                base: rs,
+                offset: simm,
+            },
+            OP_LBU => Lbu {
+                rt,
+                base: rs,
+                offset: simm,
+            },
+            OP_LH => Lh {
+                rt,
+                base: rs,
+                offset: simm,
+            },
+            OP_LHU => Lhu {
+                rt,
+                base: rs,
+                offset: simm,
+            },
+            OP_LW => Lw {
+                rt,
+                base: rs,
+                offset: simm,
+            },
+            OP_SB => Sb {
+                rt,
+                base: rs,
+                offset: simm,
+            },
+            OP_SH => Sh {
+                rt,
+                base: rs,
+                offset: simm,
+            },
+            OP_SW => Sw {
+                rt,
+                base: rs,
+                offset: simm,
+            },
             _ => return Err(err()),
         };
         Ok(inst)
@@ -246,49 +298,129 @@ mod tests {
         use Instruction::*;
         let rg = reg_strategy;
         let arms: Vec<BoxedStrategy<Instruction>> = vec![
-            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Add { rd, rs, rt }).boxed(),
-            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Sub { rd, rs, rt }).boxed(),
-            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| And { rd, rs, rt }).boxed(),
-            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Or { rd, rs, rt }).boxed(),
-            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Xor { rd, rs, rt }).boxed(),
-            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Nor { rd, rs, rt }).boxed(),
-            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Slt { rd, rs, rt }).boxed(),
-            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Sltu { rd, rs, rt }).boxed(),
-            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Mul { rd, rs, rt }).boxed(),
-            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Div { rd, rs, rt }).boxed(),
-            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Divu { rd, rs, rt }).boxed(),
-            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Rem { rd, rs, rt }).boxed(),
-            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Remu { rd, rs, rt }).boxed(),
-            (rg(), rg(), rg()).prop_map(|(rd, rt, rs)| Sllv { rd, rt, rs }).boxed(),
-            (rg(), rg(), rg()).prop_map(|(rd, rt, rs)| Srlv { rd, rt, rs }).boxed(),
-            (rg(), rg(), rg()).prop_map(|(rd, rt, rs)| Srav { rd, rt, rs }).boxed(),
-            (rg(), rg(), 0u8..32).prop_map(|(rd, rt, shamt)| Sll { rd, rt, shamt }).boxed(),
-            (rg(), rg(), 0u8..32).prop_map(|(rd, rt, shamt)| Srl { rd, rt, shamt }).boxed(),
-            (rg(), rg(), 0u8..32).prop_map(|(rd, rt, shamt)| Sra { rd, rt, shamt }).boxed(),
+            (rg(), rg(), rg())
+                .prop_map(|(rd, rs, rt)| Add { rd, rs, rt })
+                .boxed(),
+            (rg(), rg(), rg())
+                .prop_map(|(rd, rs, rt)| Sub { rd, rs, rt })
+                .boxed(),
+            (rg(), rg(), rg())
+                .prop_map(|(rd, rs, rt)| And { rd, rs, rt })
+                .boxed(),
+            (rg(), rg(), rg())
+                .prop_map(|(rd, rs, rt)| Or { rd, rs, rt })
+                .boxed(),
+            (rg(), rg(), rg())
+                .prop_map(|(rd, rs, rt)| Xor { rd, rs, rt })
+                .boxed(),
+            (rg(), rg(), rg())
+                .prop_map(|(rd, rs, rt)| Nor { rd, rs, rt })
+                .boxed(),
+            (rg(), rg(), rg())
+                .prop_map(|(rd, rs, rt)| Slt { rd, rs, rt })
+                .boxed(),
+            (rg(), rg(), rg())
+                .prop_map(|(rd, rs, rt)| Sltu { rd, rs, rt })
+                .boxed(),
+            (rg(), rg(), rg())
+                .prop_map(|(rd, rs, rt)| Mul { rd, rs, rt })
+                .boxed(),
+            (rg(), rg(), rg())
+                .prop_map(|(rd, rs, rt)| Div { rd, rs, rt })
+                .boxed(),
+            (rg(), rg(), rg())
+                .prop_map(|(rd, rs, rt)| Divu { rd, rs, rt })
+                .boxed(),
+            (rg(), rg(), rg())
+                .prop_map(|(rd, rs, rt)| Rem { rd, rs, rt })
+                .boxed(),
+            (rg(), rg(), rg())
+                .prop_map(|(rd, rs, rt)| Remu { rd, rs, rt })
+                .boxed(),
+            (rg(), rg(), rg())
+                .prop_map(|(rd, rt, rs)| Sllv { rd, rt, rs })
+                .boxed(),
+            (rg(), rg(), rg())
+                .prop_map(|(rd, rt, rs)| Srlv { rd, rt, rs })
+                .boxed(),
+            (rg(), rg(), rg())
+                .prop_map(|(rd, rt, rs)| Srav { rd, rt, rs })
+                .boxed(),
+            (rg(), rg(), 0u8..32)
+                .prop_map(|(rd, rt, shamt)| Sll { rd, rt, shamt })
+                .boxed(),
+            (rg(), rg(), 0u8..32)
+                .prop_map(|(rd, rt, shamt)| Srl { rd, rt, shamt })
+                .boxed(),
+            (rg(), rg(), 0u8..32)
+                .prop_map(|(rd, rt, shamt)| Sra { rd, rt, shamt })
+                .boxed(),
             rg().prop_map(|rs| Jr { rs }).boxed(),
             (rg(), rg()).prop_map(|(rd, rs)| Jalr { rd, rs }).boxed(),
             Just(Halt).boxed(),
-            (rg(), rg(), any::<i16>()).prop_map(|(rt, rs, imm)| Addi { rt, rs, imm }).boxed(),
-            (rg(), rg(), any::<i16>()).prop_map(|(rt, rs, imm)| Slti { rt, rs, imm }).boxed(),
-            (rg(), rg(), any::<i16>()).prop_map(|(rt, rs, imm)| Sltiu { rt, rs, imm }).boxed(),
-            (rg(), rg(), any::<u16>()).prop_map(|(rt, rs, imm)| Andi { rt, rs, imm }).boxed(),
-            (rg(), rg(), any::<u16>()).prop_map(|(rt, rs, imm)| Ori { rt, rs, imm }).boxed(),
-            (rg(), rg(), any::<u16>()).prop_map(|(rt, rs, imm)| Xori { rt, rs, imm }).boxed(),
-            (rg(), any::<u16>()).prop_map(|(rt, imm)| Lui { rt, imm }).boxed(),
-            (rg(), rg(), any::<i16>()).prop_map(|(rt, base, offset)| Lb { rt, base, offset }).boxed(),
-            (rg(), rg(), any::<i16>()).prop_map(|(rt, base, offset)| Lbu { rt, base, offset }).boxed(),
-            (rg(), rg(), any::<i16>()).prop_map(|(rt, base, offset)| Lh { rt, base, offset }).boxed(),
-            (rg(), rg(), any::<i16>()).prop_map(|(rt, base, offset)| Lhu { rt, base, offset }).boxed(),
-            (rg(), rg(), any::<i16>()).prop_map(|(rt, base, offset)| Lw { rt, base, offset }).boxed(),
-            (rg(), rg(), any::<i16>()).prop_map(|(rt, base, offset)| Sb { rt, base, offset }).boxed(),
-            (rg(), rg(), any::<i16>()).prop_map(|(rt, base, offset)| Sh { rt, base, offset }).boxed(),
-            (rg(), rg(), any::<i16>()).prop_map(|(rt, base, offset)| Sw { rt, base, offset }).boxed(),
-            (rg(), rg(), any::<i16>()).prop_map(|(rs, rt, offset)| Beq { rs, rt, offset }).boxed(),
-            (rg(), rg(), any::<i16>()).prop_map(|(rs, rt, offset)| Bne { rs, rt, offset }).boxed(),
-            (rg(), rg(), any::<i16>()).prop_map(|(rs, rt, offset)| Blt { rs, rt, offset }).boxed(),
-            (rg(), rg(), any::<i16>()).prop_map(|(rs, rt, offset)| Bge { rs, rt, offset }).boxed(),
-            (rg(), rg(), any::<i16>()).prop_map(|(rs, rt, offset)| Bltu { rs, rt, offset }).boxed(),
-            (rg(), rg(), any::<i16>()).prop_map(|(rs, rt, offset)| Bgeu { rs, rt, offset }).boxed(),
+            (rg(), rg(), any::<i16>())
+                .prop_map(|(rt, rs, imm)| Addi { rt, rs, imm })
+                .boxed(),
+            (rg(), rg(), any::<i16>())
+                .prop_map(|(rt, rs, imm)| Slti { rt, rs, imm })
+                .boxed(),
+            (rg(), rg(), any::<i16>())
+                .prop_map(|(rt, rs, imm)| Sltiu { rt, rs, imm })
+                .boxed(),
+            (rg(), rg(), any::<u16>())
+                .prop_map(|(rt, rs, imm)| Andi { rt, rs, imm })
+                .boxed(),
+            (rg(), rg(), any::<u16>())
+                .prop_map(|(rt, rs, imm)| Ori { rt, rs, imm })
+                .boxed(),
+            (rg(), rg(), any::<u16>())
+                .prop_map(|(rt, rs, imm)| Xori { rt, rs, imm })
+                .boxed(),
+            (rg(), any::<u16>())
+                .prop_map(|(rt, imm)| Lui { rt, imm })
+                .boxed(),
+            (rg(), rg(), any::<i16>())
+                .prop_map(|(rt, base, offset)| Lb { rt, base, offset })
+                .boxed(),
+            (rg(), rg(), any::<i16>())
+                .prop_map(|(rt, base, offset)| Lbu { rt, base, offset })
+                .boxed(),
+            (rg(), rg(), any::<i16>())
+                .prop_map(|(rt, base, offset)| Lh { rt, base, offset })
+                .boxed(),
+            (rg(), rg(), any::<i16>())
+                .prop_map(|(rt, base, offset)| Lhu { rt, base, offset })
+                .boxed(),
+            (rg(), rg(), any::<i16>())
+                .prop_map(|(rt, base, offset)| Lw { rt, base, offset })
+                .boxed(),
+            (rg(), rg(), any::<i16>())
+                .prop_map(|(rt, base, offset)| Sb { rt, base, offset })
+                .boxed(),
+            (rg(), rg(), any::<i16>())
+                .prop_map(|(rt, base, offset)| Sh { rt, base, offset })
+                .boxed(),
+            (rg(), rg(), any::<i16>())
+                .prop_map(|(rt, base, offset)| Sw { rt, base, offset })
+                .boxed(),
+            (rg(), rg(), any::<i16>())
+                .prop_map(|(rs, rt, offset)| Beq { rs, rt, offset })
+                .boxed(),
+            (rg(), rg(), any::<i16>())
+                .prop_map(|(rs, rt, offset)| Bne { rs, rt, offset })
+                .boxed(),
+            (rg(), rg(), any::<i16>())
+                .prop_map(|(rs, rt, offset)| Blt { rs, rt, offset })
+                .boxed(),
+            (rg(), rg(), any::<i16>())
+                .prop_map(|(rs, rt, offset)| Bge { rs, rt, offset })
+                .boxed(),
+            (rg(), rg(), any::<i16>())
+                .prop_map(|(rs, rt, offset)| Bltu { rs, rt, offset })
+                .boxed(),
+            (rg(), rg(), any::<i16>())
+                .prop_map(|(rs, rt, offset)| Bgeu { rs, rt, offset })
+                .boxed(),
             (0u32..1 << 26).prop_map(|index| J { index }).boxed(),
             (0u32..1 << 26).prop_map(|index| Jal { index }).boxed(),
         ];
@@ -327,11 +459,31 @@ mod tests {
         let samples = [
             Instruction::nop(),
             Instruction::Halt,
-            Instruction::Add { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 },
-            Instruction::Addi { rt: Reg::T0, rs: Reg::T1, imm: -1 },
-            Instruction::Lw { rt: Reg::T0, base: Reg::SP, offset: 4 },
-            Instruction::Sw { rt: Reg::T0, base: Reg::SP, offset: 4 },
-            Instruction::Beq { rs: Reg::T0, rt: Reg::T1, offset: 2 },
+            Instruction::Add {
+                rd: Reg::T0,
+                rs: Reg::T1,
+                rt: Reg::T2,
+            },
+            Instruction::Addi {
+                rt: Reg::T0,
+                rs: Reg::T1,
+                imm: -1,
+            },
+            Instruction::Lw {
+                rt: Reg::T0,
+                base: Reg::SP,
+                offset: 4,
+            },
+            Instruction::Sw {
+                rt: Reg::T0,
+                base: Reg::SP,
+                offset: 4,
+            },
+            Instruction::Beq {
+                rs: Reg::T0,
+                rt: Reg::T1,
+                offset: 2,
+            },
             Instruction::J { index: 4 },
             Instruction::Jal { index: 4 },
             Instruction::Jr { rs: Reg::RA },

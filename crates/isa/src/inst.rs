@@ -32,78 +32,246 @@ use crate::Reg;
 #[allow(missing_docs)] // operand fields follow one fixed naming scheme
 pub enum Instruction {
     // ---- R-type ALU, three registers: rd <- rs OP rt ----
-    Add { rd: Reg, rs: Reg, rt: Reg },
-    Sub { rd: Reg, rs: Reg, rt: Reg },
-    And { rd: Reg, rs: Reg, rt: Reg },
-    Or { rd: Reg, rs: Reg, rt: Reg },
-    Xor { rd: Reg, rs: Reg, rt: Reg },
-    Nor { rd: Reg, rs: Reg, rt: Reg },
+    Add {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Sub {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    And {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Or {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Xor {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Nor {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
     /// Set `rd` to 1 if `rs < rt` (signed), else 0.
-    Slt { rd: Reg, rs: Reg, rt: Reg },
+    Slt {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
     /// Set `rd` to 1 if `rs < rt` (unsigned), else 0.
-    Sltu { rd: Reg, rs: Reg, rt: Reg },
+    Sltu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
     /// `rd <- low 32 bits of rs * rt`.
-    Mul { rd: Reg, rs: Reg, rt: Reg },
+    Mul {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
     /// Signed division; division by zero traps.
-    Div { rd: Reg, rs: Reg, rt: Reg },
-    Divu { rd: Reg, rs: Reg, rt: Reg },
+    Div {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Divu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
     /// Signed remainder; division by zero traps.
-    Rem { rd: Reg, rs: Reg, rt: Reg },
-    Remu { rd: Reg, rs: Reg, rt: Reg },
+    Rem {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Remu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
     /// `rd <- rt << (rs & 31)`.
-    Sllv { rd: Reg, rt: Reg, rs: Reg },
-    Srlv { rd: Reg, rt: Reg, rs: Reg },
-    Srav { rd: Reg, rt: Reg, rs: Reg },
+    Sllv {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Srlv {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Srav {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
 
     // ---- R-type shifts by immediate: rd <- rt SHIFT shamt ----
-    Sll { rd: Reg, rt: Reg, shamt: u8 },
-    Srl { rd: Reg, rt: Reg, shamt: u8 },
-    Sra { rd: Reg, rt: Reg, shamt: u8 },
+    Sll {
+        rd: Reg,
+        rt: Reg,
+        shamt: u8,
+    },
+    Srl {
+        rd: Reg,
+        rt: Reg,
+        shamt: u8,
+    },
+    Sra {
+        rd: Reg,
+        rt: Reg,
+        shamt: u8,
+    },
 
     // ---- R-type control ----
     /// Indirect jump to the address in `rs`.
-    Jr { rs: Reg },
+    Jr {
+        rs: Reg,
+    },
     /// Indirect call: `rd <- pc + 4`, jump to `rs`.
-    Jalr { rd: Reg, rs: Reg },
+    Jalr {
+        rd: Reg,
+        rs: Reg,
+    },
     /// Stop the simulation; the program's exit point.
     Halt,
 
     // ---- I-type ALU ----
     /// `rt <- rs + sign_extend(imm)`.
-    Addi { rt: Reg, rs: Reg, imm: i16 },
-    Slti { rt: Reg, rs: Reg, imm: i16 },
-    Sltiu { rt: Reg, rs: Reg, imm: i16 },
+    Addi {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Slti {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Sltiu {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
     /// `rt <- rs & zero_extend(imm)`.
-    Andi { rt: Reg, rs: Reg, imm: u16 },
-    Ori { rt: Reg, rs: Reg, imm: u16 },
-    Xori { rt: Reg, rs: Reg, imm: u16 },
+    Andi {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Ori {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Xori {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
     /// `rt <- imm << 16`.
-    Lui { rt: Reg, imm: u16 },
+    Lui {
+        rt: Reg,
+        imm: u16,
+    },
 
     // ---- I-type memory: address = base + sign_extend(offset) ----
-    Lb { rt: Reg, base: Reg, offset: i16 },
-    Lbu { rt: Reg, base: Reg, offset: i16 },
-    Lh { rt: Reg, base: Reg, offset: i16 },
-    Lhu { rt: Reg, base: Reg, offset: i16 },
-    Lw { rt: Reg, base: Reg, offset: i16 },
-    Sb { rt: Reg, base: Reg, offset: i16 },
-    Sh { rt: Reg, base: Reg, offset: i16 },
-    Sw { rt: Reg, base: Reg, offset: i16 },
+    Lb {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lbu {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lh {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lhu {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lw {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Sb {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Sh {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Sw {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
 
     // ---- I-type compare-and-branch; offset in words from pc + 4 ----
-    Beq { rs: Reg, rt: Reg, offset: i16 },
-    Bne { rs: Reg, rt: Reg, offset: i16 },
+    Beq {
+        rs: Reg,
+        rt: Reg,
+        offset: i16,
+    },
+    Bne {
+        rs: Reg,
+        rt: Reg,
+        offset: i16,
+    },
     /// Branch if `rs < rt` (signed).
-    Blt { rs: Reg, rt: Reg, offset: i16 },
+    Blt {
+        rs: Reg,
+        rt: Reg,
+        offset: i16,
+    },
     /// Branch if `rs >= rt` (signed).
-    Bge { rs: Reg, rt: Reg, offset: i16 },
-    Bltu { rs: Reg, rt: Reg, offset: i16 },
-    Bgeu { rs: Reg, rt: Reg, offset: i16 },
+    Bge {
+        rs: Reg,
+        rt: Reg,
+        offset: i16,
+    },
+    Bltu {
+        rs: Reg,
+        rt: Reg,
+        offset: i16,
+    },
+    Bgeu {
+        rs: Reg,
+        rt: Reg,
+        offset: i16,
+    },
 
     // ---- J-type; index is a 26-bit word index ----
-    J { index: u32 },
+    J {
+        index: u32,
+    },
     /// Call: `ra <- pc + 4`, jump to index.
-    Jal { index: u32 },
+    Jal {
+        index: u32,
+    },
 }
 
 impl Instruction {
@@ -195,14 +363,38 @@ impl Instruction {
     pub fn def_reg(&self) -> Option<Reg> {
         use Instruction::*;
         let rd = match *self {
-            Add { rd, .. } | Sub { rd, .. } | And { rd, .. } | Or { rd, .. } | Xor { rd, .. }
-            | Nor { rd, .. } | Slt { rd, .. } | Sltu { rd, .. } | Mul { rd, .. }
-            | Div { rd, .. } | Divu { rd, .. } | Rem { rd, .. } | Remu { rd, .. }
-            | Sllv { rd, .. } | Srlv { rd, .. } | Srav { rd, .. } | Sll { rd, .. }
-            | Srl { rd, .. } | Sra { rd, .. } | Jalr { rd, .. } => rd,
-            Addi { rt, .. } | Slti { rt, .. } | Sltiu { rt, .. } | Andi { rt, .. }
-            | Ori { rt, .. } | Xori { rt, .. } | Lui { rt, .. } | Lb { rt, .. }
-            | Lbu { rt, .. } | Lh { rt, .. } | Lhu { rt, .. } | Lw { rt, .. } => rt,
+            Add { rd, .. }
+            | Sub { rd, .. }
+            | And { rd, .. }
+            | Or { rd, .. }
+            | Xor { rd, .. }
+            | Nor { rd, .. }
+            | Slt { rd, .. }
+            | Sltu { rd, .. }
+            | Mul { rd, .. }
+            | Div { rd, .. }
+            | Divu { rd, .. }
+            | Rem { rd, .. }
+            | Remu { rd, .. }
+            | Sllv { rd, .. }
+            | Srlv { rd, .. }
+            | Srav { rd, .. }
+            | Sll { rd, .. }
+            | Srl { rd, .. }
+            | Sra { rd, .. }
+            | Jalr { rd, .. } => rd,
+            Addi { rt, .. }
+            | Slti { rt, .. }
+            | Sltiu { rt, .. }
+            | Andi { rt, .. }
+            | Ori { rt, .. }
+            | Xori { rt, .. }
+            | Lui { rt, .. }
+            | Lb { rt, .. }
+            | Lbu { rt, .. }
+            | Lh { rt, .. }
+            | Lhu { rt, .. }
+            | Lw { rt, .. } => rt,
             Jal { .. } => Reg::RA,
             _ => return None,
         };
@@ -217,17 +409,39 @@ impl Instruction {
     pub fn use_regs(&self) -> Vec<Reg> {
         use Instruction::*;
         match *self {
-            Add { rs, rt, .. } | Sub { rs, rt, .. } | And { rs, rt, .. } | Or { rs, rt, .. }
-            | Xor { rs, rt, .. } | Nor { rs, rt, .. } | Slt { rs, rt, .. }
-            | Sltu { rs, rt, .. } | Mul { rs, rt, .. } | Div { rs, rt, .. }
-            | Divu { rs, rt, .. } | Rem { rs, rt, .. } | Remu { rs, rt, .. }
-            | Sllv { rs, rt, .. } | Srlv { rs, rt, .. } | Srav { rs, rt, .. }
-            | Beq { rs, rt, .. } | Bne { rs, rt, .. } | Blt { rs, rt, .. }
-            | Bge { rs, rt, .. } | Bltu { rs, rt, .. } | Bgeu { rs, rt, .. } => vec![rs, rt],
+            Add { rs, rt, .. }
+            | Sub { rs, rt, .. }
+            | And { rs, rt, .. }
+            | Or { rs, rt, .. }
+            | Xor { rs, rt, .. }
+            | Nor { rs, rt, .. }
+            | Slt { rs, rt, .. }
+            | Sltu { rs, rt, .. }
+            | Mul { rs, rt, .. }
+            | Div { rs, rt, .. }
+            | Divu { rs, rt, .. }
+            | Rem { rs, rt, .. }
+            | Remu { rs, rt, .. }
+            | Sllv { rs, rt, .. }
+            | Srlv { rs, rt, .. }
+            | Srav { rs, rt, .. }
+            | Beq { rs, rt, .. }
+            | Bne { rs, rt, .. }
+            | Blt { rs, rt, .. }
+            | Bge { rs, rt, .. }
+            | Bltu { rs, rt, .. }
+            | Bgeu { rs, rt, .. } => vec![rs, rt],
             Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => vec![rt],
-            Addi { rs, .. } | Slti { rs, .. } | Sltiu { rs, .. } | Andi { rs, .. }
-            | Ori { rs, .. } | Xori { rs, .. } => vec![rs],
-            Lb { base, .. } | Lbu { base, .. } | Lh { base, .. } | Lhu { base, .. }
+            Addi { rs, .. }
+            | Slti { rs, .. }
+            | Sltiu { rs, .. }
+            | Andi { rs, .. }
+            | Ori { rs, .. }
+            | Xori { rs, .. } => vec![rs],
+            Lb { base, .. }
+            | Lbu { base, .. }
+            | Lh { base, .. }
+            | Lhu { base, .. }
             | Lw { base, .. } => vec![base],
             Sb { rt, base, .. } | Sh { rt, base, .. } | Sw { rt, base, .. } => vec![rt, base],
             Jr { rs } | Jalr { rs, .. } => vec![rs],
@@ -249,8 +463,12 @@ impl Instruction {
     pub fn static_target(&self, pc: u32) -> Option<u32> {
         use Instruction::*;
         match *self {
-            Beq { offset, .. } | Bne { offset, .. } | Blt { offset, .. } | Bge { offset, .. }
-            | Bltu { offset, .. } | Bgeu { offset, .. } => {
+            Beq { offset, .. }
+            | Bne { offset, .. }
+            | Blt { offset, .. }
+            | Bge { offset, .. }
+            | Bltu { offset, .. }
+            | Bgeu { offset, .. } => {
                 Some(pc.wrapping_add(4).wrapping_add((offset as i32 as u32) << 2))
             }
             J { index } | Jal { index } => Some((pc & 0xF000_0000) | (index << 2)),
@@ -345,10 +563,19 @@ impl fmt::Display for Instruction {
         }
         let m = self.mnemonic();
         match *self {
-            Add { rd, rs, rt } | Sub { rd, rs, rt } | And { rd, rs, rt } | Or { rd, rs, rt }
-            | Xor { rd, rs, rt } | Nor { rd, rs, rt } | Slt { rd, rs, rt }
-            | Sltu { rd, rs, rt } | Mul { rd, rs, rt } | Div { rd, rs, rt }
-            | Divu { rd, rs, rt } | Rem { rd, rs, rt } | Remu { rd, rs, rt } => {
+            Add { rd, rs, rt }
+            | Sub { rd, rs, rt }
+            | And { rd, rs, rt }
+            | Or { rd, rs, rt }
+            | Xor { rd, rs, rt }
+            | Nor { rd, rs, rt }
+            | Slt { rd, rs, rt }
+            | Sltu { rd, rs, rt }
+            | Mul { rd, rs, rt }
+            | Div { rd, rs, rt }
+            | Divu { rd, rs, rt }
+            | Rem { rd, rs, rt }
+            | Remu { rd, rs, rt } => {
                 write!(f, "{m} {rd}, {rs}, {rt}")
             }
             Sllv { rd, rt, rs } | Srlv { rd, rt, rs } | Srav { rd, rt, rs } => {
@@ -367,13 +594,22 @@ impl fmt::Display for Instruction {
                 write!(f, "{m} {rt}, {rs}, {imm:#x}")
             }
             Lui { rt, imm } => write!(f, "lui {rt}, {imm:#x}"),
-            Lb { rt, base, offset } | Lbu { rt, base, offset } | Lh { rt, base, offset }
-            | Lhu { rt, base, offset } | Lw { rt, base, offset } | Sb { rt, base, offset }
-            | Sh { rt, base, offset } | Sw { rt, base, offset } => {
+            Lb { rt, base, offset }
+            | Lbu { rt, base, offset }
+            | Lh { rt, base, offset }
+            | Lhu { rt, base, offset }
+            | Lw { rt, base, offset }
+            | Sb { rt, base, offset }
+            | Sh { rt, base, offset }
+            | Sw { rt, base, offset } => {
                 write!(f, "{m} {rt}, {offset}({base})")
             }
-            Beq { rs, rt, offset } | Bne { rs, rt, offset } | Blt { rs, rt, offset }
-            | Bge { rs, rt, offset } | Bltu { rs, rt, offset } | Bgeu { rs, rt, offset } => {
+            Beq { rs, rt, offset }
+            | Bne { rs, rt, offset }
+            | Blt { rs, rt, offset }
+            | Bge { rs, rt, offset }
+            | Bltu { rs, rt, offset }
+            | Bgeu { rs, rt, offset } => {
                 write!(f, "{m} {rs}, {rt}, {offset}")
             }
             J { index } => write!(f, "j {:#x}", index << 2),
@@ -426,7 +662,10 @@ mod tests {
         };
         assert_eq!(b.static_target(0x200), Some(0x200));
         let j = Instruction::J { index: 0x123 };
-        assert_eq!(j.static_target(0x1000_0000), Some(0x1000_0000 & 0xF000_0000 | 0x48C));
+        assert_eq!(
+            j.static_target(0x1000_0000),
+            Some(0x1000_0000 & 0xF000_0000 | 0x48C)
+        );
         let add = Instruction::Add {
             rd: Reg::T0,
             rs: Reg::T1,

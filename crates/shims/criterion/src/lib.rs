@@ -1,0 +1,323 @@
+//! Offline, API-compatible stand-in for the `criterion` crate.
+//!
+//! Covers the surface this workspace's benches use (see
+//! `crates/shims/README.md`). Measurement is a calibrated warm-up to size
+//! the iteration count, then several timed windows; the median window is
+//! reported as ns/iter together with optional throughput. Mirroring real
+//! criterion's behaviour, a bench binary invoked without `--bench` (as
+//! `cargo test` does) runs every benchmark body exactly once as a smoke
+//! test instead of measuring.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// An opaque sink preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units a benchmark processes per iteration, for derived throughput.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Logical elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, printable as `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id from a parameter alone (the group name provides context).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Invoked by `cargo bench` (`--bench` present): measure.
+    Measure,
+    /// Invoked by `cargo test`: run each body once.
+    Smoke,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    benches_run: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Measure,
+            filter: None,
+            benches_run: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (as `criterion_main!`
+    /// does). `--bench` selects measurement mode; the first free argument
+    /// is a substring filter; other flags are accepted and ignored —
+    /// including the value of a value-taking criterion flag like
+    /// `--save-baseline main`, which must not be mistaken for the filter.
+    pub fn from_args() -> Criterion {
+        // Real-criterion flags that consume the following argument.
+        const VALUE_FLAGS: &[&str] = &[
+            "--save-baseline",
+            "--baseline",
+            "--baseline-lenient",
+            "--color",
+            "--colour",
+            "--sample-size",
+            "--warm-up-time",
+            "--measurement-time",
+            "--nresamples",
+            "--noise-threshold",
+            "--confidence-level",
+            "--significance-level",
+            "--profile-time",
+            "--load-baseline",
+            "--output-format",
+            "--plotting-backend",
+            "--format",
+            "--logfile",
+        ];
+        let mut mode = Mode::Smoke;
+        let mut filter = None;
+        let mut skip_value = false;
+        for arg in std::env::args().skip(1) {
+            if skip_value {
+                skip_value = false;
+                continue;
+            }
+            match arg.as_str() {
+                "--bench" => mode = Mode::Measure,
+                a if VALUE_FLAGS.contains(&a) => skip_value = true,
+                a if a.starts_with('-') => {}
+                a if filter.is_none() => filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        Criterion {
+            mode,
+            filter,
+            benches_run: 0,
+        }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks one function.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        self.run_one(&id.to_string(), None, f);
+        self
+    }
+
+    /// Prints the closing line (`criterion_main!` calls this).
+    pub fn final_summary(&self) {
+        if self.mode == Mode::Measure {
+            println!("\n{} benchmark(s) measured", self.benches_run);
+        }
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: self.mode,
+            sample: None,
+        };
+        f(&mut bencher);
+        self.benches_run += 1;
+        if self.mode == Mode::Smoke {
+            return;
+        }
+        match bencher.sample {
+            Some(ns_per_iter) => {
+                let thrpt = throughput.map(|t| throughput_line(t, ns_per_iter));
+                println!(
+                    "{id:<40} time: {:>12} {}",
+                    format_ns(ns_per_iter),
+                    thrpt.unwrap_or_default()
+                );
+            }
+            None => println!("{id:<40} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, f);
+        self
+    }
+
+    /// Benchmarks one function parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Runs the timed routine.
+pub struct Bencher {
+    mode: Mode,
+    sample: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median ns/iter for the report. In
+    /// smoke mode (under `cargo test`) the routine runs exactly once.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.mode == Mode::Smoke {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: grow the batch until one batch takes >= 5 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1 << 40 {
+                let per_iter = elapsed.as_nanos() as f64 / batch as f64;
+                // Size batches to ~20 ms and take the median of 5.
+                let target = Duration::from_millis(20).as_nanos() as f64;
+                batch = ((target / per_iter.max(0.1)) as u64).max(1);
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                start.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.sample = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn throughput_line(t: Throughput, ns_per_iter: f64) -> String {
+    let per_second = 1_000_000_000.0 / ns_per_iter;
+    match t {
+        Throughput::Bytes(n) => {
+            let bps = per_second * n as f64;
+            format!("thrpt: {:.2} MiB/s", bps / (1024.0 * 1024.0))
+        }
+        Throughput::Elements(n) => {
+            let eps = per_second * n as f64;
+            format!("thrpt: {:.3} Melem/s", eps / 1_000_000.0)
+        }
+    }
+}
+
+/// Declares a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}

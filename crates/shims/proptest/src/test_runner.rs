@@ -1,0 +1,103 @@
+//! Deterministic case generation and failure plumbing.
+
+use std::fmt;
+
+/// Cases generated per `proptest!` test.
+pub const CASES: u32 = 64;
+
+/// `prop_assume!` rejections tolerated per case before the test fails
+/// (real proptest errors out similarly instead of looping forever on an
+/// unsatisfiable assumption).
+pub const MAX_REJECTS_PER_CASE: u32 = 1024;
+
+/// Runner configuration — only the case count is honoured.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: CASES }
+    }
+}
+
+/// A SplitMix64 generator — deterministic per test so failures reproduce.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the generator from a test's name (FNV-1a over the bytes).
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in name.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(h)
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform index in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Why a generated case did not pass: an assertion failure or a
+/// `prop_assume!` rejection (the latter is skipped, not reported).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+    rejection: bool,
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(message: String) -> TestCaseError {
+        TestCaseError {
+            message,
+            rejection: false,
+        }
+    }
+
+    /// A `prop_assume!` precondition rejection.
+    pub fn reject() -> TestCaseError {
+        TestCaseError {
+            message: String::new(),
+            rejection: true,
+        }
+    }
+
+    /// Whether this is a rejection rather than a failure.
+    pub fn is_rejection(&self) -> bool {
+        self.rejection
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}

@@ -39,10 +39,16 @@ impl fmt::Display for TransformError {
             TransformError::Cfg(e) => write!(f, "control flow not analysable: {e}"),
             TransformError::Layout(e) => write!(f, "layout failed: {e}"),
             TransformError::IndirectLinksNonRa { line } => {
-                write!(f, "line {line}: jalr must link through ra to be transformable")
+                write!(
+                    f,
+                    "line {line}: jalr must link through ra to be transformable"
+                )
             }
             TransformError::ScratchRegisterClash { line } => {
-                write!(f, "line {line}: indirect transfer uses reserved scratch register k0")
+                write!(
+                    f,
+                    "line {line}: indirect transfer uses reserved scratch register k0"
+                )
             }
             TransformError::BadFormat(msg) => write!(f, "invalid block format: {msg}"),
             TransformError::EmptyProgram => write!(f, "program has no instructions"),

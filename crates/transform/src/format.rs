@@ -85,9 +85,7 @@ impl BlockFormat {
             return Err("exec_insts must be at least 2 (mux blocks need one instruction)".into());
         }
         if self.store_safe_word_offset >= self.block_words() {
-            return Err(
-                "store_safe_word_offset leaves no legal store slot in a block".into(),
-            );
+            return Err("store_safe_word_offset leaves no legal store slot in a block".into());
         }
         Ok(())
     }
@@ -204,9 +202,15 @@ mod tests {
 
     #[test]
     fn invalid_formats_rejected() {
-        let bad = BlockFormat { exec_insts: 1, store_safe_word_offset: 0 };
+        let bad = BlockFormat {
+            exec_insts: 1,
+            store_safe_word_offset: 0,
+        };
         assert!(bad.validate().is_err());
-        let bad2 = BlockFormat { exec_insts: 4, store_safe_word_offset: 99 };
+        let bad2 = BlockFormat {
+            exec_insts: 4,
+            store_safe_word_offset: 99,
+        };
         assert!(bad2.validate().is_err());
     }
 
@@ -215,6 +219,6 @@ mod tests {
         let f = BlockFormat::default();
         assert!(RESET_PREV_PC < f.text_base());
         assert_eq!(UNREACHABLE_PREV_PC % 4, 0);
-        assert!(UNREACHABLE_PREV_PC >> 2 < (1 << 24));
+        const { assert!(UNREACHABLE_PREV_PC >> 2 < (1 << 24)) };
     }
 }

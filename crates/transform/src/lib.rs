@@ -115,9 +115,7 @@ impl Transformer {
     /// and programs whose layout violates encoding ranges; see
     /// [`TransformError`].
     pub fn transform(&self, module: &Module) -> Result<SecureImage, TransformError> {
-        self.format
-            .validate()
-            .map_err(TransformError::BadFormat)?;
+        self.format.validate().map_err(TransformError::BadFormat)?;
         if module.text.is_empty() {
             return Err(TransformError::EmptyProgram);
         }
@@ -189,7 +187,11 @@ mod tests {
         let insts = &words[2..];
         assert_eq!(
             Instruction::decode(insts[0]).unwrap(),
-            Instruction::Addi { rt: sofia_isa::Reg::T0, rs: sofia_isa::Reg::ZERO, imm: 7 }
+            Instruction::Addi {
+                rt: sofia_isa::Reg::T0,
+                rs: sofia_isa::Reg::ZERO,
+                imm: 7
+            }
         );
         assert_eq!(Instruction::decode(insts[5]).unwrap(), Instruction::Halt);
         // MAC check (k2 domain, padded to 6 words)
@@ -217,7 +219,11 @@ mod tests {
             .unwrap();
         // No plaintext instruction word survives in the ciphertext at the
         // corresponding position.
-        assert!(img.ctext.iter().zip(plain.words.iter()).all(|(c, p)| c != p));
+        assert!(img
+            .ctext
+            .iter()
+            .zip(plain.words.iter())
+            .all(|(c, p)| c != p));
     }
 
     #[test]

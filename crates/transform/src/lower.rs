@@ -94,17 +94,28 @@ fn lower_indirect(module: &Module) -> Result<Module, TransformError> {
                 target.clone()
             };
             emit(
-                Instruction::Lui { rt: Reg::K0, imm: 0 },
+                Instruction::Lui {
+                    rt: Reg::K0,
+                    imm: 0,
+                },
                 Some(Reloc::Hi(target.clone())),
                 std::mem::take(&mut labels),
             );
             emit(
-                Instruction::Ori { rt: Reg::K0, rs: Reg::K0, imm: 0 },
+                Instruction::Ori {
+                    rt: Reg::K0,
+                    rs: Reg::K0,
+                    imm: 0,
+                },
                 Some(Reloc::Lo(target.clone())),
                 Vec::new(),
             );
             emit(
-                Instruction::Beq { rs, rt: Reg::K0, offset: 0 },
+                Instruction::Beq {
+                    rs,
+                    rt: Reg::K0,
+                    offset: 0,
+                },
                 Some(Reloc::Branch(case_label)),
                 Vec::new(),
             );
@@ -229,7 +240,10 @@ mod tests {
             vec!["lui", "ori", "lui", "ori", "beq", "halt", "jal", "j", "halt", "jr"]
         );
         // The continuation label is attached to the original `halt`.
-        assert!(l.text[8].labels.iter().any(|s| s.starts_with("__sofia_cont")));
+        assert!(l.text[8]
+            .labels
+            .iter()
+            .any(|s| s.starts_with("__sofia_cont")));
     }
 
     #[test]
@@ -266,11 +280,7 @@ mod tests {
         )
         .unwrap();
         let l = lower(&m).unwrap();
-        let rets = l
-            .text
-            .iter()
-            .filter(|t| is_return(&t.inst))
-            .count();
+        let rets = l.text.iter().filter(|t| is_return(&t.inst)).count();
         assert_eq!(rets, 1, "exactly one return after normalisation");
         // Return points now have a single Return predecessor.
         let cfg = Cfg::build(&l).unwrap();

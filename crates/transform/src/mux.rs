@@ -149,7 +149,10 @@ mod tests {
                 assert_eq!(b.kind, BlockKind::Mux);
                 assert_eq!(b.synth, Synth::TreeNode);
                 assert_eq!(b.entries.len(), 2);
-                assert!(matches!(b.slots.last().unwrap().inst, Instruction::J { .. }));
+                assert!(matches!(
+                    b.slots.last().unwrap().inst,
+                    Instruction::J { .. }
+                ));
             }
         }
     }

@@ -139,11 +139,7 @@ pub(crate) fn pack(module: &Module, cfg: &Cfg, format: &BlockFormat) -> Packed {
         is_leader[cfg.entry()] = true;
     }
     for (i, leader) in is_leader.iter_mut().enumerate() {
-        if cfg
-            .preds(i)
-            .iter()
-            .any(|e| e.kind != EdgeKind::FallThrough)
-        {
+        if cfg.preds(i).iter().any(|e| e.kind != EdgeKind::FallThrough) {
             *leader = true;
         }
     }
@@ -273,7 +269,11 @@ impl Packer<'_> {
     }
 
     fn push_pad(&mut self) {
-        self.cur.as_mut().expect("open").slots.push(Slot::pad_slot());
+        self.cur
+            .as_mut()
+            .expect("open")
+            .slots
+            .push(Slot::pad_slot());
         self.pad_nops += 1;
     }
 
@@ -339,10 +339,7 @@ impl Packer<'_> {
     /// fix up the fall-through edge if it enters a multi-pred leader.
     fn maybe_ft_fixup_after(&mut self, i: usize, b: usize) {
         let next = i + 1;
-        if next < self.module.text.len()
-            && self.is_leader[next]
-            && self.pred_count(next) >= 2
-        {
+        if next < self.module.text.len() && self.is_leader[next] && self.pred_count(next) >= 2 {
             self.emit_ft_trampoline(next, b);
         }
     }
@@ -371,8 +368,7 @@ impl Packer<'_> {
         });
         self.ft_trampolines += 1;
         debug_assert!(leader > 0);
-        self.overrides
-            .insert((leader - 1, leader), Src::Block(idx));
+        self.overrides.insert((leader - 1, leader), Src::Block(idx));
     }
 
     /// If the return point of the `jal` at `i` has predecessors besides
@@ -391,8 +387,7 @@ impl Packer<'_> {
         if returns.is_empty() {
             return;
         }
-        let has_other =
-            preds.len() > returns.len() || l == self.cfg.entry() || returns.len() > 1;
+        let has_other = preds.len() > returns.len() || l == self.cfg.entry() || returns.len() > 1;
         if !has_other {
             return;
         }
@@ -539,7 +534,11 @@ mod tests {
                    bnez t0, loop
                    halt",
         );
-        let mux: Vec<_> = p.blocks.iter().filter(|b| b.kind == BlockKind::Mux).collect();
+        let mux: Vec<_> = p
+            .blocks
+            .iter()
+            .filter(|b| b.kind == BlockKind::Mux)
+            .collect();
         assert_eq!(mux.len(), 1);
         assert_eq!(mux[0].entries.len(), 2);
         let srcs: Vec<_> = mux[0].entries.iter().map(|e| e.src).collect();
@@ -570,7 +569,10 @@ mod tests {
             .iter()
             .find(|b| b.synth == Synth::FtTrampoline)
             .expect("trampoline exists");
-        assert!(matches!(t.slots.last().unwrap().inst, Instruction::J { .. }));
+        assert!(matches!(
+            t.slots.last().unwrap().inst,
+            Instruction::J { .. }
+        ));
         assert_eq!(t.entries.len(), 1);
     }
 
@@ -605,9 +607,8 @@ mod tests {
         );
         // The second jal and the halt are return points; their blocks must
         // be Exec with exactly one (Return) entry.
-        for (i, item) in m.text.iter().enumerate() {
-            let is_return_point = i > 0
-                && matches!(m.text[i - 1].inst, Instruction::Jal { .. });
+        for i in 0..m.text.len() {
+            let is_return_point = i > 0 && matches!(m.text[i - 1].inst, Instruction::Jal { .. });
             if !is_return_point {
                 continue;
             }
@@ -640,7 +641,10 @@ mod tests {
         assert_eq!(pad.kind, BlockKind::Exec);
         assert_eq!(pad.entries.len(), 1);
         assert_eq!(pad.entries[0].kind, EdgeKind::Return);
-        assert!(matches!(pad.slots.last().unwrap().inst, Instruction::J { .. }));
+        assert!(matches!(
+            pad.slots.last().unwrap().inst,
+            Instruction::J { .. }
+        ));
     }
 
     #[test]
@@ -683,10 +687,7 @@ mod tests {
 
     #[test]
     fn store_first_program_pads_before_store() {
-        let module = lower(
-            &asm::parse("main: sw zero, 0(sp)\n halt").unwrap(),
-        )
-        .unwrap();
+        let module = lower(&asm::parse("main: sw zero, 0(sp)\n halt").unwrap()).unwrap();
         let cfg = Cfg::build(&module).unwrap();
         let p = pack(&module, &cfg, &BlockFormat::default());
         let b = &p.blocks[0];
@@ -697,10 +698,7 @@ mod tests {
 
     #[test]
     fn exec4_format_packs_four_per_block() {
-        let module = lower(
-            &asm::parse("main: nop\nnop\nnop\nnop\nnop\nhalt").unwrap(),
-        )
-        .unwrap();
+        let module = lower(&asm::parse("main: nop\nnop\nnop\nnop\nnop\nhalt").unwrap()).unwrap();
         let cfg = Cfg::build(&module).unwrap();
         let p = pack(&module, &cfg, &BlockFormat::exec4());
         assert_eq!(p.blocks.len(), 2);
@@ -717,7 +715,11 @@ mod tests {
              dead: nop
              end:  halt",
         );
-        let dead_idx = m.text.iter().position(|t| t.labels.contains(&"dead".into())).unwrap();
+        let dead_idx = m
+            .text
+            .iter()
+            .position(|t| t.labels.contains(&"dead".into()))
+            .unwrap();
         let (b, _) = p.placement[dead_idx].unwrap();
         assert!(p.blocks[b].entries.is_empty());
     }

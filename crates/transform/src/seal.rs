@@ -67,8 +67,14 @@ pub(crate) fn seal(input: SealInput<'_>) -> Result<SecureImage, TransformError> 
 
     // --- entry lookup: which word a transfer from `src` must target ---
     let entry_addr = |dst_block: usize, src: Src| -> Option<u32> {
-        let candidates =
-            std::iter::once(dst_block).chain(trees.nodes_of.get(&dst_block).into_iter().flatten().copied());
+        let candidates = std::iter::once(dst_block).chain(
+            trees
+                .nodes_of
+                .get(&dst_block)
+                .into_iter()
+                .flatten()
+                .copied(),
+        );
         for cand in candidates {
             let blk = &packed.blocks[cand];
             if let Some(pos) = blk.entries.iter().position(|e| e.src == src) {
@@ -94,9 +100,8 @@ pub(crate) fn seal(input: SealInput<'_>) -> Result<SecureImage, TransformError> 
                 None => slot.inst,
                 Some(Target::Label(reloc)) => match reloc {
                     Reloc::Branch(l) | Reloc::Jump(l) => {
-                        let leader = label_leader(l).ok_or_else(|| {
-                            TransformError::Layout(undef(l))
-                        })?;
+                        let leader =
+                            label_leader(l).ok_or_else(|| TransformError::Layout(undef(l)))?;
                         let dst = block_of_leader(leader);
                         let addr = entry_addr(dst, Src::Block(bi)).ok_or_else(|| {
                             TransformError::Layout(undef(&format!(
@@ -204,9 +209,8 @@ pub(crate) fn seal(input: SealInput<'_>) -> Result<SecureImage, TransformError> 
     // --- entry point ---
     let entry_leader = cfg.entry();
     let entry_block = block_of_leader(entry_leader);
-    let entry = entry_addr(entry_block, Src::Reset).ok_or_else(|| {
-        TransformError::Layout(undef("<reset entry>"))
-    })?;
+    let entry = entry_addr(entry_block, Src::Reset)
+        .ok_or_else(|| TransformError::Layout(undef("<reset entry>")))?;
 
     // --- symbols (debug aid) ---
     let mut symbols = text_tokens;

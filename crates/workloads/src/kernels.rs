@@ -162,10 +162,9 @@ arr:
         word_directives(&data)
     );
     data.sort_unstable();
-    let checksum = data
-        .iter()
-        .enumerate()
-        .fold(0u32, |a, (i, &v)| a.wrapping_add(v.wrapping_mul(i as u32 + 1)));
+    let checksum = data.iter().enumerate().fold(0u32, |a, (i, &v)| {
+        a.wrapping_add(v.wrapping_mul(i as u32 + 1))
+    });
     Workload {
         name: "bubble_sort",
         description: "in-place bubble sort with store-heavy inner loop",
@@ -177,9 +176,7 @@ arr:
 /// 16-tap integer FIR filter over `n` samples; checksum of all outputs.
 pub fn fir(n: usize) -> Workload {
     assert!(n > 16, "need more samples than taps");
-    let coefs: Vec<u32> = (0..16)
-        .map(|k| ((k as i32 - 8) * 3 + 5) as u32)
-        .collect();
+    let coefs: Vec<u32> = (0i32..16).map(|k| ((k - 8) * 3 + 5) as u32).collect();
     let samples = random_words(n, 0xF12);
     let nout = n - 15;
     let mut checksum = 0u32;
@@ -479,7 +476,6 @@ handlers: .word h0, h1, h2, h3
     }
 }
 
-
 /// Recursive quicksort (Lomuto partition) over `n` pseudo-random words —
 /// deep call stacks and a recursive function whose three call sites
 /// (one external, two internal) exercise SOFIA's multiplexor trees.
@@ -563,10 +559,9 @@ arr:
         word_directives(&data)
     );
     data.sort_unstable();
-    let checksum = data
-        .iter()
-        .enumerate()
-        .fold(0u32, |a, (i, &v)| a.wrapping_add(v.wrapping_mul(i as u32 + 1)));
+    let checksum = data.iter().enumerate().fold(0u32, |a, (i, &v)| {
+        a.wrapping_add(v.wrapping_mul(i as u32 + 1))
+    });
     Workload {
         name: "quicksort",
         description: "recursive quicksort (deep stacks, recursive mux trees)",
@@ -586,10 +581,7 @@ pub fn strsearch(hay_len: usize) -> Workload {
         hay[plant..plant + needle.len()].copy_from_slice(needle);
         plant += 97;
     }
-    let count = hay
-        .windows(needle.len())
-        .filter(|w| *w == needle)
-        .count() as u32;
+    let count = hay.windows(needle.len()).filter(|w| *w == needle).count() as u32;
     let nlen = needle.len();
     let source = format!(
         "{PRELUDE}

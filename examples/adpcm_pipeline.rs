@@ -31,21 +31,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Table, paper-style.
     let (vhw, shw) = sofia::hwmodel::table1();
-    let cyc_overhead =
-        (sofia.exec.cycles as f64 / vanilla.cycles as f64 - 1.0) * 100.0;
-    let time_overhead = (sofia.exec.cycles as f64 * shw.period_ns)
-        / (vanilla.cycles as f64 * vhw.period_ns)
-        - 1.0;
+    let cyc_overhead = (sofia.exec.cycles as f64 / vanilla.cycles as f64 - 1.0) * 100.0;
+    let time_overhead =
+        (sofia.exec.cycles as f64 * shw.period_ns) / (vanilla.cycles as f64 * vhw.period_ns) - 1.0;
 
     println!("                     this repro        paper");
     println!(
         "text size          {:>7} -> {:<7}  6,976 -> 16,816 B",
         report.text_bytes_in, report.text_bytes_out
     );
-    println!(
-        "expansion          {:>14.2}x  2.41x",
-        report.expansion()
-    );
+    println!("expansion          {:>14.2}x  2.41x", report.expansion());
     println!(
         "cycles             {:>8} -> {:<10}  114,188,673 -> 130,840,013",
         vanilla.cycles, sofia.exec.cycles
@@ -56,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("SOFIA breakdown:");
     println!("  blocks fetched        {}", sofia.blocks);
     println!("  mac words as nops     {}", sofia.mac_nop_slots);
-    println!("  cipher ops (ctr/cbc)  {}/{}", sofia.ctr_ops, sofia.cbc_ops);
+    println!(
+        "  cipher ops (ctr/cbc)  {}/{}",
+        sofia.ctr_ops, sofia.cbc_ops
+    );
     println!("  redirect fill cycles  {}", sofia.redirect_fill_cycles);
     println!("  icache stall cycles   {}", sofia.exec.icache_stall_cycles);
     println!(

@@ -19,7 +19,11 @@ fn main() {
     println!("attack                             target   verdict");
     println!("{}", "-".repeat(78));
 
-    show("code injection (imm rewrite)", "vanilla", &injection::inject_vanilla());
+    show(
+        "code injection (imm rewrite)",
+        "vanilla",
+        &injection::inject_vanilla(),
+    );
     show(
         "code injection (plaintext write)",
         "sofia",
@@ -36,7 +40,11 @@ fn main() {
         &injection::inject_sofia(&keys, false, false),
     );
 
-    show("instruction reorder", "vanilla", &relocation::swap_code_vanilla());
+    show(
+        "instruction reorder",
+        "vanilla",
+        &relocation::swap_code_vanilla(),
+    );
     show(
         "block relocation (swap 0,1)",
         "sofia",
@@ -48,9 +56,21 @@ fn main() {
         &relocation::cross_version_splice(&keys),
     );
 
-    show("ROP-style data poisoning", "vanilla", &hijack::poison_vanilla());
-    show("ROP-style data poisoning", "sofia", &hijack::poison_sofia(&keys));
-    show("PC fault injection", "vanilla", &hijack::fault_inject_vanilla());
+    show(
+        "ROP-style data poisoning",
+        "vanilla",
+        &hijack::poison_vanilla(),
+    );
+    show(
+        "ROP-style data poisoning",
+        "sofia",
+        &hijack::poison_sofia(&keys),
+    );
+    show(
+        "PC fault injection",
+        "vanilla",
+        &hijack::fault_inject_vanilla(),
+    );
     show(
         "PC fault injection (block 2)",
         "sofia",

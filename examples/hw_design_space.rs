@@ -17,7 +17,11 @@ use sofia_workloads::kernels;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (v, paper) = hwmodel::table1();
     println!("Table I (calibrated model):");
-    println!("  vanilla: {:>6.0} slices @ {:.1} MHz", v.slices, v.clock_mhz());
+    println!(
+        "  vanilla: {:>6.0} slices @ {:.1} MHz",
+        v.slices,
+        v.clock_mhz()
+    );
     println!(
         "  SOFIA  : {:>6.0} slices @ {:.1} MHz  (+{:.1}% area, {:.1}% slower clock)\n",
         paper.slices,
@@ -37,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut vm = VanillaMachine::new(&plain);
     vm.run(100_000_000)?;
     let vanilla_time_us = vm.stats().cycles as f64 * v.period_ns / 1000.0;
-    println!("workload: crc32(1 KiB), vanilla {:.1} us @ {:.1} MHz\n", vanilla_time_us, v.clock_mhz());
+    println!(
+        "workload: crc32(1 KiB), vanilla {:.1} us @ {:.1} MHz\n",
+        vanilla_time_us,
+        v.clock_mhz()
+    );
 
     println!("unroll  slices  clock(MHz)  cyc/op  cycles   time(us)  vs-vanilla");
     for hw in hwmodel::unroll_sweep() {

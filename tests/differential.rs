@@ -45,7 +45,9 @@ impl RandomProgram {
                 Op::And => body.push_str("    and s1, s1, s0\n    ori s1, s1, 3\n"),
                 Op::Or => body.push_str("    or s0, s0, s1\n"),
                 Op::Mul => body.push_str("    mul s0, s0, s1\n    ori s0, s0, 1\n"),
-                Op::Sll(n) => body.push_str(&format!("    sll s1, s1, {}\n    ori s1, s1, 5\n", n % 8)),
+                Op::Sll(n) => {
+                    body.push_str(&format!("    sll s1, s1, {}\n    ori s1, s1, 5\n", n % 8))
+                }
                 Op::Srl(n) => body.push_str(&format!("    srl s0, s0, {}\n", n % 8)),
                 Op::SkipIfEven => body.push_str(&format!(
                     "    andi t0, s0, 1\n    beqz t0, skip_{i}\n    addi s1, s1, 17\nskip_{i}:\n"
@@ -86,9 +88,7 @@ mixer:
 .data
 scratch: .space 4
 ",
-            self.seed_a,
-            self.seed_b,
-            self.iterations,
+            self.seed_a, self.seed_b, self.iterations,
         )
     }
 }
@@ -116,13 +116,15 @@ fn program_strategy() -> impl Strategy<Value = RandomProgram> {
         proptest::collection::vec(op_strategy(), 1..12),
         any::<bool>(),
     )
-        .prop_map(|(seed_a, seed_b, iterations, body, call_helper)| RandomProgram {
-            seed_a,
-            seed_b,
-            iterations,
-            body,
-            call_helper,
-        })
+        .prop_map(
+            |(seed_a, seed_b, iterations, body, call_helper)| RandomProgram {
+                seed_a,
+                seed_b,
+                iterations,
+                body,
+                call_helper,
+            },
+        )
 }
 
 proptest! {

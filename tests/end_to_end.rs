@@ -40,7 +40,12 @@ fn overheads_stay_within_the_reproduction_bands() {
         let (sofia, report) = w.verify_on_sofia(&keys).unwrap();
         let cyc = sofia.exec.cycles as f64 / vanilla.cycles as f64;
         let time = cyc * shw.period_ns / vhw.period_ns;
-        assert!((1.0..8.0).contains(&report.expansion()), "{}: {}", w.name, report.expansion());
+        assert!(
+            (1.0..8.0).contains(&report.expansion()),
+            "{}: {}",
+            w.name,
+            report.expansion()
+        );
         assert!((1.0..5.0).contains(&cyc), "{}: cycle factor {cyc}", w.name);
         assert!(time > cyc, "{}: clock loss must compound", w.name);
     }
@@ -71,7 +76,10 @@ fn wrong_device_keys_cannot_run_an_image() {
     let mut m = SofiaMachine::new(&image, &other);
     let outcome = m.run(10_000).unwrap();
     assert!(
-        matches!(outcome, RunOutcome::ViolationStop(Violation::MacMismatch { .. })),
+        matches!(
+            outcome,
+            RunOutcome::ViolationStop(Violation::MacMismatch { .. })
+        ),
         "{outcome:?}"
     );
 }
@@ -100,7 +108,13 @@ fn sofia_stats_are_internally_consistent() {
     assert_eq!(s.blocks, s.exec_blocks + s.mux_blocks);
     // Each exec block carries 2 MAC nops, each mux path 2 (of 3 words).
     assert_eq!(s.mac_nop_slots, 2 * s.blocks);
-    assert!(s.ctr_ops >= s.blocks * 4, "ctr ops cover every fetched word");
+    assert!(
+        s.ctr_ops >= s.blocks * 4,
+        "ctr ops cover every fetched word"
+    );
     assert!(s.cbc_ops == s.blocks * 3, "3 CBC ops per default block");
-    assert!(s.exec.cycles > s.exec.instret, "slots + stalls exceed 1/cycle");
+    assert!(
+        s.exec.cycles > s.exec.instret,
+        "slots + stalls exceed 1/cycle"
+    );
 }

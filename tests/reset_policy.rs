@@ -1,0 +1,59 @@
+//! Reset-policy coverage through the public facade: the paper's reboot
+//! behaviour ("the processor should be able to reboot reliably fast")
+//! must be bounded — a persistently tampered image terminates in a
+//! reported reset loop instead of spinning forever.
+
+use sofia::core::machine::{RunOutcome, SofiaMachine};
+use sofia::core::{ResetPolicy, SofiaConfig, Violation};
+use sofia::prelude::*;
+
+fn build(max_resets: u32) -> (SofiaMachine, KeySet) {
+    let keys = KeySet::from_seed(0x5E5E7);
+    let image = Transformer::new(keys.clone())
+        .transform(&asm::parse("main: li t0, 1\n li a0, 0xFFFF0000\n sw t0, 0(a0)\n halt").unwrap())
+        .unwrap();
+    let config = SofiaConfig {
+        reset_policy: ResetPolicy::Reboot { max_resets },
+        ..Default::default()
+    };
+    (SofiaMachine::with_config(&image, &keys, &config), keys)
+}
+
+#[test]
+fn persistent_tamper_terminates_in_a_reset_loop() {
+    let (mut m, _) = build(5);
+    // Corrupt the entry block in ROM: every reboot re-fetches the same
+    // tampered ciphertext, so every boot attempt fails.
+    m.mem_mut().rom_mut()[0] ^= 0xDEAD;
+    let outcome = m.run(u64::MAX).unwrap();
+    // Terminates with exactly the configured reset budget spent — it
+    // does not spin, even with unbounded fuel.
+    assert_eq!(outcome, RunOutcome::ResetLoop { resets: 5 });
+    assert_eq!(m.stats().resets, 5);
+    // One violation per boot attempt: the initial one plus one per reboot.
+    assert_eq!(m.stats().violations, 6);
+    assert!(m
+        .violations()
+        .iter()
+        .all(|v| matches!(v, Violation::MacMismatch { .. })));
+    // The tampered program never reached its store.
+    assert!(m.mem().mmio.out_words.is_empty());
+}
+
+#[test]
+fn reboot_policy_is_transparent_for_honest_images() {
+    let (mut m, _) = build(5);
+    let outcome = m.run(100_000).unwrap();
+    assert!(outcome.is_halted());
+    assert_eq!(m.stats().resets, 0);
+    assert_eq!(m.mem().mmio.out_words, vec![1]);
+}
+
+#[test]
+fn zero_reset_budget_abandons_on_first_violation() {
+    let (mut m, _) = build(0);
+    m.mem_mut().rom_mut()[0] ^= 1;
+    let outcome = m.run(u64::MAX).unwrap();
+    assert_eq!(outcome, RunOutcome::ResetLoop { resets: 0 });
+    assert_eq!(m.stats().violations, 1);
+}
