@@ -13,6 +13,7 @@
 //!   check fires: the paper's fine-grained CFI at work.
 
 use sofia_core::machine::SofiaMachine;
+use sofia_core::SofiaConfig;
 use sofia_cpu::machine::VanillaMachine;
 use sofia_crypto::KeySet;
 use sofia_isa::asm;
@@ -61,13 +62,18 @@ pub fn poison_vanilla() -> Verdict {
 /// the gadget (it is on no CFG edge), so the malicious write never
 /// happens.
 pub fn poison_sofia(keys: &KeySet) -> Verdict {
+    poison_sofia_with(keys, &SofiaConfig::default())
+}
+
+/// [`poison_sofia`] under an arbitrary machine configuration.
+pub fn poison_sofia_with(keys: &KeySet, config: &SofiaConfig) -> Verdict {
     let module = asm::parse(&rop_victim()).expect("victim parses");
     let image = Transformer::new(keys.clone())
         .transform(&module)
         .expect("victim transforms");
     let gadget = image.symbols["gadget"];
     let slot = image.symbols["target_slot"];
-    let mut m = SofiaMachine::new(&image, keys);
+    let mut m = SofiaMachine::with_config(&image, keys, config);
     // The entry block publishes the slot; poison right after it, before
     // `process` loads the continuation.
     let _ = m.step_block().expect("prologue executes");
@@ -80,11 +86,20 @@ pub fn poison_sofia(keys: &KeySet) -> Verdict {
 /// PC fault injection against SOFIA: force the next fetch into the middle
 /// of the program along an edge that does not exist in the CFG.
 pub fn fault_inject_sofia(keys: &KeySet, target_offset_blocks: usize) -> Verdict {
+    fault_inject_sofia_with(keys, &SofiaConfig::default(), target_offset_blocks)
+}
+
+/// [`fault_inject_sofia`] under an arbitrary machine configuration.
+pub fn fault_inject_sofia_with(
+    keys: &KeySet,
+    config: &SofiaConfig,
+    target_offset_blocks: usize,
+) -> Verdict {
     let module = asm::parse(&rop_victim()).expect("victim parses");
     let image = Transformer::new(keys.clone())
         .transform(&module)
         .expect("victim transforms");
-    let mut m = SofiaMachine::new(&image, keys);
+    let mut m = SofiaMachine::with_config(&image, keys, config);
     let _ = m.step_block().expect("first block runs");
     let target = image.text_base + (target_offset_blocks as u32) * image.format.block_bytes();
     m.hijack_next_target(target);

@@ -66,6 +66,24 @@ pub fn inject_vanilla() -> Verdict {
 ///   the evil instruction. This defeats encryption-only ISR; only the
 ///   MAC stops it (set `enforce_si = false` to watch it succeed).
 pub fn inject_sofia(keys: &KeySet, enforce_si: bool, plaintext_overwrite: bool) -> Verdict {
+    inject_sofia_with(
+        keys,
+        &SofiaConfig {
+            enforce_si,
+            ..Default::default()
+        },
+        plaintext_overwrite,
+    )
+}
+
+/// [`inject_sofia`] under an arbitrary machine configuration — the
+/// security matrix uses this to prove ablations (CFI-only) and additions
+/// (the verified-block cache) change nothing about the verdict.
+pub fn inject_sofia_with(
+    keys: &KeySet,
+    config: &SofiaConfig,
+    plaintext_overwrite: bool,
+) -> Verdict {
     let module = asm::parse(&control_loop_victim(8)).expect("victim parses");
     let image = Transformer::new(keys.clone())
         .transform(&module)
@@ -80,14 +98,7 @@ pub fn inject_sofia(keys: &KeySet, enforce_si: bool, plaintext_overwrite: bool) 
     let probe_plain = decrypt_interior_words(&probe, &probe_keys);
     let idx = find_safe_imm(&probe_plain).expect("probe contains the safe li");
 
-    let mut m = SofiaMachine::with_config(
-        &image,
-        keys,
-        &SofiaConfig {
-            enforce_si,
-            ..Default::default()
-        },
-    );
+    let mut m = SofiaMachine::with_config(&image, keys, config);
     if plaintext_overwrite {
         m.mem_mut().rom_mut()[idx] = Instruction::Addi {
             rt: Reg::T1,

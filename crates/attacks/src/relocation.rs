@@ -9,6 +9,7 @@
 //! silent acceptance of the same tampering.
 
 use sofia_core::machine::SofiaMachine;
+use sofia_core::SofiaConfig;
 use sofia_cpu::machine::VanillaMachine;
 use sofia_crypto::{KeySet, Nonce};
 use sofia_isa::asm;
@@ -21,13 +22,18 @@ use crate::{Verdict, FUEL};
 /// Swaps two whole blocks of the SOFIA ciphertext (attacker splicing
 /// code they cannot read).
 pub fn swap_blocks_sofia(keys: &KeySet, a: usize, b: usize) -> Verdict {
+    swap_blocks_sofia_with(keys, &SofiaConfig::default(), a, b)
+}
+
+/// [`swap_blocks_sofia`] under an arbitrary machine configuration.
+pub fn swap_blocks_sofia_with(keys: &KeySet, config: &SofiaConfig, a: usize, b: usize) -> Verdict {
     let module = asm::parse(&control_loop_victim(8)).expect("victim parses");
     let image = Transformer::new(keys.clone())
         .transform(&module)
         .expect("victim transforms");
     let bw = image.format.block_words();
     assert!(a != b && (a + 1) * bw <= image.ctext.len() && (b + 1) * bw <= image.ctext.len());
-    let mut m = SofiaMachine::new(&image, keys);
+    let mut m = SofiaMachine::with_config(&image, keys, config);
     for w in 0..bw {
         m.mem_mut().rom_mut().swap(a * bw + w, b * bw + w);
     }
@@ -91,6 +97,11 @@ pub fn swap_code_vanilla() -> Verdict {
 /// nonce ω) into version 1 — the downgrade/mix-and-match attack the
 /// per-program nonce exists to stop.
 pub fn cross_version_splice(keys: &KeySet) -> Verdict {
+    cross_version_splice_with(keys, &SofiaConfig::default())
+}
+
+/// [`cross_version_splice`] under an arbitrary machine configuration.
+pub fn cross_version_splice_with(keys: &KeySet, config: &SofiaConfig) -> Verdict {
     let module = asm::parse(&control_loop_victim(8)).expect("victim parses");
     let v1 = Transformer::new(keys.clone())
         .with_nonce(Nonce::new(1))
@@ -101,7 +112,7 @@ pub fn cross_version_splice(keys: &KeySet) -> Verdict {
         .transform(&module)
         .expect("v2 transforms");
     let bw = v1.format.block_words();
-    let mut m = SofiaMachine::new(&v1, keys);
+    let mut m = SofiaMachine::with_config(&v1, keys, config);
     // Replace v1's second block with v2's bit-for-bit (same program, so
     // same plaintext — only ω differs).
     for w in 0..bw {

@@ -6,8 +6,8 @@
 //! ```
 //!
 //! Experiment ids (DESIGN.md §3): `fig1 fig2 fig3 fig4 fig5 fig6 fig7
-//! fig9 tab1 sec adpcm suite ablate-block ablate-unroll ablate-sched
-//! confid`.
+//! fig9 tab1 sec adpcm suite vcache ablate-block ablate-unroll
+//! ablate-sched confid`.
 
 use sofia_bench::{format_row, measure, measure_with, row_header};
 use sofia_core::machine::SofiaMachine;
@@ -35,6 +35,7 @@ fn main() {
             "sec",
             "adpcm",
             "suite",
+            "vcache",
             "ablate-block",
             "ablate-unroll",
             "ablate-sched",
@@ -60,6 +61,7 @@ fn main() {
             "sec" | "sec-si" | "sec-cfi" => security_eval(),
             "adpcm" => adpcm_eval(),
             "suite" => suite_eval(),
+            "vcache" => vcache_eval(),
             "ablate-block" => ablate_block(),
             "ablate-unroll" => ablate_unroll(),
             "ablate-sched" => ablate_sched(),
@@ -333,6 +335,45 @@ fn adpcm_eval() {
         s.cipher_stall_cycles,
         s.store_gate_stall_cycles,
         s.exec.icache_stall_cycles
+    );
+}
+
+/// Extension — the verified-block cache trajectory: vanilla vs
+/// sofia-uncached vs sofia-cached cycles across the suite, plus the
+/// hardware price of the cache.
+fn vcache_eval() {
+    banner("vcache: verified-block cache (edge-keyed, post-verification)");
+    let keys = KeySet::from_seed(0xCA5E);
+    let vcache = sofia_core::VCacheConfig::enabled(256, 8);
+    println!(
+        "  geometry: {} entries x {}-way, hit latency {}",
+        vcache.entries, vcache.ways, vcache.hit_latency
+    );
+    println!(
+        "  {:<12} {:>12} {:>12} {:>12} {:>8} {:>10} {:>8}",
+        "workload", "van cycles", "uncached", "cached", "saved", "hit-rate", "misses"
+    );
+    for w in sofia_workloads::suite(Scale::Test) {
+        let r = sofia_bench::vcache_row(&w, &keys, vcache);
+        println!(
+            "  {:<12} {:>12} {:>12} {:>12} {:>7.1}% {:>9.1}% {:>8}",
+            r.name,
+            r.vanilla_cycles,
+            r.sofia_uncached_cycles,
+            r.sofia_cached_cycles,
+            r.reduction() * 100.0,
+            100.0 * r.vcache_hits as f64 / (r.vcache_hits + r.vcache_misses).max(1) as f64,
+            r.vcache_misses,
+        );
+    }
+    let base = sofia_hwmodel::sofia(sofia_hwmodel::PAPER_UNROLL);
+    let cached = sofia_hwmodel::sofia_with_vcache(sofia_hwmodel::PAPER_UNROLL, vcache.entries);
+    println!(
+        "  hardware: {:.0} -> {:.0} slices (+{:.1}%), clock unchanged at {:.1} MHz",
+        base.slices,
+        cached.slices,
+        (cached.slices / base.slices - 1.0) * 100.0,
+        cached.clock_mhz()
     );
 }
 

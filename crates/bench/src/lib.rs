@@ -9,7 +9,7 @@
 #![forbid(unsafe_code)]
 
 use sofia_core::machine::SofiaMachine;
-use sofia_core::{SofiaConfig, SofiaStats};
+use sofia_core::{SofiaConfig, SofiaStats, VCacheConfig};
 use sofia_cpu::machine::VanillaMachine;
 use sofia_cpu::ExecStats;
 use sofia_crypto::KeySet;
@@ -148,6 +148,99 @@ pub fn row_header() -> String {
     )
 }
 
+/// One row of the verified-block-cache trajectory: the same workload's
+/// cycle count on the vanilla machine, the uncached SOFIA machine, and
+/// the cached SOFIA machine.
+#[derive(Clone, Debug)]
+pub struct VCacheRow {
+    /// Workload name.
+    pub name: String,
+    /// Baseline cycles.
+    pub vanilla_cycles: u64,
+    /// SOFIA cycles with the cache disabled.
+    pub sofia_uncached_cycles: u64,
+    /// SOFIA cycles with the cache enabled.
+    pub sofia_cached_cycles: u64,
+    /// Cache hits / misses of the cached run.
+    pub vcache_hits: u64,
+    /// Cache misses of the cached run.
+    pub vcache_misses: u64,
+}
+
+impl VCacheRow {
+    /// Fraction of the uncached SOFIA cycles the cache recovered.
+    pub fn reduction(&self) -> f64 {
+        1.0 - self.sofia_cached_cycles as f64 / self.sofia_uncached_cycles as f64
+    }
+}
+
+/// Measures `workload` on all three machines under `vcache` (simulated
+/// cycles: deterministic, host-independent).
+///
+/// # Panics
+///
+/// Panics if any machine misbehaves — measurement runs must be correct
+/// runs.
+pub fn vcache_row(workload: &Workload, keys: &KeySet, vcache: VCacheConfig) -> VCacheRow {
+    let vanilla = workload
+        .verify_on_vanilla()
+        .expect("vanilla verifies")
+        .cycles;
+    let image = workload.secure_image(keys);
+    let mut uncached = SofiaMachine::new(&image, keys);
+    assert!(uncached.run(FUEL).expect("uncached traps").is_halted());
+    let config = SofiaConfig {
+        vcache,
+        ..Default::default()
+    };
+    let mut cached = SofiaMachine::with_config(&image, keys, &config);
+    assert!(cached.run(FUEL).expect("cached traps").is_halted());
+    assert_eq!(
+        cached.mem().mmio.out_words,
+        workload.expected,
+        "{}: cached output mismatch",
+        workload.name
+    );
+    let cs = cached.stats();
+    VCacheRow {
+        name: workload.name.to_string(),
+        vanilla_cycles: vanilla,
+        sofia_uncached_cycles: uncached.stats().exec.cycles,
+        sofia_cached_cycles: cs.exec.cycles,
+        vcache_hits: cs.vcache_hits,
+        vcache_misses: cs.vcache_misses,
+    }
+}
+
+/// Serialises rows to the `BENCH_vcache.json` schema: a stable,
+/// machine-independent record of the perf trajectory (simulated cycles
+/// only — no wall-clock noise).
+pub fn vcache_rows_json(vcache: VCacheConfig, rows: &[VCacheRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"vcache\",\n");
+    out.push_str(&format!(
+        "  \"vcache\": {{ \"entries\": {}, \"ways\": {}, \"hit_latency\": {} }},\n",
+        vcache.entries, vcache.ways, vcache.hit_latency
+    ));
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"vanilla_cycles\": {}, \"sofia_uncached_cycles\": {}, \
+             \"sofia_cached_cycles\": {}, \"vcache_hits\": {}, \"vcache_misses\": {}, \
+             \"reduction_pct\": {:.2} }}{}\n",
+            r.name,
+            r.vanilla_cycles,
+            r.sofia_uncached_cycles,
+            r.sofia_cached_cycles,
+            r.vcache_hits,
+            r.vcache_misses,
+            r.reduction() * 100.0,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +254,18 @@ mod tests {
         assert!(row.expansion() > 1.3);
         assert!(row.time_overhead_pct() > row.cycle_overhead_pct());
         assert!(!format_row(&row).is_empty());
+    }
+
+    #[test]
+    fn vcache_row_orders_the_three_machines() {
+        let keys = KeySet::from_seed(12);
+        let w = sofia_workloads::kernels::fib(200);
+        let row = vcache_row(&w, &keys, VCacheConfig::enabled(64, 4));
+        assert!(row.vanilla_cycles < row.sofia_cached_cycles);
+        assert!(row.sofia_cached_cycles < row.sofia_uncached_cycles);
+        assert!(row.reduction() > 0.2, "reduction {}", row.reduction());
+        let json = vcache_rows_json(VCacheConfig::enabled(64, 4), &[row]);
+        assert!(json.contains("\"bench\": \"vcache\""));
+        assert!(json.contains("\"name\": \"fib\""));
     }
 }

@@ -13,6 +13,7 @@ use sofia_isa::Instruction;
 use sofia_transform::{BlockFormat, BlockKind, SecureImage, RESET_PREV_PC};
 
 use crate::timing::SofiaTiming;
+use crate::vcache::{CachedBlock, VCache, VCacheConfig, VCacheStats};
 use crate::Violation;
 
 /// Which entry a transfer target selected (paper §II-E call-site
@@ -187,6 +188,17 @@ pub struct FetchPathStats {
     pub redirect_fill_cycles: u64,
     /// Stall cycles inserted by the store gate.
     pub store_gate_stall_cycles: u64,
+    /// Verified-block cache hits (fetches that skipped decrypt + MAC).
+    pub vcache_hits: u64,
+    /// Verified-block cache misses (fetches through the full path while
+    /// the cache was enabled).
+    pub vcache_misses: u64,
+    /// Verified lines evicted from the cache.
+    pub vcache_evictions: u64,
+    /// Fetch-path cycles (issue slots for MAC words, cipher stalls,
+    /// redirect refills) the verified-block cache saved on hits, net of
+    /// the hit latency it charged instead.
+    pub crypto_cycles_saved: u64,
 }
 
 /// The SOFIA fetch unit: the CFI decrypt unit, the SI verify unit and the
@@ -214,13 +226,28 @@ pub struct SofiaFetchUnit {
     cur_base: u32,
     cur_last_word: u32,
     stats: FetchPathStats,
+    vcache: VCache,
 }
 
 impl SofiaFetchUnit {
     /// A unit fetching `image` under `keys`, with `enforce_si = false`
     /// yielding the CFI-only ablation (§II-A: decryption alone cannot
-    /// detect its own errors).
+    /// detect its own errors). The verified-block cache is disabled —
+    /// use [`SofiaFetchUnit::with_vcache`] to enable it.
     pub fn new(image: &SecureImage, keys: &KeySet, timing: SofiaTiming, enforce_si: bool) -> Self {
+        Self::with_vcache(image, keys, timing, enforce_si, VCacheConfig::default())
+    }
+
+    /// A unit with an explicit verified-block cache configuration (see
+    /// [`crate::vcache`]; a disabled config reproduces [`SofiaFetchUnit::new`]
+    /// bit-for-bit).
+    pub fn with_vcache(
+        image: &SecureImage,
+        keys: &KeySet,
+        timing: SofiaTiming,
+        enforce_si: bool,
+        vcache: VCacheConfig,
+    ) -> Self {
         SofiaFetchUnit {
             keys: keys.expand(),
             nonce: image.nonce,
@@ -236,12 +263,18 @@ impl SofiaFetchUnit {
             cur_base: image.entry,
             cur_last_word: RESET_PREV_PC,
             stats: FetchPathStats::default(),
+            vcache: VCache::new(vcache),
         }
     }
 
-    /// Fetch-path counters.
+    /// Fetch-path counters, including the verified-block cache's.
     pub fn stats(&self) -> FetchPathStats {
         self.stats
+    }
+
+    /// Raw verified-block cache counters.
+    pub fn vcache_stats(&self) -> VCacheStats {
+        self.vcache.stats()
     }
 
     /// The next transfer target (diagnostic).
@@ -297,6 +330,33 @@ impl SofiaFetchUnit {
             ctx.stats.cycles += stall;
         }
     }
+
+    /// Accounting for a verified-block cache hit: the plaintext slots
+    /// stream straight from the cache, so the block charges its issue
+    /// slots plus the hit latency — no cipher ops, no redirect refill,
+    /// and **no ciphertext I-cache walk** (the ciphertext is never read,
+    /// so charging `ICache::access_cycles` here would double-bill the
+    /// fetch; see the regression test pinning this).
+    fn account_hit(
+        &mut self,
+        kind: BlockKind,
+        words_fetched: u32,
+        slots: usize,
+        ctx: &mut FetchCtx<'_>,
+    ) {
+        self.stats.vcache_hits += 1;
+        self.stats.blocks += 1;
+        match kind {
+            BlockKind::Exec => self.stats.exec_blocks += 1,
+            BlockKind::Mux => self.stats.mux_blocks += 1,
+        }
+        let skipped = self
+            .timing
+            .block_cycles(&self.format, kind, words_fetched, self.redirected);
+        let hit_cycles = slots as u32 + self.vcache.config().hit_latency;
+        ctx.stats.cycles += hit_cycles as u64;
+        self.stats.crypto_cycles_saved += skipped.total().saturating_sub(hit_cycles) as u64;
+    }
 }
 
 impl FetchUnit for SofiaFetchUnit {
@@ -311,6 +371,24 @@ impl FetchUnit for SofiaFetchUnit {
         ctx: &mut FetchCtx<'_>,
         out: &mut Vec<Slot>,
     ) -> Result<Option<Violation>, Trap> {
+        // Verified-block cache: a hit replays slots already decrypted,
+        // MAC-checked and decoded for exactly this `(prevPC, PC)` edge.
+        let edge = (self.prev_pc, self.next_target);
+        if let Some(cached) = self.vcache.lookup(edge.0, edge.1) {
+            let (base, last, kind, words) = (
+                cached.base,
+                cached.last_word_addr,
+                cached.kind,
+                cached.words_fetched,
+            );
+            out.extend_from_slice(&cached.slots);
+            self.account_hit(kind, words, out.len(), ctx);
+            self.cur_base = base;
+            self.cur_last_word = last;
+            return Ok(None);
+        } else if self.vcache.is_enabled() {
+            self.stats.vcache_misses += 1;
+        }
         let fetched = fetch_block(
             &mut |addr| ctx.mem.fetch(addr).ok(),
             &self.keys,
@@ -341,6 +419,22 @@ impl FetchUnit for SofiaFetchUnit {
         self.account_block(&block, out, ctx);
         self.cur_base = block.base;
         self.cur_last_word = block.last_word_addr(&self.format);
+        // Only now — past the MAC, the decoder and the store-position
+        // rule — may the block enter the cache: nothing that would trap
+        // or violate on the uncached path is ever replayable from it.
+        if self.vcache.is_enabled() {
+            let evicted = self.vcache.insert(
+                edge,
+                CachedBlock {
+                    base: block.base,
+                    last_word_addr: self.cur_last_word,
+                    kind: block.path.kind(),
+                    words_fetched: block.words_fetched,
+                    slots: out.clone(),
+                },
+            );
+            self.stats.vcache_evictions += evicted as u64;
+        }
         Ok(None)
     }
 
@@ -376,6 +470,10 @@ impl FetchUnit for SofiaFetchUnit {
         self.prev_pc = RESET_PREV_PC;
         self.next_target = self.entry;
         self.redirected = true;
+        // A reboot restores a safe control state: stale verified
+        // plaintext must not survive the reset line any more than the
+        // ciphertext I-cache does.
+        self.vcache.flush();
         self.timing.reboot_cycles
     }
 }

@@ -14,6 +14,9 @@
 //! * [`fetch`] — the block sequencer + CFI decrypt + SI verify unit;
 //! * [`machine`] — [`machine::SofiaMachine`], with reset/reboot policies;
 //! * [`timing`] — the cipher schedule and store-gate model (Figs. 5/6);
+//! * [`vcache`] — the verified-block cache: post-verification caching
+//!   keyed by the control-flow edge `(prevPC, PC)`, so hot edges skip
+//!   decrypt + MAC entirely (architecturally invisible, off by default);
 //! * [`security`] — the closed-form attack economics of §IV-A.
 //!
 //! # Examples
@@ -48,8 +51,10 @@ pub mod fetch;
 pub mod machine;
 pub mod security;
 pub mod timing;
+pub mod vcache;
 mod violation;
 
 pub use machine::{ResetPolicy, SofiaConfig, SofiaStats};
 pub use timing::{CipherSchedule, SofiaTiming};
+pub use vcache::{VCacheConfig, VCacheStats};
 pub use violation::Violation;

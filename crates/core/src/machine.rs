@@ -11,6 +11,7 @@ use sofia_transform::SecureImage;
 
 use crate::fetch::SofiaFetchUnit;
 use crate::timing::SofiaTiming;
+use crate::vcache::{VCacheConfig, VCacheStats};
 use crate::Violation;
 
 /// What the core does when a violation pulls the reset line.
@@ -59,6 +60,9 @@ pub struct SofiaConfig {
     /// so CTR malleability lets an attacker flip chosen instruction bits.
     /// For experiments only.
     pub enforce_si: bool,
+    /// The verified-block cache (see [`crate::vcache`]). Disabled by
+    /// default, which preserves the uncached machine bit-for-bit.
+    pub vcache: VCacheConfig,
 }
 
 impl Default for SofiaConfig {
@@ -68,6 +72,7 @@ impl Default for SofiaConfig {
             timing: SofiaTiming::default(),
             reset_policy: ResetPolicy::default(),
             enforce_si: true,
+            vcache: VCacheConfig::default(),
         }
     }
 }
@@ -129,6 +134,14 @@ pub struct SofiaStats {
     pub redirect_fill_cycles: u64,
     /// Stall cycles inserted by the store gate.
     pub store_gate_stall_cycles: u64,
+    /// Verified-block cache hits (fetches that skipped decrypt + MAC).
+    pub vcache_hits: u64,
+    /// Verified-block cache misses while the cache was enabled.
+    pub vcache_misses: u64,
+    /// Verified lines evicted from the cache.
+    pub vcache_evictions: u64,
+    /// Fetch-path cycles the verified-block cache saved on hits.
+    pub crypto_cycles_saved: u64,
     /// Violations detected.
     pub violations: u64,
     /// Resets performed (reboot policy).
@@ -183,7 +196,13 @@ impl SofiaMachine {
     ///
     /// Panics if the data section does not fit in RAM.
     pub fn with_config(image: &SecureImage, keys: &KeySet, config: &SofiaConfig) -> SofiaMachine {
-        let unit = SofiaFetchUnit::new(image, keys, config.timing, config.enforce_si);
+        let unit = SofiaFetchUnit::with_vcache(
+            image,
+            keys,
+            config.timing,
+            config.enforce_si,
+            config.vcache,
+        );
         SofiaMachine {
             engine: Pipeline::new(
                 unit,
@@ -296,9 +315,18 @@ impl SofiaMachine {
             cipher_stall_cycles: f.cipher_stall_cycles,
             redirect_fill_cycles: f.redirect_fill_cycles,
             store_gate_stall_cycles: f.store_gate_stall_cycles,
+            vcache_hits: f.vcache_hits,
+            vcache_misses: f.vcache_misses,
+            vcache_evictions: f.vcache_evictions,
+            crypto_cycles_saved: f.crypto_cycles_saved,
             violations: self.violations.len() as u64,
             resets: self.engine.resets(),
         }
+    }
+
+    /// Raw verified-block cache counters (insertions, flushes, …).
+    pub fn vcache_stats(&self) -> VCacheStats {
+        self.engine.fetch().vcache_stats()
     }
 
     /// Instruction-cache statistics.
@@ -346,6 +374,7 @@ pub struct StepBlock {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vcache::VCacheConfig;
     use sofia_cpu::machine::VanillaMachine;
     use sofia_isa::{asm, Reg};
     use sofia_transform::Transformer;
@@ -574,6 +603,155 @@ mod tests {
         assert!(m.stats().resets >= 1);
         // After the final reset the stack pointer is back at the top.
         assert!(m.regs().get(Reg::SP) == sp0 || m.is_halted());
+    }
+
+    #[test]
+    fn vcache_is_invisible_but_cheaper_on_hot_loops() {
+        let src = "main: li t0, 50
+                   li t1, 0
+             loop: add t1, t1, t0
+                   subi t0, t0, 1
+                   bnez t0, loop
+                   li a0, 0xFFFF0000
+                   sw t1, 0(a0)
+                   halt";
+        let keys = KeySet::from_seed(0xACE);
+        let image = Transformer::new(keys.clone())
+            .transform(&asm::parse(src).unwrap())
+            .unwrap();
+        let mut off = SofiaMachine::new(&image, &keys);
+        assert!(off.run(1_000_000).unwrap().is_halted());
+        let config = SofiaConfig {
+            vcache: VCacheConfig::enabled(64, 4),
+            ..Default::default()
+        };
+        let mut on = SofiaMachine::with_config(&image, &keys, &config);
+        assert!(on.run(1_000_000).unwrap().is_halted());
+        // Architecturally identical…
+        assert_eq!(on.mem().mmio.out_words, off.mem().mmio.out_words);
+        assert_eq!(on.stats().exec.instret, off.stats().exec.instret);
+        assert!(on.violations().is_empty());
+        // …but the hot edge stopped paying decrypt + MAC.
+        let s = on.stats();
+        assert!(s.vcache_hits > 40, "hits {}", s.vcache_hits);
+        assert!(s.crypto_cycles_saved > 0);
+        assert!(
+            s.exec.cycles < off.stats().exec.cycles,
+            "cached {} vs uncached {}",
+            s.exec.cycles,
+            off.stats().exec.cycles
+        );
+    }
+
+    #[test]
+    fn explicitly_disabled_vcache_is_bit_for_bit_todays_machine() {
+        let (mut a, image, keys) = build(
+            "main: li t0, 9
+             loop: subi t0, t0, 1
+                   bnez t0, loop
+                   halt",
+        );
+        assert!(a.run(100_000).unwrap().is_halted());
+        let config = SofiaConfig {
+            vcache: VCacheConfig {
+                enabled: false,
+                ..VCacheConfig::enabled(64, 4)
+            },
+            ..Default::default()
+        };
+        let mut b = SofiaMachine::with_config(&image, &keys, &config);
+        assert!(b.run(100_000).unwrap().is_halted());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.icache_stats(), b.icache_stats());
+    }
+
+    /// Regression (cycle-accounting pin): a vcache hit charges exactly
+    /// `slots + hit_latency` in fetch — it must NOT also walk the
+    /// ciphertext I-cache, whose hit/miss counters and stall cycles
+    /// belong to real ciphertext reads only.
+    #[test]
+    fn vcache_hit_bypasses_ciphertext_icache_accounting() {
+        let keys = KeySet::from_seed(0xACE);
+        let image = Transformer::new(keys.clone())
+            .transform(
+                &asm::parse(
+                    "main: li t0, 6
+                     loop: subi t0, t0, 1
+                           bnez t0, loop
+                           halt",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let config = SofiaConfig {
+            vcache: VCacheConfig::enabled(16, 4),
+            ..Default::default()
+        };
+        let mut m = SofiaMachine::with_config(&image, &keys, &config);
+        let mut pinned = false;
+        while !m.is_halted() {
+            let hits0 = m.stats().vcache_hits;
+            let ic0 = m.icache_stats();
+            let cycles0 = m.stats().exec.cycles;
+            let target0 = m.next_target();
+            let step = m.step_block().unwrap();
+            let s = m.stats();
+            if s.vcache_hits == hits0 {
+                continue;
+            }
+            // This block came from the verified-block cache.
+            assert_eq!(
+                m.icache_stats(),
+                ic0,
+                "a vcache hit must not touch the ciphertext I-cache"
+            );
+            if !pinned && m.next_target() == target0 {
+                // Steady loop iteration (the block branched back to its
+                // own entry): its slots issue at one cycle each (hit
+                // latency 0: the tag compare overlaps the first slot),
+                // plus the taken-branch flush (3) charged by the engine.
+                // Nothing else — in particular no cipher stall, no
+                // redirect refill and no I-cache stall.
+                assert_eq!(
+                    s.exec.cycles - cycles0,
+                    step.executed_slots + 3,
+                    "vcache hit cycle accounting drifted"
+                );
+                pinned = true;
+            }
+        }
+        assert!(pinned, "no steady cached loop iteration observed");
+    }
+
+    #[test]
+    fn vcache_hit_latency_knob_charges_exactly_per_hit() {
+        let (_, image, keys) = build(
+            "main: li t0, 30
+             loop: subi t0, t0, 1
+                   bnez t0, loop
+                   halt",
+        );
+        let run = |hit_latency: u32| {
+            let config = SofiaConfig {
+                vcache: VCacheConfig {
+                    hit_latency,
+                    ..VCacheConfig::enabled(16, 4)
+                },
+                ..Default::default()
+            };
+            let mut m = SofiaMachine::with_config(&image, &keys, &config);
+            assert!(m.run(100_000).unwrap().is_halted());
+            m.stats()
+        };
+        let fast = run(0);
+        let slow = run(2);
+        assert_eq!(fast.vcache_hits, slow.vcache_hits);
+        assert!(fast.vcache_hits > 0);
+        assert_eq!(
+            slow.exec.cycles - fast.exec.cycles,
+            2 * fast.vcache_hits,
+            "hit latency must be charged once per hit, exactly"
+        );
     }
 
     #[test]

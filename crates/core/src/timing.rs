@@ -50,6 +50,13 @@ pub struct SofiaTiming {
     pub cipher_issue_interval: u32,
     /// Cycles between the last fetched word and a known verdict.
     pub verify_latency: u32,
+    /// Extra cycles on a control-flow redirect before the decrypt
+    /// refill can begin: the `{ω ‖ prevPC ‖ PC}` counter must be formed
+    /// from the freshly-updated edge registers and steered into the CTR
+    /// datapath across the registered cache/decrypt boundary. Sequential
+    /// streaming hides this (the fall-through counter is precomputed);
+    /// only redirects pay it.
+    pub redirect_setup: u32,
     /// Cycles to reboot after a reset (paper: "reboot reliably fast").
     pub reboot_cycles: u64,
 }
@@ -61,6 +68,7 @@ impl Default for SofiaTiming {
             cipher_latency: sofia_crypto::CYCLES_UNROLLED_13,
             cipher_issue_interval: 1,
             verify_latency: sofia_crypto::CYCLES_UNROLLED_13 - 1,
+            redirect_setup: 1,
             reboot_cycles: 200,
         }
     }
@@ -110,7 +118,11 @@ impl SofiaTiming {
         BlockTiming {
             issue_cycles: words_fetched,
             cipher_stall: cipher_cycles.saturating_sub(words_fetched),
-            redirect_fill: if redirected { self.cipher_latency } else { 0 },
+            redirect_fill: if redirected {
+                self.redirect_setup + self.cipher_latency
+            } else {
+                0
+            },
             ctr_ops,
             cbc_ops,
         }
@@ -220,7 +232,18 @@ mod tests {
         assert_eq!(bt.cipher_stall, 0);
         assert_eq!(bt.ctr_ops, 4);
         assert_eq!(bt.cbc_ops, 3);
-        assert_eq!(bt.total(), 8 + 2);
+        // 8 issue slots + 1 counter-formation cycle + 2 cipher latency.
+        assert_eq!(bt.total(), 8 + 1 + 2);
+    }
+
+    #[test]
+    fn redirect_setup_is_configurable_and_skippable() {
+        let t = SofiaTiming {
+            redirect_setup: 0,
+            ..Default::default()
+        };
+        let bt = t.block_cycles(&BlockFormat::default(), BlockKind::Exec, 8, true);
+        assert_eq!(bt.redirect_fill, t.cipher_latency);
     }
 
     #[test]

@@ -146,6 +146,36 @@ pub fn sofia(unroll: u32) -> HwEstimate {
     }
 }
 
+/// Fixed area of the verified-block cache's control (LRU state, hit/miss
+/// steering into the decrypt bypass, the flush line), in slices.
+pub const VCACHE_FIXED_SLICES: f64 = 80.0;
+
+/// Slices per cached edge: a ~64-bit tag (`{prevPC ‖ PC}`) plus eight
+/// 32-bit plaintext words in LUT RAM (~320 bits ≈ 1.5 slices of
+/// distributed RAM on Virtex-6) and its share of the tag comparators.
+pub const VCACHE_ENTRY_SLICES: f64 = 2.0;
+
+/// A SOFIA core extended with an `entries`-edge verified-block cache.
+///
+/// The cache adds area but not delay: the tag compare reads registered
+/// edge state in IF, in parallel with the ciphertext I-cache tag path,
+/// and the cipher path — the critical one — is untouched (a hit simply
+/// gates the cipher's enable). So the clock column equals the uncached
+/// SOFIA core's and only the slice column grows.
+///
+/// # Panics
+///
+/// Panics if `unroll` is out of range (see [`sofia`]) or `entries` is 0.
+pub fn sofia_with_vcache(unroll: u32, entries: u32) -> HwEstimate {
+    assert!(entries > 0, "entries 1..");
+    let base = sofia(unroll);
+    HwEstimate {
+        name: "sofia+vcache",
+        slices: base.slices + VCACHE_FIXED_SLICES + entries as f64 * VCACHE_ENTRY_SLICES,
+        ..base
+    }
+}
+
 /// Table I, regenerated: the vanilla row and the SOFIA row at the paper's
 /// 13× design point.
 pub fn table1() -> (HwEstimate, HwEstimate) {
@@ -216,5 +246,30 @@ mod tests {
     #[should_panic(expected = "unroll")]
     fn zero_unroll_rejected() {
         let _ = sofia(0);
+    }
+
+    #[test]
+    fn vcache_adds_area_but_not_delay() {
+        let base = sofia(PAPER_UNROLL);
+        let small = sofia_with_vcache(PAPER_UNROLL, 64);
+        let big = sofia_with_vcache(PAPER_UNROLL, 256);
+        // Clock, cycles/op and pipelining are untouched.
+        assert_eq!(small.period_ns, base.period_ns);
+        assert_eq!(small.cycles_per_op, base.cycles_per_op);
+        assert_eq!(small.pipelined, base.pipelined);
+        // Area grows linearly in entries.
+        assert!(small.slices > base.slices);
+        assert!(
+            (big.slices - small.slices - 192.0 * VCACHE_ENTRY_SLICES).abs() < 1e-9,
+            "entry slices must scale linearly"
+        );
+        // A 256-edge cache stays a modest fraction of the SOFIA core.
+        assert!((big.slices / base.slices - 1.0) * 100.0 < 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "entries")]
+    fn zero_entry_vcache_rejected() {
+        let _ = sofia_with_vcache(PAPER_UNROLL, 0);
     }
 }

@@ -72,7 +72,7 @@ pub use sofia_workloads as workloads;
 pub mod prelude {
     pub use sofia_core::{
         machine::{RunOutcome, SofiaMachine},
-        security, SofiaConfig, Violation,
+        security, SofiaConfig, VCacheConfig, Violation,
     };
     pub use sofia_cpu::{machine::VanillaMachine, Trap};
     pub use sofia_crypto::{KeySet, Nonce};

@@ -1,0 +1,146 @@
+//! The differential test engine: runs one program under a family of
+//! SOFIA configurations (verified-block cache on/off across geometries,
+//! SI on/off) and asserts the architecturally visible results are
+//! identical — the executable form of the claim that the verified-block
+//! cache (and the rest of the fetch-path machinery) is invisible.
+//!
+//! Shared by `vcache_differential.rs` (the full geometry family) and
+//! `fault_injection.rs` (the two-config [`tamper_configs`] pair); each
+//! test crate compiles its own copy, so helpers unused by a given crate
+//! are expected.
+#![allow(dead_code)]
+
+use sofia::crypto::KeySet;
+use sofia::prelude::*;
+
+/// Fuel for differential runs (generated programs are small; workloads
+/// match `sofia_workloads`' own verification fuel).
+pub const FUEL: u64 = 200_000_000;
+
+/// Everything the architecture lets software (or an attached observer)
+/// see about a run: how it ended, what it wrote, how many instructions
+/// retired, and which violations were reported. Cycle counts are
+/// deliberately absent — timing is the one thing the cache may change.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArchResult {
+    /// `Debug` form of the run outcome, or `trap: …` for architectural
+    /// traps.
+    pub outcome: String,
+    /// Words emitted on the MMIO word port.
+    pub mmio: Vec<u32>,
+    /// Words written to the actuator port.
+    pub actuators: Vec<u32>,
+    /// Retired instruction slots.
+    pub instret: u64,
+    /// `Debug` form of every violation reported.
+    pub violations: Vec<String>,
+}
+
+/// Runs `image` under `config` and reduces the run to its [`ArchResult`].
+pub fn run_config(image: &SecureImage, keys: &KeySet, config: &SofiaConfig) -> ArchResult {
+    let mut m = SofiaMachine::with_config(image, keys, config);
+    let outcome = match m.run(FUEL) {
+        Ok(o) => format!("{o:?}"),
+        Err(t) => format!("trap: {t:?}"),
+    };
+    ArchResult {
+        outcome,
+        mmio: m.mem().mmio.out_words.clone(),
+        actuators: m.mem().mmio.actuator_writes.clone(),
+        instret: m.stats().exec.instret,
+        violations: m.violations().iter().map(|v| format!("{v:?}")).collect(),
+    }
+}
+
+/// The cache geometries the differential suite sweeps: disabled (the
+/// reference), a direct-mapped toy, a small set-associative cache, and a
+/// large one — plus a tiny thrashing cache that exercises eviction.
+pub fn geometries() -> Vec<(&'static str, VCacheConfig)> {
+    vec![
+        ("vcache-off", VCacheConfig::default()),
+        ("vcache-1x1", VCacheConfig::enabled(1, 1)),
+        ("vcache-8x2", VCacheConfig::enabled(8, 2)),
+        ("vcache-64x4", VCacheConfig::enabled(64, 4)),
+        ("vcache-256x8", VCacheConfig::enabled(256, 8)),
+    ]
+}
+
+/// The full configuration family for one image: every cache geometry
+/// with SI enforced, plus the CFI-only ablation with and without the
+/// cache (the cache must be invisible there too).
+pub fn config_family() -> Vec<(String, SofiaConfig)> {
+    let mut family: Vec<(String, SofiaConfig)> = geometries()
+        .into_iter()
+        .map(|(label, vcache)| {
+            (
+                label.to_string(),
+                SofiaConfig {
+                    vcache,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    for (label, vcache) in [
+        ("si-off", VCacheConfig::default()),
+        ("si-off+vcache-64x4", VCacheConfig::enabled(64, 4)),
+    ] {
+        family.push((
+            label.to_string(),
+            SofiaConfig {
+                enforce_si: false,
+                vcache,
+                ..Default::default()
+            },
+        ));
+    }
+    family
+}
+
+/// Runs `image` under every configuration in `family` and asserts all
+/// [`ArchResult`]s equal the first (the reference). `what` labels the
+/// program in failure messages.
+pub fn assert_invisible_across(
+    what: &str,
+    image: &SecureImage,
+    keys: &KeySet,
+    family: &[(String, SofiaConfig)],
+) {
+    let (ref_label, ref_config) = &family[0];
+    let reference = run_config(image, keys, ref_config);
+    for (label, config) in &family[1..] {
+        let got = run_config(image, keys, config);
+        assert_eq!(
+            got, reference,
+            "{what}: architectural divergence between {ref_label} and {label}"
+        );
+    }
+}
+
+/// The two fetch-path configurations every *tamper* scenario must
+/// survive — a deliberately small pair (the 64-case fault-injection
+/// properties re-run every scenario per config, so the full
+/// [`geometries`] sweep would multiply their runtime for no extra
+/// security signal; the cold-tamper parity test covers the geometries).
+pub fn tamper_configs() -> [(&'static str, SofiaConfig); 2] {
+    [
+        ("vcache-off", SofiaConfig::default()),
+        (
+            "vcache-on",
+            SofiaConfig {
+                vcache: VCacheConfig::enabled(16, 4),
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+/// [`assert_invisible_across`] over the default [`config_family`],
+/// transforming `src` first.
+pub fn assert_invisible(what: &str, src: &str, keys: &KeySet) {
+    let module = asm::parse(src).unwrap_or_else(|e| panic!("{what}: parse: {e:?}"));
+    let image = Transformer::new(keys.clone())
+        .transform(&module)
+        .unwrap_or_else(|e| panic!("{what}: transform: {e:?}"));
+    assert_invisible_across(what, &image, keys, &config_family());
+}

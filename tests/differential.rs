@@ -3,138 +3,25 @@
 //! *transparency* of the whole security pipeline — lowering, packing,
 //! mux trees, sealing, and the block-structured fetch unit may cost
 //! cycles but must never change architectural results.
+//!
+//! The program generator lives in `sofia_workloads::gen::random_program`
+//! so the same corpus drives the verified-block-cache differential suite
+//! (`vcache_differential.rs`); any divergence replays from its seed.
 
 use proptest::prelude::*;
 use sofia::crypto::KeySet;
 use sofia::prelude::*;
-
-/// A tiny terminating program generator: a prologue seeds registers, a
-/// bounded loop applies random ALU operations (with optional inner
-/// branches and a helper call), and the epilogue emits two registers.
-#[derive(Debug, Clone)]
-struct RandomProgram {
-    seed_a: u32,
-    seed_b: u32,
-    iterations: u8,
-    body: Vec<Op>,
-    call_helper: bool,
-}
-
-#[derive(Debug, Clone, Copy)]
-enum Op {
-    Add,
-    Sub,
-    Xor,
-    And,
-    Or,
-    Mul,
-    Sll(u8),
-    Srl(u8),
-    SkipIfEven, // conditional branch inside the loop body
-    StoreLoad,  // round-trip through memory
-}
-
-impl RandomProgram {
-    fn source(&self) -> String {
-        let mut body = String::new();
-        for (i, op) in self.body.iter().enumerate() {
-            match op {
-                Op::Add => body.push_str("    add s0, s0, s1\n"),
-                Op::Sub => body.push_str("    sub s1, s1, s0\n"),
-                Op::Xor => body.push_str("    xor s0, s0, s1\n"),
-                Op::And => body.push_str("    and s1, s1, s0\n    ori s1, s1, 3\n"),
-                Op::Or => body.push_str("    or s0, s0, s1\n"),
-                Op::Mul => body.push_str("    mul s0, s0, s1\n    ori s0, s0, 1\n"),
-                Op::Sll(n) => {
-                    body.push_str(&format!("    sll s1, s1, {}\n    ori s1, s1, 5\n", n % 8))
-                }
-                Op::Srl(n) => body.push_str(&format!("    srl s0, s0, {}\n", n % 8)),
-                Op::SkipIfEven => body.push_str(&format!(
-                    "    andi t0, s0, 1\n    beqz t0, skip_{i}\n    addi s1, s1, 17\nskip_{i}:\n"
-                )),
-                Op::StoreLoad => body.push_str(
-                    "    la t1, scratch\n    sw s0, 0(t1)\n    lw t2, 0(t1)\n    add s1, s1, t2\n",
-                ),
-            }
-        }
-        let helper_call = if self.call_helper {
-            "    mv a0, s0\n    jal mixer\n    mv s0, v0\n"
-        } else {
-            ""
-        };
-        format!(
-            ".equ OUT, 0xFFFF0000
-.text
-.global main
-main:
-    li   s0, {}
-    li   s1, {}
-    li   s2, {}
-loop:
-    beqz s2, done
-{body}{helper_call}    subi s2, s2, 1
-    b    loop
-done:
-    li   t3, OUT
-    sw   s0, 0(t3)
-    sw   s1, 0(t3)
-    halt
-mixer:
-    xor  v0, a0, a0
-    add  v0, v0, a0
-    addi v0, v0, 13
-    ret
-
-.data
-scratch: .space 4
-",
-            self.seed_a, self.seed_b, self.iterations,
-        )
-    }
-}
-
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::Add),
-        Just(Op::Sub),
-        Just(Op::Xor),
-        Just(Op::And),
-        Just(Op::Or),
-        Just(Op::Mul),
-        any::<u8>().prop_map(Op::Sll),
-        any::<u8>().prop_map(Op::Srl),
-        Just(Op::SkipIfEven),
-        Just(Op::StoreLoad),
-    ]
-}
-
-fn program_strategy() -> impl Strategy<Value = RandomProgram> {
-    (
-        0u32..10_000,
-        0u32..10_000,
-        1u8..20,
-        proptest::collection::vec(op_strategy(), 1..12),
-        any::<bool>(),
-    )
-        .prop_map(
-            |(seed_a, seed_b, iterations, body, call_helper)| RandomProgram {
-                seed_a,
-                seed_b,
-                iterations,
-                body,
-                call_helper,
-            },
-        )
-}
+use sofia_workloads::gen::random_program;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Vanilla and SOFIA agree on every observable output of every
-    /// generated program — the security pipeline is transparent.
+    /// Vanilla and SOFIA — cached and uncached — agree on every
+    /// observable output of every generated program: the security
+    /// pipeline is transparent, and so is the verified-block cache.
     #[test]
-    fn sofia_is_architecturally_transparent(prog in program_strategy()) {
-        let src = prog.source();
+    fn sofia_is_architecturally_transparent(seed in any::<u64>()) {
+        let src = random_program(seed);
         let module = asm::parse(&src).expect("generated program parses");
         let plain = asm::assemble(&src).expect("generated program assembles");
 
@@ -154,5 +41,19 @@ proptest! {
         prop_assert_eq!(sm.violations().len(), 0);
         // Cost invariant: protection is never free.
         prop_assert!(sm.stats().exec.cycles > vm.stats().cycles);
+
+        // The verified-block cache changes none of the above, and never
+        // costs cycles.
+        let config = SofiaConfig {
+            vcache: VCacheConfig::enabled(64, 4),
+            ..Default::default()
+        };
+        let mut cm = SofiaMachine::with_config(&image, &keys, &config);
+        let c = cm.run(20_000_000).expect("cached sofia trap");
+        prop_assert!(c.is_halted(), "cached sofia outcome {:?}", c);
+        prop_assert_eq!(&cm.mem().mmio.out_words, &vm.mem().mmio.out_words);
+        prop_assert_eq!(cm.stats().exec.instret, sm.stats().exec.instret);
+        prop_assert!(cm.stats().exec.cycles <= sm.stats().exec.cycles);
+        prop_assert!(cm.stats().exec.cycles > vm.stats().cycles);
     }
 }

@@ -3,7 +3,17 @@
 //! probabilistic heart of the paper's claim that SOFIA "prevents the
 //! execution of all tampered instructions and instructions resulting
 //! from tampered control flow".
+//!
+//! Every tamper scenario runs twice — with the verified-block cache
+//! disabled and enabled — and the deterministic tests at the bottom pin
+//! the cache's warm-state security contract: a line tampered in ROM
+//! after being cached traps at the next miss/refill, a warm line only
+//! ever replays *previously verified* plaintext, and a forged edge never
+//! hits a cached line because the key includes `prevPC`.
 
+mod common;
+
+use common::tamper_configs;
 use proptest::prelude::*;
 use sofia::crypto::KeySet;
 use sofia::prelude::*;
@@ -30,21 +40,23 @@ proptest! {
         let img = image();
         let word = word % img.ctext.len();
         let expected = sofia_workloads::kernels::crc32(48).expected;
-        let mut m = SofiaMachine::new(&img, &keys());
-        m.mem_mut().rom_mut()[word] ^= 1 << bit;
-        match m.run(50_000_000).unwrap() {
-            RunOutcome::Halted => {
-                // The flipped word was never fetched (e.g. a pad in an
-                // unvisited path) — output must be untouched.
-                prop_assert_eq!(&m.mem().mmio.out_words, &expected);
+        for (label, config) in tamper_configs() {
+            let mut m = SofiaMachine::with_config(&img, &keys(), &config);
+            m.mem_mut().rom_mut()[word] ^= 1 << bit;
+            match m.run(50_000_000).unwrap() {
+                RunOutcome::Halted => {
+                    // The flipped word was never fetched (e.g. a pad in
+                    // an unvisited path) — output must be untouched.
+                    prop_assert_eq!(&m.mem().mmio.out_words, &expected);
+                }
+                RunOutcome::ViolationStop(v) => {
+                    let is_mac_mismatch = matches!(v, Violation::MacMismatch { .. });
+                    prop_assert!(is_mac_mismatch, "{}: violation {:?}", label, v);
+                    // Nothing after the tampered block may have emitted.
+                    prop_assert!(m.mem().mmio.out_words.len() <= expected.len());
+                }
+                other => prop_assert!(false, "{}: unexpected outcome {:?}", label, other),
             }
-            RunOutcome::ViolationStop(v) => {
-                let is_mac_mismatch = matches!(v, Violation::MacMismatch { .. });
-                prop_assert!(is_mac_mismatch, "violation {:?}", v);
-                // Nothing after the tampered block may have emitted.
-                prop_assert!(m.mem().mmio.out_words.len() <= expected.len());
-            }
-            other => prop_assert!(false, "unexpected outcome {:?}", other),
         }
     }
 
@@ -56,19 +68,21 @@ proptest! {
         let bw = img.format.block_words();
         let nblocks = img.ctext.len() / bw;
         let block = block % nblocks;
-        let mut rng = sofia::crypto::util::SplitMix64::new(seed);
-        let mut m = SofiaMachine::new(&img, &keys());
-        for w in 0..bw {
-            m.mem_mut().rom_mut()[block * bw + w] = rng.next_u64() as u32;
-        }
-        let outcome = m.run(50_000_000).unwrap();
-        prop_assert!(
-            matches!(outcome, RunOutcome::Halted | RunOutcome::ViolationStop(_)),
-            "unexpected outcome {:?}", outcome
-        );
-        if block == 0 {
-            // The entry block is always executed: must be detected.
-            prop_assert!(matches!(outcome, RunOutcome::ViolationStop(_)));
+        for (label, config) in tamper_configs() {
+            let mut rng = sofia::crypto::util::SplitMix64::new(seed);
+            let mut m = SofiaMachine::with_config(&img, &keys(), &config);
+            for w in 0..bw {
+                m.mem_mut().rom_mut()[block * bw + w] = rng.next_u64() as u32;
+            }
+            let outcome = m.run(50_000_000).unwrap();
+            prop_assert!(
+                matches!(outcome, RunOutcome::Halted | RunOutcome::ViolationStop(_)),
+                "{}: unexpected outcome {:?}", label, outcome
+            );
+            if block == 0 {
+                // The entry block is always executed: must be detected.
+                prop_assert!(matches!(outcome, RunOutcome::ViolationStop(_)));
+            }
         }
     }
 
@@ -88,54 +102,226 @@ proptest! {
         let expected = sofia_workloads::kernels::crc32(48).expected;
         let target_word = target_word % img.ctext.len();
         let target = img.text_base + 4 * target_word as u32;
-        let mut m = SofiaMachine::new(&img, &k);
-        for _ in 0..after {
-            if m.is_halted() { break; }
-            let _ = m.step_block().unwrap();
-        }
-        let mut forged_edge = None;
-        if !m.is_halted() {
-            m.hijack_next_target(target);
-            forged_edge = Some((m.prev_pc(), target));
-        }
-        match m.run(50_000_000).unwrap() {
-            RunOutcome::ViolationStop(_) => {} // detected: the common case
-            RunOutcome::Halted => {
-                let honest = {
-                    let out = &m.mem().mmio.out_words;
-                    expected.starts_with(out.as_slice()) || out == &expected
-                };
-                if !honest {
-                    // Survival with divergent output is only legitimate
-                    // if the forged edge itself verifies under the real
-                    // keys — check it out-of-band through the fetch unit.
-                    let (prev_pc, target) = forged_edge.expect("hijack happened");
-                    let ks = k.expand();
-                    let verdict = sofia_core::fetch::fetch_block(
-                        &mut |addr: u32| {
-                            img.ctext
-                                .get(((addr - img.text_base) / 4) as usize)
-                                .copied()
-                        },
-                        &ks,
-                        img.nonce,
-                        &img.format,
-                        img.text_base,
-                        img.ctext.len() as u32,
-                        target,
-                        prev_pc,
-                        true,
-                    );
-                    prop_assert!(
-                        verdict.is_ok(),
-                        "undetected hijack over an unsealed edge {:#x} -> {:#x}: {:?}",
-                        prev_pc, target, verdict.unwrap_err()
-                    );
-                }
+        for (label, config) in tamper_configs() {
+            let mut m = SofiaMachine::with_config(&img, &k, &config);
+            for _ in 0..after {
+                if m.is_halted() { break; }
+                let _ = m.step_block().unwrap();
             }
-            other => prop_assert!(false, "unexpected outcome {:?}", other),
+            let mut forged_edge = None;
+            if !m.is_halted() {
+                m.hijack_next_target(target);
+                forged_edge = Some((m.prev_pc(), target));
+            }
+            match m.run(50_000_000).unwrap() {
+                RunOutcome::ViolationStop(_) => {} // detected: the common case
+                RunOutcome::Halted => {
+                    let honest = {
+                        let out = &m.mem().mmio.out_words;
+                        expected.starts_with(out.as_slice()) || out == &expected
+                    };
+                    if !honest {
+                        // Survival with divergent output is only
+                        // legitimate if the forged edge itself verifies
+                        // under the real keys — check it out-of-band
+                        // through the fetch unit.
+                        let (prev_pc, target) = forged_edge.expect("hijack happened");
+                        let ks = k.expand();
+                        let verdict = sofia_core::fetch::fetch_block(
+                            &mut |addr: u32| {
+                                img.ctext
+                                    .get(((addr - img.text_base) / 4) as usize)
+                                    .copied()
+                            },
+                            &ks,
+                            img.nonce,
+                            &img.format,
+                            img.text_base,
+                            img.ctext.len() as u32,
+                            target,
+                            prev_pc,
+                            true,
+                        );
+                        prop_assert!(
+                            verdict.is_ok(),
+                            "{}: undetected hijack over an unsealed edge {:#x} -> {:#x}: {:?}",
+                            label, prev_pc, target, verdict.unwrap_err()
+                        );
+                    }
+                }
+                other => prop_assert!(false, "{}: unexpected outcome {:?}", label, other),
+            }
         }
     }
+}
+
+/// A loop whose body spans several blocks, so a tiny cache keeps
+/// inserting and evicting every iteration.
+fn multi_block_loop() -> (SecureImage, KeySet) {
+    let k = keys();
+    let src = "main: li t0, 12
+                     li s0, 0
+               loop: addi s0, s0, 1
+                     addi s0, s0, 2
+                     addi s0, s0, 3
+                     addi s0, s0, 4
+                     addi s0, s0, 5
+                     addi s0, s0, 6
+                     addi s0, s0, 7
+                     subi t0, t0, 1
+                     bnez t0, loop
+                     li a0, 0xFFFF0000
+                     sw s0, 0(a0)
+                     halt";
+    let img = Transformer::new(k.clone())
+        .transform(&asm::parse(src).unwrap())
+        .unwrap();
+    (img, k)
+}
+
+fn block_base(img: &SecureImage, target: u32) -> u32 {
+    let bb = img.format.block_bytes();
+    img.text_base + ((target - img.text_base) / bb) * bb
+}
+
+/// Warm-cache tamper, small cache: a block that was verified and cached,
+/// then evicted, then tampered in ROM, must trap at the refill — the
+/// cache never extends trust past a line's residency.
+#[test]
+fn tampered_block_traps_on_the_next_refill_after_eviction() {
+    let (img, k) = multi_block_loop();
+    let config = SofiaConfig {
+        // Direct-mapped single entry: every new block evicts the last,
+        // so each loop iteration re-inserts (and re-verifies) its blocks.
+        vcache: VCacheConfig::enabled(1, 1),
+        ..Default::default()
+    };
+    let mut m = SofiaMachine::with_config(&img, &k, &config);
+    let mut seen = std::collections::HashSet::new();
+    let mut last_base = u32::MAX;
+    // Step until the next fetch re-enters a block that was cached on an
+    // earlier iteration and has since been evicted (the 1-entry cache
+    // currently holds the *previous* block, which is a different one).
+    let (tamper_base, target) = loop {
+        let target = m.next_target();
+        let base = block_base(&img, target);
+        if seen.contains(&base) && base != last_base && m.vcache_stats().insertions >= 2 {
+            break (base, target);
+        }
+        seen.insert(base);
+        last_base = base;
+        let _ = m.step_block().unwrap();
+        assert!(!m.is_halted(), "loop ended before the cache cycled");
+    };
+    assert!(m.vcache_stats().evictions >= 1, "cache never evicted");
+    // Tamper a word the refill is guaranteed to walk (word 3 is on every
+    // entry path of both block kinds).
+    let word = ((tamper_base - img.text_base) / 4 + 3) as usize;
+    m.mem_mut().rom_mut()[word] ^= 0x10;
+    let hits_before = m.stats().vcache_hits;
+    let step = m.step_block().unwrap();
+    assert!(
+        matches!(step.violation, Some(Violation::MacMismatch { .. })),
+        "refill of a tampered, previously-cached block must trap (target {target:#x}): {:?}",
+        step.violation
+    );
+    assert_eq!(
+        m.stats().vcache_hits,
+        hits_before,
+        "the tampered refill must not have been served from the cache"
+    );
+}
+
+/// Warm-cache tamper, large cache: while a tampered block's line stays
+/// resident, hits replay the *previously verified* plaintext — so the
+/// run either traps at some refill or completes with the untampered
+/// program's exact output. Tampered instructions never execute.
+#[test]
+fn warm_hits_replay_only_previously_verified_plaintext() {
+    let w = sofia_workloads::kernels::crc32(48);
+    let k = keys();
+    let img = Transformer::new(k.clone()).transform(&w.module()).unwrap();
+    for word in (0..img.ctext.len()).step_by(7) {
+        let config = SofiaConfig {
+            vcache: VCacheConfig::enabled(256, 8),
+            ..Default::default()
+        };
+        let mut m = SofiaMachine::with_config(&img, &k, &config);
+        for _ in 0..40 {
+            if m.is_halted() {
+                break;
+            }
+            let _ = m.step_block().unwrap();
+        }
+        if m.is_halted() {
+            continue;
+        }
+        m.mem_mut().rom_mut()[word] ^= 1 << (word % 32);
+        match m.run(50_000_000).unwrap() {
+            // A refill saw the tampered ciphertext: detected.
+            RunOutcome::ViolationStop(Violation::MacMismatch { .. }) => {}
+            // Every remaining fetch hit (or never touched the tampered
+            // word): the output must be the *untampered* golden result.
+            RunOutcome::Halted => {
+                assert_eq!(
+                    m.mem().mmio.out_words,
+                    w.expected,
+                    "word {word}: stale-but-verified plaintext diverged"
+                );
+            }
+            other => panic!("word {word}: unexpected outcome {other:?}"),
+        }
+    }
+}
+
+/// A forged edge must never hit a cached line: the key includes
+/// `prevPC`, so reaching a cached block over the wrong edge misses,
+/// refills through the MAC and traps.
+#[test]
+fn forged_edge_never_hits_a_cached_line() {
+    let (img, k) = multi_block_loop();
+    let config = SofiaConfig {
+        vcache: VCacheConfig::enabled(64, 4),
+        ..Default::default()
+    };
+    let mut m = SofiaMachine::with_config(&img, &k, &config);
+    // Warm: collect the sealed edges actually travelled and find one
+    // that recurs (i.e. is cached and hitting).
+    let mut edges = std::collections::HashMap::new();
+    let mut hot = None;
+    for _ in 0..12 {
+        let e = (m.prev_pc(), m.next_target());
+        *edges.entry(e).or_insert(0u32) += 1;
+        if edges[&e] >= 2 {
+            hot = Some(e);
+            break;
+        }
+        let _ = m.step_block().unwrap();
+        assert!(!m.is_halted());
+    }
+    let (hot_prev, hot_target) = hot.expect("loop produced a recurring edge");
+    // Advance until the hardware would present a different prevPC, then
+    // force the cached target — a forged edge onto a hot cached line.
+    // (The first advance fetches the recurring edge again: a hit.)
+    while m.prev_pc() == hot_prev || edges.contains_key(&(m.prev_pc(), hot_target)) {
+        let _ = m.step_block().unwrap();
+        assert!(!m.is_halted());
+    }
+    assert!(m.stats().vcache_hits > 0, "the hot edge never hit");
+    let hits_before = m.stats().vcache_hits;
+    m.hijack_next_target(hot_target);
+    let step = m.step_block().unwrap();
+    assert!(
+        matches!(step.violation, Some(Violation::MacMismatch { .. })),
+        "forged edge ({:#x} -> {hot_target:#x}) must miss and fail the MAC: {:?}",
+        m.prev_pc(),
+        step.violation
+    );
+    assert_eq!(
+        m.stats().vcache_hits,
+        hits_before,
+        "forged edge was served from the cache"
+    );
 }
 
 #[test]
@@ -163,4 +349,60 @@ fn exhaustive_hijack_from_first_block_is_fully_detected() {
         undetected, 0,
         "every foreign edge from this state must be detected"
     );
+}
+
+#[test]
+fn exhaustive_hijack_with_warm_vcache_is_fully_contained() {
+    // The same exhaustive sweep, but from a deep execution state with a
+    // warm verified-block cache: a hijack target that goes undetected
+    // must be a genuinely sealed CFG edge (it re-verifies out-of-band
+    // under the real keys) — never a forged edge served from the cache.
+    let img = image();
+    let k = keys();
+    let ks = k.expand();
+    for w in 0..img.ctext.len() {
+        let config = SofiaConfig {
+            vcache: VCacheConfig::enabled(64, 4),
+            ..Default::default()
+        };
+        let mut m = SofiaMachine::with_config(&img, &k, &config);
+        for _ in 0..8 {
+            if m.is_halted() {
+                break;
+            }
+            let _ = m.step_block().unwrap();
+        }
+        if m.is_halted() {
+            continue;
+        }
+        let legit = m.next_target();
+        let target = img.text_base + 4 * w as u32;
+        if target == legit {
+            continue;
+        }
+        let prev = m.prev_pc();
+        m.hijack_next_target(target);
+        if m.step_block().unwrap().violation.is_none() {
+            let verdict = sofia_core::fetch::fetch_block(
+                &mut |addr: u32| {
+                    img.ctext
+                        .get(((addr - img.text_base) / 4) as usize)
+                        .copied()
+                },
+                &ks,
+                img.nonce,
+                &img.format,
+                img.text_base,
+                img.ctext.len() as u32,
+                target,
+                prev,
+                true,
+            );
+            assert!(
+                verdict.is_ok(),
+                "warm cache let an unsealed edge {prev:#x} -> {target:#x} through: {:?}",
+                verdict.unwrap_err()
+            );
+        }
+    }
 }

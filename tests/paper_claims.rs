@@ -4,6 +4,7 @@
 use sofia::core::security;
 use sofia::crypto::KeySet;
 use sofia::hwmodel;
+use sofia::prelude::*;
 use sofia_workloads::adpcm;
 
 /// Table I: area +28.2 %, clock 84.6 % slower.
@@ -73,6 +74,90 @@ fn claim_store_gate_free_with_restriction() {
         .unwrap();
     assert_eq!(stats.store_gate_stall_cycles, 0);
     assert!(stats.exec.stores > 400, "workload must be store-dense");
+}
+
+/// Verified-block cache claim: caching verified plaintext by sealed
+/// edge recovers a large share of the fetch-path overhead — cached
+/// SOFIA runs strictly between vanilla and uncached SOFIA, and at least
+/// 25 % below uncached on both the branch-dominated microkernel and the
+/// paper's ADPCM benchmark — without giving up a single detection (the
+/// differential + fault-injection suites pin that half of the claim).
+///
+/// Measurement caveat, on the record: the uncached baseline here uses
+/// `SofiaTiming::default()` *including* the `redirect_setup` cycle this
+/// same PR introduced (redirects pay one cycle to form the
+/// `{ω ‖ prevPC ‖ PC}` counter before the cipher refill). Under the
+/// previous model (`redirect_setup: 0`) the fib(20) reduction is
+/// ≈ 23.9 %, i.e. the 25 % bar on the micro-kernel is partly carried by
+/// the refined redirect model; ADPCM clears 25 % under either model.
+#[test]
+fn claim_vcache_recovers_fetch_overhead() {
+    let keys = KeySet::from_seed(0xC1A5);
+    for w in [sofia_workloads::kernels::fib(20), adpcm::workload(600)] {
+        let vanilla = w.verify_on_vanilla().unwrap().cycles;
+        let image = w.secure_image(&keys);
+
+        let mut uncached = SofiaMachine::new(&image, &keys);
+        assert!(uncached.run(500_000_000).unwrap().is_halted());
+        let u = uncached.stats().exec.cycles;
+
+        let config = SofiaConfig {
+            vcache: VCacheConfig::enabled(256, 8),
+            ..Default::default()
+        };
+        let mut cached = SofiaMachine::with_config(&image, &keys, &config);
+        assert!(cached.run(500_000_000).unwrap().is_halted());
+        assert_eq!(cached.mem().mmio.out_words, w.expected);
+        let c = cached.stats().exec.cycles;
+
+        assert!(
+            c > vanilla,
+            "{}: protection is never free ({c} vs {vanilla})",
+            w.name
+        );
+        assert!(
+            c < u,
+            "{}: the cache must pay for itself ({c} vs {u})",
+            w.name
+        );
+
+        // Companion pin, decoupled from this PR's redirect-model
+        // refinement: under the pre-PR timing (`redirect_setup: 0`) the
+        // cache still recovers >= 25 % on ADPCM and >= 20 % on fib(20),
+        // so the claim does not live or die by the baseline change.
+        let old_timing = sofia::core::SofiaTiming {
+            redirect_setup: 0,
+            ..Default::default()
+        };
+        let old_uncached_cfg = SofiaConfig {
+            timing: old_timing,
+            ..Default::default()
+        };
+        let mut ou = SofiaMachine::with_config(&image, &keys, &old_uncached_cfg);
+        assert!(ou.run(500_000_000).unwrap().is_halted());
+        let old_cached_cfg = SofiaConfig {
+            timing: old_timing,
+            vcache: VCacheConfig::enabled(256, 8),
+            ..Default::default()
+        };
+        let mut oc = SofiaMachine::with_config(&image, &keys, &old_cached_cfg);
+        assert!(oc.run(500_000_000).unwrap().is_halted());
+        let old_reduction = 1.0 - oc.stats().exec.cycles as f64 / ou.stats().exec.cycles as f64;
+        let old_bar = if w.name == "adpcm" { 0.25 } else { 0.20 };
+        assert!(
+            old_reduction >= old_bar,
+            "{}: under redirect_setup 0, reduction {:.3} fell below {old_bar}",
+            w.name,
+            old_reduction
+        );
+        let reduction = 1.0 - c as f64 / u as f64;
+        assert!(
+            reduction >= 0.25,
+            "{}: cached must undercut uncached by >= 25% (got {:.1}%: {c} vs {u})",
+            w.name,
+            reduction * 100.0
+        );
+    }
 }
 
 /// Fig. 9: k callers need exactly k-2 tree trampolines.

@@ -3,6 +3,7 @@
 
 use sofia::attacks::{forgery, hijack, injection, relocation};
 use sofia::crypto::KeySet;
+use sofia::prelude::*;
 
 #[test]
 fn unprotected_machines_fall_to_every_attack() {
@@ -24,6 +25,29 @@ fn sofia_stops_every_attack() {
     assert!(!hijack::poison_sofia(&keys).is_compromised());
     for block in 1..5 {
         assert!(!hijack::fault_inject_sofia(&keys, block).is_compromised());
+    }
+}
+
+#[test]
+fn sofia_with_vcache_stops_every_attack() {
+    // The verified-block cache rows of the matrix: caching verified
+    // plaintext must not reopen a single attack class. Two geometries —
+    // a thrashing direct-mapped entry and a comfortable 64-entry cache —
+    // bracket the residency behaviours.
+    let keys = KeySet::from_seed(0x5EC1);
+    for vcache in [VCacheConfig::enabled(1, 1), VCacheConfig::enabled(64, 4)] {
+        let config = SofiaConfig {
+            vcache,
+            ..Default::default()
+        };
+        assert!(injection::inject_sofia_with(&keys, &config, true).is_detected());
+        assert!(injection::inject_sofia_with(&keys, &config, false).is_detected());
+        assert!(relocation::swap_blocks_sofia_with(&keys, &config, 0, 1).is_detected());
+        assert!(relocation::cross_version_splice_with(&keys, &config).is_detected());
+        assert!(!hijack::poison_sofia_with(&keys, &config).is_compromised());
+        for block in 1..5 {
+            assert!(!hijack::fault_inject_sofia_with(&keys, &config, block).is_compromised());
+        }
     }
 }
 
