@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiment ids (DESIGN.md §3): `fig1 fig2 fig3 fig4 fig5 fig6 fig7
-//! fig9 tab1 sec adpcm suite vcache ablate-block ablate-unroll
+//! fig9 tab1 sec adpcm suite vcache fleet ablate-block ablate-unroll
 //! ablate-sched confid`.
 
 use sofia_bench::{format_row, measure, measure_with, row_header};
@@ -36,6 +36,7 @@ fn main() {
             "adpcm",
             "suite",
             "vcache",
+            "fleet",
             "ablate-block",
             "ablate-unroll",
             "ablate-sched",
@@ -62,6 +63,7 @@ fn main() {
             "adpcm" => adpcm_eval(),
             "suite" => suite_eval(),
             "vcache" => vcache_eval(),
+            "fleet" => fleet_eval(),
             "ablate-block" => ablate_block(),
             "ablate-unroll" => ablate_unroll(),
             "ablate-sched" => ablate_sched(),
@@ -375,6 +377,45 @@ fn vcache_eval() {
         (cached.slices / base.slices - 1.0) * 100.0,
         cached.clock_mhz()
     );
+}
+
+/// Extension — multi-tenant fleet serving: the jobs/sec scaling table
+/// behind `BENCH_fleet.json` (virtual-time metrics on the deterministic
+/// tick-synchronous schedule model; see `sofia-fleet`'s `schedule` docs).
+fn fleet_eval() {
+    use sofia_bench::{fleet_scaling_series, FLEET_BENCH_SLICE};
+    use sofia_fleet::SchedMode;
+    banner("fleet: multi-tenant serving (mixed fib/crc32/adpcm, 24 jobs)");
+    let workers = [1usize, 2, 4, 8];
+    for (label, mode) in [
+        ("run-to-completion", SchedMode::RunToCompletion),
+        (
+            "fuel-sliced",
+            SchedMode::FuelSliced {
+                slice: FLEET_BENCH_SLICE,
+            },
+        ),
+    ] {
+        println!("  {label}:");
+        println!(
+            "  {:>7} {:>16} {:>6} {:>12} {:>10}",
+            "workers", "makespan(cyc)", "ticks", "jobs/sec", "speedup"
+        );
+        let series = fleet_scaling_series(&workers, mode);
+        let base = series[0].jobs_per_sec;
+        for p in &series {
+            println!(
+                "  {:>7} {:>16} {:>6} {:>12.1} {:>9.2}x",
+                p.workers,
+                p.makespan_cycles,
+                p.ticks,
+                p.jobs_per_sec,
+                p.jobs_per_sec / base
+            );
+        }
+    }
+    println!("  (total simulated cycles are identical at every worker count — the");
+    println!("   determinism invariant; jobs/sec is priced at the Table I SOFIA clock)");
 }
 
 /// Extension — the same overheads across the whole kernel suite.

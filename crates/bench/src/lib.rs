@@ -241,6 +241,151 @@ pub fn vcache_rows_json(vcache: VCacheConfig, rows: &[VCacheRow]) -> String {
     out
 }
 
+/// One point of the fleet scaling experiment: the mixed tenant workload
+/// priced at a given worker count.
+///
+/// All numbers are **simulated** (virtual-time makespan at the Table I
+/// SOFIA clock) — deterministic and host-independent, like every other
+/// trajectory number this repo records. In particular they are honest on
+/// a single-core CI box, where host wall-clock could never show scaling.
+#[derive(Clone, Debug)]
+pub struct FleetScalingPoint {
+    /// Worker count of pool and schedule model.
+    pub workers: usize,
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Virtual-time makespan in simulated cycles.
+    pub makespan_cycles: u64,
+    /// Scheduler ticks the batch took.
+    pub ticks: u64,
+    /// Total simulated cycles across all jobs (worker-count-invariant —
+    /// the determinism invariant in one number).
+    pub total_cycles: u64,
+    /// Jobs per second at the Table I SOFIA clock.
+    pub jobs_per_sec: f64,
+}
+
+/// The fleet experiment's mixed tenant mix: three tenants (fib, crc32,
+/// ADPCM — the short/medium/long families), eight jobs each, four
+/// distinct program sizes per tenant submitted twice so the seal cache
+/// sees both cold and warm installs. 24 jobs, largest under 10 % of the
+/// batch, so makespan keeps improving through 4 workers.
+pub fn fleet_mix() -> Vec<sofia_fleet::JobSpec> {
+    use sofia_fleet::{JobSpec, TenantId};
+    let fib = |n| sofia_workloads::kernels::fib(n).source;
+    let crc = |n| sofia_workloads::kernels::crc32(n).source;
+    let adpcm = |n| sofia_workloads::adpcm::workload(n).source;
+    let mut specs = Vec::new();
+    for _round in 0..2 {
+        for n in [200u32, 400, 600, 800] {
+            specs.push(JobSpec::new(TenantId(1), fib(n), 50_000_000));
+        }
+        for n in [32usize, 48, 64, 80] {
+            specs.push(JobSpec::new(TenantId(2), crc(n), 50_000_000));
+        }
+        for n in [40usize, 60, 80, 100] {
+            specs.push(JobSpec::new(TenantId(3), adpcm(n), 50_000_000));
+        }
+    }
+    specs
+}
+
+/// Registers the [`fleet_mix`] tenants on a fresh fleet.
+///
+/// # Panics
+///
+/// Panics on double registration — a harness bug.
+pub fn fleet_mix_tenants(fleet: &mut sofia_fleet::Fleet) {
+    use sofia_fleet::TenantId;
+    for (id, seed) in [(1u32, 0xF1Bu64), (2, 0xC3C32), (3, 0xADBC)] {
+        fleet
+            .register_tenant(TenantId(id), KeySet::from_seed(seed))
+            .expect("fresh fleet");
+    }
+}
+
+/// Runs the [`fleet_mix`] at one worker count and scheduling mode.
+///
+/// # Panics
+///
+/// Panics if any job of the mix fails to halt — measurement runs must be
+/// correct runs.
+pub fn fleet_scaling_point(workers: usize, mode: sofia_fleet::SchedMode) -> FleetScalingPoint {
+    use sofia_fleet::{Fleet, FleetConfig};
+    let mut fleet = Fleet::new(FleetConfig {
+        workers,
+        mode,
+        ..Default::default()
+    });
+    fleet_mix_tenants(&mut fleet);
+    let specs = fleet_mix();
+    let jobs = specs.len();
+    for spec in specs {
+        fleet.submit(spec).expect("mix tenants are registered");
+    }
+    let records = fleet.run_batch();
+    for r in &records {
+        assert!(r.outcome.is_halted(), "{}: {:?}", r.job, r.outcome);
+    }
+    let stats = fleet.stats();
+    let (_, sofia_hw) = sofia_hwmodel::table1();
+    let makespan_secs = stats.last_makespan_cycles as f64 * sofia_hw.period_ns * 1e-9;
+    FleetScalingPoint {
+        workers,
+        jobs,
+        makespan_cycles: stats.last_makespan_cycles,
+        ticks: stats.last_ticks,
+        total_cycles: stats.total().cycles,
+        jobs_per_sec: jobs as f64 / makespan_secs,
+    }
+}
+
+/// [`fleet_scaling_point`] across several worker counts.
+pub fn fleet_scaling_series(
+    workers: &[usize],
+    mode: sofia_fleet::SchedMode,
+) -> Vec<FleetScalingPoint> {
+    workers
+        .iter()
+        .map(|&w| fleet_scaling_point(w, mode))
+        .collect()
+}
+
+/// The fuel slice the fleet experiment runs its preemptive mode at.
+pub const FLEET_BENCH_SLICE: u64 = 2_000;
+
+/// Serialises the two mode series to the `BENCH_fleet.json` schema.
+pub fn fleet_json(rtc: &[FleetScalingPoint], sliced: &[FleetScalingPoint]) -> String {
+    let (_, sofia_hw) = sofia_hwmodel::table1();
+    let series = |points: &[FleetScalingPoint]| {
+        let mut out = String::from("[\n");
+        for (i, p) in points.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{ \"workers\": {}, \"makespan_cycles\": {}, \"ticks\": {}, \
+                 \"total_cycles\": {}, \"jobs_per_sec\": {:.3} }}{}\n",
+                p.workers,
+                p.makespan_cycles,
+                p.ticks,
+                p.total_cycles,
+                p.jobs_per_sec,
+                if i + 1 == points.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("    ]");
+        out
+    };
+    format!(
+        "{{\n  \"bench\": \"fleet\",\n  \"jobs\": {},\n  \"tenants\": 3,\n  \
+         \"sofia_clock_mhz\": {:.1},\n  \"slice_slots\": {},\n  \"modes\": {{\n    \
+         \"run_to_completion\": {},\n    \"fuel_sliced\": {}\n  }}\n}}\n",
+        rtc.first().map_or(0, |p| p.jobs),
+        sofia_hw.clock_mhz(),
+        FLEET_BENCH_SLICE,
+        series(rtc),
+        series(sliced),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -54,7 +54,7 @@ pub mod timing;
 pub mod vcache;
 mod violation;
 
-pub use machine::{ResetPolicy, SofiaConfig, SofiaStats};
+pub use machine::{ResetPolicy, ResumeEdge, SliceOutcome, SliceRun, SofiaConfig, SofiaStats};
 pub use timing::{CipherSchedule, SofiaTiming};
 pub use vcache::{VCacheConfig, VCacheStats};
 pub use violation::Violation;

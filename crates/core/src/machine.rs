@@ -148,6 +148,30 @@ pub struct SofiaStats {
     pub resets: u64,
 }
 
+impl SofiaStats {
+    /// Accumulates another run's counters into this one (every field is
+    /// additive) — e.g. a device's work across a reboot-retry pair, or a
+    /// fleet tenant's across jobs.
+    pub fn merge(&mut self, other: &SofiaStats) {
+        self.exec.merge(&other.exec);
+        self.blocks += other.blocks;
+        self.exec_blocks += other.exec_blocks;
+        self.mux_blocks += other.mux_blocks;
+        self.mac_nop_slots += other.mac_nop_slots;
+        self.ctr_ops += other.ctr_ops;
+        self.cbc_ops += other.cbc_ops;
+        self.cipher_stall_cycles += other.cipher_stall_cycles;
+        self.redirect_fill_cycles += other.redirect_fill_cycles;
+        self.store_gate_stall_cycles += other.store_gate_stall_cycles;
+        self.vcache_hits += other.vcache_hits;
+        self.vcache_misses += other.vcache_misses;
+        self.vcache_evictions += other.vcache_evictions;
+        self.crypto_cycles_saved += other.crypto_cycles_saved;
+        self.violations += other.violations;
+        self.resets += other.resets;
+    }
+}
+
 /// A processor with the SOFIA extension, executing a [`SecureImage`].
 ///
 /// The same generic [`Pipeline`] engine as the baseline
@@ -182,6 +206,56 @@ pub struct SofiaMachine {
     engine: Pipeline<SofiaFetchUnit>,
     reset_policy: ResetPolicy,
     violations: Vec<Violation>,
+}
+
+// Compile-time guarantee: SOFIA machines move onto fleet worker threads.
+// An `Rc`/`RefCell` regression anywhere in the machine (engine, fetch
+// unit, vcache) breaks the build here, not the fleet at runtime.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SofiaMachine>();
+};
+
+/// Snapshot of the fetch unit's edge registers — the `{prevPC, PC}` pair
+/// that seals the next fetch. This is the whole resume point of a
+/// suspended job: together with the (self-contained) machine state it
+/// pins where in the CFG the core will continue, so a scheduler can park
+/// a job between blocks and later prove the edge was not perturbed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ResumeEdge {
+    /// The sealed-edge source the hardware will present for the next
+    /// fetch.
+    pub prev_pc: u32,
+    /// The transfer target the next fetch will verify against that
+    /// source.
+    pub next_target: u32,
+}
+
+/// Why a [`SofiaMachine::run_slice`] call returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SliceOutcome {
+    /// The job finished: halt, stopping violation, or reset-loop
+    /// abandon. Never [`RunOutcome::OutOfFuel`] — an expired slice
+    /// always surfaces as [`SliceOutcome::Preempted`], because the slice
+    /// cannot distinguish its own bound from the job's overall budget.
+    /// Budget exhaustion is the caller's bookkeeping: a job whose
+    /// remaining fuel reaches zero while preempted is out of fuel.
+    Done(RunOutcome),
+    /// The slice budget ran out with the job still runnable: the machine
+    /// is suspended between blocks, resumable by the next `run_slice`.
+    Preempted,
+}
+
+/// Result of one [`SofiaMachine::run_slice`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SliceRun {
+    /// How the slice ended.
+    pub outcome: SliceOutcome,
+    /// Fuel actually consumed, which can overshoot the slice: blocks are
+    /// atomic. Deduct exactly this from the job's remaining budget — that
+    /// is what makes slicing bit-identical to a single run (see
+    /// [`sofia_cpu::engine::Pipeline::run_metered`]).
+    pub consumed: u64,
 }
 
 impl SofiaMachine {
@@ -261,13 +335,43 @@ impl SofiaMachine {
     ///
     /// Propagates architectural traps.
     pub fn run(&mut self, max_slots: u64) -> Result<RunOutcome, Trap> {
+        let (outcome, _) = self.run_engine(max_slots)?;
+        Ok(outcome)
+    }
+
+    /// Runs for one scheduler slice of at most `slice` instruction slots,
+    /// suspending between blocks when the slice expires — the preemption
+    /// seam a fuel-sliced scheduler multiplexes many jobs through.
+    ///
+    /// The machine is fully self-contained across suspensions (the fetch
+    /// unit's edge registers — see [`SofiaMachine::edge`] — carry the
+    /// sealed resume point), and the reported consumption is exact, so a
+    /// sequence of slices replays the identical batch sequence as one
+    /// [`SofiaMachine::run`] with the summed budget: same results, traps
+    /// and violation reports, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates architectural traps.
+    pub fn run_slice(&mut self, slice: u64) -> Result<SliceRun, Trap> {
+        let (outcome, consumed) = self.run_engine(slice)?;
+        Ok(SliceRun {
+            outcome: match outcome {
+                RunOutcome::OutOfFuel => SliceOutcome::Preempted,
+                done => SliceOutcome::Done(done),
+            },
+            consumed,
+        })
+    }
+
+    fn run_engine(&mut self, max_slots: u64) -> Result<(RunOutcome, u64), Trap> {
         let policy = self.reset_policy;
         let violations = &mut self.violations;
-        let outcome = self.engine.run(max_slots, |v, resets_so_far| {
+        let (outcome, consumed) = self.engine.run_metered(max_slots, |v, resets_so_far| {
             violations.push(v);
             policy.dispose(resets_so_far)
         })?;
-        Ok(match outcome {
+        let outcome = match outcome {
             EngineOutcome::Halted => match self.violations.last() {
                 Some(&v) if matches!(self.reset_policy, ResetPolicy::HaltAndReport) => {
                     RunOutcome::ViolationStop(v)
@@ -277,7 +381,19 @@ impl SofiaMachine {
             EngineOutcome::OutOfFuel => RunOutcome::OutOfFuel,
             EngineOutcome::Stopped(v) => RunOutcome::ViolationStop(v),
             EngineOutcome::ResetLoop { resets } => RunOutcome::ResetLoop { resets },
-        })
+        };
+        Ok((outcome, consumed))
+    }
+
+    /// The fetch unit's edge registers — the sealed resume point of a
+    /// suspended job (see [`ResumeEdge`]). Stable across a
+    /// suspend/resume cycle by construction: preemption happens only
+    /// between blocks, and nothing but retirement writes the registers.
+    pub fn edge(&self) -> ResumeEdge {
+        ResumeEdge {
+            prev_pc: self.engine.fetch().prev_pc(),
+            next_target: self.engine.fetch().next_target(),
+        }
     }
 
     /// Whether the machine reached `halt` (or stopped on a violation).
@@ -752,6 +868,94 @@ mod tests {
             2 * fast.vcache_hits,
             "hit latency must be charged once per hit, exactly"
         );
+    }
+
+    /// The suspend/resume invariant behind fuel-sliced scheduling: any
+    /// slicing of the budget replays the identical run — same outputs,
+    /// same stats, same total consumption — because consumption is
+    /// metered exactly and preemption only happens between blocks.
+    #[test]
+    fn sliced_run_is_bit_identical_to_one_shot_run() {
+        let src = "main: li t0, 37
+                   li t1, 0
+             loop: add t1, t1, t0
+                   subi t0, t0, 1
+                   bnez t0, loop
+                   li a0, 0xFFFF0000
+                   sw t1, 0(a0)
+                   halt";
+        let (mut whole, image, keys) = build(src);
+        assert!(whole.run(2_000_000).unwrap().is_halted());
+        for slice in [1u64, 3, 7, 64, 1000] {
+            let mut sliced = SofiaMachine::new(&image, &keys);
+            let mut slices = 0u32;
+            loop {
+                let s = sliced.run_slice(slice).unwrap();
+                slices += 1;
+                assert!(s.consumed >= 1.min(slice));
+                match s.outcome {
+                    SliceOutcome::Done(o) => {
+                        assert!(o.is_halted(), "slice {slice}: {o:?}");
+                        break;
+                    }
+                    SliceOutcome::Preempted => {
+                        // The parked resume point is a sealed CFG edge:
+                        // the target the next slice will verify against
+                        // prev_pc lies inside the image.
+                        let parked = sliced.edge();
+                        assert!(parked.next_target >= image.text_base);
+                        assert_eq!(sliced.edge(), parked, "reading the edge is inert");
+                    }
+                }
+                assert!(slices < 100_000, "slice {slice} failed to finish");
+            }
+            assert_eq!(sliced.mem().mmio.out_words, whole.mem().mmio.out_words);
+            assert_eq!(sliced.stats(), whole.stats(), "slice {slice}");
+            assert_eq!(sliced.icache_stats(), whole.icache_stats());
+        }
+    }
+
+    /// Exact budget accounting: slices that sum to the one-shot budget
+    /// run out of fuel at the same batch boundary with identical state.
+    #[test]
+    fn sliced_out_of_fuel_matches_one_shot_out_of_fuel() {
+        let src = "main: li t0, 100000
+             loop: subi t0, t0, 1
+                   bnez t0, loop
+                   halt";
+        let budget = 997u64; // not a multiple of anything block-shaped
+        let (mut whole, image, keys) = build(src);
+        assert_eq!(whole.run(budget).unwrap(), RunOutcome::OutOfFuel);
+        for slice in [1u64, 5, 100] {
+            let mut sliced = SofiaMachine::new(&image, &keys);
+            let mut remaining = budget;
+            let outcome = loop {
+                let s = sliced.run_slice(slice.min(remaining)).unwrap();
+                remaining = remaining.saturating_sub(s.consumed);
+                match s.outcome {
+                    SliceOutcome::Done(o) => break o,
+                    SliceOutcome::Preempted if remaining == 0 => break RunOutcome::OutOfFuel,
+                    SliceOutcome::Preempted => {}
+                }
+            };
+            assert_eq!(outcome, RunOutcome::OutOfFuel);
+            assert_eq!(sliced.stats(), whole.stats(), "slice {slice}");
+            assert_eq!(sliced.regs().get(Reg::T0), whole.regs().get(Reg::T0));
+            assert_eq!(sliced.edge(), whole.edge());
+        }
+    }
+
+    #[test]
+    fn run_slice_surfaces_violations_like_run() {
+        let (mut a, image, keys) = build("main: nop\n halt");
+        let mut b = SofiaMachine::new(&image, &keys);
+        a.mem_mut().rom_mut()[1] ^= 2;
+        b.mem_mut().rom_mut()[1] ^= 2;
+        let whole = a.run(10_000).unwrap();
+        let slice = b.run_slice(10_000).unwrap();
+        assert!(matches!(whole, RunOutcome::ViolationStop(_)));
+        assert_eq!(slice.outcome, SliceOutcome::Done(whole));
+        assert_eq!(a.violations(), b.violations());
     }
 
     #[test]

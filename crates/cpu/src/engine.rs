@@ -94,6 +94,18 @@ pub struct Pipeline<F: FetchUnit> {
     resets: u64,
 }
 
+// Compile-time guarantee: the engine is `Send` whenever its fetch unit is,
+// so machines can move onto fleet worker threads. A future `Rc`/`RefCell`
+// in the architectural state breaks this build, not a scheduler at runtime.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    #[allow(dead_code)] // compile-time bound check only — never called
+    fn pipeline_is_send_when_fetch_is<F: FetchUnit + Send>() {
+        assert_send::<Pipeline<F>>();
+    }
+    assert_send::<Pipeline<crate::fetch::PlainFetch>>();
+};
+
 impl<F: FetchUnit> Pipeline<F> {
     /// Builds an engine: loads `text` into ROM and `data` into a zeroed
     /// RAM at `data_base`, points `sp` at the top of RAM, and hands
@@ -235,29 +247,53 @@ impl<F: FetchUnit> Pipeline<F> {
     pub fn run(
         &mut self,
         max_slots: u64,
-        mut on_violation: impl FnMut(F::Violation, u64) -> Disposition,
+        on_violation: impl FnMut(F::Violation, u64) -> Disposition,
     ) -> Result<EngineOutcome<F::Violation>, Trap> {
-        let mut fuel = max_slots;
+        self.run_metered(max_slots, on_violation).map(|(o, _)| o)
+    }
+
+    /// [`Pipeline::run`], additionally reporting the fuel actually
+    /// consumed (each batch charges `executed_slots.max(1)`, so even a
+    /// violation that executes nothing makes progress against the budget).
+    ///
+    /// The meter is what makes preemptive schedulers exact: a batch never
+    /// starts unless consumed fuel is still below the budget, so feeding
+    /// slices `s₁, s₂, …` and deducting the *reported* consumption (not
+    /// the slice size — batches are atomic and may overshoot) replays the
+    /// same batch sequence as one `run(s₁ + s₂ + …)` call, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates architectural traps.
+    pub fn run_metered(
+        &mut self,
+        max_slots: u64,
+        mut on_violation: impl FnMut(F::Violation, u64) -> Disposition,
+    ) -> Result<(EngineOutcome<F::Violation>, u64), Trap> {
+        let mut consumed = 0u64;
         loop {
             if self.halted {
-                return Ok(EngineOutcome::Halted);
+                return Ok((EngineOutcome::Halted, consumed));
             }
-            if fuel == 0 {
-                return Ok(EngineOutcome::OutOfFuel);
+            if consumed >= max_slots {
+                return Ok((EngineOutcome::OutOfFuel, consumed));
             }
             let step = self.step_batch()?;
-            fuel = fuel.saturating_sub(step.executed_slots.max(1));
+            consumed += step.executed_slots.max(1);
             if let Some(v) = step.violation {
                 match on_violation(v, self.resets) {
                     Disposition::Stop => {
                         self.halted = true;
-                        return Ok(EngineOutcome::Stopped(v));
+                        return Ok((EngineOutcome::Stopped(v), consumed));
                     }
                     Disposition::Reset => self.reset(),
                     Disposition::Abandon => {
-                        return Ok(EngineOutcome::ResetLoop {
-                            resets: self.resets as u32,
-                        })
+                        return Ok((
+                            EngineOutcome::ResetLoop {
+                                resets: self.resets as u32,
+                            },
+                            consumed,
+                        ))
                     }
                 }
             }

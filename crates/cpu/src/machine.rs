@@ -61,6 +61,14 @@ pub struct VanillaMachine {
     engine: Pipeline<PlainFetch>,
 }
 
+// Compile-time guarantee: baseline machines move onto worker threads (the
+// fleet's pool, parallel property tests). An `Rc`/`RefCell` regression
+// breaks the build here, not the fleet at runtime.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<VanillaMachine>();
+};
+
 impl VanillaMachine {
     /// Builds a machine with [`MachineConfig::default`].
     pub fn new(program: &Assembly) -> VanillaMachine {

@@ -27,6 +27,20 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
+    /// Accumulates another run's counters into this one (every field is
+    /// additive) — e.g. a device's work across a reboot-retry pair.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.cycles += other.cycles;
+        self.instret += other.instret;
+        self.branches += other.branches;
+        self.taken_branches += other.taken_branches;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.calls += other.calls;
+        self.load_use_stalls += other.load_use_stalls;
+        self.icache_stall_cycles += other.icache_stall_cycles;
+    }
+
     /// Cycles per instruction; 0.0 before anything retired.
     pub fn cpi(&self) -> f64 {
         if self.instret == 0 {

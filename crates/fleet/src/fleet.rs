@@ -1,0 +1,554 @@
+//! The fleet service: tenants, the shared seal cache, the worker pool
+//! and the two scheduling disciplines.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use sofia_core::machine::{RunOutcome, SliceOutcome, SofiaMachine};
+use sofia_core::{ResetPolicy, SofiaConfig};
+use sofia_crypto::KeySet;
+use sofia_transform::cache::{ImageCache, ImageCacheStats};
+use sofia_transform::SecureImage;
+
+use crate::job::{JobId, JobOutcome, JobRecord, JobSpec, Sabotage, TenantId};
+use crate::quarantine::{QuarantinePolicy, TenantState};
+use crate::schedule::price_schedule;
+use crate::stats::{FleetStats, TenantStats};
+
+/// How the worker pool shares machine time between jobs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Each worker runs its job to a verdict before taking the next —
+    /// minimal overhead, but a long job monopolises its worker.
+    #[default]
+    RunToCompletion,
+    /// Preemptive round-robin on the engine's fuel seam: every quantum a
+    /// job gets at most `slice` instruction slots, then re-queues behind
+    /// the waiting jobs. A long ADPCM job cannot starve short jobs.
+    FuelSliced {
+        /// Instruction slots per scheduler quantum (clamped to ≥ 1).
+        slice: u64,
+    },
+}
+
+/// Full configuration of a [`Fleet`].
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Worker threads in the pool (clamped to ≥ 1). Also the worker
+    /// count of the virtual-time schedule model.
+    pub workers: usize,
+    /// Scheduling discipline.
+    pub mode: SchedMode,
+    /// Containment for violating tenants.
+    pub quarantine: QuarantinePolicy,
+    /// The SOFIA machine configuration every job runs under.
+    pub sofia: SofiaConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 4,
+            mode: SchedMode::default(),
+            quarantine: QuarantinePolicy::default(),
+            sofia: SofiaConfig::default(),
+        }
+    }
+}
+
+/// Why the fleet refused an operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FleetError {
+    /// The tenant was never registered.
+    UnknownTenant(TenantId),
+    /// [`Fleet::register_tenant`] for an id already present.
+    TenantExists(TenantId),
+    /// The tenant is suspended by its quarantine.
+    Quarantined(TenantId),
+    /// The tenant was evicted; this fleet will not serve it again.
+    Evicted(TenantId),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::UnknownTenant(t) => write!(f, "{t} is not registered"),
+            FleetError::TenantExists(t) => write!(f, "{t} is already registered"),
+            FleetError::Quarantined(t) => write!(f, "{t} is quarantined"),
+            FleetError::Evicted(t) => write!(f, "{t} was evicted"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+struct Tenant {
+    keys: KeySet,
+    state: TenantState,
+    stats: TenantStats,
+}
+
+/// One queued job plus the run state it accumulates across quanta.
+struct JobRun {
+    idx: usize,
+    id: JobId,
+    spec: JobSpec,
+    keys: KeySet,
+    image: Option<Arc<SecureImage>>,
+    machine: Option<SofiaMachine>,
+    remaining: u64,
+    seal_cache_hit: bool,
+    retried: bool,
+    /// Violations and statistics of the first (violating) run, parked
+    /// while the reboot-retry runs — merged into the final record.
+    prior: Option<(Vec<sofia_core::Violation>, sofia_core::SofiaStats)>,
+    slices: u32,
+    slice_cycles: Vec<u64>,
+}
+
+/// The multi-tenant sealed-program execution service.
+///
+/// Tenants register their device [`KeySet`]; jobs carry a program and a
+/// fuel budget. Each tenant's program is sealed **once** into the shared
+/// [`ImageCache`] under that tenant's keys, and jobs run across a
+/// `std::thread` worker pool in one of two scheduling modes.
+///
+/// **Determinism invariant** (pinned by the `fleet` test suites): for any
+/// job set, fleet execution at any worker count and in either scheduling
+/// mode produces bit-identical per-job results, traps and violation
+/// reports to serial single-machine execution. Scheduling decides *when*
+/// a job's blocks run, never *what* they compute: each job owns its
+/// machine, preemption happens only between blocks on the engine's
+/// metered fuel seam, and quarantine folds in submission order after the
+/// batch.
+///
+/// # Examples
+///
+/// ```
+/// use sofia_crypto::KeySet;
+/// use sofia_fleet::{Fleet, FleetConfig, JobSpec, SchedMode, TenantId};
+///
+/// let mut fleet = Fleet::new(FleetConfig {
+///     workers: 2,
+///     mode: SchedMode::FuelSliced { slice: 500 },
+///     ..Default::default()
+/// });
+/// let alice = TenantId(1);
+/// fleet.register_tenant(alice, KeySet::from_seed(0xA11CE))?;
+/// fleet.submit(JobSpec::new(
+///     alice,
+///     "main: li t0, 6
+///            li t1, 7
+///            mul t2, t0, t1
+///            li a0, 0xFFFF0000
+///            sw t2, 0(a0)
+///            halt",
+///     100_000,
+/// ))?;
+/// let records = fleet.run_batch();
+/// assert!(records[0].outcome.is_halted());
+/// assert_eq!(records[0].out_words, vec![42]);
+/// # Ok::<(), sofia_fleet::FleetError>(())
+/// ```
+pub struct Fleet {
+    config: FleetConfig,
+    cache: ImageCache,
+    tenants: BTreeMap<u32, Tenant>,
+    queue: Vec<JobRun>,
+    next_job: u64,
+    batches: u64,
+    rejected: u64,
+    evicted: u64,
+    last_makespan_cycles: u64,
+    last_ticks: u64,
+}
+
+impl Fleet {
+    /// An empty fleet.
+    pub fn new(config: FleetConfig) -> Fleet {
+        Fleet {
+            cache: ImageCache::with_format(sofia_transform::BlockFormat::default()),
+            config,
+            tenants: BTreeMap::new(),
+            queue: Vec::new(),
+            next_job: 0,
+            batches: 0,
+            rejected: 0,
+            evicted: 0,
+            last_makespan_cycles: 0,
+            last_ticks: 0,
+        }
+    }
+
+    /// Onboards a tenant with its device keys.
+    ///
+    /// # Errors
+    ///
+    /// Rejects ids already registered (including evicted ones — an
+    /// evicted tenant's id is burnt for this fleet).
+    pub fn register_tenant(&mut self, id: TenantId, keys: KeySet) -> Result<(), FleetError> {
+        if self.tenants.contains_key(&id.0) {
+            return Err(FleetError::TenantExists(id));
+        }
+        self.tenants.insert(
+            id.0,
+            Tenant {
+                keys,
+                state: TenantState::Active,
+                stats: TenantStats::default(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Queues a job for the next batch.
+    ///
+    /// Quarantine is an admission decision: jobs already accepted always
+    /// run (keeping batch results independent of worker interleaving),
+    /// while a suspended or evicted tenant is rejected here.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown, suspended and evicted tenants.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, FleetError> {
+        let tenant = match self.tenants.get(&spec.tenant.0) {
+            None => {
+                self.rejected += 1;
+                return Err(FleetError::UnknownTenant(spec.tenant));
+            }
+            Some(t) => t,
+        };
+        match tenant.state {
+            TenantState::Active => {}
+            TenantState::Suspended => {
+                self.rejected += 1;
+                return Err(FleetError::Quarantined(spec.tenant));
+            }
+            TenantState::Evicted => {
+                self.rejected += 1;
+                return Err(FleetError::Evicted(spec.tenant));
+            }
+        }
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        let remaining = spec.fuel;
+        self.queue.push(JobRun {
+            idx: self.queue.len(),
+            id,
+            keys: tenant.keys.clone(),
+            spec,
+            image: None,
+            machine: None,
+            remaining,
+            seal_cache_hit: false,
+            retried: false,
+            prior: None,
+            slices: 0,
+            slice_cycles: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    /// Runs every queued job across the worker pool and returns the
+    /// records in submission order, then folds statistics and quarantine
+    /// transitions (also in submission order — worker interleaving never
+    /// influences them).
+    pub fn run_batch(&mut self) -> Vec<JobRecord> {
+        let runs = std::mem::take(&mut self.queue);
+        self.batches += 1;
+        if runs.is_empty() {
+            self.last_makespan_cycles = 0;
+            self.last_ticks = 0;
+            return Vec::new();
+        }
+        let n = runs.len();
+        let workers = self.config.workers.max(1).min(n);
+        let queue = Mutex::new(VecDeque::from(runs));
+        let wakeup = Condvar::new();
+        let slots: Mutex<Vec<Option<JobRecord>>> = Mutex::new((0..n).map(|_| None).collect());
+        let finished = AtomicUsize::new(0);
+        let (config, cache) = (self.config, &self.cache);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut guard = queue.lock().expect("fleet queue poisoned");
+                    loop {
+                        if let Some(mut run) = guard.pop_front() {
+                            drop(guard);
+                            match service_quantum(&mut run, &config, cache) {
+                                Some(record) => {
+                                    slots.lock().expect("fleet records poisoned")[run.idx] =
+                                        Some(record);
+                                    finished.fetch_add(1, Ordering::SeqCst);
+                                    // The batch may be complete: wake the
+                                    // parked workers so they can exit. The
+                                    // lock is held while notifying so no
+                                    // worker can slip between its emptiness
+                                    // check and `wait` and sleep through
+                                    // the final notification.
+                                    let _guard = queue.lock().expect("fleet queue poisoned");
+                                    wakeup.notify_all();
+                                }
+                                None => {
+                                    queue.lock().expect("fleet queue poisoned").push_back(run);
+                                    wakeup.notify_one();
+                                }
+                            }
+                            guard = queue.lock().expect("fleet queue poisoned");
+                        } else if finished.load(Ordering::SeqCst) >= n {
+                            break;
+                        } else {
+                            // Transiently empty: park until another worker
+                            // re-queues a preempted job or ends the batch.
+                            guard = wakeup.wait(guard).expect("fleet queue poisoned");
+                        }
+                    }
+                });
+            }
+        });
+        let mut records: Vec<JobRecord> = slots
+            .into_inner()
+            .expect("fleet records poisoned")
+            .into_iter()
+            .map(|r| r.expect("job finished without a record"))
+            .collect();
+
+        // Price the batch on the virtual-time model (host-independent).
+        let quanta: Vec<Vec<u64>> = records.iter().map(|r| r.slice_cycles.clone()).collect();
+        let schedule = price_schedule(self.config.workers.max(1), &quanta);
+        for (record, ticks) in records.iter_mut().zip(&schedule.per_job) {
+            record.start_tick = ticks.start;
+            record.end_tick = ticks.end;
+        }
+        self.last_makespan_cycles = schedule.makespan_cycles;
+        self.last_ticks = schedule.ticks;
+
+        // Deterministic fold: stats and quarantine in submission order.
+        for record in &records {
+            let tenant = self
+                .tenants
+                .get_mut(&record.tenant.0)
+                .expect("record for unregistered tenant");
+            tenant.stats.absorb(record);
+            if needs_containment(record) {
+                match self.config.quarantine {
+                    QuarantinePolicy::Suspend | QuarantinePolicy::RetryWithReboot { .. } => {
+                        if tenant.state == TenantState::Active {
+                            tenant.state = TenantState::Suspended;
+                        }
+                    }
+                    QuarantinePolicy::Evict => {
+                        if tenant.state != TenantState::Evicted {
+                            tenant.state = TenantState::Evicted;
+                            self.evicted += 1;
+                            self.cache.purge(&tenant.keys);
+                        }
+                    }
+                }
+            }
+        }
+        records
+    }
+
+    /// Lifts a suspension (an operator decision after investigating).
+    /// Returns whether the tenant went back to [`TenantState::Active`]
+    /// (evicted tenants never do).
+    pub fn release(&mut self, id: TenantId) -> bool {
+        match self.tenants.get_mut(&id.0) {
+            Some(t) if t.state == TenantState::Suspended => {
+                t.state = TenantState::Active;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// A tenant's service state.
+    pub fn tenant_state(&self, id: TenantId) -> Option<TenantState> {
+        self.tenants.get(&id.0).map(|t| t.state)
+    }
+
+    /// Jobs queued for the next batch.
+    pub fn pending_jobs(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The aggregated fleet statistics.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            tenants: self.tenants.iter().map(|(&id, t)| (id, t.stats)).collect(),
+            batches: self.batches,
+            rejected_submissions: self.rejected,
+            suspended_tenants: self
+                .tenants
+                .values()
+                .filter(|t| t.state == TenantState::Suspended)
+                .count() as u64,
+            evicted_tenants: self.evicted,
+            last_makespan_cycles: self.last_makespan_cycles,
+            last_ticks: self.last_ticks,
+        }
+    }
+
+    /// The shared seal cache's counters.
+    pub fn seal_cache_stats(&self) -> ImageCacheStats {
+        self.cache.stats()
+    }
+
+    /// The configuration the fleet runs under.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+}
+
+// Compile-time guarantee: the service and its job records cross thread
+// boundaries.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Fleet>();
+    assert_send::<JobRecord>();
+};
+
+/// Serves one scheduler quantum of `run`: seals/builds on first service,
+/// then advances the machine by the mode's fuel slice. Returns the
+/// finished record, or `None` if the job was preempted and must re-queue.
+fn service_quantum(
+    run: &mut JobRun,
+    config: &FleetConfig,
+    cache: &ImageCache,
+) -> Option<JobRecord> {
+    if run.machine.is_none() {
+        let (image, hit) = match cache.get_or_seal_traced(&run.keys, &run.spec.source) {
+            Ok(sealed) => sealed,
+            Err(e) => {
+                // A zero-cost quantum so the schedule model still gives
+                // the job its admission tick.
+                run.slices += 1;
+                run.slice_cycles.push(0);
+                return Some(finish(run, JobOutcome::SealFailed(e.to_string())));
+            }
+        };
+        let mut machine = SofiaMachine::with_config(&image, &run.keys, &config.sofia);
+        apply_sabotage(&mut machine, run.spec.sabotage);
+        run.seal_cache_hit = hit;
+        run.image = Some(image);
+        run.machine = Some(machine);
+    }
+    let quantum = match config.mode {
+        SchedMode::RunToCompletion => run.remaining,
+        SchedMode::FuelSliced { slice } => slice.max(1).min(run.remaining),
+    };
+    let machine = run.machine.as_mut().expect("machine built above");
+    let cycles_before = machine.stats().exec.cycles;
+    let slice = machine.run_slice(quantum);
+    run.slices += 1;
+    let machine = run.machine.as_ref().expect("machine built above");
+    run.slice_cycles
+        .push(machine.stats().exec.cycles - cycles_before);
+    match slice {
+        Err(trap) => Some(finish(run, JobOutcome::Trapped(trap))),
+        Ok(s) => {
+            run.remaining = run.remaining.saturating_sub(s.consumed);
+            match s.outcome {
+                SliceOutcome::Done(outcome) => {
+                    let outcome = JobOutcome::Completed(outcome);
+                    if arm_retry(run, &outcome, config) {
+                        None // the reboot-retry re-queues like a fresh run
+                    } else {
+                        Some(finish(run, outcome))
+                    }
+                }
+                SliceOutcome::Preempted if run.remaining == 0 => {
+                    Some(finish(run, JobOutcome::Completed(RunOutcome::OutOfFuel)))
+                }
+                SliceOutcome::Preempted => None,
+            }
+        }
+    }
+}
+
+/// If the quarantine policy owes this violating job a reboot-retry,
+/// re-arms the run with a fresh machine under [`ResetPolicy::Reboot`]
+/// (same sealed image, same sabotage, full fuel budget) and parks the
+/// first run's violations and statistics for the final record. The
+/// retry then flows through the normal quantum loop — under fuel-sliced
+/// scheduling it is preempted like any other job, so an attacker cannot
+/// buy a worker-monopolising mega-quantum by triggering violations.
+/// Deterministic per job, so the fleet≡serial invariant survives.
+fn arm_retry(run: &mut JobRun, outcome: &JobOutcome, config: &FleetConfig) -> bool {
+    let QuarantinePolicy::RetryWithReboot { max_resets } = config.quarantine else {
+        return false;
+    };
+    if !outcome.is_violation() || run.retried {
+        return false;
+    }
+    run.retried = true;
+    let first = run.machine.as_ref().expect("retry after a sealed run");
+    run.prior = Some((first.violations().to_vec(), first.stats()));
+    let config_reboot = SofiaConfig {
+        reset_policy: ResetPolicy::Reboot { max_resets },
+        ..config.sofia
+    };
+    let image = run.image.as_ref().expect("retry after a sealed run");
+    let mut machine = SofiaMachine::with_config(image, &run.keys, &config_reboot);
+    apply_sabotage(&mut machine, run.spec.sabotage);
+    run.machine = Some(machine);
+    run.remaining = run.spec.fuel;
+    true
+}
+
+fn finish(run: &mut JobRun, outcome: JobOutcome) -> JobRecord {
+    let (out_words, mut violations, mut stats) = match run.machine.as_ref() {
+        Some(m) => (
+            m.mem().mmio.out_words.clone(),
+            m.violations().to_vec(),
+            m.stats(),
+        ),
+        None => (Vec::new(), Vec::new(), Default::default()),
+    };
+    if let Some((first_violations, first_stats)) = run.prior.take() {
+        // The record covers the whole job: first (violating) run plus the
+        // reboot-retry, in order.
+        let mut all = first_violations;
+        all.extend(violations);
+        violations = all;
+        let mut merged = first_stats;
+        merged.merge(&stats);
+        stats = merged;
+    }
+    JobRecord {
+        job: run.id,
+        tenant: run.spec.tenant,
+        outcome,
+        out_words,
+        violations,
+        stats,
+        seal_cache_hit: run.seal_cache_hit,
+        retried: run.retried,
+        slices: run.slices,
+        slice_cycles: std::mem::take(&mut run.slice_cycles),
+        start_tick: 0,
+        end_tick: 0,
+    }
+}
+
+/// Whether a finished job triggers its tenant's quarantine: a violation
+/// verdict, or any run that *detected* violations and still did not end
+/// in a clean halt. The second arm closes the reboot-retry's fuel
+/// loophole — a retry that runs out of fuel mid-reboot-loop has not
+/// cleared the device, and a persistently tampered tenant must not stay
+/// in service just because its budget expired before its reset budget.
+/// (A retried run that reaches `halt` is the recovery the reboot policy
+/// exists for, and is not contained.)
+fn needs_containment(record: &JobRecord) -> bool {
+    record.outcome.is_violation() || (!record.outcome.is_halted() && !record.violations.is_empty())
+}
+
+fn apply_sabotage(machine: &mut SofiaMachine, sabotage: Option<Sabotage>) {
+    if let Some(Sabotage::FlipRomWord { word, mask }) = sabotage {
+        if let Some(w) = machine.mem_mut().rom_mut().get_mut(word) {
+            *w ^= mask;
+        }
+    }
+}

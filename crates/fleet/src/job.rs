@@ -1,0 +1,165 @@
+//! Job descriptions and per-job results.
+
+use sofia_core::machine::RunOutcome;
+use sofia_core::{SofiaStats, Violation};
+use sofia_cpu::Trap;
+
+/// A tenant of the fleet: one device-key domain. In the paper's
+/// deployment model this is one device (or one homogeneous device
+/// family) whose keys "are known only by the software provider".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// A job accepted by [`crate::Fleet::submit`], in submission order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// The adversary channel of the fleet harness: what a fault-injecting
+/// attacker does to one tenant's device before its job runs. Mirrors the
+/// `sofia-attacks` tamper channels so quarantine-isolation experiments
+/// can host a victim tenant inside an otherwise honest fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sabotage {
+    /// XOR `mask` into ROM word `word` (ciphertext tamper — the SI unit's
+    /// detection case). Out-of-range words are a no-op.
+    FlipRomWord {
+        /// ROM word index to corrupt.
+        word: usize,
+        /// Bits to flip.
+        mask: u32,
+    },
+}
+
+/// One unit of work: a tenant's program plus its fuel budget.
+///
+/// The program travels as source; the fleet seals it **once** per
+/// `(tenant keys, program)` into the shared image cache and reuses the
+/// sealed image for every later job.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// SL32 assembly source of the program (inputs live in its `.data`).
+    pub source: String,
+    /// Instruction-slot budget; exceeding it ends the job as
+    /// [`RunOutcome::OutOfFuel`].
+    pub fuel: u64,
+    /// Optional pre-run tamper, for attack experiments.
+    pub sabotage: Option<Sabotage>,
+}
+
+impl JobSpec {
+    /// A clean job (no sabotage).
+    pub fn new(tenant: TenantId, source: impl Into<String>, fuel: u64) -> JobSpec {
+        JobSpec {
+            tenant,
+            source: source.into(),
+            fuel,
+            sabotage: None,
+        }
+    }
+
+    /// The same job with a tamper applied before it runs.
+    pub fn with_sabotage(mut self, sabotage: Sabotage) -> JobSpec {
+        self.sabotage = Some(sabotage);
+        self
+    }
+}
+
+/// How a job ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The machine ran to a verdict (halt, out-of-fuel, stopping
+    /// violation, or reset-loop abandonment).
+    Completed(RunOutcome),
+    /// An architectural trap escaped the program — a program bug, not a
+    /// security event (traps can only occur in verified blocks).
+    Trapped(Trap),
+    /// The program never ran: it failed to parse or to seal.
+    SealFailed(String),
+}
+
+impl JobOutcome {
+    /// Whether the job reached `halt` untampered.
+    pub fn is_halted(&self) -> bool {
+        matches!(self, JobOutcome::Completed(o) if o.is_halted())
+    }
+
+    /// Whether this outcome is a security violation verdict (the
+    /// quarantine trigger).
+    pub fn is_violation(&self) -> bool {
+        matches!(
+            self,
+            JobOutcome::Completed(RunOutcome::ViolationStop(_))
+                | JobOutcome::Completed(RunOutcome::ResetLoop { .. })
+        )
+    }
+}
+
+/// Everything the fleet reports about one finished job.
+///
+/// `outcome`, `out_words` and `violations` are the determinism-invariant
+/// surface: for a fixed job set and configuration they are bit-identical
+/// at every worker count, in both scheduling modes, and equal to serial
+/// single-machine execution. The tick fields come from the deterministic
+/// virtual-time schedule model (see [`crate::schedule`]).
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// The job.
+    pub job: JobId,
+    /// Its tenant.
+    pub tenant: TenantId,
+    /// Final verdict (after the retry, if the quarantine policy retried).
+    pub outcome: JobOutcome,
+    /// Words the program emitted on the MMIO word port.
+    pub out_words: Vec<u32>,
+    /// Every violation detected across the job's run (and retry), in
+    /// detection order.
+    pub violations: Vec<Violation>,
+    /// All machine work the job did — the first run plus the
+    /// reboot-retry (if the quarantine policy retried), merged. This is
+    /// what the virtual-time schedule prices, so fleet totals stay
+    /// work-conserving. `out_words` are the final device run's MMIO log
+    /// (a reboot-retry is a fresh device).
+    pub stats: SofiaStats,
+    /// Whether the sealed image came from the shared cache.
+    pub seal_cache_hit: bool,
+    /// Whether the quarantine policy re-ran the job under a reboot
+    /// [`sofia_core::ResetPolicy`].
+    pub retried: bool,
+    /// Scheduler quanta the job consumed (1 under run-to-completion).
+    pub slices: u32,
+    /// Simulated cycles per scheduler quantum, in order — the cost input
+    /// of the virtual-time schedule model.
+    pub slice_cycles: Vec<u64>,
+    /// Scheduler tick at which the job first ran.
+    pub start_tick: u64,
+    /// Scheduler tick after the one in which the job finished.
+    pub end_tick: u64,
+}
+
+impl JobRecord {
+    /// Ticks the job waited before first service — zero-cost admission
+    /// would be `start_tick == 0` (jobs are all submitted at tick 0 of
+    /// their batch).
+    pub fn queue_latency_ticks(&self) -> u64 {
+        self.start_tick
+    }
+
+    /// Simulated cycles the job consumed in total.
+    pub fn cycles(&self) -> u64 {
+        self.stats.exec.cycles
+    }
+}

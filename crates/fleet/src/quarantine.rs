@@ -1,0 +1,54 @@
+//! Per-tenant containment: what the fleet does when one tenant's device
+//! reports a violation.
+//!
+//! The paper's core guarantee is per-device: a MAC mismatch or a forged
+//! edge resets *that* core. At fleet scale the analogous guarantee is
+//! per-tenant blast radius — one tenant's tampered image must never
+//! perturb another tenant's results, statistics, or service. Containment
+//! decisions are folded **in job-submission order after the batch**, so
+//! they are a deterministic function of the job set, independent of how
+//! many workers raced through it.
+
+/// What the fleet does about a tenant whose job ended in a violation
+/// verdict ([`crate::JobOutcome::is_violation`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QuarantinePolicy {
+    /// Suspend the tenant: jobs already accepted still run (their results
+    /// stay bit-identical to serial execution), but every later
+    /// [`crate::Fleet::submit`] is rejected until
+    /// [`crate::Fleet::release`]. The default — detection verdicts are
+    /// what most experiments want.
+    #[default]
+    Suspend,
+    /// Give the device the paper's reboot behaviour first: re-run the
+    /// violating job once under [`sofia_core::ResetPolicy::Reboot`] with
+    /// this reset budget, and suspend the tenant only if the retry still
+    /// ends in a violation (persistent tamper).
+    RetryWithReboot {
+        /// Resets tolerated by the retry before it abandons.
+        max_resets: u32,
+    },
+    /// Evict the tenant outright: drop its sealed images from the shared
+    /// cache and reject all its future submissions. Accumulated
+    /// statistics are kept for the post-mortem.
+    Evict,
+}
+
+/// A tenant's service state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TenantState {
+    /// Serving normally.
+    #[default]
+    Active,
+    /// Quarantined by a violation; [`crate::Fleet::release`] reactivates.
+    Suspended,
+    /// Evicted by [`QuarantinePolicy::Evict`]; permanent for this fleet.
+    Evicted,
+}
+
+impl TenantState {
+    /// Whether new submissions are accepted.
+    pub fn accepts_jobs(self) -> bool {
+        matches!(self, TenantState::Active)
+    }
+}

@@ -1,0 +1,129 @@
+//! The deterministic virtual-time schedule model.
+//!
+//! The worker pool executes jobs on host threads, whose interleaving the
+//! OS controls — useless as a reproducible metric (and this repo's
+//! trajectory files must be host-independent, like `BENCH_vcache.json`'s
+//! simulated cycle counts). So the fleet *prices* every batch on a
+//! tick-synchronous model instead, driven entirely by the recorded
+//! per-quantum simulated cycle costs, which the determinism invariant
+//! fixes for any worker count:
+//!
+//! * all jobs of a batch arrive at tick 0, queued in submission order;
+//! * each **tick**, the first `workers` runnable jobs each execute their
+//!   next quantum (their whole remaining budget under run-to-completion,
+//!   one fuel slice under fuel-sliced scheduling);
+//! * the tick costs the **maximum** quantum cost among the jobs served
+//!   in it (workers advance in lock-step, like a barrier-synchronous
+//!   accelerator dispatch);
+//! * preempted jobs re-queue behind the jobs still waiting — round-robin.
+//!
+//! Makespan is the sum of tick costs; a job's queue latency is the tick
+//! at which it first ran. Both are deterministic functions of (job set,
+//! worker count, scheduling mode), so "jobs/sec at N workers" in
+//! `BENCH_fleet.json` is as reproducible as every other number this
+//! repo records.
+
+/// Virtual-time placement of one job.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobTicks {
+    /// Tick in which the job's first quantum ran.
+    pub start: u64,
+    /// Tick *after* the one in which its last quantum ran.
+    pub end: u64,
+}
+
+/// What pricing a batch yields.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScheduleReport {
+    /// Sum of tick costs: simulated cycles until the last job finishes.
+    pub makespan_cycles: u64,
+    /// Ticks the batch took.
+    pub ticks: u64,
+    /// Placement per job, indexed like the input.
+    pub per_job: Vec<JobTicks>,
+}
+
+/// Prices a batch: `quanta[j]` is job `j`'s recorded per-quantum cycle
+/// costs, in submission order. `workers` is clamped to at least 1.
+pub fn price_schedule(workers: usize, quanta: &[Vec<u64>]) -> ScheduleReport {
+    let workers = workers.max(1);
+    let mut per_job = vec![JobTicks::default(); quanta.len()];
+    let mut next_quantum = vec![0usize; quanta.len()];
+    let mut ready: std::collections::VecDeque<usize> = (0..quanta.len()).collect();
+    let mut makespan = 0u64;
+    let mut tick = 0u64;
+    while !ready.is_empty() {
+        let served: Vec<usize> = (0..workers.min(ready.len()))
+            .filter_map(|_| ready.pop_front())
+            .collect();
+        let mut tick_cost = 0u64;
+        for &j in &served {
+            let q = next_quantum[j];
+            if q == 0 {
+                per_job[j].start = tick;
+            }
+            tick_cost = tick_cost.max(quanta[j].get(q).copied().unwrap_or(0));
+            next_quantum[j] += 1;
+        }
+        for &j in &served {
+            if next_quantum[j] >= quanta[j].len().max(1) {
+                per_job[j].end = tick + 1;
+            } else {
+                ready.push_back(j);
+            }
+        }
+        makespan += tick_cost;
+        tick += 1;
+    }
+    ScheduleReport {
+        makespan_cycles: makespan,
+        ticks: tick,
+        per_job,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_worker_serialises() {
+        let r = price_schedule(1, &[vec![10], vec![20], vec![30]]);
+        assert_eq!(r.makespan_cycles, 60);
+        assert_eq!(r.ticks, 3);
+        assert_eq!(r.per_job[2], JobTicks { start: 2, end: 3 });
+    }
+
+    #[test]
+    fn more_workers_shrink_the_makespan() {
+        let quanta: Vec<Vec<u64>> = (1..=8u64).map(|c| vec![c * 10]).collect();
+        let m1 = price_schedule(1, &quanta).makespan_cycles;
+        let m2 = price_schedule(2, &quanta).makespan_cycles;
+        let m4 = price_schedule(4, &quanta).makespan_cycles;
+        assert!(m1 > m2 && m2 > m4, "{m1} {m2} {m4}");
+        assert_eq!(m1, 360);
+        // Lock-step pairs: max(10,20) + max(30,40) + max(50,60) + max(70,80).
+        assert_eq!(m2, 200);
+        assert_eq!(m4, 40 + 80);
+    }
+
+    #[test]
+    fn round_robin_interleaves_preempted_jobs() {
+        // A long job (3 slices) and two short ones (1 slice), one worker:
+        // order long, s1, s2, long, long.
+        let r = price_schedule(1, &[vec![5, 5, 5], vec![1], vec![1]]);
+        assert_eq!(r.ticks, 5);
+        assert_eq!(r.per_job[1], JobTicks { start: 1, end: 2 });
+        assert_eq!(r.per_job[2], JobTicks { start: 2, end: 3 });
+        assert_eq!(r.per_job[0].end, 5);
+        assert_eq!(r.makespan_cycles, 17);
+    }
+
+    #[test]
+    fn zero_cost_and_empty_jobs_still_get_ticks() {
+        let r = price_schedule(2, &[vec![], vec![0]]);
+        assert_eq!(r.ticks, 1);
+        assert_eq!(r.makespan_cycles, 0);
+        assert_eq!(r.per_job[0].end, 1);
+    }
+}

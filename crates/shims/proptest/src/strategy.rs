@@ -1,7 +1,7 @@
 //! The `Strategy` trait and the combinators this workspace uses.
 
 use std::ops::{Range, RangeFrom, RangeInclusive};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::test_runner::TestRng;
 
@@ -22,12 +22,14 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
-    /// Erases the strategy's type.
+    /// Erases the strategy's type. The erased strategy is `Send + Sync`
+    /// (real proptest's `BoxedStrategy` composes into multi-threaded
+    /// property tests, so the shim's must too — hence `Arc`, not `Rc`).
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
-        Self: Sized + 'static,
+        Self: Sized + Send + Sync + 'static,
     {
-        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+        BoxedStrategy(Arc::new(move |rng: &mut TestRng| self.generate(rng)))
     }
 }
 
@@ -51,13 +53,20 @@ where
 }
 
 /// A type-erased strategy (see [`Strategy::boxed`]).
-pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T + Send + Sync>);
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
-        BoxedStrategy(Rc::clone(&self.0))
+        BoxedStrategy(Arc::clone(&self.0))
     }
 }
+
+// Compile-time guarantee: erased strategies cross thread boundaries in
+// multi-threaded property tests (e.g. the fleet determinism suite).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<BoxedStrategy<u32>>();
+};
 
 impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;

@@ -26,6 +26,7 @@
 //! | [`workloads`] | ADPCM and other embedded kernels with golden models |
 //! | [`attacks`] | the adversary harness (injection, relocation, hijack, forgery) |
 //! | [`hwmodel`] | the calibrated FPGA area / critical-path cost model |
+//! | [`fleet`] | multi-tenant sealed-program serving with fuel-sliced scheduling |
 //!
 //! # Quickstart
 //!
@@ -63,6 +64,7 @@ pub use sofia_cfg as cfg;
 pub use sofia_core as core;
 pub use sofia_cpu as cpu;
 pub use sofia_crypto as crypto;
+pub use sofia_fleet as fleet;
 pub use sofia_hwmodel as hwmodel;
 pub use sofia_isa as isa;
 pub use sofia_transform as transform;
@@ -72,10 +74,13 @@ pub use sofia_workloads as workloads;
 pub mod prelude {
     pub use sofia_core::{
         machine::{RunOutcome, SofiaMachine},
-        security, SofiaConfig, VCacheConfig, Violation,
+        security, ResumeEdge, SliceOutcome, SofiaConfig, VCacheConfig, Violation,
     };
     pub use sofia_cpu::{machine::VanillaMachine, Trap};
     pub use sofia_crypto::{KeySet, Nonce};
+    pub use sofia_fleet::{
+        Fleet, FleetConfig, FleetStats, JobOutcome, JobSpec, QuarantinePolicy, SchedMode, TenantId,
+    };
     pub use sofia_isa::{
         asm::{self, Module},
         Instruction, Reg,
