@@ -6,8 +6,8 @@
 //! ```
 //!
 //! Experiment ids (DESIGN.md §3): `fig1 fig2 fig3 fig4 fig5 fig6 fig7
-//! fig9 tab1 sec adpcm suite vcache fleet ablate-block ablate-unroll
-//! ablate-sched confid`.
+//! fig9 tab1 sec adpcm suite vcache fleet host ablate-block
+//! ablate-unroll ablate-sched confid`.
 
 use sofia_bench::{format_row, measure, measure_with, row_header};
 use sofia_core::machine::SofiaMachine;
@@ -37,6 +37,7 @@ fn main() {
             "suite",
             "vcache",
             "fleet",
+            "host",
             "ablate-block",
             "ablate-unroll",
             "ablate-sched",
@@ -64,6 +65,7 @@ fn main() {
             "suite" => suite_eval(),
             "vcache" => vcache_eval(),
             "fleet" => fleet_eval(),
+            "host" => host_eval(),
             "ablate-block" => ablate_block(),
             "ablate-unroll" => ablate_unroll(),
             "ablate-sched" => ablate_sched(),
@@ -416,6 +418,48 @@ fn fleet_eval() {
     }
     println!("  (total simulated cycles are identical at every worker count — the");
     println!("   determinism invariant; jobs/sec is priced at the Table I SOFIA clock)");
+}
+
+/// Extension — host throughput: the wall-clock table behind
+/// `BENCH_host.json` (re-emitted by this experiment, so the CI release
+/// step keeps the record at release-build figures).
+fn host_eval() {
+    banner("host: host-side throughput (wall clock on this machine)");
+    let report = sofia_bench::host_report(3);
+    let k = &report.keystream;
+    println!(
+        "  keystream ({} blocks): scalar {:>10.0} blk/s   bitsliced {:>10.0} blk/s   {:>5.2}x",
+        k.blocks,
+        k.scalar_blocks_per_sec,
+        k.bitsliced_blocks_per_sec,
+        k.speedup()
+    );
+    let s = &report.seal;
+    println!(
+        "  seal ({}):      scalar {:>10.2} seal/s  bitsliced {:>10.2} seal/s  {:>5.2}x",
+        s.workload,
+        s.scalar_seals_per_sec,
+        s.bitsliced_seals_per_sec,
+        s.speedup()
+    );
+    println!("  simulation speed (fib5000):");
+    for r in &report.mips {
+        println!(
+            "    {:<16} {:>8.2} host MIPS ({} slots)",
+            r.machine, r.mips, r.instret
+        );
+    }
+    println!("  fleet host throughput (mix24, fuel-sliced):");
+    println!("    workers  pool      jobs/sec");
+    for p in &report.fleet {
+        println!(
+            "    {:>7}  {:<8} {:>9.2}",
+            p.workers, p.pool, p.jobs_per_sec
+        );
+    }
+    println!("  (wall-clock, informational: scaling needs real cores; simulated-cycle");
+    println!("   trajectories live in BENCH_vcache.json / BENCH_fleet.json)");
+    sofia_bench::write_host_json(&sofia_bench::host_json(&report));
 }
 
 /// Extension — the same overheads across the whole kernel suite.

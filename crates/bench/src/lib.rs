@@ -386,6 +386,340 @@ pub fn fleet_json(rtc: &[FleetScalingPoint], sliced: &[FleetScalingPoint]) -> St
     )
 }
 
+// ---------------------------------------------------------------------
+// Host throughput (`BENCH_host.json`)
+//
+// Unlike every other trajectory file in this repo, these numbers are
+// **wall-clock**: how fast *this host* seals and simulates. They are
+// informational — no CI thresholds — but they are the first record of
+// wins that land on real silicon (the bitsliced cipher, the zero-copy
+// dispatch, the stealing pool) rather than in the simulated-cycle model,
+// which stays bit-for-bit untouched.
+// ---------------------------------------------------------------------
+
+use std::time::Instant;
+
+/// Scalar-vs-bitsliced keystream generation rates (blocks/sec).
+#[derive(Clone, Debug)]
+pub struct KeystreamRates {
+    /// Counters ciphered per timed sweep.
+    pub blocks: usize,
+    /// One [`sofia_crypto::ctr::pad`] call per counter.
+    pub scalar_blocks_per_sec: f64,
+    /// One [`sofia_crypto::ctr::pads`] sweep for the whole batch.
+    pub bitsliced_blocks_per_sec: f64,
+}
+
+impl KeystreamRates {
+    /// Bitsliced throughput relative to scalar.
+    pub fn speedup(&self) -> f64 {
+        self.bitsliced_blocks_per_sec / self.scalar_blocks_per_sec
+    }
+}
+
+/// Host simulation speed of one machine on the reference workload.
+#[derive(Clone, Debug)]
+pub struct HostMipsRow {
+    /// Machine label (`vanilla`, `sofia-uncached`, `sofia-cached`).
+    pub machine: String,
+    /// Instruction slots the run retired.
+    pub instret: u64,
+    /// Retired slots per host wall-clock second, in millions.
+    pub mips: f64,
+}
+
+/// Scalar-vs-bitsliced secure-installation rates (seals/sec).
+#[derive(Clone, Debug)]
+pub struct SealRates {
+    /// Workload label.
+    pub workload: String,
+    /// Seals per second through [`sofia_crypto::CryptoEngine::Scalar`].
+    pub scalar_seals_per_sec: f64,
+    /// Seals per second through [`sofia_crypto::CryptoEngine::Bitsliced`].
+    pub bitsliced_seals_per_sec: f64,
+}
+
+impl SealRates {
+    /// Bitsliced throughput relative to scalar.
+    pub fn speedup(&self) -> f64 {
+        self.bitsliced_seals_per_sec / self.scalar_seals_per_sec
+    }
+}
+
+/// Host wall-clock throughput of one fleet configuration on the
+/// [`fleet_mix`].
+#[derive(Clone, Debug)]
+pub struct FleetHostPoint {
+    /// Worker threads.
+    pub workers: usize,
+    /// Pool label (`shared` or `stealing`).
+    pub pool: String,
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Jobs per host wall-clock second.
+    pub jobs_per_sec: f64,
+}
+
+/// Everything `BENCH_host.json` records.
+#[derive(Clone, Debug)]
+pub struct HostReport {
+    /// Keystream generation rates.
+    pub keystream: KeystreamRates,
+    /// Simulation speed per machine.
+    pub mips: Vec<HostMipsRow>,
+    /// Secure-installation rates.
+    pub seal: SealRates,
+    /// Fleet batch throughput per (workers, pool) point.
+    pub fleet: Vec<FleetHostPoint>,
+}
+
+fn best_secs(reps: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measures scalar vs bitsliced keystream generation over `blocks`
+/// distinct control-flow counters, best of `reps` sweeps each.
+pub fn host_keystream(blocks: usize, reps: u32) -> KeystreamRates {
+    use sofia_crypto::util::SplitMix64;
+    let cipher = KeySet::from_seed(0x4057).expand().ctr;
+    let mut rng = SplitMix64::new(0x4057_BEEF);
+    let counters: Vec<sofia_crypto::CounterBlock> = (0..blocks)
+        .map(|_| {
+            let prev = ((rng.next_u64() as u32) & 0x00FF_FFFF) << 2;
+            let pc = ((rng.next_u64() as u32) & 0x00FF_FFFF) << 2;
+            sofia_crypto::CounterBlock::from_edge(sofia_crypto::Nonce::new(7), prev, pc)
+        })
+        .collect();
+    let scalar = best_secs(reps, || {
+        let mut acc = 0u32;
+        for &c in &counters {
+            acc ^= sofia_crypto::ctr::pad(&cipher, c);
+        }
+        std::hint::black_box(acc);
+    });
+    let bitsliced = best_secs(reps, || {
+        std::hint::black_box(sofia_crypto::ctr::pads(&cipher, &counters));
+    });
+    KeystreamRates {
+        blocks,
+        scalar_blocks_per_sec: blocks as f64 / scalar,
+        bitsliced_blocks_per_sec: blocks as f64 / bitsliced,
+    }
+}
+
+/// Measures host MIPS of the three machines (vanilla, SOFIA uncached,
+/// SOFIA cached at the trajectory geometry) on `fib(5000)`, best of
+/// `reps` runs each.
+///
+/// # Panics
+///
+/// Panics if any machine misbehaves — measurement runs must be correct
+/// runs.
+pub fn host_mips(reps: u32) -> Vec<HostMipsRow> {
+    let keys = KeySet::from_seed(0xCA5E);
+    let w = sofia_workloads::kernels::fib(5_000);
+    let assembly = w.assembly();
+    let image = w.secure_image(&keys);
+    let cached = SofiaConfig {
+        vcache: VCacheConfig::enabled(256, 8),
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+    let mut push = |machine: &str, instret: u64, secs: f64| {
+        rows.push(HostMipsRow {
+            machine: machine.to_string(),
+            instret,
+            mips: instret as f64 / secs / 1e6,
+        });
+    };
+    let mut instret = 0;
+    let secs = best_secs(reps, || {
+        let mut m = VanillaMachine::new(&assembly);
+        assert!(m.run(FUEL).expect("vanilla traps").is_halted());
+        instret = m.stats().instret;
+    });
+    push("vanilla", instret, secs);
+    let secs = best_secs(reps, || {
+        let mut m = SofiaMachine::new(&image, &keys);
+        assert!(m.run(FUEL).expect("sofia traps").is_halted());
+        instret = m.stats().exec.instret;
+    });
+    push("sofia-uncached", instret, secs);
+    let secs = best_secs(reps, || {
+        let mut m = SofiaMachine::with_config(&image, &keys, &cached);
+        assert!(m.run(FUEL).expect("sofia cached traps").is_halted());
+        instret = m.stats().exec.instret;
+    });
+    push("sofia-cached", instret, secs);
+    rows
+}
+
+/// Measures seals/sec of the full secure installation (lower → CFG →
+/// pack → trees → seal) on ADPCM under each [`sofia_crypto::CryptoEngine`],
+/// best of `reps` seals each.
+///
+/// # Panics
+///
+/// Panics if the workload fails to transform.
+pub fn host_seal_rates(reps: u32) -> SealRates {
+    let keys = KeySet::from_seed(0x5EA1);
+    let module = sofia_workloads::adpcm::workload(600).module();
+    let rate = |engine: sofia_crypto::CryptoEngine| {
+        let transformer = Transformer::new(keys.clone()).with_engine(engine);
+        1.0 / best_secs(reps, || {
+            std::hint::black_box(transformer.transform(&module).expect("adpcm seals"));
+        })
+    };
+    SealRates {
+        workload: "adpcm600".to_string(),
+        scalar_seals_per_sec: rate(sofia_crypto::CryptoEngine::Scalar),
+        bitsliced_seals_per_sec: rate(sofia_crypto::CryptoEngine::Bitsliced),
+    }
+}
+
+/// Measures host wall-clock jobs/sec of the [`fleet_mix`] batch at each
+/// worker count, under the shared-queue and work-stealing pools
+/// (fuel-sliced mode — the discipline that actually contends on the
+/// queue), best of `reps` batches per point (each rep rebuilds the fleet
+/// and re-submits the mix; only `run_batch` is timed). Wall-clock
+/// scaling needs real cores; on a single-core host the points simply
+/// document that.
+///
+/// # Panics
+///
+/// Panics if any job of the mix fails to halt.
+pub fn host_fleet_points(workers_list: &[usize], reps: u32) -> Vec<FleetHostPoint> {
+    use sofia_fleet::{Fleet, FleetConfig, PoolMode, SchedMode};
+    let mut points = Vec::new();
+    for &workers in workers_list {
+        for (label, pool) in [
+            ("shared", PoolMode::SharedQueue),
+            ("stealing", PoolMode::WorkStealing),
+        ] {
+            let mut jobs = 0;
+            let secs = {
+                let mut best = f64::INFINITY;
+                for _ in 0..reps.max(1) {
+                    let mut fleet = Fleet::new(FleetConfig {
+                        workers,
+                        mode: SchedMode::FuelSliced {
+                            slice: FLEET_BENCH_SLICE,
+                        },
+                        pool,
+                        ..Default::default()
+                    });
+                    fleet_mix_tenants(&mut fleet);
+                    let specs = fleet_mix();
+                    jobs = specs.len();
+                    for spec in specs {
+                        fleet.submit(spec).expect("mix tenants are registered");
+                    }
+                    let t = Instant::now();
+                    let records = fleet.run_batch();
+                    best = best.min(t.elapsed().as_secs_f64());
+                    for r in &records {
+                        assert!(r.outcome.is_halted(), "{}: {:?}", r.job, r.outcome);
+                    }
+                }
+                best
+            };
+            points.push(FleetHostPoint {
+                workers,
+                pool: label.to_string(),
+                jobs,
+                jobs_per_sec: jobs as f64 / secs,
+            });
+        }
+    }
+    points
+}
+
+/// Runs the whole host-throughput experiment. `reps` trades run time for
+/// measurement stability (the smoke run under `cargo test` uses 1, so
+/// every section — fleet included — is a single sample there and best of
+/// `reps` under `repro -- host` / `cargo bench`).
+pub fn host_report(reps: u32) -> HostReport {
+    HostReport {
+        keystream: host_keystream(1 << 14, reps),
+        mips: host_mips(reps),
+        seal: host_seal_rates(reps),
+        fleet: host_fleet_points(&[1, 4, 8], reps),
+    }
+}
+
+/// Serialises a [`HostReport`] to the `BENCH_host.json` schema. The
+/// `profile` field records whether the numbers came from a release or a
+/// debug build — wall-clock figures are only comparable within one
+/// profile.
+pub fn host_json(report: &HostReport) -> String {
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    let mut out = String::from("{\n  \"bench\": \"host\",\n");
+    out.push_str(&format!("  \"profile\": \"{profile}\",\n"));
+    let k = &report.keystream;
+    out.push_str(&format!(
+        "  \"keystream\": {{ \"blocks\": {}, \"scalar_blocks_per_sec\": {:.0}, \
+         \"bitsliced_blocks_per_sec\": {:.0}, \"bitsliced_speedup\": {:.2} }},\n",
+        k.blocks,
+        k.scalar_blocks_per_sec,
+        k.bitsliced_blocks_per_sec,
+        k.speedup()
+    ));
+    out.push_str("  \"machine_mips\": [\n");
+    for (i, r) in report.mips.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"machine\": \"{}\", \"instret\": {}, \"mips\": {:.2} }}{}\n",
+            r.machine,
+            r.instret,
+            r.mips,
+            if i + 1 == report.mips.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    let s = &report.seal;
+    out.push_str(&format!(
+        "  \"seal\": {{ \"workload\": \"{}\", \"scalar_seals_per_sec\": {:.2}, \
+         \"bitsliced_seals_per_sec\": {:.2}, \"bitsliced_speedup\": {:.2} }},\n",
+        s.workload,
+        s.scalar_seals_per_sec,
+        s.bitsliced_seals_per_sec,
+        s.speedup()
+    ));
+    out.push_str("  \"fleet_host\": [\n");
+    for (i, p) in report.fleet.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"workers\": {}, \"pool\": \"{}\", \"jobs\": {}, \"jobs_per_sec\": {:.2} }}{}\n",
+            p.workers,
+            p.pool,
+            p.jobs,
+            p.jobs_per_sec,
+            if i + 1 == report.fleet.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `json` to `BENCH_host.json` at the workspace root (next to the
+/// other trajectory files), reporting the outcome on stdout/stderr like
+/// the sibling bench emitters.
+pub fn write_host_json(json: &str) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_host.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("BENCH_host.json not written: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +733,47 @@ mod tests {
         assert!(row.expansion() > 1.3);
         assert!(row.time_overhead_pct() > row.cycle_overhead_pct());
         assert!(!format_row(&row).is_empty());
+    }
+
+    #[test]
+    fn host_json_schema_is_stable() {
+        let report = HostReport {
+            keystream: KeystreamRates {
+                blocks: 16,
+                scalar_blocks_per_sec: 1e6,
+                bitsliced_blocks_per_sec: 8e6,
+            },
+            mips: vec![HostMipsRow {
+                machine: "vanilla".into(),
+                instret: 1000,
+                mips: 12.5,
+            }],
+            seal: SealRates {
+                workload: "adpcm600".into(),
+                scalar_seals_per_sec: 10.0,
+                bitsliced_seals_per_sec: 25.0,
+            },
+            fleet: vec![FleetHostPoint {
+                workers: 4,
+                pool: "stealing".into(),
+                jobs: 24,
+                jobs_per_sec: 100.0,
+            }],
+        };
+        assert!((report.keystream.speedup() - 8.0).abs() < 1e-9);
+        assert!((report.seal.speedup() - 2.5).abs() < 1e-9);
+        let json = host_json(&report);
+        for field in [
+            "\"bench\": \"host\"",
+            "\"profile\"",
+            "\"bitsliced_speedup\": 8.00",
+            "\"machine_mips\"",
+            "\"seal\"",
+            "\"fleet_host\"",
+            "\"pool\": \"stealing\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! over the decrypted instructions, comparing it with the decrypted MAC
 //! words before the block may execute.
 
-use sofia_cpu::fetch::{FetchCtx, FetchUnit, Slot, SlotOutcome};
+use sofia_cpu::fetch::{Batch, FetchCtx, FetchUnit, Slot, SlotOutcome};
 use sofia_cpu::Trap;
-use sofia_crypto::{ctr, mac, CounterBlock, ExpandedKeys, KeySet, Mac64, Nonce};
+use sofia_crypto::{mac, CounterBlock, ExpandedKeys, KeySet, Mac64, Nonce};
 use sofia_isa::Instruction;
 use sofia_transform::{BlockFormat, BlockKind, SecureImage, RESET_PREV_PC};
 
@@ -104,44 +104,47 @@ pub fn fetch_block(
     // honest programs; for tampered flow the MAC check below catches it.
 
     let word_at = |w: usize| base + 4 * w as u32;
-    let mut fetched_addrs = Vec::new();
-    let mut decrypt = |prev: u32, pc: u32, fetched: &mut Vec<u32>| -> Result<u32, Violation> {
-        let c = read_word(pc).ok_or(Violation::FetchOutOfImage { addr: pc })?;
-        fetched.push(pc);
-        Ok(ctr::apply(
-            &keys.ctr,
-            CounterBlock::from_edge(nonce, prev, pc),
-            c,
-        ))
-    };
-
     let bw = format.block_words();
-    let (m1, m2, first_inst_word, mut prev) = match path {
-        EntryPath::Exec => {
-            let m1 = decrypt(prev_pc, word_at(0), &mut fetched_addrs)?;
-            let m2 = decrypt(word_at(0), word_at(1), &mut fetched_addrs)?;
-            (m1, m2, 2, word_at(1))
-        }
-        EntryPath::Mux1 => {
-            // Enter at M1e1 (word 0), skip M1e2, continue at M2 which is
-            // sealed with prevPC = addr(M1e2) on both paths (Fig. 8).
-            let m1 = decrypt(prev_pc, word_at(0), &mut fetched_addrs)?;
-            let m2 = decrypt(word_at(1), word_at(2), &mut fetched_addrs)?;
-            (m1, m2, 3, word_at(2))
-        }
-        EntryPath::Mux2 => {
-            let m1 = decrypt(prev_pc, word_at(1), &mut fetched_addrs)?;
-            let m2 = decrypt(word_at(1), word_at(2), &mut fetched_addrs)?;
-            (m1, m2, 3, word_at(2))
-        }
-    };
 
-    let mut insts = Vec::with_capacity(bw - first_inst_word);
-    for w in first_inst_word..bw {
-        let pc = word_at(w);
-        let word = decrypt(prev, pc, &mut fetched_addrs)?;
-        insts.push((pc, word));
-        prev = pc;
+    // The `(sealing prevPC, PC)` walk for the selected path is fully
+    // determined before any ciphertext is read, so the whole block's
+    // keystream is one batched cipher sweep instead of a per-word loop.
+    // The first two entries decrypt the MAC words (M1/M2), the rest the
+    // instruction words. Mux paths skip the other entry's M1 word and
+    // chain M2 from addr(M1e2) on *both* paths (Fig. 8). `pads` holds
+    // the counters until the in-place sweep turns them into keystream —
+    // together with the address walk (which doubles as `fetched_addrs`)
+    // that is the only buffer this rewrite adds over the per-word loop.
+    let mut fetched_addrs: Vec<u32> = Vec::with_capacity(bw);
+    let mut pads: Vec<u64> = Vec::with_capacity(bw);
+    let entry_edges: [(u32, u32); 2] = match path {
+        EntryPath::Exec => [(prev_pc, word_at(0)), (word_at(0), word_at(1))],
+        EntryPath::Mux1 => [(prev_pc, word_at(0)), (word_at(1), word_at(2))],
+        EntryPath::Mux2 => [(prev_pc, word_at(1)), (word_at(1), word_at(2))],
+    };
+    let first_inst_word = match path {
+        EntryPath::Exec => 2,
+        EntryPath::Mux1 | EntryPath::Mux2 => 3,
+    };
+    for (prev, pc) in entry_edges
+        .into_iter()
+        .chain((first_inst_word..bw).map(|w| (word_at(w - 1), word_at(w))))
+    {
+        fetched_addrs.push(pc);
+        pads.push(CounterBlock::from_edge(nonce, prev, pc).as_u64());
+    }
+    keys.ctr.encrypt_blocks(&mut pads);
+
+    let (mut m1, mut m2) = (0u32, 0u32);
+    let mut insts: Vec<(u32, u32)> = Vec::with_capacity(bw - first_inst_word);
+    for (i, (&pc, &pad)) in fetched_addrs.iter().zip(&pads).enumerate() {
+        let c = read_word(pc).ok_or(Violation::FetchOutOfImage { addr: pc })?;
+        let word = c ^ pad as u32;
+        match i {
+            0 => m1 = word,
+            1 => m2 = word,
+            _ => insts.push((pc, word)),
+        }
     }
 
     // SI verification (paper Fig. 3).
@@ -369,10 +372,12 @@ impl FetchUnit for SofiaFetchUnit {
     fn fetch_batch(
         &mut self,
         ctx: &mut FetchCtx<'_>,
-        out: &mut Vec<Slot>,
+        out: &mut Batch,
     ) -> Result<Option<Violation>, Trap> {
         // Verified-block cache: a hit replays slots already decrypted,
-        // MAC-checked and decoded for exactly this `(prevPC, PC)` edge.
+        // MAC-checked and decoded for exactly this `(prevPC, PC)` edge —
+        // delivered zero-copy: the engine executes straight from the
+        // cache line's shared slice, no per-hit clone.
         let edge = (self.prev_pc, self.next_target);
         if let Some(cached) = self.vcache.lookup(edge.0, edge.1) {
             let (base, last, kind, words) = (
@@ -381,7 +386,7 @@ impl FetchUnit for SofiaFetchUnit {
                 cached.kind,
                 cached.words_fetched,
             );
-            out.extend_from_slice(&cached.slots);
+            out.deliver_shared(std::sync::Arc::clone(&cached.slots));
             self.account_hit(kind, words, out.len(), ctx);
             self.cur_base = base;
             self.cur_last_word = last;
@@ -416,7 +421,7 @@ impl FetchUnit for SofiaFetchUnit {
             }
             out.push(Slot { pc, inst });
         }
-        self.account_block(&block, out, ctx);
+        self.account_block(&block, out.as_slice(), ctx);
         self.cur_base = block.base;
         self.cur_last_word = block.last_word_addr(&self.format);
         // Only now — past the MAC, the decoder and the store-position
@@ -430,7 +435,7 @@ impl FetchUnit for SofiaFetchUnit {
                     last_word_addr: self.cur_last_word,
                     kind: block.path.kind(),
                     words_fetched: block.words_fetched,
-                    slots: out.clone(),
+                    slots: out.to_shared(),
                 },
             );
             self.stats.vcache_evictions += evicted as u64;

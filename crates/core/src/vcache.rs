@@ -29,6 +29,8 @@
 //! block's issue slots plus a configurable hit latency — which is the
 //! whole point: hot loops stop paying MAC+CTR on every iteration.
 
+use std::sync::Arc;
+
 use sofia_cpu::fetch::Slot;
 use sofia_transform::BlockKind;
 
@@ -136,8 +138,11 @@ pub struct CachedBlock {
     /// Ciphertext words the uncached fetch walks for this entry path —
     /// what a hit *saves* in issue slots and cipher work.
     pub words_fetched: u32,
-    /// The decoded instruction slots, in issue order.
-    pub slots: Vec<Slot>,
+    /// The decoded instruction slots, in issue order, behind a shared
+    /// slice: a hit hands the `Arc` straight to the pipeline batch
+    /// ([`sofia_cpu::fetch::Batch::deliver_shared`]) instead of cloning
+    /// the slots on every replay.
+    pub slots: Arc<[Slot]>,
 }
 
 #[derive(Clone, Debug)]
@@ -162,7 +167,7 @@ struct Line {
 ///     last_word_addr: 0x5C,
 ///     kind: BlockKind::Exec,
 ///     words_fetched: 8,
-///     slots: vec![],
+///     slots: [].into(),
 /// };
 /// c.insert((0x1C, 0x40), block);
 /// assert!(c.lookup(0x1C, 0x40).is_some()); // the sealed edge hits
@@ -232,6 +237,7 @@ impl VCache {
 
     /// Looks up the edge `(prev_pc, target)`, updating LRU order and the
     /// hit/miss counters. Always a miss when disabled (without counting).
+    #[inline]
     pub fn lookup(&mut self, prev_pc: u32, target: u32) -> Option<&CachedBlock> {
         if !self.config.enabled {
             return None;
@@ -311,7 +317,7 @@ mod tests {
             last_word_addr: base + 28,
             kind: BlockKind::Exec,
             words_fetched: 8,
-            slots: Vec::new(),
+            slots: [].into(),
         }
     }
 

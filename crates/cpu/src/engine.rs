@@ -10,7 +10,7 @@
 use sofia_isa::{Instruction, Reg};
 
 use crate::exec::{execute, Effect, RegFile};
-use crate::fetch::{FetchCtx, FetchUnit, Slot, SlotOutcome};
+use crate::fetch::{Batch, FetchCtx, FetchUnit, Slot, SlotOutcome};
 use crate::icache::{ICache, ICacheConfig, ICacheStats};
 use crate::mem::Memory;
 use crate::pipeline::PipelineModel;
@@ -88,7 +88,7 @@ pub struct Pipeline<F: FetchUnit> {
     icache: ICache,
     model: PipelineModel,
     stats: ExecStats,
-    batch: Vec<Slot>,
+    batch: Batch,
     prev_load_dest: Option<Reg>,
     halted: bool,
     resets: u64,
@@ -137,7 +137,7 @@ impl<F: FetchUnit> Pipeline<F> {
             icache: ICache::new(config.icache),
             model: config.pipeline,
             stats: ExecStats::default(),
-            batch: Vec::new(),
+            batch: Batch::new(),
             prev_load_dest: None,
             halted: false,
             resets: 0,
@@ -174,7 +174,7 @@ impl<F: FetchUnit> Pipeline<F> {
         let len = self.batch.len();
         let mut executed = 0u64;
         for i in 0..len {
-            let Slot { pc, inst } = self.batch[i];
+            let Slot { pc, inst } = self.batch.slot(i);
             let effect = execute(&inst, pc, &mut self.regs, &mut self.mem)?;
             executed += 1;
             let taken = inst.is_branch() && matches!(effect, Effect::Jump { .. });

@@ -60,8 +60,10 @@ impl Default for RegFile {
 pub enum Effect {
     /// Fall through to `pc + 4`.
     Next,
-    /// Transfer control to the given address. `taken` distinguishes a
-    /// taken conditional branch (timing) from the not-taken [`Effect::Next`].
+    /// Transfer control to the given address: a taken branch, jump, call
+    /// or return (a not-taken branch is [`Effect::Next`]; the engine
+    /// tells the two apart for timing by checking
+    /// [`sofia_isa::Instruction::is_branch`] on the retiring slot).
     Jump {
         /// The transfer target.
         target: u32,

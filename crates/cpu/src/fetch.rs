@@ -11,6 +11,8 @@
 //! * future backends (CFI-only ablations, other ciphers, reboot studies)
 //!   implement this trait instead of duplicating a machine.
 
+use std::sync::Arc;
+
 use sofia_isa::Instruction;
 
 use crate::icache::ICache;
@@ -59,6 +61,104 @@ pub enum SlotOutcome {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum NoViolation {}
 
+/// The slot buffer the engine hands a fetch unit each step.
+///
+/// Two delivery paths share it: units that decode fresh words [`push`]
+/// into an owned buffer (reused across steps, so the steady state is
+/// allocation-free), while units replaying an already-verified block can
+/// [`deliver_shared`] an `Arc<[Slot]>` — the engine then executes
+/// straight from the shared slice, with no per-fetch copy of the slots.
+/// That zero-copy path is what makes a verified-block-cache hit cheap on
+/// the *host*: the simulated-cycle model is unaffected either way.
+///
+/// [`push`]: Batch::push
+/// [`deliver_shared`]: Batch::deliver_shared
+#[derive(Clone, Debug, Default)]
+pub struct Batch {
+    owned: Vec<Slot>,
+    shared: Option<Arc<[Slot]>>,
+}
+
+impl Batch {
+    /// An empty buffer.
+    pub fn new() -> Batch {
+        Batch::default()
+    }
+
+    /// Empties the buffer, keeping the owned allocation for reuse.
+    pub fn clear(&mut self) {
+        self.owned.clear();
+        self.shared = None;
+    }
+
+    /// Appends one freshly decoded slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shared slice was already delivered this step — a fetch
+    /// unit delivers one batch per step, owned or shared, never a mix.
+    pub fn push(&mut self, slot: Slot) {
+        assert!(
+            self.shared.is_none(),
+            "cannot push into a batch after deliver_shared"
+        );
+        self.owned.push(slot);
+    }
+
+    /// Delivers a whole verified block as a shared slice — zero-copy: the
+    /// engine executes directly from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slots were already delivered this step.
+    pub fn deliver_shared(&mut self, slots: Arc<[Slot]>) {
+        assert!(
+            self.owned.is_empty() && self.shared.is_none(),
+            "cannot deliver a shared block into a non-empty batch"
+        );
+        self.shared = Some(slots);
+    }
+
+    /// The delivered slots.
+    pub fn as_slice(&self) -> &[Slot] {
+        match &self.shared {
+            Some(shared) => shared,
+            None => &self.owned,
+        }
+    }
+
+    /// Number of delivered slots.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether nothing was delivered.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Copies out slot `i` (slots are small and `Copy`; the engine reads
+    /// them by value so it can keep mutating architectural state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn slot(&self, i: usize) -> Slot {
+        self.as_slice()[i]
+    }
+
+    /// The batch as a shareable slice: hands back the existing `Arc` when
+    /// the batch was delivered shared (no copy), or freezes the owned
+    /// slots into a new one (one copy — e.g. a cache *insert* after a
+    /// verified miss).
+    pub fn to_shared(&self) -> Arc<[Slot]> {
+        match &self.shared {
+            Some(shared) => Arc::clone(shared),
+            None => Arc::from(self.owned.as_slice()),
+        }
+    }
+}
+
 /// A pluggable instruction-delivery unit in front of the shared pipeline.
 ///
 /// The unit owns all sequencing state (program counter or block cursor)
@@ -79,6 +179,8 @@ pub trait FetchUnit {
 
     /// Fetches and decodes the next batch of slots into `out` (cleared by
     /// the engine beforehand), charging fetch-path cycles through `ctx`.
+    /// Freshly decoded slots are [`Batch::push`]ed; an already-verified
+    /// shared block goes through [`Batch::deliver_shared`] (zero-copy).
     ///
     /// Returns `Ok(Some(violation))` when the unit refuses to deliver the
     /// batch (tampered code, forged edge, …) — the engine executes
@@ -91,7 +193,7 @@ pub trait FetchUnit {
     fn fetch_batch(
         &mut self,
         ctx: &mut FetchCtx<'_>,
-        out: &mut Vec<Slot>,
+        out: &mut Batch,
     ) -> Result<Option<Self::Violation>, Trap>;
 
     /// Reports the control-flow outcome of slot `slot` (of `batch_len`)
@@ -144,7 +246,7 @@ impl FetchUnit for PlainFetch {
     fn fetch_batch(
         &mut self,
         ctx: &mut FetchCtx<'_>,
-        out: &mut Vec<Slot>,
+        out: &mut Batch,
     ) -> Result<Option<NoViolation>, Trap> {
         let pc = self.pc;
         let stall = ctx.icache.access_cycles(pc) as u64;

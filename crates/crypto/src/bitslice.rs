@@ -1,0 +1,265 @@
+//! The bitsliced RECTANGLE engine: many independent 64-bit blocks per
+//! pass, pure ALU work, no tables.
+//!
+//! RECTANGLE was designed for exactly this ("a bit-slice lightweight
+//! block cipher", Zhang et al. 2014): the S-box layer applies the same
+//! 4-bit boolean function to all 16 columns of the 4×16 state, so it can
+//! be evaluated *bitwise* across a whole row at once, and across many
+//! blocks at once if rows of independent blocks share a machine word.
+//!
+//! # Layout
+//!
+//! One `u64` **row word** carries row `r` of [`LANES_PER_WORD`] = 4
+//! blocks side by side, each in its own 16-bit sub-lane. A **group** is
+//! the four row words of those 4 blocks, and a pass works on
+//! [`GROUPS`] = 4 groups — [`LANES`] = 16 independent blocks ciphered
+//! together:
+//!
+//! * **AddRoundKey** — XOR each row word with the 16-bit round-key row
+//!   replicated into every sub-lane;
+//! * **SubColumn** — the S-box as a bitwise boolean circuit over the four
+//!   row words (derived from the algebraic normal form of the S-box and
+//!   pinned against the lookup table by test);
+//! * **ShiftRow** — a per-sub-lane 16-bit rotation by 0/1/12/13.
+//!
+//! The scalar [`Rectangle::encrypt_block`] path stays as the reference
+//! oracle; `tests/bitslice_equiv.rs` pins the two implementations
+//! together over random keys, blocks and lane counts.
+
+use crate::rectangle::{Rectangle, ROUNDS};
+
+/// Independent blocks carried by one `u64` row word (16-bit sub-lanes).
+pub const LANES_PER_WORD: usize = 4;
+
+/// Row-word groups processed per pass.
+pub const GROUPS: usize = 4;
+
+/// Independent 64-bit blocks ciphered per bitsliced pass.
+pub const LANES: usize = LANES_PER_WORD * GROUPS;
+
+/// Replication mask: one copy of a 16-bit row per sub-lane.
+const LANE1: u64 = 0x0001_0001_0001_0001;
+
+/// Rotates each 16-bit sub-lane of `x` left by `k` (1 ≤ k < 16).
+#[inline(always)]
+fn rotl16(x: u64, k: u32) -> u64 {
+    let hi = ((0xFFFFu64 << k) & 0xFFFF) * LANE1;
+    let lo = (0xFFFF >> (16 - k)) * LANE1;
+    ((x << k) & hi) | ((x >> (16 - k)) & lo)
+}
+
+/// The RECTANGLE S-box as a bitwise boolean circuit (ANF of
+/// [`crate::SBOX`]): inputs/outputs are row words, bit-position-wise.
+#[inline(always)]
+fn sub_column(x0: u64, x1: u64, x2: u64, x3: u64) -> (u64, u64, u64, u64) {
+    let t01 = x0 & x1;
+    let t02 = x0 & x2;
+    let t12 = x1 & x2;
+    let y0 = x0 ^ t01 ^ x2 ^ x3;
+    let y1 = !(x0 ^ x1 ^ x2 ^ (x1 & x3));
+    let y2 = !(t01 ^ x2 ^ t02 ^ t12 ^ (t01 & x2) ^ x3 ^ (x2 & x3));
+    let y3 = x1 ^ t02 ^ t12 ^ x3 ^ (x0 & x3) ^ (t12 & x3);
+    (y0, y1, y2, y3)
+}
+
+/// The inverse S-box circuit (ANF of [`crate::SBOX_INV`]).
+#[inline(always)]
+fn sub_column_inv(x0: u64, x1: u64, x2: u64, x3: u64) -> (u64, u64, u64, u64) {
+    let t01 = x0 & x1;
+    let t13 = x1 & x3;
+    let t23 = x2 & x3;
+    let y0 = !(x0 ^ x2 ^ (t01 & x2) ^ x3 ^ t13 ^ t23);
+    let y1 = x1 ^ x2 ^ (x0 & x2) ^ (x0 & x3);
+    let y2 = x0 ^ x1 ^ x2 ^ x3 ^ (x0 & x3);
+    let y3 = !(x0 ^ t01 ^ (x1 & x2) ^ t13 ^ (t01 & x3) ^ t23);
+    (y0, y1, y2, y3)
+}
+
+/// Broadcasts one round key's four 16-bit rows into full row words.
+#[inline(always)]
+fn broadcast(rk: &[u16; 4]) -> [u64; 4] {
+    [
+        rk[0] as u64 * LANE1,
+        rk[1] as u64 * LANE1,
+        rk[2] as u64 * LANE1,
+        rk[3] as u64 * LANE1,
+    ]
+}
+
+/// Packs 16 blocks into 4 groups of row words.
+#[inline]
+fn pack(blocks: &[u64; LANES]) -> [[u64; 4]; GROUPS] {
+    let mut st = [[0u64; 4]; GROUPS];
+    for g in 0..GROUPS {
+        for l in 0..LANES_PER_WORD {
+            let b = blocks[g * LANES_PER_WORD + l];
+            let shift = 16 * l;
+            st[g][0] |= (b & 0xFFFF) << shift;
+            st[g][1] |= ((b >> 16) & 0xFFFF) << shift;
+            st[g][2] |= ((b >> 32) & 0xFFFF) << shift;
+            st[g][3] |= (b >> 48) << shift;
+        }
+    }
+    st
+}
+
+/// Inverse of [`pack`].
+#[inline]
+fn unpack(st: &[[u64; 4]; GROUPS], blocks: &mut [u64; LANES]) {
+    for g in 0..GROUPS {
+        for l in 0..LANES_PER_WORD {
+            let shift = 16 * l;
+            blocks[g * LANES_PER_WORD + l] = ((st[g][0] >> shift) & 0xFFFF)
+                | (((st[g][1] >> shift) & 0xFFFF) << 16)
+                | (((st[g][2] >> shift) & 0xFFFF) << 32)
+                | (((st[g][3] >> shift) & 0xFFFF) << 48);
+        }
+    }
+}
+
+/// Encrypts one full pass of [`LANES`] blocks in place.
+fn encrypt_pass(cipher: &Rectangle, blocks: &mut [u64; LANES]) {
+    let mut st = pack(blocks);
+    for rk in &cipher.round_keys[..ROUNDS] {
+        let k = broadcast(rk);
+        for s in &mut st {
+            let (y0, y1, y2, y3) = sub_column(s[0] ^ k[0], s[1] ^ k[1], s[2] ^ k[2], s[3] ^ k[3]);
+            s[0] = y0;
+            s[1] = rotl16(y1, 1);
+            s[2] = rotl16(y2, 12);
+            s[3] = rotl16(y3, 13);
+        }
+    }
+    let k = broadcast(&cipher.round_keys[ROUNDS]);
+    for s in &mut st {
+        for (r, kr) in s.iter_mut().zip(&k) {
+            *r ^= kr;
+        }
+    }
+    unpack(&st, blocks);
+}
+
+/// Decrypts one full pass of [`LANES`] blocks in place.
+fn decrypt_pass(cipher: &Rectangle, blocks: &mut [u64; LANES]) {
+    let mut st = pack(blocks);
+    let k = broadcast(&cipher.round_keys[ROUNDS]);
+    for s in &mut st {
+        for (r, kr) in s.iter_mut().zip(&k) {
+            *r ^= kr;
+        }
+    }
+    for rk in cipher.round_keys[..ROUNDS].iter().rev() {
+        let k = broadcast(rk);
+        for s in &mut st {
+            let (y0, y1, y2, y3) =
+                sub_column_inv(s[0], rotl16(s[1], 15), rotl16(s[2], 4), rotl16(s[3], 3));
+            s[0] = y0 ^ k[0];
+            s[1] = y1 ^ k[1];
+            s[2] = y2 ^ k[2];
+            s[3] = y3 ^ k[3];
+        }
+    }
+    unpack(&st, blocks);
+}
+
+/// Runs `pass` over `blocks` in chunks of [`LANES`], zero-padding the
+/// final ragged chunk (padding lanes are ciphered and discarded — lane
+/// independence makes the real lanes bit-identical to full passes).
+fn drive(cipher: &Rectangle, blocks: &mut [u64], pass: fn(&Rectangle, &mut [u64; LANES])) {
+    let mut chunks = blocks.chunks_exact_mut(LANES);
+    for chunk in &mut chunks {
+        let chunk: &mut [u64; LANES] = chunk.try_into().expect("exact chunk");
+        pass(cipher, chunk);
+    }
+    let rem = chunks.into_remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u64; LANES];
+        buf[..rem.len()].copy_from_slice(rem);
+        pass(cipher, &mut buf);
+        rem.copy_from_slice(&buf[..rem.len()]);
+    }
+}
+
+pub(crate) fn encrypt_blocks(cipher: &Rectangle, blocks: &mut [u64]) {
+    drive(cipher, blocks, encrypt_pass);
+}
+
+pub(crate) fn decrypt_blocks(cipher: &Rectangle, blocks: &mut [u64]) {
+    drive(cipher, blocks, decrypt_pass);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Key80, Rectangle, SBOX, SBOX_INV};
+
+    /// The boolean circuits agree with the lookup tables on every input,
+    /// in every sub-lane position.
+    #[test]
+    fn circuits_match_sbox_tables() {
+        for v in 0..16u64 {
+            // Place input nibble `v` at several bit positions at once.
+            let spread = |bit: u64| {
+                let b = bit & 1;
+                b | (b << 7) | (b << 16) | (b << 37) | (b << 63)
+            };
+            let x: Vec<u64> = (0..4).map(|r| spread(v >> r)).collect();
+            let (y0, y1, y2, y3) = super::sub_column(x[0], x[1], x[2], x[3]);
+            let (i0, i1, i2, i3) = super::sub_column_inv(x[0], x[1], x[2], x[3]);
+            for pos in [0, 7, 16, 37, 63] {
+                let out = ((y0 >> pos) & 1)
+                    | (((y1 >> pos) & 1) << 1)
+                    | (((y2 >> pos) & 1) << 2)
+                    | (((y3 >> pos) & 1) << 3);
+                assert_eq!(out as u8, SBOX[v as usize], "fwd input {v} pos {pos}");
+                let inv = ((i0 >> pos) & 1)
+                    | (((i1 >> pos) & 1) << 1)
+                    | (((i2 >> pos) & 1) << 2)
+                    | (((i3 >> pos) & 1) << 3);
+                assert_eq!(inv as u8, SBOX_INV[v as usize], "inv input {v} pos {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotl16_rotates_each_lane_independently() {
+        let x = 0x8001_4002_2004_1008u64;
+        let rot = super::rotl16(x, 1);
+        for lane in 0..4 {
+            let orig = ((x >> (16 * lane)) & 0xFFFF) as u16;
+            let got = ((rot >> (16 * lane)) & 0xFFFF) as u16;
+            assert_eq!(got, orig.rotate_left(1), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn full_pass_matches_scalar_on_all_lanes() {
+        let cipher = Rectangle::new(&Key80::from_seed(0xB175));
+        let mut x = crate::util::SplitMix64::new(3);
+        let mut blocks = [0u64; super::LANES];
+        for b in &mut blocks {
+            *b = x.next_u64();
+        }
+        let expect: Vec<u64> = blocks.iter().map(|&b| cipher.encrypt_block(b)).collect();
+        let mut enc = blocks;
+        super::encrypt_pass(&cipher, &mut enc);
+        assert_eq!(enc.to_vec(), expect);
+        let mut dec = enc;
+        super::decrypt_pass(&cipher, &mut dec);
+        assert_eq!(dec, blocks);
+    }
+
+    #[test]
+    fn ragged_batches_match_scalar() {
+        let cipher = Rectangle::new(&Key80::from_seed(0x7A11));
+        let mut x = crate::util::SplitMix64::new(9);
+        for n in [0usize, 1, 3, 4, 15, 16, 17, 33, 100] {
+            let blocks: Vec<u64> = (0..n).map(|_| x.next_u64()).collect();
+            let expect: Vec<u64> = blocks.iter().map(|&b| cipher.encrypt_block(b)).collect();
+            let mut got = blocks.clone();
+            super::encrypt_blocks(&cipher, &mut got);
+            assert_eq!(got, expect, "batch of {n}");
+            super::decrypt_blocks(&cipher, &mut got);
+            assert_eq!(got, blocks, "roundtrip of {n}");
+        }
+    }
+}

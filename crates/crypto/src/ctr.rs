@@ -72,8 +72,34 @@ impl CounterBlock {
 
 /// Derives the 32-bit keystream pad for one counter: the 32 least
 /// significant bits of `E_k1(I)` (the `r` LSBs of `O_i` in Algorithm 1).
+#[inline]
 pub fn pad(cipher: &Rectangle, counter: CounterBlock) -> u32 {
     cipher.encrypt_block(counter.as_u64()) as u32
+}
+
+/// Derives the keystream pads for a whole batch of counters in one
+/// bitsliced sweep ([`Rectangle::encrypt_blocks`]): bit-identical to
+/// mapping [`pad`] over the slice, but ciphering up to
+/// [`crate::bitslice::LANES`] counters per pass. This is the bulk path
+/// behind sealing whole images and refilling block fetches, where every
+/// counter of the sweep is known up front.
+pub fn pads(cipher: &Rectangle, counters: &[CounterBlock]) -> Vec<u32> {
+    let mut blocks: Vec<u64> = counters.iter().map(|c| c.as_u64()).collect();
+    cipher.encrypt_blocks(&mut blocks);
+    blocks.into_iter().map(|b| b as u32).collect()
+}
+
+/// Encrypts (or decrypts) `words[i]` on the edge `counters[i]` for the
+/// whole batch, via one [`pads`] sweep.
+///
+/// # Panics
+///
+/// Panics if the two slices differ in length.
+pub fn apply_batch(cipher: &Rectangle, counters: &[CounterBlock], words: &mut [u32]) {
+    assert_eq!(counters.len(), words.len(), "counter/word length mismatch");
+    for (word, pad) in words.iter_mut().zip(pads(cipher, counters)) {
+        *word ^= pad;
+    }
 }
 
 /// Encrypts (or decrypts — XOR is an involution) one instruction word on

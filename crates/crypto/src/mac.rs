@@ -94,6 +94,7 @@ impl Mac64 {
 /// let b = mac::mac_words(&cipher, &[1, 2, 3, 4, 5, 7], 6);
 /// assert_ne!(a, b);
 /// ```
+#[inline]
 pub fn mac_words(cipher: &Rectangle, words: &[u32], padded_words: usize) -> Mac64 {
     assert!(padded_words > 0, "empty MAC domain");
     assert!(padded_words % 2 == 0, "padded length must be even");
@@ -110,6 +111,42 @@ pub fn mac_words(cipher: &Rectangle, words: &[u32], padded_words: usize) -> Mac6
         state = cipher.encrypt_block(state ^ block);
     }
     Mac64(state)
+}
+
+/// Computes [`mac_words`] for many *independent* messages that share one
+/// fixed `padded_words` domain, lane-parallel: CBC chaining is sequential
+/// *within* a message, but the chains of different messages are
+/// independent, so each CBC step ciphers all messages' current states in
+/// one bitsliced sweep ([`Rectangle::encrypt_blocks`]).
+///
+/// Bit-identical to mapping [`mac_words`] over `messages` (pinned by the
+/// equivalence suite). This is the install-time bulk path: an image's
+/// blocks of one kind all MAC under the same key and padded length.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`mac_words`], checked per
+/// message.
+pub fn mac_words_batch(cipher: &Rectangle, messages: &[&[u32]], padded_words: usize) -> Vec<Mac64> {
+    assert!(padded_words > 0, "empty MAC domain");
+    assert!(padded_words % 2 == 0, "padded length must be even");
+    for words in messages {
+        assert!(
+            words.len() <= padded_words,
+            "message longer than its fixed MAC domain ({} > {padded_words})",
+            words.len()
+        );
+    }
+    let mut states = vec![0u64; messages.len()];
+    for pair in 0..padded_words / 2 {
+        for (state, words) in states.iter_mut().zip(messages) {
+            let lo = words.get(pair * 2).copied().unwrap_or(0) as u64;
+            let hi = words.get(pair * 2 + 1).copied().unwrap_or(0) as u64;
+            *state ^= lo | (hi << 32);
+        }
+        cipher.encrypt_blocks(&mut states);
+    }
+    states.into_iter().map(Mac64).collect()
 }
 
 #[cfg(test)]

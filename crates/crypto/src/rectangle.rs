@@ -204,7 +204,7 @@ fn next_rc(rc: u8) -> u8 {
 /// ```
 #[derive(Clone)]
 pub struct Rectangle {
-    round_keys: [[u16; 4]; ROUNDS + 1],
+    pub(crate) round_keys: [[u16; 4]; ROUNDS + 1],
 }
 
 impl Rectangle {
@@ -249,6 +249,7 @@ impl Rectangle {
     }
 
     /// Encrypts one 64-bit block.
+    #[inline]
     pub fn encrypt_block(&self, block: u64) -> u64 {
         let table = quad_table();
         let mut rows = block_to_rows(block);
@@ -270,6 +271,7 @@ impl Rectangle {
     /// Not used on SOFIA's data path — CTR and CBC-MAC only ever run the
     /// forward permutation — but provided for API completeness and used by
     /// the round-trip tests.
+    #[inline]
     pub fn decrypt_block(&self, block: u64) -> u64 {
         let table = quad_table_inv();
         let mut rows = block_to_rows(block);
@@ -284,6 +286,22 @@ impl Rectangle {
             }
         }
         rows_to_block(rows)
+    }
+
+    /// Encrypts a batch of independent 64-bit blocks in place through the
+    /// bitsliced engine ([`crate::bitslice`]): up to
+    /// [`crate::bitslice::LANES`] blocks are ciphered per pass, with a
+    /// zero-padded final pass for ragged batch sizes. Bit-identical to
+    /// mapping [`Rectangle::encrypt_block`] over the slice (pinned by the
+    /// equivalence suite), several times faster for bulk work.
+    pub fn encrypt_blocks(&self, blocks: &mut [u64]) {
+        crate::bitslice::encrypt_blocks(self, blocks);
+    }
+
+    /// Decrypts a batch of independent 64-bit blocks in place — the
+    /// inverse of [`Rectangle::encrypt_blocks`], same engine.
+    pub fn decrypt_blocks(&self, blocks: &mut [u64]) {
+        crate::bitslice::decrypt_blocks(self, blocks);
     }
 }
 

@@ -2,7 +2,7 @@
 //! and the two scheduling disciplines.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use sofia_core::machine::{RunOutcome, SliceOutcome, SofiaMachine};
@@ -32,6 +32,27 @@ pub enum SchedMode {
     },
 }
 
+/// How queued jobs are distributed across the worker threads.
+///
+/// Purely a **host**-side choice: scheduling decides *when* a job's
+/// blocks are simulated, never *what* they compute, so the fleet ≡ serial
+/// bit-identity invariant holds under either pool (pinned by running the
+/// whole fleet suite against the work-stealing default).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PoolMode {
+    /// One shared FIFO protected by a single lock — every pop and every
+    /// re-queue of every worker serialises on it. Kept as the contention
+    /// baseline the host bench measures against.
+    SharedQueue,
+    /// Per-worker deques with work stealing: a worker serves the front of
+    /// its own deque, re-queues preempted jobs to its own back, and only
+    /// when it runs dry steals from the back of a sibling — so the queue
+    /// lock a worker touches in steady state is almost always its own,
+    /// uncontended one (the default).
+    #[default]
+    WorkStealing,
+}
+
 /// Full configuration of a [`Fleet`].
 #[derive(Clone, Copy, Debug)]
 pub struct FleetConfig {
@@ -40,6 +61,8 @@ pub struct FleetConfig {
     pub workers: usize,
     /// Scheduling discipline.
     pub mode: SchedMode,
+    /// Host work-distribution strategy for the worker pool.
+    pub pool: PoolMode,
     /// Containment for violating tenants.
     pub quarantine: QuarantinePolicy,
     /// The SOFIA machine configuration every job runs under.
@@ -51,6 +74,7 @@ impl Default for FleetConfig {
         FleetConfig {
             workers: 4,
             mode: SchedMode::default(),
+            pool: PoolMode::default(),
             quarantine: QuarantinePolicy::default(),
             sofia: SofiaConfig::default(),
         }
@@ -162,6 +186,7 @@ pub struct Fleet {
     evicted: u64,
     last_makespan_cycles: u64,
     last_ticks: u64,
+    last_steals: u64,
 }
 
 impl Fleet {
@@ -178,6 +203,7 @@ impl Fleet {
             evicted: 0,
             last_makespan_cycles: 0,
             last_ticks: 0,
+            last_steals: 0,
         }
     }
 
@@ -260,53 +286,21 @@ impl Fleet {
         if runs.is_empty() {
             self.last_makespan_cycles = 0;
             self.last_ticks = 0;
+            self.last_steals = 0;
             return Vec::new();
         }
         let n = runs.len();
         let workers = self.config.workers.max(1).min(n);
-        let queue = Mutex::new(VecDeque::from(runs));
-        let wakeup = Condvar::new();
         let slots: Mutex<Vec<Option<JobRecord>>> = Mutex::new((0..n).map(|_| None).collect());
-        let finished = AtomicUsize::new(0);
-        let (config, cache) = (self.config, &self.cache);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut guard = queue.lock().expect("fleet queue poisoned");
-                    loop {
-                        if let Some(mut run) = guard.pop_front() {
-                            drop(guard);
-                            match service_quantum(&mut run, &config, cache) {
-                                Some(record) => {
-                                    slots.lock().expect("fleet records poisoned")[run.idx] =
-                                        Some(record);
-                                    finished.fetch_add(1, Ordering::SeqCst);
-                                    // The batch may be complete: wake the
-                                    // parked workers so they can exit. The
-                                    // lock is held while notifying so no
-                                    // worker can slip between its emptiness
-                                    // check and `wait` and sleep through
-                                    // the final notification.
-                                    let _guard = queue.lock().expect("fleet queue poisoned");
-                                    wakeup.notify_all();
-                                }
-                                None => {
-                                    queue.lock().expect("fleet queue poisoned").push_back(run);
-                                    wakeup.notify_one();
-                                }
-                            }
-                            guard = queue.lock().expect("fleet queue poisoned");
-                        } else if finished.load(Ordering::SeqCst) >= n {
-                            break;
-                        } else {
-                            // Transiently empty: park until another worker
-                            // re-queues a preempted job or ends the batch.
-                            guard = wakeup.wait(guard).expect("fleet queue poisoned");
-                        }
-                    }
-                });
+        self.last_steals = match self.config.pool {
+            PoolMode::SharedQueue => {
+                run_pool_shared(runs, workers, &slots, &self.config, &self.cache);
+                0
             }
-        });
+            PoolMode::WorkStealing => {
+                run_pool_stealing(runs, workers, &slots, &self.config, &self.cache)
+            }
+        };
         let mut records: Vec<JobRecord> = slots
             .into_inner()
             .expect("fleet records poisoned")
@@ -388,6 +382,7 @@ impl Fleet {
             evicted_tenants: self.evicted,
             last_makespan_cycles: self.last_makespan_cycles,
             last_ticks: self.last_ticks,
+            last_steals: self.last_steals,
         }
     }
 
@@ -409,6 +404,143 @@ const _: () = {
     assert_send::<Fleet>();
     assert_send::<JobRecord>();
 };
+
+/// The shared-queue pool: one FIFO, one lock, every worker on it.
+fn run_pool_shared(
+    runs: Vec<JobRun>,
+    workers: usize,
+    slots: &Mutex<Vec<Option<JobRecord>>>,
+    config: &FleetConfig,
+    cache: &ImageCache,
+) {
+    let n = runs.len();
+    let queue = Mutex::new(VecDeque::from(runs));
+    let wakeup = Condvar::new();
+    let finished = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut guard = queue.lock().expect("fleet queue poisoned");
+                loop {
+                    if let Some(mut run) = guard.pop_front() {
+                        drop(guard);
+                        match service_quantum(&mut run, config, cache) {
+                            Some(record) => {
+                                slots.lock().expect("fleet records poisoned")[run.idx] =
+                                    Some(record);
+                                finished.fetch_add(1, Ordering::SeqCst);
+                                // The batch may be complete: wake the
+                                // parked workers so they can exit. The
+                                // lock is held while notifying so no
+                                // worker can slip between its emptiness
+                                // check and `wait` and sleep through
+                                // the final notification.
+                                let _guard = queue.lock().expect("fleet queue poisoned");
+                                wakeup.notify_all();
+                            }
+                            None => {
+                                queue.lock().expect("fleet queue poisoned").push_back(run);
+                                wakeup.notify_one();
+                            }
+                        }
+                        guard = queue.lock().expect("fleet queue poisoned");
+                    } else if finished.load(Ordering::SeqCst) >= n {
+                        break;
+                    } else {
+                        // Transiently empty: park until another worker
+                        // re-queues a preempted job or ends the batch.
+                        guard = wakeup.wait(guard).expect("fleet queue poisoned");
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// The work-stealing pool: jobs are dealt round-robin onto per-worker
+/// deques; each worker serves its own deque front (FIFO — preempted jobs
+/// re-queue to its own back, preserving round-robin service within a
+/// worker) and steals from a sibling's back only when its own runs dry.
+/// Returns the number of steals.
+///
+/// **Parking protocol** (no lost wakeups): every push is followed by a
+/// notification taken *under the sync lock*, and a worker about to park
+/// re-checks every deque while already *holding* the sync lock — so a
+/// concurrent re-queue either lands before that re-check (the parker sees
+/// the job) or its notification is forced to wait for the mutex until the
+/// parker is actually waiting.
+fn run_pool_stealing(
+    runs: Vec<JobRun>,
+    workers: usize,
+    slots: &Mutex<Vec<Option<JobRecord>>>,
+    config: &FleetConfig,
+    cache: &ImageCache,
+) -> u64 {
+    let n = runs.len();
+    let mut deques: Vec<Mutex<VecDeque<JobRun>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, run) in runs.into_iter().enumerate() {
+        deques[i % workers]
+            .get_mut()
+            .expect("fresh deque")
+            .push_back(run);
+    }
+    let deques = &deques;
+    let sync = Mutex::new(0usize); // finished-job count
+    let wakeup = Condvar::new();
+    let steals = AtomicU64::new(0);
+    let lock_deque = |w: usize| deques[w].lock().expect("fleet deque poisoned");
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (sync, wakeup, steals) = (&sync, &wakeup, &steals);
+            scope.spawn(move || loop {
+                // Own-deque pop in its own scope: the guard must drop
+                // before any steal attempt, or two workers raiding each
+                // other would hold their own lock while waiting for the
+                // sibling's.
+                let mut next = { lock_deque(w).pop_front() };
+                if next.is_none() {
+                    next = (1..workers).find_map(|i| {
+                        let victim = (w + i) % workers;
+                        let stolen = { lock_deque(victim).pop_back() };
+                        if stolen.is_some() {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        stolen
+                    });
+                }
+                match next {
+                    Some(mut run) => match service_quantum(&mut run, config, cache) {
+                        Some(record) => {
+                            slots.lock().expect("fleet records poisoned")[run.idx] = Some(record);
+                            let mut finished = sync.lock().expect("fleet sync poisoned");
+                            *finished += 1;
+                            wakeup.notify_all();
+                        }
+                        None => {
+                            lock_deque(w).push_back(run);
+                            let _sync = sync.lock().expect("fleet sync poisoned");
+                            wakeup.notify_one();
+                        }
+                    },
+                    None => {
+                        let mut finished = sync.lock().expect("fleet sync poisoned");
+                        loop {
+                            if *finished >= n {
+                                return;
+                            }
+                            if (0..workers).any(|d| !lock_deque(d).is_empty()) {
+                                break; // re-queued while we were scanning
+                            }
+                            finished = wakeup.wait(finished).expect("fleet sync poisoned");
+                        }
+                    }
+                }
+            });
+        }
+    });
+    steals.load(Ordering::Relaxed)
+}
 
 /// Serves one scheduler quantum of `run`: seals/builds on first service,
 /// then advances the machine by the mode's fuel slice. Returns the
@@ -549,6 +681,75 @@ fn apply_sabotage(machine: &mut SofiaMachine, sabotage: Option<Sabotage>) {
     if let Some(Sabotage::FlipRomWord { word, mask }) = sabotage {
         if let Some(w) = machine.mem_mut().rom_mut().get_mut(word) {
             *w ^= mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+
+    fn run_mix(pool: PoolMode, workers: usize) -> (Vec<JobRecord>, u64) {
+        let mut fleet = Fleet::new(FleetConfig {
+            workers,
+            mode: SchedMode::FuelSliced { slice: 200 },
+            pool,
+            ..Default::default()
+        });
+        for (id, seed) in [(1u32, 0xAu64), (2, 0xB), (3, 0xC)] {
+            fleet
+                .register_tenant(TenantId(id), KeySet::from_seed(seed))
+                .unwrap();
+        }
+        for round in 0..4u32 {
+            for tenant in 1..=3u32 {
+                let n = 10 + 7 * round + tenant;
+                let src = format!(
+                    "main: li t0, {n}
+                           li t1, 0
+                     loop: add t1, t1, t0
+                           subi t0, t0, 1
+                           bnez t0, loop
+                           li a0, 0xFFFF0000
+                           sw t1, 0(a0)
+                           halt"
+                );
+                fleet
+                    .submit(JobSpec::new(TenantId(tenant), src, 1_000_000))
+                    .unwrap();
+            }
+        }
+        let records = fleet.run_batch();
+        (records, fleet.stats().last_steals)
+    }
+
+    /// The pool is a host-side choice only: shared-queue and
+    /// work-stealing runs produce bit-identical records at every worker
+    /// count (results, stats, virtual-time ticks — everything).
+    #[test]
+    fn pools_produce_identical_records_at_any_worker_count() {
+        let (serial, zero_steals) = run_mix(PoolMode::SharedQueue, 1);
+        assert_eq!(zero_steals, 0, "shared queue never steals");
+        for workers in [1usize, 2, 4, 7] {
+            let (shared, _) = run_mix(PoolMode::SharedQueue, workers);
+            let (stealing, _) = run_mix(PoolMode::WorkStealing, workers);
+            assert_eq!(shared.len(), serial.len());
+            assert_eq!(stealing.len(), serial.len());
+            for ((a, b), s) in shared.iter().zip(&stealing).zip(&serial) {
+                // Execution results are invariant across pools AND worker
+                // counts (the fleet ≡ serial invariant)…
+                for r in [a, b] {
+                    assert_eq!(r.job, s.job, "w{workers}");
+                    assert_eq!(r.outcome, s.outcome, "w{workers}");
+                    assert_eq!(r.out_words, s.out_words, "w{workers}");
+                    assert_eq!(r.stats, s.stats, "w{workers}");
+                }
+                // …and the virtual-time schedule (which does depend on
+                // the worker count) is identical across pools.
+                assert_eq!(a.start_tick, b.start_tick, "w{workers}");
+                assert_eq!(a.end_tick, b.end_tick, "w{workers}");
+            }
         }
     }
 }

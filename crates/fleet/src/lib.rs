@@ -73,7 +73,7 @@ mod quarantine;
 pub mod schedule;
 mod stats;
 
-pub use fleet::{Fleet, FleetConfig, FleetError, SchedMode};
+pub use fleet::{Fleet, FleetConfig, FleetError, PoolMode, SchedMode};
 pub use job::{JobId, JobOutcome, JobRecord, JobSpec, Sabotage, TenantId};
 pub use quarantine::{QuarantinePolicy, TenantState};
 pub use stats::{FleetStats, TenantStats};

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use sofia_cfg::Cfg;
-use sofia_crypto::{ctr, mac, CounterBlock, KeySet, Nonce};
+use sofia_crypto::{ctr, mac, CounterBlock, CryptoEngine, KeySet, Mac64, Nonce};
 use sofia_isa::asm::{apply_reloc, layout_data, Module, Reloc, DEFAULT_DATA_BASE};
 
 use crate::error::TransformError;
@@ -27,6 +27,7 @@ pub(crate) struct SealInput<'a> {
     pub format: &'a BlockFormat,
     pub keys: &'a KeySet,
     pub nonce: Nonce,
+    pub engine: CryptoEngine,
     pub source_instructions: usize,
 }
 
@@ -39,6 +40,7 @@ pub(crate) fn seal(input: SealInput<'_>) -> Result<SecureImage, TransformError> 
         format,
         keys,
         nonce,
+        engine,
         source_instructions,
     } = input;
 
@@ -149,14 +151,61 @@ pub(crate) fn seal(input: SealInput<'_>) -> Result<SecureImage, TransformError> 
             Src::Orig(_) => unreachable!("entries are resolved"),
         }
     };
-    let mut ctext: Vec<u32> = Vec::with_capacity(packed.blocks.len() * format.block_words());
+
+    // MAC phase. All blocks of one kind share a MAC key and a fixed
+    // padded length, and their CBC chains are independent — so under the
+    // bitsliced engine each kind MACs lane-parallel in one batch. The
+    // scalar path is the reference oracle (bit-identical, pinned by
+    // test).
+    let macs: Vec<Mac64> = match engine {
+        CryptoEngine::Scalar => packed
+            .blocks
+            .iter()
+            .zip(&block_words)
+            .map(|(block, insts)| {
+                let mac_cipher = match block.kind {
+                    BlockKind::Exec => &expanded.mac_exec,
+                    BlockKind::Mux => &expanded.mac_mux,
+                };
+                mac::mac_words(mac_cipher, insts, format.mac_padded_words(block.kind))
+            })
+            .collect(),
+        CryptoEngine::Bitsliced => {
+            let mut macs = vec![Mac64::new(0); packed.blocks.len()];
+            for kind in [BlockKind::Exec, BlockKind::Mux] {
+                let idxs: Vec<usize> = packed
+                    .blocks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| b.kind == kind)
+                    .map(|(i, _)| i)
+                    .collect();
+                if idxs.is_empty() {
+                    continue;
+                }
+                let msgs: Vec<&[u32]> = idxs.iter().map(|&i| block_words[i].as_slice()).collect();
+                let mac_cipher = match kind {
+                    BlockKind::Exec => &expanded.mac_exec,
+                    BlockKind::Mux => &expanded.mac_mux,
+                };
+                let got = mac::mac_words_batch(mac_cipher, &msgs, format.mac_padded_words(kind));
+                for (i, mac) in idxs.into_iter().zip(got) {
+                    macs[i] = mac;
+                }
+            }
+            macs
+        }
+    };
+
+    // Encrypt phase: every word's control-flow counter is known up front
+    // (the whole point of install-time sealing), so the keystream for the
+    // entire image is one flat sweep.
+    let mut counters: Vec<CounterBlock> =
+        Vec::with_capacity(packed.blocks.len() * format.block_words());
+    let mut words: Vec<u32> = Vec::with_capacity(counters.capacity());
     for (bi, block) in packed.blocks.iter().enumerate() {
         let insts = &block_words[bi];
-        let mac_cipher = match block.kind {
-            BlockKind::Exec => &expanded.mac_exec,
-            BlockKind::Mux => &expanded.mac_mux,
-        };
-        let mac = mac::mac_words(mac_cipher, insts, format.mac_padded_words(block.kind));
+        let mac = macs[bi];
 
         // Plaintext word sequence and the prevPC of each word.
         let b = base(bi);
@@ -201,9 +250,18 @@ pub(crate) fn seal(input: SealInput<'_>) -> Result<SecureImage, TransformError> 
         debug_assert_eq!(plain.len(), format.block_words());
         debug_assert_eq!(prevs.len(), plain.len());
         for (w, (&word, &prev)) in plain.iter().zip(&prevs).enumerate() {
-            let counter = CounterBlock::from_edge(nonce, prev, b + 4 * w as u32);
-            ctext.push(ctr::apply(&expanded.ctr, counter, word));
+            counters.push(CounterBlock::from_edge(nonce, prev, b + 4 * w as u32));
+            words.push(word);
         }
+    }
+    let mut ctext = words;
+    match engine {
+        CryptoEngine::Scalar => {
+            for (word, &counter) in ctext.iter_mut().zip(&counters) {
+                *word = ctr::apply(&expanded.ctr, counter, *word);
+            }
+        }
+        CryptoEngine::Bitsliced => ctr::apply_batch(&expanded.ctr, &counters, &mut ctext),
     }
 
     // --- entry point ---

@@ -18,7 +18,7 @@
 //! | module | contents |
 //! |--------|----------|
 //! | [`isa`] | the SL32 instruction set, assembler and disassembler |
-//! | [`crypto`] | RECTANGLE-80, CTR keystream and CBC-MAC primitives |
+//! | [`crypto`] | RECTANGLE-80 (scalar + bitsliced engines), CTR keystream and CBC-MAC |
 //! | [`cfg`](mod@cfg) | instruction-level control-flow-graph analysis |
 //! | [`cpu`] | the vanilla 7-stage pipeline simulator (LEON3-like baseline) |
 //! | [`transform`] | the secure installer (blocks, mux trees, MAC-then-Encrypt) |
@@ -79,7 +79,8 @@ pub mod prelude {
     pub use sofia_cpu::{machine::VanillaMachine, Trap};
     pub use sofia_crypto::{KeySet, Nonce};
     pub use sofia_fleet::{
-        Fleet, FleetConfig, FleetStats, JobOutcome, JobSpec, QuarantinePolicy, SchedMode, TenantId,
+        Fleet, FleetConfig, FleetStats, JobOutcome, JobSpec, PoolMode, QuarantinePolicy, SchedMode,
+        TenantId,
     };
     pub use sofia_isa::{
         asm::{self, Module},
