@@ -13,6 +13,9 @@
 //!   transfers (code reuse) and via direct PC fault injection;
 //! * [`forgery`] — Monte-Carlo MAC forgery on truncated MACs, verifying
 //!   the `2^{-n}` acceptance scaling behind §IV-A;
+//! * [`migration`] — forged/stale resume points in restored job
+//!   snapshots (the suspend/migrate deployment surface): caught by edge
+//!   verification on the first resumed fetch;
 //! * [`confidentiality`] — the copyright-protection claim: ciphertext
 //!   images are high-entropy and disassemble to noise.
 //!
@@ -27,6 +30,7 @@ pub mod confidentiality;
 pub mod forgery;
 pub mod hijack;
 pub mod injection;
+pub mod migration;
 pub mod relocation;
 pub mod victims;
 

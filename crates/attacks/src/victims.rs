@@ -121,3 +121,47 @@ pub fn control_loop_expected(n: u32) -> Vec<u32> {
     let sensor = [3u32, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3];
     vec![sensor[..n as usize].iter().sum()]
 }
+
+/// A two-phase victim for migration attacks: two long loops separated
+/// by a straight-line spacer block, so a fuel-sliced run parks on
+/// *different* control-flow edges in different phases — the raw
+/// material for stale-[`sofia_core::ResumeEdge`] replay experiments
+/// (the spacer guarantees the phase-1 loop block is never the direct
+/// sequential predecessor of the phase-2 loop block, so a spliced
+/// `(prevPC₁, target₂)` pair is on no sealed edge).
+pub fn two_phase_victim() -> String {
+    r#"
+.equ OUT, 0xFFFF0000
+
+.text
+.global main
+main:
+    li   s0, 0
+    li   t0, 60
+phase1:
+    addi s0, s0, 1
+    subi t0, t0, 1
+    bnez t0, phase1
+    addi s1, zero, 1
+    addi s1, s1, 1
+    addi s1, s1, 1
+    addi s1, s1, 1
+    addi s1, s1, 1
+    addi s1, s1, 1
+    addi s1, s1, 1
+    li   t0, 60
+phase2:
+    addi s0, s0, 2
+    subi t0, t0, 1
+    bnez t0, phase2
+    li   t1, OUT
+    sw   s0, 0(t1)
+    halt
+"#
+    .to_string()
+}
+
+/// Word emitted by a clean run of [`two_phase_victim`].
+pub fn two_phase_expected() -> Vec<u32> {
+    vec![60 + 120]
+}

@@ -168,6 +168,55 @@ pub fn fetch_block(
     })
 }
 
+/// Why a cached edge from a snapshot could not re-earn its cache line
+/// during restore (see [`SofiaFetchUnit::reverify_line`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum LineRejection {
+    /// The full fetch path raised a violation for this edge.
+    Violation(Violation),
+    /// A decrypted word no longer decodes (it would have trapped on the
+    /// live path, so it can never have been cached honestly).
+    Undecodable {
+        /// Address of the undecodable word.
+        pc: u32,
+        /// The undecodable word itself (the live path's trap payload).
+        word: u32,
+    },
+}
+
+/// Decodes a verified block's instruction words into slots, enforcing
+/// the store-position rule before any architectural effect — the
+/// **single** implementation shared by the live fetch path
+/// ([`SofiaFetchUnit::fetch_batch`]) and snapshot-restore
+/// re-verification ([`SofiaFetchUnit::reverify_line`]), so the two can
+/// never diverge on what a verified block is allowed to contain.
+///
+/// # Errors
+///
+/// [`LineRejection`] naming the offending word; callers map it to
+/// their surface ([`Trap::IllegalInstruction`] / [`Violation`] on the
+/// live path, a restore error on the snapshot path).
+fn decode_block_slots(
+    format: &BlockFormat,
+    block: &VerifiedBlock,
+    mut sink: impl FnMut(Slot),
+) -> Result<(), LineRejection> {
+    let first_word = format.mac_words(block.path.kind());
+    for (idx, &(pc, word)) in block.insts.iter().enumerate() {
+        let inst = Instruction::decode(word)
+            .map_err(|e| LineRejection::Undecodable { pc, word: e.word() })?;
+        let word_pos = first_word + idx;
+        if inst.is_store() && word_pos < format.store_safe_word_offset {
+            return Err(LineRejection::Violation(Violation::StoreTooEarly {
+                pc,
+                word_pos,
+            }));
+        }
+        sink(Slot { pc, inst });
+    }
+    Ok(())
+}
+
 /// Counters specific to the SOFIA fetch path, accumulated by
 /// [`SofiaFetchUnit`] on top of the engine's baseline
 /// [`sofia_cpu::ExecStats`].
@@ -299,6 +348,95 @@ impl SofiaFetchUnit {
         self.redirected = true;
     }
 
+    /// The fetch-path timing model this unit charges.
+    pub(crate) fn timing(&self) -> SofiaTiming {
+        self.timing
+    }
+
+    /// Whether the SI unit's MAC comparison is enforced.
+    pub(crate) fn enforce_si(&self) -> bool {
+        self.enforce_si
+    }
+
+    /// Sequencer state beyond the edge registers: `(redirected,
+    /// cur_base, cur_last_word)` — what a snapshot must carry so the
+    /// first resumed fetch charges the same redirect refill and the
+    /// resumed block retires onto the same exit `prevPC`.
+    pub(crate) fn sequencing(&self) -> (bool, u32, u32) {
+        (self.redirected, self.cur_base, self.cur_last_word)
+    }
+
+    /// Restores the sequencing registers wholesale (snapshot restore).
+    pub(crate) fn restore_sequencing(
+        &mut self,
+        prev_pc: u32,
+        next_target: u32,
+        redirected: bool,
+        cur_base: u32,
+        cur_last_word: u32,
+    ) {
+        self.prev_pc = prev_pc;
+        self.next_target = next_target;
+        self.redirected = redirected;
+        self.cur_base = cur_base;
+        self.cur_last_word = cur_last_word;
+    }
+
+    /// Replaces the fetch-path counters wholesale (snapshot restore).
+    pub(crate) fn set_stats(&mut self, stats: FetchPathStats) {
+        self.stats = stats;
+    }
+
+    /// The verified-block cache (snapshot export).
+    pub(crate) fn vcache_ref(&self) -> &VCache {
+        &self.vcache
+    }
+
+    /// Mutable verified-block cache (snapshot restore).
+    pub(crate) fn vcache_mut(&mut self) -> &mut VCache {
+        &mut self.vcache
+    }
+
+    /// Re-runs the full decrypt → MAC-verify → decode → store-rule path
+    /// for one cached edge against `read_word` ciphertext, producing the
+    /// cache line a hit would replay. This is how a restored snapshot
+    /// re-warms the verified-block cache: the snapshot carries only edge
+    /// *keys*, never decrypted plaintext, so every line re-earns its
+    /// residency against the MAC-protected image on the restoring host.
+    ///
+    /// # Errors
+    ///
+    /// The violation (or the undecodable word's address) that would have
+    /// fired on the live fetch path.
+    pub(crate) fn reverify_line(
+        &self,
+        read_word: &mut dyn FnMut(u32) -> Option<u32>,
+        prev_pc: u32,
+        target: u32,
+    ) -> Result<CachedBlock, LineRejection> {
+        let block = fetch_block(
+            read_word,
+            &self.keys,
+            self.nonce,
+            &self.format,
+            self.text_base,
+            self.text_words,
+            target,
+            prev_pc,
+            self.enforce_si,
+        )
+        .map_err(LineRejection::Violation)?;
+        let mut slots: Vec<Slot> = Vec::with_capacity(block.insts.len());
+        decode_block_slots(&self.format, &block, |slot| slots.push(slot))?;
+        Ok(CachedBlock {
+            base: block.base,
+            last_word_addr: block.last_word_addr(&self.format),
+            kind: block.path.kind(),
+            words_fetched: block.words_fetched,
+            slots: slots.into(),
+        })
+    }
+
     fn account_block(&mut self, block: &VerifiedBlock, slots: &[Slot], ctx: &mut FetchCtx<'_>) {
         let kind = block.path.kind();
         let bt = self
@@ -411,15 +549,12 @@ impl FetchUnit for SofiaFetchUnit {
         };
         // Decode everything up front; check the store-position rule before
         // any architectural effect (the hardware's early-store reset).
-        let first_word = self.format.mac_words(block.path.kind());
-        for (idx, &(pc, word)) in block.insts.iter().enumerate() {
-            let inst = Instruction::decode(word)
-                .map_err(|e| Trap::IllegalInstruction { word: e.word(), pc })?;
-            let word_pos = first_word + idx;
-            if inst.is_store() && word_pos < self.format.store_safe_word_offset {
-                return Ok(Some(Violation::StoreTooEarly { pc, word_pos }));
+        match decode_block_slots(&self.format, &block, |slot| out.push(slot)) {
+            Ok(()) => {}
+            Err(LineRejection::Undecodable { pc, word }) => {
+                return Err(Trap::IllegalInstruction { word, pc })
             }
-            out.push(Slot { pc, inst });
+            Err(LineRejection::Violation(v)) => return Ok(Some(v)),
         }
         self.account_block(&block, out.as_slice(), ctx);
         self.cur_base = block.base;

@@ -17,6 +17,10 @@
 //! * [`vcache`] — the verified-block cache: post-verification caching
 //!   keyed by the control-flow edge `(prevPC, PC)`, so hot edges skip
 //!   decrypt + MAC entirely (architecturally invisible, off by default);
+//! * [`snapshot`] — suspend/restore: serialise a preempted machine so a
+//!   job can migrate across processes/hosts and resume bit-for-bit (no
+//!   ciphertext, keys or decrypted plaintext ever travel — the image's
+//!   MACs cover transit);
 //! * [`security`] — the closed-form attack economics of §IV-A.
 //!
 //! # Examples
@@ -50,11 +54,13 @@
 pub mod fetch;
 pub mod machine;
 pub mod security;
+pub mod snapshot;
 pub mod timing;
 pub mod vcache;
 mod violation;
 
 pub use machine::{ResetPolicy, ResumeEdge, SliceOutcome, SliceRun, SofiaConfig, SofiaStats};
+pub use snapshot::{MachineSnapshot, RestoreError};
 pub use timing::{CipherSchedule, SofiaTiming};
 pub use vcache::{VCacheConfig, VCacheStats};
 pub use violation::Violation;

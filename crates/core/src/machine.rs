@@ -46,7 +46,7 @@ impl ResetPolicy {
 }
 
 /// Full configuration of a SOFIA machine.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SofiaConfig {
     /// Baseline machine parameters (RAM, I-cache, pipeline penalties).
     pub machine: MachineConfig,
@@ -383,6 +383,71 @@ impl SofiaMachine {
             EngineOutcome::ResetLoop { resets } => RunOutcome::ResetLoop { resets },
         };
         Ok((outcome, consumed))
+    }
+
+    /// The full configuration this machine runs under, reconstructed
+    /// from its parts — what a snapshot embeds so a restored machine is
+    /// rebuilt under the *identical* timing model, reset policy and
+    /// cache geometry (any drift would break bit-for-bit resume).
+    pub fn config(&self) -> SofiaConfig {
+        SofiaConfig {
+            machine: MachineConfig {
+                ram_size: self.engine.mem().ram_size(),
+                icache: self.engine.icache_config(),
+                pipeline: self.engine.model(),
+            },
+            timing: self.engine.fetch().timing(),
+            reset_policy: self.reset_policy,
+            enforce_si: self.engine.fetch().enforce_si(),
+            vcache: self.engine.fetch().vcache_ref().config(),
+        }
+    }
+
+    /// Serialisable image of this machine's complete suspended state —
+    /// see [`crate::snapshot`] for what it carries (and deliberately
+    /// does not). `fuel_remaining` is the job-level budget the caller
+    /// still owes this machine; the machine itself does not track it.
+    ///
+    /// Meaningful whenever the caller holds the machine (between
+    /// blocks); typically taken at a [`SliceOutcome::Preempted`] point.
+    pub fn snapshot(&self, fuel_remaining: u64) -> crate::snapshot::MachineSnapshot {
+        crate::snapshot::capture(self, fuel_remaining)
+    }
+
+    /// Rebuilds a suspended machine from its sealed `image`, device
+    /// `keys` and a [`crate::snapshot::MachineSnapshot`], resuming
+    /// mid-program: the fetch unit is reconstructed around the
+    /// snapshot's [`ResumeEdge`], the verified-block cache re-earns
+    /// every line against the image's MACs, and the next
+    /// [`SofiaMachine::run`]/[`SofiaMachine::run_slice`] continues
+    /// bit-for-bit where the snapshot left off.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::snapshot::RestoreError`] when the snapshot and image
+    /// disagree (data section too large, cached edge fails
+    /// re-verification, invalid cache placement).
+    pub fn restore(
+        image: &SecureImage,
+        keys: &KeySet,
+        snapshot: &crate::snapshot::MachineSnapshot,
+    ) -> Result<SofiaMachine, crate::snapshot::RestoreError> {
+        crate::snapshot::rebuild(image, keys, snapshot)
+    }
+
+    /// The engine, for the snapshot module (same crate).
+    pub(crate) fn engine(&self) -> &Pipeline<SofiaFetchUnit> {
+        &self.engine
+    }
+
+    /// Mutable engine access, for the snapshot module (same crate).
+    pub(crate) fn engine_mut(&mut self) -> &mut Pipeline<SofiaFetchUnit> {
+        &mut self.engine
+    }
+
+    /// Replaces the violation log wholesale (snapshot restore).
+    pub(crate) fn set_violations(&mut self, violations: Vec<Violation>) {
+        self.violations = violations;
     }
 
     /// The fetch unit's edge registers — the sealed resume point of a

@@ -305,6 +305,64 @@ impl VCache {
             set.clear();
         }
     }
+
+    /// The LRU clock — exported by machine snapshots so a restored cache
+    /// replays the exact same eviction decisions.
+    pub(crate) fn clock(&self) -> u64 {
+        self.tick
+    }
+
+    /// Every resident line's `(edge, LRU stamp)`, in set order — the
+    /// snapshot export. Deliberately **metadata only**: the verified
+    /// plaintext never leaves the cache; a restore re-verifies each edge
+    /// from the (MAC-protected) ciphertext instead.
+    pub(crate) fn export_lines(&self) -> Vec<((u32, u32), u64)> {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().map(|l| (l.key, l.stamp)))
+            .collect()
+    }
+
+    /// Rebuilds the cache wholesale from re-verified lines, preserving
+    /// each line's LRU stamp and the clock, and replacing the counters —
+    /// the restore half of [`VCache::export_lines`]. Placement is
+    /// recomputed from the keys, so the only way a line set can be
+    /// invalid is a snapshot claiming more lines than a set holds (or
+    /// the same edge twice, or any line at all on a disabled cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending edge; the cache is left empty of restored
+    /// lines (the caller discards the machine).
+    pub(crate) fn restore_state(
+        &mut self,
+        lines: Vec<((u32, u32), u64, CachedBlock)>,
+        tick: u64,
+        stats: VCacheStats,
+    ) -> Result<(), (u32, u32)> {
+        if !self.config.enabled {
+            if let Some(&(key, _, _)) = lines.first() {
+                return Err(key);
+            }
+            self.tick = tick;
+            self.stats = stats;
+            return Ok(());
+        }
+        for set in &mut self.sets {
+            set.clear();
+        }
+        for (key, stamp, block) in lines {
+            let idx = self.set_index(key);
+            let set = &mut self.sets[idx];
+            if set.len() as u32 >= self.config.ways || set.iter().any(|l| l.key == key) {
+                return Err(key);
+            }
+            set.push(Line { key, stamp, block });
+        }
+        self.tick = tick;
+        self.stats = stats;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use sofia_isa::{Instruction, Reg};
 use crate::exec::{execute, Effect, RegFile};
 use crate::fetch::{Batch, FetchCtx, FetchUnit, Slot, SlotOutcome};
 use crate::icache::{ICache, ICacheConfig, ICacheStats};
-use crate::mem::Memory;
+use crate::mem::{Memory, Mmio};
 use crate::pipeline::PipelineModel;
 use crate::stats::ExecStats;
 use crate::Trap;
@@ -37,6 +37,77 @@ impl Default for MachineConfig {
         }
     }
 }
+
+/// Everything the engine owns that a suspended machine must carry to
+/// another host: the architectural state (registers, RAM, MMIO logs),
+/// the micro-architectural timing state (I-cache tags, hazard tracker)
+/// and the accumulated counters. Deliberately **excludes** ROM — code
+/// travels as the sealed image, whose MACs cover it in transit — and the
+/// fetch unit, which serialises its own sequencing state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoreState {
+    /// The architectural register file.
+    pub regs: RegFile,
+    /// The whole data RAM.
+    pub ram: Vec<u8>,
+    /// MMIO output logs (what the program already emitted).
+    pub mmio: Mmio,
+    /// Baseline execution counters.
+    pub stats: ExecStats,
+    /// I-cache line tags, in set order.
+    pub icache_tags: Vec<Option<u32>>,
+    /// I-cache hit/miss counters.
+    pub icache_stats: ICacheStats,
+    /// Destination of the immediately preceding load, if any (the
+    /// load-use hazard tracker — without it the first resumed
+    /// instruction could miss a bubble the uninterrupted run charges).
+    pub prev_load_dest: Option<Reg>,
+    /// Whether the machine has halted.
+    pub halted: bool,
+    /// Resets performed so far.
+    pub resets: u64,
+}
+
+/// Why [`Pipeline::restore_core_state`] refused a [`CoreState`]: the
+/// state was captured under a different machine geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreStateError {
+    /// RAM length differs from this machine's configured size.
+    RamSize {
+        /// Bytes this machine's RAM holds.
+        expected: usize,
+        /// Bytes the state carried.
+        found: usize,
+    },
+    /// I-cache tag count differs from this machine's line count.
+    IcacheLines {
+        /// Lines this machine's I-cache has.
+        expected: usize,
+        /// Tags the state carried.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for CoreStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreStateError::RamSize { expected, found } => {
+                write!(
+                    f,
+                    "core state has {found} RAM bytes, machine has {expected}"
+                )
+            }
+            CoreStateError::IcacheLines { expected, found } => {
+                write!(
+                    f,
+                    "core state has {found} icache tags, machine has {expected} lines"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreStateError {}
 
 /// Result of one [`Pipeline::step_batch`] call.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -355,6 +426,69 @@ impl<F: FetchUnit> Pipeline<F> {
     /// Instruction-cache statistics.
     pub fn icache_stats(&self) -> ICacheStats {
         self.icache.stats()
+    }
+
+    /// The pipeline hazard model this engine charges.
+    pub fn model(&self) -> PipelineModel {
+        self.model
+    }
+
+    /// The instruction cache geometry.
+    pub fn icache_config(&self) -> ICacheConfig {
+        self.icache.config()
+    }
+
+    /// Exports the engine-owned half of a machine snapshot (see
+    /// [`CoreState`] for what is and is not included). Meaningful
+    /// between batches — i.e. whenever the caller holds the machine at
+    /// all, since batches are atomic.
+    pub fn export_core_state(&self) -> CoreState {
+        CoreState {
+            regs: self.regs.clone(),
+            ram: self.mem.ram().to_vec(),
+            mmio: self.mem.mmio.clone(),
+            stats: self.stats,
+            icache_tags: self.icache.tags().to_vec(),
+            icache_stats: self.icache.stats(),
+            prev_load_dest: self.prev_load_dest,
+            halted: self.halted,
+            resets: self.resets,
+        }
+    }
+
+    /// Replaces the engine-owned state wholesale with a previously
+    /// exported [`CoreState`] — the restore half of suspend/resume. ROM
+    /// is untouched (it was loaded from the sealed image at
+    /// construction), and the in-flight batch buffer is cleared.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreStateError`] if the state was captured under a different
+    /// RAM size or I-cache geometry; the engine is left unmodified.
+    pub fn restore_core_state(&mut self, state: CoreState) -> Result<(), CoreStateError> {
+        if state.ram.len() != self.mem.ram().len() {
+            return Err(CoreStateError::RamSize {
+                expected: self.mem.ram().len(),
+                found: state.ram.len(),
+            });
+        }
+        if state.icache_tags.len() != self.icache.tags().len() {
+            return Err(CoreStateError::IcacheLines {
+                expected: self.icache.tags().len(),
+                found: state.icache_tags.len(),
+            });
+        }
+        self.regs = state.regs;
+        let ram_base = self.mem.ram_base();
+        self.mem.load_ram(ram_base, &state.ram);
+        self.mem.mmio = state.mmio;
+        self.stats = state.stats;
+        self.icache.set_state(state.icache_tags, state.icache_stats);
+        self.prev_load_dest = state.prev_load_dest;
+        self.halted = state.halted;
+        self.resets = state.resets;
+        self.batch.clear();
+        Ok(())
     }
 
     /// The fetch unit.

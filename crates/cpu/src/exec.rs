@@ -47,6 +47,18 @@ impl RegFile {
     pub fn clear(&mut self) {
         self.regs = [0; 32];
     }
+
+    /// The whole file as an array, in index order — the snapshot export.
+    pub fn words(&self) -> [u32; 32] {
+        self.regs
+    }
+
+    /// Replaces the whole file (snapshot restore). `r0` is forced back
+    /// to zero so the hardwired-zero invariant survives any input.
+    pub fn set_words(&mut self, mut words: [u32; 32]) {
+        words[0] = 0;
+        self.regs = words;
+    }
 }
 
 impl Default for RegFile {

@@ -130,6 +130,27 @@ impl ICache {
     pub fn stats(&self) -> ICacheStats {
         self.stats
     }
+
+    /// The line tags, in set order — the snapshot export (timing-model
+    /// metadata only: tags are addresses, never cached content).
+    pub fn tags(&self) -> &[Option<u32>] {
+        &self.tags
+    }
+
+    /// Replaces tags and counters wholesale (snapshot restore). The
+    /// caller must supply exactly one tag per line of this geometry —
+    /// [`Pipeline::restore_core_state`] length-checks before calling.
+    ///
+    /// [`Pipeline::restore_core_state`]: crate::engine::Pipeline::restore_core_state
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tags` does not match the configured line count.
+    pub fn set_state(&mut self, tags: Vec<Option<u32>>, stats: ICacheStats) {
+        assert_eq!(tags.len(), self.tags.len(), "icache tag count mismatch");
+        self.tags = tags;
+        self.stats = stats;
+    }
 }
 
 #[cfg(test)]

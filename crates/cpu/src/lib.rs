@@ -46,7 +46,9 @@ pub mod pipeline;
 pub mod stats;
 mod trap;
 
-pub use engine::{BatchStep, Disposition, EngineOutcome, MachineConfig, Pipeline};
+pub use engine::{
+    BatchStep, CoreState, CoreStateError, Disposition, EngineOutcome, MachineConfig, Pipeline,
+};
 pub use fetch::{FetchCtx, FetchUnit, NoViolation, PlainFetch, Slot, SlotOutcome};
 pub use stats::ExecStats;
 pub use trap::Trap;

@@ -134,6 +134,11 @@ impl Memory {
         self.ram[start..start + bytes.len()].copy_from_slice(bytes);
     }
 
+    /// The whole RAM as raw bytes — the snapshot export.
+    pub fn ram(&self) -> &[u8] {
+        &self.ram
+    }
+
     /// Reads raw RAM for the harness.
     ///
     /// # Panics

@@ -11,6 +11,7 @@ use sofia_crypto::KeySet;
 use sofia_transform::cache::{ImageCache, ImageCacheStats};
 use sofia_transform::SecureImage;
 
+use crate::checkpoint::{AdoptError, JobCheckpoint};
 use crate::job::{JobId, JobOutcome, JobRecord, JobSpec, Sabotage, TenantId};
 use crate::quarantine::{QuarantinePolicy, TenantState};
 use crate::schedule::price_schedule;
@@ -92,6 +93,9 @@ pub enum FleetError {
     Quarantined(TenantId),
     /// The tenant was evicted; this fleet will not serve it again.
     Evicted(TenantId),
+    /// No job with this id is queued (it finished, was checkpointed
+    /// away, or never existed).
+    UnknownJob(JobId),
 }
 
 impl std::fmt::Display for FleetError {
@@ -101,6 +105,7 @@ impl std::fmt::Display for FleetError {
             FleetError::TenantExists(t) => write!(f, "{t} is already registered"),
             FleetError::Quarantined(t) => write!(f, "{t} is quarantined"),
             FleetError::Evicted(t) => write!(f, "{t} was evicted"),
+            FleetError::UnknownJob(j) => write!(f, "{j} is not queued"),
         }
     }
 }
@@ -129,6 +134,9 @@ struct JobRun {
     prior: Option<(Vec<sofia_core::Violation>, sofia_core::SofiaStats)>,
     slices: u32,
     slice_cycles: Vec<u64>,
+    /// Quanta served in the current batch call — the counter
+    /// [`Fleet::run_batch_capped`] caps to suspend jobs mid-flight.
+    quanta_this_batch: u32,
 }
 
 /// The multi-tenant sealed-program execution service.
@@ -272,6 +280,7 @@ impl Fleet {
             prior: None,
             slices: 0,
             slice_cycles: Vec::new(),
+            quanta_this_batch: 0,
         });
         Ok(id)
     }
@@ -281,6 +290,27 @@ impl Fleet {
     /// transitions (also in submission order — worker interleaving never
     /// influences them).
     pub fn run_batch(&mut self) -> Vec<JobRecord> {
+        self.run_batch_capped(u32::MAX)
+    }
+
+    /// [`Fleet::run_batch`] with a per-job quantum cap: every queued job
+    /// is served at most `max_quanta` scheduler quanta this call; a job
+    /// still runnable after its cap is **suspended in place** — it stays
+    /// queued (machine state intact, between blocks) for the next batch
+    /// call, or for [`Fleet::checkpoint_job`] to carry it to another
+    /// fleet. Finished jobs are returned in submission order, and only
+    /// they fold into statistics/quarantine.
+    ///
+    /// Which jobs suspend is a per-job deterministic function of the job
+    /// set and the cap (a job runs `min(max_quanta, quanta_to_finish)`
+    /// quanta regardless of worker interleaving), so the fleet ≡ serial
+    /// bit-identity invariant extends to capped batches unchanged. Under
+    /// [`SchedMode::RunToCompletion`] a quantum is the whole job, so any
+    /// cap ≥ 1 behaves like an uncapped batch.
+    pub fn run_batch_capped(&mut self, max_quanta: u32) -> Vec<JobRecord> {
+        for run in &mut self.queue {
+            run.quanta_this_batch = 0;
+        }
         let runs = std::mem::take(&mut self.queue);
         self.batches += 1;
         if runs.is_empty() {
@@ -292,21 +322,57 @@ impl Fleet {
         let n = runs.len();
         let workers = self.config.workers.max(1).min(n);
         let slots: Mutex<Vec<Option<JobRecord>>> = Mutex::new((0..n).map(|_| None).collect());
+        let suspended: Mutex<Vec<JobRun>> = Mutex::new(Vec::new());
+        let cap = max_quanta.max(1);
         self.last_steals = match self.config.pool {
             PoolMode::SharedQueue => {
-                run_pool_shared(runs, workers, &slots, &self.config, &self.cache);
+                run_pool_shared(
+                    runs,
+                    workers,
+                    &slots,
+                    &suspended,
+                    cap,
+                    &self.config,
+                    &self.cache,
+                );
                 0
             }
-            PoolMode::WorkStealing => {
-                run_pool_stealing(runs, workers, &slots, &self.config, &self.cache)
-            }
+            PoolMode::WorkStealing => run_pool_stealing(
+                runs,
+                workers,
+                &slots,
+                &suspended,
+                cap,
+                &self.config,
+                &self.cache,
+            ),
         };
+        // Suspended jobs go back on the queue in submission order, ready
+        // for the next batch call or a checkpoint.
+        let mut parked = suspended.into_inner().expect("fleet suspended poisoned");
+        parked.sort_by_key(|r| r.idx);
+        for (i, mut run) in parked.into_iter().enumerate() {
+            run.idx = i;
+            self.queue.push(run);
+        }
         let mut records: Vec<JobRecord> = slots
             .into_inner()
             .expect("fleet records poisoned")
             .into_iter()
-            .map(|r| r.expect("job finished without a record"))
+            .flatten()
             .collect();
+        // Every job settles exactly one way: a record or a suspension.
+        // A mismatch can only mean a worker-pool bug lost a run — fail
+        // loudly rather than silently dropping a job (and possibly a
+        // violation verdict) from the fold below.
+        assert_eq!(
+            records.len() + self.queue.len(),
+            n,
+            "fleet batch lost a job: {} records + {} suspended != {} submitted",
+            records.len(),
+            self.queue.len(),
+            n
+        );
 
         // Price the batch on the virtual-time model (host-independent).
         let quanta: Vec<Vec<u64>> = records.iter().map(|r| r.slice_cycles.clone()).collect();
@@ -368,6 +434,133 @@ impl Fleet {
         self.queue.len()
     }
 
+    /// Ids of the queued jobs, in service order — fresh submissions and
+    /// jobs suspended by [`Fleet::run_batch_capped`] alike.
+    pub fn queued_jobs(&self) -> Vec<JobId> {
+        self.queue.iter().map(|r| r.id).collect()
+    }
+
+    /// Removes a queued job and packages everything another fleet needs
+    /// to finish it: the spec (tenant, source, fuel, sabotage), the
+    /// accumulated scheduling history, and — if the job has already run
+    /// — the suspended machine as a [`sofia_core::MachineSnapshot`].
+    /// The ciphertext stays behind: the adopting fleet re-seals the
+    /// source from its tenant's [`KeySet`] through its own image cache,
+    /// and the image MACs cover the code in transit.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownJob`] if `id` is not queued (it finished,
+    /// was already checkpointed, or never existed).
+    pub fn checkpoint_job(&mut self, id: JobId) -> Result<JobCheckpoint, FleetError> {
+        let pos = self
+            .queue
+            .iter()
+            .position(|r| r.id == id)
+            .ok_or(FleetError::UnknownJob(id))?;
+        let run = self.queue.remove(pos);
+        for (i, r) in self.queue.iter_mut().enumerate() {
+            r.idx = i;
+        }
+        Ok(JobCheckpoint {
+            tenant: run.spec.tenant,
+            source: run.spec.source,
+            fuel: run.spec.fuel,
+            sabotage: run.spec.sabotage,
+            remaining: run.remaining,
+            retried: run.retried,
+            prior: run.prior,
+            slices: run.slices,
+            slice_cycles: run.slice_cycles,
+            machine: run.machine.as_ref().map(|m| m.snapshot(run.remaining)),
+        })
+    }
+
+    /// Adopts a job checkpointed out of another fleet: re-seals the
+    /// tenant's program through this fleet's [`ImageCache`] (the tenant
+    /// must be registered here with the same device keys for the resumed
+    /// edge to verify), restores the suspended machine against the
+    /// freshly sealed image, and queues the job to finish in the next
+    /// batch. Returns the job's id in *this* fleet.
+    ///
+    /// Restoration re-verifies every warm verified-block-cache line
+    /// against the re-sealed image, so a checkpoint cannot smuggle
+    /// unverified plaintext between fleets; a tampered resume point is
+    /// caught by edge verification on the job's first resumed fetch.
+    ///
+    /// # Errors
+    ///
+    /// [`AdoptError`]: unknown/quarantined/evicted tenant, seal failure,
+    /// or a snapshot that fails restoration.
+    pub fn adopt_job(&mut self, ckpt: JobCheckpoint) -> Result<JobId, AdoptError> {
+        let tenant = match self.tenants.get(&ckpt.tenant.0) {
+            None => {
+                self.rejected += 1;
+                return Err(AdoptError::Fleet(FleetError::UnknownTenant(ckpt.tenant)));
+            }
+            Some(t) => t,
+        };
+        match tenant.state {
+            TenantState::Active => {}
+            TenantState::Suspended => {
+                self.rejected += 1;
+                return Err(AdoptError::Fleet(FleetError::Quarantined(ckpt.tenant)));
+            }
+            TenantState::Evicted => {
+                self.rejected += 1;
+                return Err(AdoptError::Fleet(FleetError::Evicted(ckpt.tenant)));
+            }
+        }
+        let keys = tenant.keys.clone();
+        let (image, machine, seal_cache_hit) = match &ckpt.machine {
+            None => (None, None, false),
+            Some(snap) => {
+                let (image, hit) = self
+                    .cache
+                    .get_or_seal_traced(&keys, &ckpt.source)
+                    .map_err(AdoptError::Seal)?;
+                // The machine's ROM is the sealed image *as the job ran
+                // it*: re-apply any harness sabotage before the restore
+                // path re-verifies warm cache lines against it.
+                let machine = match ckpt.sabotage {
+                    Some(Sabotage::FlipRomWord { word, mask }) => {
+                        let mut tampered = (*image).clone();
+                        if let Some(w) = tampered.ctext.get_mut(word) {
+                            *w ^= mask;
+                        }
+                        SofiaMachine::restore(&tampered, &keys, snap)
+                    }
+                    None => SofiaMachine::restore(&image, &keys, snap),
+                }
+                .map_err(AdoptError::Restore)?;
+                (Some(image), Some(machine), hit)
+            }
+        };
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.queue.push(JobRun {
+            idx: self.queue.len(),
+            id,
+            spec: JobSpec {
+                tenant: ckpt.tenant,
+                source: ckpt.source,
+                fuel: ckpt.fuel,
+                sabotage: ckpt.sabotage,
+            },
+            keys,
+            image,
+            machine,
+            remaining: ckpt.remaining,
+            seal_cache_hit,
+            retried: ckpt.retried,
+            prior: ckpt.prior,
+            slices: ckpt.slices,
+            slice_cycles: ckpt.slice_cycles,
+            quanta_this_batch: 0,
+        });
+        Ok(id)
+    }
+
     /// The aggregated fleet statistics.
     pub fn stats(&self) -> FleetStats {
         FleetStats {
@@ -405,18 +598,22 @@ const _: () = {
     assert_send::<JobRecord>();
 };
 
-/// The shared-queue pool: one FIFO, one lock, every worker on it.
+/// The shared-queue pool: one FIFO, one lock, every worker on it. A job
+/// is *settled* when it finishes (record written) or hits the quantum
+/// cap (parked in `suspended`); the batch ends when all `n` settle.
 fn run_pool_shared(
     runs: Vec<JobRun>,
     workers: usize,
     slots: &Mutex<Vec<Option<JobRecord>>>,
+    suspended: &Mutex<Vec<JobRun>>,
+    cap: u32,
     config: &FleetConfig,
     cache: &ImageCache,
 ) {
     let n = runs.len();
     let queue = Mutex::new(VecDeque::from(runs));
     let wakeup = Condvar::new();
-    let finished = AtomicUsize::new(0);
+    let settled = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
@@ -428,7 +625,7 @@ fn run_pool_shared(
                             Some(record) => {
                                 slots.lock().expect("fleet records poisoned")[run.idx] =
                                     Some(record);
-                                finished.fetch_add(1, Ordering::SeqCst);
+                                settled.fetch_add(1, Ordering::SeqCst);
                                 // The batch may be complete: wake the
                                 // parked workers so they can exit. The
                                 // lock is held while notifying so no
@@ -438,13 +635,22 @@ fn run_pool_shared(
                                 let _guard = queue.lock().expect("fleet queue poisoned");
                                 wakeup.notify_all();
                             }
+                            None if run.quanta_this_batch >= cap => {
+                                suspended
+                                    .lock()
+                                    .expect("fleet suspended poisoned")
+                                    .push(run);
+                                settled.fetch_add(1, Ordering::SeqCst);
+                                let _guard = queue.lock().expect("fleet queue poisoned");
+                                wakeup.notify_all();
+                            }
                             None => {
                                 queue.lock().expect("fleet queue poisoned").push_back(run);
                                 wakeup.notify_one();
                             }
                         }
                         guard = queue.lock().expect("fleet queue poisoned");
-                    } else if finished.load(Ordering::SeqCst) >= n {
+                    } else if settled.load(Ordering::SeqCst) >= n {
                         break;
                     } else {
                         // Transiently empty: park until another worker
@@ -473,6 +679,8 @@ fn run_pool_stealing(
     runs: Vec<JobRun>,
     workers: usize,
     slots: &Mutex<Vec<Option<JobRecord>>>,
+    suspended: &Mutex<Vec<JobRun>>,
+    cap: u32,
     config: &FleetConfig,
     cache: &ImageCache,
 ) -> u64 {
@@ -486,7 +694,7 @@ fn run_pool_stealing(
             .push_back(run);
     }
     let deques = &deques;
-    let sync = Mutex::new(0usize); // finished-job count
+    let sync = Mutex::new(0usize); // settled-job count (finished + suspended)
     let wakeup = Condvar::new();
     let steals = AtomicU64::new(0);
     let lock_deque = |w: usize| deques[w].lock().expect("fleet deque poisoned");
@@ -513,8 +721,17 @@ fn run_pool_stealing(
                     Some(mut run) => match service_quantum(&mut run, config, cache) {
                         Some(record) => {
                             slots.lock().expect("fleet records poisoned")[run.idx] = Some(record);
-                            let mut finished = sync.lock().expect("fleet sync poisoned");
-                            *finished += 1;
+                            let mut settled = sync.lock().expect("fleet sync poisoned");
+                            *settled += 1;
+                            wakeup.notify_all();
+                        }
+                        None if run.quanta_this_batch >= cap => {
+                            suspended
+                                .lock()
+                                .expect("fleet suspended poisoned")
+                                .push(run);
+                            let mut settled = sync.lock().expect("fleet sync poisoned");
+                            *settled += 1;
                             wakeup.notify_all();
                         }
                         None => {
@@ -524,15 +741,15 @@ fn run_pool_stealing(
                         }
                     },
                     None => {
-                        let mut finished = sync.lock().expect("fleet sync poisoned");
+                        let mut settled = sync.lock().expect("fleet sync poisoned");
                         loop {
-                            if *finished >= n {
+                            if *settled >= n {
                                 return;
                             }
                             if (0..workers).any(|d| !lock_deque(d).is_empty()) {
                                 break; // re-queued while we were scanning
                             }
-                            finished = wakeup.wait(finished).expect("fleet sync poisoned");
+                            settled = wakeup.wait(settled).expect("fleet sync poisoned");
                         }
                     }
                 }
@@ -550,6 +767,7 @@ fn service_quantum(
     config: &FleetConfig,
     cache: &ImageCache,
 ) -> Option<JobRecord> {
+    run.quanta_this_batch += 1;
     if run.machine.is_none() {
         let (image, hit) = match cache.get_or_seal_traced(&run.keys, &run.spec.source) {
             Ok(sealed) => sealed,

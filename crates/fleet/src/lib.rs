@@ -67,12 +67,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod checkpoint;
 mod fleet;
 mod job;
 mod quarantine;
 pub mod schedule;
 mod stats;
 
+pub use checkpoint::{AdoptError, JobCheckpoint};
 pub use fleet::{Fleet, FleetConfig, FleetError, PoolMode, SchedMode};
 pub use job::{JobId, JobOutcome, JobRecord, JobSpec, Sabotage, TenantId};
 pub use quarantine::{QuarantinePolicy, TenantState};

@@ -1,0 +1,423 @@
+//! The shared binary-container toolkit: typed decode errors plus the
+//! length-checked little-endian reader/writer every serialised artefact
+//! in the workspace uses ([`crate::SecureImage`], `sofia_core`'s machine
+//! snapshots, `sofia_fleet`'s job checkpoints).
+//!
+//! Two invariants every decoder built on [`Reader`] gets for free:
+//!
+//! * **no panic on any input** — every read is bounds-checked and every
+//!   error is a typed [`DecodeError`], so corrupt or adversarial byte
+//!   streams are rejected, never unwrapped into a panic;
+//! * **no unbounded allocation** — element counts are checked against
+//!   the bytes actually remaining *before* any buffer is sized, so a
+//!   corrupted length field cannot request gigabytes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a serialised artefact could not be decoded.
+///
+/// Shared by every binary container in the workspace (secure images,
+/// machine snapshots, job checkpoints), so callers match on one error
+/// type regardless of which artefact they are loading.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream does not start with the artefact's magic bytes.
+    BadMagic {
+        /// The magic the decoder expected (ASCII).
+        expected: &'static str,
+    },
+    /// The stream ended before a field could be read in full.
+    Truncated {
+        /// Byte offset at which the read started.
+        at: usize,
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// Bytes were left over after the artefact was fully parsed.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+    /// An enum/bool tag held a value outside its domain.
+    BadTag {
+        /// The field being decoded.
+        field: &'static str,
+        /// The offending tag value.
+        tag: u64,
+    },
+    /// A length or count field contradicts the rest of the stream (or
+    /// the configuration encoded alongside it).
+    BadLength {
+        /// The field being decoded.
+        field: &'static str,
+        /// The length the containing structure requires.
+        expected: u64,
+        /// The length the stream claimed.
+        found: u64,
+    },
+    /// A field's value is structurally invalid (bad geometry, bad
+    /// ordering, out-of-range index, …).
+    BadField {
+        /// The field being decoded.
+        field: &'static str,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The integrity checksum over the payload did not match — the
+    /// stream was corrupted somewhere between encode and decode.
+    ChecksumMismatch,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic { expected } => {
+                write!(f, "bad magic (expected {expected:?})")
+            }
+            DecodeError::Truncated {
+                at,
+                needed,
+                remaining,
+            } => write!(
+                f,
+                "truncated stream: {needed} bytes needed at offset {at}, {remaining} remaining"
+            ),
+            DecodeError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the artefact")
+            }
+            DecodeError::BadTag { field, tag } => {
+                write!(f, "field {field}: invalid tag {tag}")
+            }
+            DecodeError::BadLength {
+                field,
+                expected,
+                found,
+            } => write!(f, "field {field}: length {found} (expected {expected})"),
+            DecodeError::BadField { field, reason } => {
+                write!(f, "field {field}: {reason}")
+            }
+            DecodeError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// FNV-1a over `bytes` — the integrity checksum appended to checksummed
+/// containers. Any single-byte substitution changes the digest (each
+/// step is an invertible map of the running state), which is what makes
+/// the snapshot corruption property testable exhaustively. It is a
+/// *corruption* check, not a MAC: an adversary can recompute it, and the
+/// artefacts that need tamper evidence get it from the sealed image's
+/// MACs instead (see the snapshot security notes in `sofia_core`).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A little-endian byte-stream writer (the encode half of [`Reader`]).
+#[derive(Debug, Default)]
+pub struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Starts an artefact with its magic bytes.
+    pub fn magic(&mut self, magic: &[u8]) {
+        self.out.extend_from_slice(magic);
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    /// Appends a bool as `0`/`1`.
+    pub fn bool(&mut self, v: bool) {
+        self.out.push(v as u8);
+    }
+
+    /// Appends a `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Finishes an unchecksummed artefact.
+    pub fn finish(self) -> Vec<u8> {
+        self.out
+    }
+
+    /// Appends the FNV-1a digest of everything written so far and
+    /// finishes the artefact. Decoders built with
+    /// [`Reader::new_checksummed`] verify it before parsing a byte.
+    pub fn finish_checksummed(mut self) -> Vec<u8> {
+        let digest = fnv64(&self.out);
+        self.out.extend_from_slice(&digest.to_le_bytes());
+        self.out
+    }
+}
+
+/// A bounds-checked little-endian byte-stream reader.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over an unchecksummed stream.
+    pub fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, at: 0 }
+    }
+
+    /// A reader over a stream written by [`Writer::finish_checksummed`]:
+    /// verifies the trailing digest over the payload *first*, so the
+    /// parser proper only ever sees bytes that survived transit intact.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] if the stream cannot even hold the
+    /// digest, [`DecodeError::ChecksumMismatch`] if it does not match.
+    pub fn new_checksummed(bytes: &'a [u8]) -> Result<Reader<'a>, DecodeError> {
+        let Some(payload_len) = bytes.len().checked_sub(8) else {
+            return Err(DecodeError::Truncated {
+                at: 0,
+                needed: 8,
+                remaining: bytes.len(),
+            });
+        };
+        let (payload, digest) = bytes.split_at(payload_len);
+        let found = u64::from_le_bytes(digest.try_into().expect("8-byte split"));
+        if fnv64(payload) != found {
+            return Err(DecodeError::ChecksumMismatch);
+        }
+        Ok(Reader {
+            bytes: payload,
+            at: 0,
+        })
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
+    /// Takes `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if n > self.remaining() {
+            return Err(DecodeError::Truncated {
+                at: self.at,
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    /// Checks and consumes an artefact's magic bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::BadMagic`] (also covering a too-short stream).
+    pub fn magic(&mut self, magic: &[u8], expected: &'static str) -> Result<(), DecodeError> {
+        match self.take(magic.len()) {
+            Ok(m) if m == magic => Ok(()),
+            _ => Err(DecodeError::BadMagic { expected }),
+        }
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`].
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a strict bool (`0`/`1` only — anything else is corruption).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] or [`DecodeError::BadTag`].
+    pub fn bool(&mut self, field: &'static str) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(DecodeError::BadTag {
+                field,
+                tag: tag as u64,
+            }),
+        }
+    }
+
+    /// Reads a `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`].
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`].
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`].
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte take")))
+    }
+
+    /// Reads an element count and pre-checks it against the bytes still
+    /// available (`min_elem_bytes` per element), so a corrupted count
+    /// can neither over-allocate nor defer truncation deep into a parse
+    /// loop.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] or [`DecodeError::BadLength`].
+    pub fn count(
+        &mut self,
+        field: &'static str,
+        min_elem_bytes: usize,
+    ) -> Result<usize, DecodeError> {
+        let n = self.u32()? as usize;
+        let need = n.saturating_mul(min_elem_bytes.max(1));
+        if need > self.remaining() {
+            return Err(DecodeError::BadLength {
+                field,
+                expected: (self.remaining() / min_elem_bytes.max(1)) as u64,
+                found: n as u64,
+            });
+        }
+        Ok(n)
+    }
+
+    /// Asserts the stream is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::TrailingBytes`].
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes {
+                extra: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut w = Writer::new();
+        w.magic(b"TST1\0");
+        w.u8(7);
+        w.bool(true);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(0x0123_4567_89AB_CDEF);
+        w.bytes(&[1, 2, 3]);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        r.magic(b"TST1\0", "TST1").unwrap();
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool("b").unwrap());
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.take(3).unwrap(), &[1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn checksummed_stream_rejects_any_flip() {
+        let mut w = Writer::new();
+        w.magic(b"TST1\0");
+        w.u64(42);
+        let bytes = w.finish_checksummed();
+        assert!(Reader::new_checksummed(&bytes).is_ok());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            assert_eq!(
+                Reader::new_checksummed(&bad).err(),
+                Some(DecodeError::ChecksumMismatch),
+                "flip at byte {i} undetected"
+            );
+        }
+        assert!(matches!(
+            Reader::new_checksummed(&bytes[..4]),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn counts_are_checked_before_allocation() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX); // claims 4 billion elements…
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        // …but zero bytes follow, so the count is rejected up front.
+        assert!(matches!(
+            r.count("elems", 4),
+            Err(DecodeError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_trailing_are_typed() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(r.u32(), Err(DecodeError::Truncated { .. })));
+        let r = Reader::new(&[1, 2]);
+        assert_eq!(r.finish(), Err(DecodeError::TrailingBytes { extra: 2 }));
+    }
+}

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use sofia_crypto::Nonce;
 
+use crate::decode::{DecodeError, Reader};
 use crate::format::BlockFormat;
 
 /// A securely installed program: ciphertext text section, plaintext data,
@@ -75,29 +76,32 @@ impl SecureImage {
     ///
     /// # Errors
     ///
-    /// Returns a description of the corruption if the stream is malformed.
-    pub fn from_bytes(bytes: &[u8]) -> Result<SecureImage, String> {
-        let mut r = Reader { bytes, at: 0 };
-        let magic = r.take(6)?;
-        if magic != b"SOFI1\0" {
-            return Err("bad magic".into());
-        }
+    /// Returns the typed [`DecodeError`] describing the corruption if the
+    /// stream is malformed (shared with every other binary container in
+    /// the workspace — see [`crate::decode`]).
+    pub fn from_bytes(bytes: &[u8]) -> Result<SecureImage, DecodeError> {
+        let mut r = Reader::new(bytes);
+        r.magic(b"SOFI1\0", "SOFI1")?;
         let nonce = Nonce::new(r.u32()? as u16);
         let format = BlockFormat {
             exec_insts: r.u32()? as usize,
             store_safe_word_offset: r.u32()? as usize,
         };
-        format.validate().map_err(|e| format!("bad format: {e}"))?;
+        format.validate().map_err(|e| DecodeError::BadField {
+            field: "format",
+            reason: e,
+        })?;
         let text_base = r.u32()?;
         let entry = r.u32()?;
         let data_base = r.u32()?;
-        let n = r.u32()? as usize;
+        let n = r.count("ctext", 4)?;
         let mut ctext = Vec::with_capacity(n);
         for _ in 0..n {
             ctext.push(r.u32()?);
         }
-        let dn = r.u32()? as usize;
+        let dn = r.count("data", 1)?;
         let data = r.take(dn)?.to_vec();
+        r.finish()?;
         Ok(SecureImage {
             nonce,
             format,
@@ -114,27 +118,6 @@ impl SecureImage {
 
 fn push_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
-}
-
-struct Reader<'a> {
-    bytes: &'a [u8],
-    at: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
-        if self.at + n > self.bytes.len() {
-            return Err("truncated image".into());
-        }
-        let s = &self.bytes[self.at..self.at + n];
-        self.at += n;
-        Ok(s)
-    }
-
-    fn u32(&mut self) -> Result<u32, String> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
 }
 
 /// What the secure installation did to the program — the data behind the
@@ -216,7 +199,10 @@ mod tests {
 
     #[test]
     fn corrupt_streams_rejected() {
-        assert!(SecureImage::from_bytes(b"BOGUS!").is_err());
+        assert_eq!(
+            SecureImage::from_bytes(b"BOGUS!").unwrap_err(),
+            DecodeError::BadMagic { expected: "SOFI1" }
+        );
         let img = SecureImage {
             nonce: Nonce::new(1),
             format: BlockFormat::default(),
@@ -230,6 +216,15 @@ mod tests {
         };
         let mut bytes = img.to_bytes();
         bytes.truncate(bytes.len() - 2);
-        assert!(SecureImage::from_bytes(&bytes).is_err());
+        assert!(matches!(
+            SecureImage::from_bytes(&bytes).unwrap_err(),
+            DecodeError::Truncated { .. } | DecodeError::BadLength { .. }
+        ));
+        let mut extra = img.to_bytes();
+        extra.push(0);
+        assert_eq!(
+            SecureImage::from_bytes(&extra).unwrap_err(),
+            DecodeError::TrailingBytes { extra: 1 }
+        );
     }
 }

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod decode;
 mod error;
 mod format;
 mod image;
@@ -51,6 +52,7 @@ mod mux;
 mod pack;
 mod seal;
 
+pub use decode::DecodeError;
 pub use error::TransformError;
 pub use format::{BlockFormat, BlockKind, RESET_PREV_PC, UNREACHABLE_PREV_PC};
 pub use image::{SecureImage, TransformReport};

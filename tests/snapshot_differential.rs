@@ -1,0 +1,328 @@
+//! The snapshot/restore differential harness — the executable form of
+//! the migration invariant:
+//!
+//! > suspend → serialise → drop everything → restore → resume is
+//! > **bit-for-bit identical** to the uninterrupted run — results,
+//! > traps, violation reports, simulated cycles, statistics.
+//!
+//! In the style `vcache_differential.rs` set: every workload in the
+//! suite, a family of verified-block-cache geometries, and a snapshot
+//! taken at **every** slice boundary of the sliced run. At each
+//! boundary the suspended machine is serialised to bytes, decoded back,
+//! rebuilt over nothing but the sealed image + device keys, and run to
+//! completion; the final machine state must equal the uninterrupted
+//! reference in every observable — including cycles, per-counter stats,
+//! I-cache and verified-block-cache counters, registers and the parked
+//! [`ResumeEdge`]. Trap, violation, out-of-fuel and reboot-loop
+//! endings are pinned alongside clean halts.
+
+mod common;
+
+use sofia::core::snapshot::MachineSnapshot;
+use sofia::core::{SofiaStats, VCacheStats};
+use sofia::cpu::icache::ICacheStats;
+use sofia::crypto::KeySet;
+use sofia::prelude::*;
+use sofia_core::machine::ResetPolicy;
+use sofia_core::SliceOutcome;
+use sofia_workloads::{suite, Scale};
+
+fn keys() -> KeySet {
+    KeySet::from_seed(0x54AF_5407)
+}
+
+/// The vcache geometries the harness sweeps (disabled reference plus
+/// three enabled shapes bracketing residency behaviours).
+fn geometries() -> Vec<(&'static str, VCacheConfig)> {
+    vec![
+        ("vcache-off", VCacheConfig::default()),
+        ("vcache-1x1", VCacheConfig::enabled(1, 1)),
+        ("vcache-16x4", VCacheConfig::enabled(16, 4)),
+        ("vcache-256x8", VCacheConfig::enabled(256, 8)),
+    ]
+}
+
+/// Every machine observable the invariant quantifies over. Unlike the
+/// vcache harness's `ArchResult`, cycles and every counter are **in**:
+/// a restored machine may not drift by a single simulated cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct FullState {
+    outcome: String,
+    out_words: Vec<u32>,
+    out_bytes: Vec<u8>,
+    actuators: Vec<u32>,
+    regs: [u32; 32],
+    stats: SofiaStats,
+    icache: ICacheStats,
+    vcache: VCacheStats,
+    violations: Vec<Violation>,
+    edge: ResumeEdge,
+}
+
+fn capture(outcome: String, m: &SofiaMachine) -> FullState {
+    FullState {
+        outcome,
+        out_words: m.mem().mmio.out_words.clone(),
+        out_bytes: m.mem().mmio.out_bytes.clone(),
+        actuators: m.mem().mmio.actuator_writes.clone(),
+        regs: m.regs().words(),
+        stats: m.stats(),
+        icache: m.icache_stats(),
+        vcache: m.vcache_stats(),
+        violations: m.violations().to_vec(),
+        edge: m.edge(),
+    }
+}
+
+fn run_to_end(m: &mut SofiaMachine, fuel: u64) -> FullState {
+    let outcome = match m.run(fuel) {
+        Ok(o) => format!("{o:?}"),
+        Err(t) => format!("trap: {t:?}"),
+    };
+    capture(outcome, m)
+}
+
+/// Drives one `(image, config, budget)` through the whole protocol:
+/// reference run, then a sliced run snapshotting at **every** boundary,
+/// each snapshot round-tripped through bytes and resumed on a machine
+/// rebuilt from scratch. Returns how many boundaries were exercised.
+fn assert_snapshot_transparent(
+    what: &str,
+    image: &SecureImage,
+    keys: &KeySet,
+    config: &SofiaConfig,
+    budget: u64,
+) -> u32 {
+    let mut whole = SofiaMachine::with_config(image, keys, config);
+    let reference = run_to_end(&mut whole, budget);
+
+    // Slice so every run yields a healthy number of boundaries without
+    // quadratic blow-up on the bigger workloads.
+    let slice = (reference.stats.exec.instret / 12).max(24);
+    let mut driver = SofiaMachine::with_config(image, keys, config);
+    let mut remaining = budget;
+    let mut boundaries = 0u32;
+    loop {
+        let step = match driver.run_slice(slice.min(remaining.max(1))) {
+            Ok(s) => s,
+            Err(t) => {
+                // The driver trapped: its terminal state must equal the
+                // reference's.
+                let got = capture(format!("trap: {t:?}"), &driver);
+                assert_eq!(got, reference, "{what}: sliced trap diverged");
+                return boundaries;
+            }
+        };
+        remaining = remaining.saturating_sub(step.consumed);
+        match step.outcome {
+            SliceOutcome::Done(o) => {
+                let got = capture(format!("{o:?}"), &driver);
+                assert_eq!(got, reference, "{what}: sliced completion diverged");
+                return boundaries;
+            }
+            SliceOutcome::Preempted => {
+                boundaries += 1;
+                // Suspend → serialise → decode — the bytes are the only
+                // thing that survives besides image + keys.
+                let snap = driver.snapshot(remaining);
+                let bytes = snap.to_bytes();
+                let decoded = MachineSnapshot::from_bytes(&bytes)
+                    .unwrap_or_else(|e| panic!("{what}: boundary {boundaries}: decode: {e}"));
+                assert_eq!(decoded, snap, "{what}: boundary {boundaries} roundtrip");
+                // Restore on a fresh machine and run it to the end.
+                let mut resumed = SofiaMachine::restore(image, keys, &decoded)
+                    .unwrap_or_else(|e| panic!("{what}: boundary {boundaries}: restore: {e}"));
+                let got = run_to_end(&mut resumed, decoded.fuel_remaining);
+                assert_eq!(
+                    got, reference,
+                    "{what}: resume from boundary {boundaries} diverged"
+                );
+                if remaining == 0 {
+                    // The sliced driver is itself out of fuel; its state
+                    // must equal the reference's out-of-fuel ending.
+                    let got = capture("OutOfFuel".into(), &driver);
+                    assert_eq!(got, reference, "{what}: out-of-fuel state diverged");
+                    return boundaries;
+                }
+            }
+        }
+    }
+}
+
+/// The acceptance sweep: every workload in the suite × every geometry,
+/// snapshots at every slice boundary — zero divergence anywhere.
+#[test]
+fn workload_suite_resumes_bit_for_bit_from_every_boundary() {
+    let keys = keys();
+    for w in suite(Scale::Test) {
+        let image = w.secure_image(&keys);
+        for (label, vcache) in geometries() {
+            let config = SofiaConfig {
+                vcache,
+                ..Default::default()
+            };
+            let boundaries = assert_snapshot_transparent(
+                &format!("{}@{}", w.name, label),
+                &image,
+                &keys,
+                &config,
+                common::FUEL,
+            );
+            assert!(
+                boundaries >= 8,
+                "{}@{}: only {} boundaries exercised",
+                w.name,
+                label,
+                boundaries
+            );
+        }
+    }
+}
+
+/// A run that ends in a **violation** restores identically from every
+/// boundary before the tampered block is reached: same violation report,
+/// same detection point, same cycle count.
+#[test]
+fn violation_endings_survive_migration() {
+    let keys = keys();
+    let src = "main: li t0, 120
+               li t1, 0
+         loop: add t1, t1, t0
+               subi t0, t0, 1
+               bnez t0, loop
+               li a0, 0xFFFF0000
+               sw t1, 0(a0)
+               halt";
+    let image = sofia::transform::Transformer::new(keys.clone())
+        .transform(&asm::parse(src).unwrap())
+        .unwrap();
+    // Tamper the *last* block (store + halt epilogue): the loop runs
+    // many slices before detection fires.
+    let mut tampered = image.clone();
+    let last = tampered.ctext.len() - 2;
+    tampered.ctext[last] ^= 0x10;
+    for (label, vcache) in geometries() {
+        let config = SofiaConfig {
+            vcache,
+            ..Default::default()
+        };
+        let boundaries = assert_snapshot_transparent(
+            &format!("tampered-epilogue@{label}"),
+            &tampered,
+            &keys,
+            &config,
+            common::FUEL,
+        );
+        assert!(boundaries >= 3, "{label}: {boundaries} boundaries");
+    }
+}
+
+/// A run that ends in an architectural **trap** restores identically:
+/// the resumed machine faults at the same pc with the same trap.
+#[test]
+fn trap_endings_survive_migration() {
+    let keys = keys();
+    let src = "main: li t0, 90
+         loop: subi t0, t0, 1
+               bnez t0, loop
+               li a1, 3
+               lw t2, 0(a1)
+               halt";
+    let image = sofia::transform::Transformer::new(keys.clone())
+        .transform(&asm::parse(src).unwrap())
+        .unwrap();
+    for (label, vcache) in geometries() {
+        let config = SofiaConfig {
+            vcache,
+            ..Default::default()
+        };
+        let boundaries = assert_snapshot_transparent(
+            &format!("misaligned-load@{label}"),
+            &image,
+            &keys,
+            &config,
+            common::FUEL,
+        );
+        assert!(boundaries >= 3, "{label}: {boundaries} boundaries");
+    }
+}
+
+/// A job that runs **out of fuel** reaches the identical starved state
+/// through any suspend/restore point, down to the parked edge.
+#[test]
+fn out_of_fuel_endings_survive_migration() {
+    let keys = keys();
+    let src = "main: li t0, 100000
+         loop: subi t0, t0, 1
+               bnez t0, loop
+               halt";
+    let image = sofia::transform::Transformer::new(keys.clone())
+        .transform(&asm::parse(src).unwrap())
+        .unwrap();
+    for (label, vcache) in geometries() {
+        let config = SofiaConfig {
+            vcache,
+            ..Default::default()
+        };
+        // A budget that lands mid-loop, prime so it never aligns with
+        // block shapes.
+        assert_snapshot_transparent(&format!("starved@{label}"), &image, &keys, &config, 997);
+    }
+}
+
+/// A machine mid **reboot loop** (persistent tamper under
+/// [`ResetPolicy::Reboot`]) migrates too: resets performed, reboot
+/// cycles charged and the final abandonment verdict all match — and the
+/// restored verified-block cache replays the reset flushes identically.
+#[test]
+fn reboot_loop_endings_survive_migration() {
+    let keys = keys();
+    // A loop long enough that every reboot replays it across several
+    // slices before hitting the tampered epilogue again: snapshots land
+    // *inside* the reset loop, with resets already performed, reboot
+    // cycles already charged, and (when enabled) a vcache already
+    // flushed by the reset line.
+    let src = "main: li t0, 60
+         loop: subi t0, t0, 1
+               bnez t0, loop
+               li t1, 7
+               halt";
+    let image = sofia::transform::Transformer::new(keys.clone())
+        .transform(&asm::parse(src).unwrap())
+        .unwrap();
+    let mut tampered = image.clone();
+    let last = tampered.ctext.len() - 2;
+    tampered.ctext[last] ^= 0x4000;
+    for (label, vcache) in geometries() {
+        let config = SofiaConfig {
+            vcache,
+            reset_policy: ResetPolicy::Reboot { max_resets: 3 },
+            ..Default::default()
+        };
+        let boundaries = assert_snapshot_transparent(
+            &format!("reset-loop@{label}"),
+            &tampered,
+            &keys,
+            &config,
+            common::FUEL,
+        );
+        assert!(boundaries >= 3, "{label}: {boundaries} boundaries");
+    }
+}
+
+/// The CFI-only ablation (`enforce_si = false`) snapshots and restores
+/// like the full machine — the seam must not depend on the SI unit.
+#[test]
+fn cfi_only_ablation_survives_migration() {
+    let keys = keys();
+    let w = sofia_workloads::kernels::crc32(48);
+    let image = w.secure_image(&keys);
+    let config = SofiaConfig {
+        enforce_si: false,
+        vcache: VCacheConfig::enabled(16, 4),
+        ..Default::default()
+    };
+    let boundaries =
+        assert_snapshot_transparent("crc32@si-off", &image, &keys, &config, common::FUEL);
+    assert!(boundaries >= 8, "{boundaries} boundaries");
+}
