@@ -1,7 +1,7 @@
 //! Integration: the attack matrix — every attack class against every
 //! machine configuration, asserting the paper's security claims.
 
-use sofia::attacks::{forgery, hijack, injection, relocation};
+use sofia::attacks::{forgery, hijack, injection, migration, relocation};
 use sofia::crypto::KeySet;
 use sofia::prelude::*;
 
@@ -48,6 +48,34 @@ fn sofia_with_vcache_stops_every_attack() {
         for block in 1..5 {
             assert!(!hijack::fault_inject_sofia_with(&keys, &config, block).is_compromised());
         }
+    }
+}
+
+#[test]
+fn snapshots_add_no_forgery_surface() {
+    // The migration rows of the matrix: a restored snapshot's resume
+    // point is just another transfer the hardware verifies. A forged
+    // `prevPC`, a stale edge replayed from an earlier slice boundary,
+    // and an out-of-image redirect are all caught by edge verification
+    // on the *first* resumed fetch — with the verified-block cache off,
+    // warm-capable, or thrashing (a forged edge is a different cache
+    // key, so it can never replay a verified line).
+    let keys = KeySet::from_seed(0x5EC5);
+    for vcache in [
+        VCacheConfig::default(),
+        VCacheConfig::enabled(1, 1),
+        VCacheConfig::enabled(64, 4),
+    ] {
+        let config = SofiaConfig {
+            vcache,
+            ..Default::default()
+        };
+        let forged = migration::forge_resume_prev_pc_with(&keys, &config);
+        assert!(forged.is_detected(), "forged prevPC: {forged}");
+        let stale = migration::replay_stale_resume_edge_with(&keys, &config);
+        assert!(stale.is_detected(), "stale edge replay: {stale}");
+        let redirect = migration::redirect_resume_out_of_image_with(&keys, &config);
+        assert!(redirect.is_detected(), "out-of-image resume: {redirect}");
     }
 }
 
