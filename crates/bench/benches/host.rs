@@ -29,6 +29,15 @@ fn bench_host(c: &mut Criterion) {
     g.bench_function("seal/adpcm600", |b| {
         b.iter(|| black_box(sofia_bench::host_seal_rates(1)))
     });
+    g.bench_function("seal_farm/16-tenant-wave", |b| {
+        b.iter(|| {
+            black_box(sofia_bench::host_seal_farm_points(
+                &sofia_bench::host_worker_counts(),
+                16,
+                1,
+            ))
+        })
+    });
     g.bench_function("mips/fib5000", |b| {
         b.iter(|| black_box(sofia_bench::host_mips(1)))
     });

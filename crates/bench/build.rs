@@ -1,0 +1,10 @@
+//! Bakes the compilation target triple into the bench crate so
+//! `BENCH_host.json` can record the box shape its wall-clock numbers
+//! came from (`TARGET` is only visible to build scripts).
+
+fn main() {
+    println!(
+        "cargo:rustc-env=SOFIA_TARGET={}",
+        std::env::var("TARGET").unwrap_or_default()
+    );
+}

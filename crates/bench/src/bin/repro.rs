@@ -426,6 +426,15 @@ fn fleet_eval() {
 fn host_eval() {
     banner("host: host-side throughput (wall clock on this machine)");
     let report = sofia_bench::host_report(3);
+    let b = &report.box_shape;
+    println!(
+        "  box: {} logical core{}, {} / {} ({})",
+        b.logical_cores,
+        if b.logical_cores == 1 { "" } else { "s" },
+        b.arch,
+        b.os,
+        b.target
+    );
     let k = &report.keystream;
     println!(
         "  keystream ({} blocks): scalar {:>10.0} blk/s   bitsliced {:>10.0} blk/s   {:>5.2}x",
@@ -434,6 +443,19 @@ fn host_eval() {
         k.bitsliced_blocks_per_sec,
         k.speedup()
     );
+    for w in &k.widths {
+        println!(
+            "    {:>2} lanes{} {:>10.0} blk/s   {:>5.2}x vs scalar",
+            w.lanes,
+            if w.lanes == k.default_lanes {
+                " (default)"
+            } else {
+                "          "
+            },
+            w.blocks_per_sec,
+            w.blocks_per_sec / k.scalar_blocks_per_sec
+        );
+    }
     let s = &report.seal;
     println!(
         "  seal ({}):      scalar {:>10.2} seal/s  bitsliced {:>10.2} seal/s  {:>5.2}x",
@@ -442,6 +464,22 @@ fn host_eval() {
         s.bitsliced_seals_per_sec,
         s.speedup()
     );
+    println!("  seal farm (cold wave, adpcm240 x distinct tenant keys):");
+    println!("    workers  images  seals/sec  speedup");
+    let serial = report
+        .seal_farm
+        .iter()
+        .find(|p| p.workers == 1)
+        .map(|p| p.seals_per_sec);
+    for p in &report.seal_farm {
+        println!(
+            "    {:>7}  {:>6}  {:>9.2}  {:>6.2}x",
+            p.workers,
+            p.images,
+            p.seals_per_sec,
+            p.seals_per_sec / serial.unwrap_or(p.seals_per_sec)
+        );
+    }
     println!("  simulation speed (fib5000):");
     for r in &report.mips {
         println!(

@@ -399,6 +399,40 @@ pub fn fleet_json(rtc: &[FleetScalingPoint], sliced: &[FleetScalingPoint]) -> St
 
 use std::time::Instant;
 
+/// The physical machine a wall-clock record came from. Scaling claims in
+/// `BENCH_host.json` are only meaningful against this: a flat seal-farm
+/// curve on a one-core box is the expected result, not a regression.
+#[derive(Clone, Debug)]
+pub struct BoxShape {
+    /// Logical cores the OS offers (`std::thread::available_parallelism`).
+    pub logical_cores: usize,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// Compilation target triple (baked in by the build script).
+    pub target: String,
+}
+
+/// Records the shape of this host.
+pub fn box_shape() -> BoxShape {
+    BoxShape {
+        logical_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        arch: std::env::consts::ARCH.to_string(),
+        os: std::env::consts::OS.to_string(),
+        target: env!("SOFIA_TARGET").to_string(),
+    }
+}
+
+/// Keystream throughput of one bitslicing lane width.
+#[derive(Clone, Debug)]
+pub struct KeystreamWidthRate {
+    /// Lane count of the sweep (16/32/64).
+    pub lanes: usize,
+    /// Blocks ciphered per second at this width.
+    pub blocks_per_sec: f64,
+}
+
 /// Scalar-vs-bitsliced keystream generation rates (blocks/sec).
 #[derive(Clone, Debug)]
 pub struct KeystreamRates {
@@ -406,8 +440,15 @@ pub struct KeystreamRates {
     pub blocks: usize,
     /// One [`sofia_crypto::ctr::pad`] call per counter.
     pub scalar_blocks_per_sec: f64,
-    /// One [`sofia_crypto::ctr::pads`] sweep for the whole batch.
+    /// One [`sofia_crypto::ctr::pads`] sweep for the whole batch, at the
+    /// default lane width.
     pub bitsliced_blocks_per_sec: f64,
+    /// Lane count [`sofia_crypto::ctr::pads`] runs at by default.
+    pub default_lanes: usize,
+    /// The same sweep pinned to each supported lane width
+    /// ([`sofia_crypto::ctr::pads_with`]) — the ILP evidence behind the
+    /// default.
+    pub widths: Vec<KeystreamWidthRate>,
 }
 
 impl KeystreamRates {
@@ -446,6 +487,18 @@ impl SealRates {
     }
 }
 
+/// Host wall-clock throughput of a cold-start seal wave at one farm
+/// worker count.
+#[derive(Clone, Debug)]
+pub struct SealFarmPoint {
+    /// Farm worker threads.
+    pub workers: usize,
+    /// Distinct images the wave sealed (one per tenant).
+    pub images: usize,
+    /// Seals per host wall-clock second.
+    pub seals_per_sec: f64,
+}
+
 /// Host wall-clock throughput of one fleet configuration on the
 /// [`fleet_mix`].
 #[derive(Clone, Debug)]
@@ -463,12 +516,16 @@ pub struct FleetHostPoint {
 /// Everything `BENCH_host.json` records.
 #[derive(Clone, Debug)]
 pub struct HostReport {
+    /// The machine these wall-clock numbers came from.
+    pub box_shape: BoxShape,
     /// Keystream generation rates.
     pub keystream: KeystreamRates,
     /// Simulation speed per machine.
     pub mips: Vec<HostMipsRow>,
     /// Secure-installation rates.
     pub seal: SealRates,
+    /// Cold-start seal-wave throughput per farm worker count.
+    pub seal_farm: Vec<SealFarmPoint>,
     /// Fleet batch throughput per (workers, pool) point.
     pub fleet: Vec<FleetHostPoint>,
 }
@@ -506,10 +563,24 @@ pub fn host_keystream(blocks: usize, reps: u32) -> KeystreamRates {
     let bitsliced = best_secs(reps, || {
         std::hint::black_box(sofia_crypto::ctr::pads(&cipher, &counters));
     });
+    let widths = sofia_crypto::LaneWidth::ALL
+        .iter()
+        .map(|&width| {
+            let secs = best_secs(reps, || {
+                std::hint::black_box(sofia_crypto::ctr::pads_with(&cipher, &counters, width));
+            });
+            KeystreamWidthRate {
+                lanes: width.lanes(),
+                blocks_per_sec: blocks as f64 / secs,
+            }
+        })
+        .collect();
     KeystreamRates {
         blocks,
         scalar_blocks_per_sec: blocks as f64 / scalar,
         bitsliced_blocks_per_sec: blocks as f64 / bitsliced,
+        default_lanes: sofia_crypto::LaneWidth::default().lanes(),
+        widths,
     }
 }
 
@@ -640,16 +711,71 @@ pub fn host_fleet_points(workers_list: &[usize], reps: u32) -> Vec<FleetHostPoin
     points
 }
 
+/// Measures seals/sec of a cold-start wave — `tenants` distinct device
+/// keysets all sealing the same moderate program, so every request is a
+/// distinct image — through [`sofia_fleet::SealFarm`] at each worker
+/// count, best of `reps` waves per point. Each rep starts from a fresh
+/// [`sofia_transform::cache::ImageCache`] so every wave really seals.
+/// Like the fleet points, wall-clock scaling needs real cores; the box
+/// shape in the report says whether this host has them.
+pub fn host_seal_farm_points(
+    workers_list: &[usize],
+    tenants: usize,
+    reps: u32,
+) -> Vec<SealFarmPoint> {
+    use sofia_fleet::SealFarm;
+    use sofia_transform::cache::ImageCache;
+    let keysets: Vec<KeySet> = (0..tenants)
+        .map(|t| KeySet::from_seed(0xFA23 + t as u64))
+        .collect();
+    let source = sofia_workloads::adpcm::workload(240).source;
+    let requests: Vec<(&KeySet, &str)> = keysets.iter().map(|k| (k, source.as_str())).collect();
+    workers_list
+        .iter()
+        .map(|&workers| {
+            let secs = best_secs(reps, || {
+                let cache = ImageCache::new();
+                let wave = SealFarm::new(&cache, workers).seal_wave(&requests);
+                assert_eq!(wave.distinct, tenants, "cold wave must seal every tenant");
+                std::hint::black_box(wave);
+            });
+            SealFarmPoint {
+                workers,
+                images: tenants,
+                seals_per_sec: tenants as f64 / secs,
+            }
+        })
+        .collect()
+}
+
+/// Worker counts the host sweeps run at: 1/2/4/8, capped by the
+/// `SOFIA_BENCH_MAX_WORKERS` environment variable (the CI matrix knob —
+/// `=1` pins the whole experiment to the serial points).
+pub fn host_worker_counts() -> Vec<usize> {
+    let cap = std::env::var("SOFIA_BENCH_MAX_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(usize::MAX)
+        .max(1);
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&w| w <= cap)
+        .collect()
+}
+
 /// Runs the whole host-throughput experiment. `reps` trades run time for
 /// measurement stability (the smoke run under `cargo test` uses 1, so
 /// every section — fleet included — is a single sample there and best of
 /// `reps` under `repro -- host` / `cargo bench`).
 pub fn host_report(reps: u32) -> HostReport {
+    let workers = host_worker_counts();
     HostReport {
+        box_shape: box_shape(),
         keystream: host_keystream(1 << 14, reps),
         mips: host_mips(reps),
         seal: host_seal_rates(reps),
-        fleet: host_fleet_points(&[1, 4, 8], reps),
+        seal_farm: host_seal_farm_points(&workers, 16, reps),
+        fleet: host_fleet_points(&workers, reps),
     }
 }
 
@@ -665,15 +791,33 @@ pub fn host_json(report: &HostReport) -> String {
     };
     let mut out = String::from("{\n  \"bench\": \"host\",\n");
     out.push_str(&format!("  \"profile\": \"{profile}\",\n"));
+    let b = &report.box_shape;
+    out.push_str(&format!(
+        "  \"box\": {{ \"logical_cores\": {}, \"arch\": \"{}\", \"os\": \"{}\", \
+         \"target\": \"{}\" }},\n",
+        b.logical_cores, b.arch, b.os, b.target
+    ));
     let k = &report.keystream;
     out.push_str(&format!(
         "  \"keystream\": {{ \"blocks\": {}, \"scalar_blocks_per_sec\": {:.0}, \
-         \"bitsliced_blocks_per_sec\": {:.0}, \"bitsliced_speedup\": {:.2} }},\n",
+         \"bitsliced_blocks_per_sec\": {:.0}, \"bitsliced_speedup\": {:.2}, \
+         \"default_lanes\": {}, \"widths\": [\n",
         k.blocks,
         k.scalar_blocks_per_sec,
         k.bitsliced_blocks_per_sec,
-        k.speedup()
+        k.speedup(),
+        k.default_lanes
     ));
+    for (i, w) in k.widths.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"lanes\": {}, \"blocks_per_sec\": {:.0}, \"speedup_vs_scalar\": {:.2} }}{}\n",
+            w.lanes,
+            w.blocks_per_sec,
+            w.blocks_per_sec / k.scalar_blocks_per_sec,
+            if i + 1 == k.widths.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ] },\n");
     out.push_str("  \"machine_mips\": [\n");
     for (i, r) in report.mips.iter().enumerate() {
         out.push_str(&format!(
@@ -694,6 +838,28 @@ pub fn host_json(report: &HostReport) -> String {
         s.bitsliced_seals_per_sec,
         s.speedup()
     ));
+    out.push_str("  \"seal_farm\": [\n");
+    let serial = report
+        .seal_farm
+        .iter()
+        .find(|p| p.workers == 1)
+        .map(|p| p.seals_per_sec);
+    for (i, p) in report.seal_farm.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"workers\": {}, \"images\": {}, \"seals_per_sec\": {:.2}, \
+             \"speedup_vs_serial\": {:.2} }}{}\n",
+            p.workers,
+            p.images,
+            p.seals_per_sec,
+            p.seals_per_sec / serial.unwrap_or(p.seals_per_sec),
+            if i + 1 == report.seal_farm.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"fleet_host\": [\n");
     for (i, p) in report.fleet.iter().enumerate() {
         out.push_str(&format!(
@@ -738,10 +904,27 @@ mod tests {
     #[test]
     fn host_json_schema_is_stable() {
         let report = HostReport {
+            box_shape: BoxShape {
+                logical_cores: 1,
+                arch: "x86_64".into(),
+                os: "linux".into(),
+                target: "x86_64-unknown-linux-gnu".into(),
+            },
             keystream: KeystreamRates {
                 blocks: 16,
                 scalar_blocks_per_sec: 1e6,
                 bitsliced_blocks_per_sec: 8e6,
+                default_lanes: 32,
+                widths: vec![
+                    KeystreamWidthRate {
+                        lanes: 16,
+                        blocks_per_sec: 6e6,
+                    },
+                    KeystreamWidthRate {
+                        lanes: 32,
+                        blocks_per_sec: 8e6,
+                    },
+                ],
             },
             mips: vec![HostMipsRow {
                 machine: "vanilla".into(),
@@ -753,6 +936,18 @@ mod tests {
                 scalar_seals_per_sec: 10.0,
                 bitsliced_seals_per_sec: 25.0,
             },
+            seal_farm: vec![
+                SealFarmPoint {
+                    workers: 1,
+                    images: 16,
+                    seals_per_sec: 50.0,
+                },
+                SealFarmPoint {
+                    workers: 4,
+                    images: 16,
+                    seals_per_sec: 150.0,
+                },
+            ],
             fleet: vec![FleetHostPoint {
                 workers: 4,
                 pool: "stealing".into(),
@@ -766,13 +961,31 @@ mod tests {
         for field in [
             "\"bench\": \"host\"",
             "\"profile\"",
+            "\"box\": { \"logical_cores\": 1, \"arch\": \"x86_64\"",
             "\"bitsliced_speedup\": 8.00",
+            "\"default_lanes\": 32",
+            "\"widths\"",
+            "\"lanes\": 16, \"blocks_per_sec\": 6000000, \"speedup_vs_scalar\": 6.00",
             "\"machine_mips\"",
             "\"seal\"",
+            "\"seal_farm\"",
+            "\"workers\": 4, \"images\": 16, \"seals_per_sec\": 150.00, \"speedup_vs_serial\": 3.00",
             "\"fleet_host\"",
             "\"pool\": \"stealing\"",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+
+    #[test]
+    fn host_worker_counts_honour_the_env_cap() {
+        // The env var is process-global, so only pin the shape this
+        // process actually sees (CI sets the cap in its own process).
+        let counts = host_worker_counts();
+        assert!(counts.starts_with(&[1]), "serial point always present");
+        assert!(counts.iter().all(|&w| [1, 2, 4, 8].contains(&w)));
+        if std::env::var("SOFIA_BENCH_MAX_WORKERS").is_err() {
+            assert_eq!(counts, vec![1, 2, 4, 8]);
         }
     }
 

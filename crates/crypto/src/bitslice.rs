@@ -1,5 +1,5 @@
 //! The bitsliced RECTANGLE engine: many independent 64-bit blocks per
-//! pass, pure ALU work, no tables.
+//! pass, pure ALU work, no tables, lane-width generic.
 //!
 //! RECTANGLE was designed for exactly this ("a bit-slice lightweight
 //! block cipher", Zhang et al. 2014): the S-box layer applies the same
@@ -11,9 +11,8 @@
 //!
 //! One `u64` **row word** carries row `r` of [`LANES_PER_WORD`] = 4
 //! blocks side by side, each in its own 16-bit sub-lane. A **group** is
-//! the four row words of those 4 blocks, and a pass works on
-//! [`GROUPS`] = 4 groups — [`LANES`] = 16 independent blocks ciphered
-//! together:
+//! the four row words of those 4 blocks, and a pass works on a register
+//! file of `G` groups — `4·G` independent blocks ciphered together:
 //!
 //! * **AddRoundKey** — XOR each row word with the 16-bit round-key row
 //!   replicated into every sub-lane;
@@ -22,20 +21,62 @@
 //!   pinned against the lookup table by test);
 //! * **ShiftRow** — a per-sub-lane 16-bit rotation by 0/1/12/13.
 //!
+//! The S-box circuit and the sub-lane rotations never look across row
+//! words, so nothing in the round ties `G` down — the pass is generic
+//! over the group count ([`LaneWidth`]: 16, 32 or 64 lanes per pass,
+//! still portable `u64` ops, no intrinsics). More groups in flight means
+//! more independent ALU work per round for the out-of-order core to
+//! overlap, until register pressure spills the state; which width wins
+//! is an empirical question the `host` bench answers per box, and
+//! [`LaneWidth::default`] records the measured winner.
+//!
 //! The scalar [`Rectangle::encrypt_block`] path stays as the reference
-//! oracle; `tests/bitslice_equiv.rs` pins the two implementations
-//! together over random keys, blocks and lane counts.
+//! oracle; `tests/bitslice_equiv.rs` pins every width to it over random
+//! keys, blocks and lane counts, and widths to each other.
 
 use crate::rectangle::{Rectangle, ROUNDS};
 
 /// Independent blocks carried by one `u64` row word (16-bit sub-lanes).
 pub const LANES_PER_WORD: usize = 4;
 
-/// Row-word groups processed per pass.
-pub const GROUPS: usize = 4;
+/// How many independent blocks one bitsliced pass ciphers.
+///
+/// Purely a host-performance knob: every width produces bit-identical
+/// output (lane independence — pinned by the equivalence suite), so the
+/// choice never leaks into keystream, MACs or sealed images.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum LaneWidth {
+    /// 16 blocks per pass (4 row-word groups) — the narrowest slice that
+    /// fills every 16-bit sub-lane of a `u64` row word.
+    W16,
+    /// 32 blocks per pass (8 groups) — the measured default: twice the
+    /// independent work per round for the out-of-order core to overlap,
+    /// before 64 lanes' register pressure starts spilling.
+    #[default]
+    W32,
+    /// 64 blocks per pass (16 groups).
+    W64,
+}
 
-/// Independent 64-bit blocks ciphered per bitsliced pass.
-pub const LANES: usize = LANES_PER_WORD * GROUPS;
+impl LaneWidth {
+    /// Every supported width, narrowest first.
+    pub const ALL: [LaneWidth; 3] = [LaneWidth::W16, LaneWidth::W32, LaneWidth::W64];
+
+    /// Independent 64-bit blocks ciphered per pass at this width.
+    pub const fn lanes(self) -> usize {
+        match self {
+            LaneWidth::W16 => 16,
+            LaneWidth::W32 => 32,
+            LaneWidth::W64 => 64,
+        }
+    }
+}
+
+impl std::fmt::Display for LaneWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} lanes", self.lanes())
+    }
+}
 
 /// Replication mask: one copy of a 16-bit row per sub-lane.
 const LANE1: u64 = 0x0001_0001_0001_0001;
@@ -86,11 +127,12 @@ fn broadcast(rk: &[u16; 4]) -> [u64; 4] {
     ]
 }
 
-/// Packs 16 blocks into 4 groups of row words.
+/// Packs `4·G` blocks into `G` groups of row words.
 #[inline]
-fn pack(blocks: &[u64; LANES]) -> [[u64; 4]; GROUPS] {
-    let mut st = [[0u64; 4]; GROUPS];
-    for g in 0..GROUPS {
+fn pack<const G: usize>(blocks: &[u64]) -> [[u64; 4]; G] {
+    debug_assert_eq!(blocks.len(), LANES_PER_WORD * G);
+    let mut st = [[0u64; 4]; G];
+    for g in 0..G {
         for l in 0..LANES_PER_WORD {
             let b = blocks[g * LANES_PER_WORD + l];
             let shift = 16 * l;
@@ -105,8 +147,9 @@ fn pack(blocks: &[u64; LANES]) -> [[u64; 4]; GROUPS] {
 
 /// Inverse of [`pack`].
 #[inline]
-fn unpack(st: &[[u64; 4]; GROUPS], blocks: &mut [u64; LANES]) {
-    for g in 0..GROUPS {
+fn unpack<const G: usize>(st: &[[u64; 4]; G], blocks: &mut [u64]) {
+    debug_assert_eq!(blocks.len(), LANES_PER_WORD * G);
+    for g in 0..G {
         for l in 0..LANES_PER_WORD {
             let shift = 16 * l;
             blocks[g * LANES_PER_WORD + l] = ((st[g][0] >> shift) & 0xFFFF)
@@ -117,9 +160,9 @@ fn unpack(st: &[[u64; 4]; GROUPS], blocks: &mut [u64; LANES]) {
     }
 }
 
-/// Encrypts one full pass of [`LANES`] blocks in place.
-fn encrypt_pass(cipher: &Rectangle, blocks: &mut [u64; LANES]) {
-    let mut st = pack(blocks);
+/// Encrypts one full pass of `4·G` blocks in place.
+fn encrypt_pass<const G: usize>(cipher: &Rectangle, blocks: &mut [u64]) {
+    let mut st = pack::<G>(blocks);
     for rk in &cipher.round_keys[..ROUNDS] {
         let k = broadcast(rk);
         for s in &mut st {
@@ -139,9 +182,9 @@ fn encrypt_pass(cipher: &Rectangle, blocks: &mut [u64; LANES]) {
     unpack(&st, blocks);
 }
 
-/// Decrypts one full pass of [`LANES`] blocks in place.
-fn decrypt_pass(cipher: &Rectangle, blocks: &mut [u64; LANES]) {
-    let mut st = pack(blocks);
+/// Decrypts one full pass of `4·G` blocks in place.
+fn decrypt_pass<const G: usize>(cipher: &Rectangle, blocks: &mut [u64]) {
+    let mut st = pack::<G>(blocks);
     let k = broadcast(&cipher.round_keys[ROUNDS]);
     for s in &mut st {
         for (r, kr) in s.iter_mut().zip(&k) {
@@ -162,34 +205,44 @@ fn decrypt_pass(cipher: &Rectangle, blocks: &mut [u64; LANES]) {
     unpack(&st, blocks);
 }
 
-/// Runs `pass` over `blocks` in chunks of [`LANES`], zero-padding the
+/// Runs `pass` over `blocks` in chunks of `4·G` lanes, zero-padding the
 /// final ragged chunk (padding lanes are ciphered and discarded — lane
-/// independence makes the real lanes bit-identical to full passes).
-fn drive(cipher: &Rectangle, blocks: &mut [u64], pass: fn(&Rectangle, &mut [u64; LANES])) {
-    let mut chunks = blocks.chunks_exact_mut(LANES);
+/// independence makes the real lanes bit-identical to full passes, and
+/// to every other width's).
+fn drive<const G: usize>(cipher: &Rectangle, blocks: &mut [u64], pass: fn(&Rectangle, &mut [u64])) {
+    let lanes = LANES_PER_WORD * G;
+    let mut chunks = blocks.chunks_exact_mut(lanes);
     for chunk in &mut chunks {
-        let chunk: &mut [u64; LANES] = chunk.try_into().expect("exact chunk");
         pass(cipher, chunk);
     }
     let rem = chunks.into_remainder();
     if !rem.is_empty() {
-        let mut buf = [0u64; LANES];
+        let mut buf = [0u64; 64];
         buf[..rem.len()].copy_from_slice(rem);
-        pass(cipher, &mut buf);
+        pass(cipher, &mut buf[..lanes]);
         rem.copy_from_slice(&buf[..rem.len()]);
     }
 }
 
-pub(crate) fn encrypt_blocks(cipher: &Rectangle, blocks: &mut [u64]) {
-    drive(cipher, blocks, encrypt_pass);
+pub(crate) fn encrypt_blocks(cipher: &Rectangle, blocks: &mut [u64], width: LaneWidth) {
+    match width {
+        LaneWidth::W16 => drive::<4>(cipher, blocks, encrypt_pass::<4>),
+        LaneWidth::W32 => drive::<8>(cipher, blocks, encrypt_pass::<8>),
+        LaneWidth::W64 => drive::<16>(cipher, blocks, encrypt_pass::<16>),
+    }
 }
 
-pub(crate) fn decrypt_blocks(cipher: &Rectangle, blocks: &mut [u64]) {
-    drive(cipher, blocks, decrypt_pass);
+pub(crate) fn decrypt_blocks(cipher: &Rectangle, blocks: &mut [u64], width: LaneWidth) {
+    match width {
+        LaneWidth::W16 => drive::<4>(cipher, blocks, decrypt_pass::<4>),
+        LaneWidth::W32 => drive::<8>(cipher, blocks, decrypt_pass::<8>),
+        LaneWidth::W64 => drive::<16>(cipher, blocks, decrypt_pass::<16>),
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::LaneWidth;
     use crate::{Key80, Rectangle, SBOX, SBOX_INV};
 
     /// The boolean circuits agree with the lookup tables on every input,
@@ -232,34 +285,35 @@ mod tests {
     }
 
     #[test]
-    fn full_pass_matches_scalar_on_all_lanes() {
+    fn full_pass_matches_scalar_on_all_lanes_at_every_width() {
         let cipher = Rectangle::new(&Key80::from_seed(0xB175));
         let mut x = crate::util::SplitMix64::new(3);
-        let mut blocks = [0u64; super::LANES];
-        for b in &mut blocks {
-            *b = x.next_u64();
+        for width in LaneWidth::ALL {
+            let blocks: Vec<u64> = (0..width.lanes()).map(|_| x.next_u64()).collect();
+            let expect: Vec<u64> = blocks.iter().map(|&b| cipher.encrypt_block(b)).collect();
+            let mut enc = blocks.clone();
+            super::encrypt_blocks(&cipher, &mut enc, width);
+            assert_eq!(enc, expect, "{width}");
+            let mut dec = enc;
+            super::decrypt_blocks(&cipher, &mut dec, width);
+            assert_eq!(dec, blocks, "{width}");
         }
-        let expect: Vec<u64> = blocks.iter().map(|&b| cipher.encrypt_block(b)).collect();
-        let mut enc = blocks;
-        super::encrypt_pass(&cipher, &mut enc);
-        assert_eq!(enc.to_vec(), expect);
-        let mut dec = enc;
-        super::decrypt_pass(&cipher, &mut dec);
-        assert_eq!(dec, blocks);
     }
 
     #[test]
-    fn ragged_batches_match_scalar() {
+    fn ragged_batches_match_scalar_at_every_width() {
         let cipher = Rectangle::new(&Key80::from_seed(0x7A11));
         let mut x = crate::util::SplitMix64::new(9);
-        for n in [0usize, 1, 3, 4, 15, 16, 17, 33, 100] {
-            let blocks: Vec<u64> = (0..n).map(|_| x.next_u64()).collect();
-            let expect: Vec<u64> = blocks.iter().map(|&b| cipher.encrypt_block(b)).collect();
-            let mut got = blocks.clone();
-            super::encrypt_blocks(&cipher, &mut got);
-            assert_eq!(got, expect, "batch of {n}");
-            super::decrypt_blocks(&cipher, &mut got);
-            assert_eq!(got, blocks, "roundtrip of {n}");
+        for width in LaneWidth::ALL {
+            for n in [0usize, 1, 3, 4, 15, 16, 17, 31, 33, 63, 65, 100] {
+                let blocks: Vec<u64> = (0..n).map(|_| x.next_u64()).collect();
+                let expect: Vec<u64> = blocks.iter().map(|&b| cipher.encrypt_block(b)).collect();
+                let mut got = blocks.clone();
+                super::encrypt_blocks(&cipher, &mut got, width);
+                assert_eq!(got, expect, "{width}, batch of {n}");
+                super::decrypt_blocks(&cipher, &mut got, width);
+                assert_eq!(got, blocks, "{width}, roundtrip of {n}");
+            }
         }
     }
 }

@@ -6,7 +6,7 @@
 //! absent from the static CFG therefore decrypts the destination word with
 //! the wrong counter, producing noise — the core of SOFIA's CFI mechanism.
 
-use crate::{Nonce, Rectangle};
+use crate::{LaneWidth, Nonce, Rectangle};
 
 /// Number of address bits kept per program counter inside a counter block.
 ///
@@ -79,13 +79,18 @@ pub fn pad(cipher: &Rectangle, counter: CounterBlock) -> u32 {
 
 /// Derives the keystream pads for a whole batch of counters in one
 /// bitsliced sweep ([`Rectangle::encrypt_blocks`]): bit-identical to
-/// mapping [`pad`] over the slice, but ciphering up to
-/// [`crate::bitslice::LANES`] counters per pass. This is the bulk path
-/// behind sealing whole images and refilling block fetches, where every
-/// counter of the sweep is known up front.
+/// mapping [`pad`] over the slice, but ciphering [`LaneWidth::lanes`]
+/// counters per pass at the default width. This is the bulk path behind
+/// sealing whole images and refilling block fetches, where every counter
+/// of the sweep is known up front.
 pub fn pads(cipher: &Rectangle, counters: &[CounterBlock]) -> Vec<u32> {
+    pads_with(cipher, counters, LaneWidth::default())
+}
+
+/// [`pads`] at an explicit lane width — bit-identical at every width.
+pub fn pads_with(cipher: &Rectangle, counters: &[CounterBlock], width: LaneWidth) -> Vec<u32> {
     let mut blocks: Vec<u64> = counters.iter().map(|c| c.as_u64()).collect();
-    cipher.encrypt_blocks(&mut blocks);
+    cipher.encrypt_blocks_with(&mut blocks, width);
     blocks.into_iter().map(|b| b as u32).collect()
 }
 
@@ -96,8 +101,22 @@ pub fn pads(cipher: &Rectangle, counters: &[CounterBlock]) -> Vec<u32> {
 ///
 /// Panics if the two slices differ in length.
 pub fn apply_batch(cipher: &Rectangle, counters: &[CounterBlock], words: &mut [u32]) {
+    apply_batch_with(cipher, counters, words, LaneWidth::default());
+}
+
+/// [`apply_batch`] at an explicit lane width.
+///
+/// # Panics
+///
+/// Panics if the two slices differ in length.
+pub fn apply_batch_with(
+    cipher: &Rectangle,
+    counters: &[CounterBlock],
+    words: &mut [u32],
+    width: LaneWidth,
+) {
     assert_eq!(counters.len(), words.len(), "counter/word length mismatch");
-    for (word, pad) in words.iter_mut().zip(pads(cipher, counters)) {
+    for (word, pad) in words.iter_mut().zip(pads_with(cipher, counters, width)) {
         *word ^= pad;
     }
 }

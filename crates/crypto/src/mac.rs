@@ -10,7 +10,7 @@
 //! module enforces that practice: [`mac_words`] takes the padded length
 //! from the caller and refuses over-long messages.
 
-use crate::Rectangle;
+use crate::{LaneWidth, Rectangle};
 
 /// A 64-bit message authentication code split into the two 32-bit words
 /// stored in a block (`M1` is the most significant half).
@@ -128,6 +128,22 @@ pub fn mac_words(cipher: &Rectangle, words: &[u32], padded_words: usize) -> Mac6
 /// Panics under the same conditions as [`mac_words`], checked per
 /// message.
 pub fn mac_words_batch(cipher: &Rectangle, messages: &[&[u32]], padded_words: usize) -> Vec<Mac64> {
+    mac_words_batch_with(cipher, messages, padded_words, LaneWidth::default())
+}
+
+/// [`mac_words_batch`] at an explicit lane width — bit-identical at
+/// every width.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`mac_words`], checked per
+/// message.
+pub fn mac_words_batch_with(
+    cipher: &Rectangle,
+    messages: &[&[u32]],
+    padded_words: usize,
+    width: LaneWidth,
+) -> Vec<Mac64> {
     assert!(padded_words > 0, "empty MAC domain");
     assert!(padded_words % 2 == 0, "padded length must be even");
     for words in messages {
@@ -144,7 +160,7 @@ pub fn mac_words_batch(cipher: &Rectangle, messages: &[&[u32]], padded_words: us
             let hi = words.get(pair * 2 + 1).copied().unwrap_or(0) as u64;
             *state ^= lo | (hi << 32);
         }
-        cipher.encrypt_blocks(&mut states);
+        cipher.encrypt_blocks_with(&mut states, width);
     }
     states.into_iter().map(Mac64).collect()
 }

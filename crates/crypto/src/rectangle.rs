@@ -15,6 +15,8 @@
 
 use std::sync::OnceLock;
 
+use crate::bitslice::LaneWidth;
+
 /// The RECTANGLE S-box applied to each 4-bit column.
 pub const SBOX: [u8; 16] = [
     0x6, 0x5, 0xC, 0xA, 0x1, 0xE, 0x7, 0x9, 0xB, 0x0, 0x3, 0xD, 0x8, 0xF, 0x4, 0x2,
@@ -289,19 +291,31 @@ impl Rectangle {
     }
 
     /// Encrypts a batch of independent 64-bit blocks in place through the
-    /// bitsliced engine ([`crate::bitslice`]): up to
-    /// [`crate::bitslice::LANES`] blocks are ciphered per pass, with a
-    /// zero-padded final pass for ragged batch sizes. Bit-identical to
-    /// mapping [`Rectangle::encrypt_block`] over the slice (pinned by the
-    /// equivalence suite), several times faster for bulk work.
+    /// bitsliced engine ([`crate::bitslice`]) at the default
+    /// [`LaneWidth`]: [`LaneWidth::lanes`] blocks are ciphered per pass,
+    /// with a zero-padded final pass for ragged batch sizes.
+    /// Bit-identical to mapping [`Rectangle::encrypt_block`] over the
+    /// slice (pinned by the equivalence suite), several times faster for
+    /// bulk work.
     pub fn encrypt_blocks(&self, blocks: &mut [u64]) {
-        crate::bitslice::encrypt_blocks(self, blocks);
+        crate::bitslice::encrypt_blocks(self, blocks, LaneWidth::default());
+    }
+
+    /// [`Rectangle::encrypt_blocks`] at an explicit lane width. Every
+    /// width is bit-identical; the choice only moves host throughput.
+    pub fn encrypt_blocks_with(&self, blocks: &mut [u64], width: LaneWidth) {
+        crate::bitslice::encrypt_blocks(self, blocks, width);
     }
 
     /// Decrypts a batch of independent 64-bit blocks in place — the
     /// inverse of [`Rectangle::encrypt_blocks`], same engine.
     pub fn decrypt_blocks(&self, blocks: &mut [u64]) {
-        crate::bitslice::decrypt_blocks(self, blocks);
+        crate::bitslice::decrypt_blocks(self, blocks, LaneWidth::default());
+    }
+
+    /// [`Rectangle::decrypt_blocks`] at an explicit lane width.
+    pub fn decrypt_blocks_with(&self, blocks: &mut [u64], width: LaneWidth) {
+        crate::bitslice::decrypt_blocks(self, blocks, width);
     }
 }
 

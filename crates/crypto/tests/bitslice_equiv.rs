@@ -2,10 +2,17 @@
 //! is the reference oracle, and every bulk API — block encrypt/decrypt,
 //! batched CTR keystream, lane-parallel CBC-MAC — must reproduce it bit
 //! for bit over random keys, random blocks and every lane-count shape
-//! (empty, sub-lane, exactly one pass, ragged multi-pass tails).
+//! (empty, sub-lane, exactly one pass, ragged multi-pass tails), at
+//! **every supported lane width** (16/32/64): the width is a host-perf
+//! knob, never a semantic one, so each width must match the oracle and
+//! all widths must match each other.
 
 use proptest::prelude::*;
-use sofia_crypto::{ctr, mac, CounterBlock, Key80, KeySet, Nonce, Rectangle};
+use sofia_crypto::{ctr, mac, CounterBlock, Key80, KeySet, LaneWidth, Nonce, Rectangle};
+
+fn any_width() -> impl Strategy<Value = LaneWidth> {
+    (0usize..LaneWidth::ALL.len()).prop_map(|i| LaneWidth::ALL[i])
+}
 
 proptest! {
     /// Batch encryption over any lane count matches per-block scalar
@@ -103,6 +110,137 @@ proptest! {
             .collect();
         prop_assert_eq!(mac::mac_words_batch(&cipher, &slices, padded_words), expect);
     }
+
+    /// Width sweep: batch encryption at every lane width matches the
+    /// scalar oracle, including ragged final passes, and decryption at a
+    /// *different* random width inverts it — so 16/32/64-lane outputs
+    /// are mutually bit-identical, not just oracle-identical.
+    #[test]
+    fn encrypt_blocks_matches_scalar_at_every_width(
+        key in any::<u64>(),
+        blocks in proptest::collection::vec(any::<u64>(), 0..150),
+        inverse_width in any_width(),
+    ) {
+        let cipher = Rectangle::new(&Key80::from_seed(key));
+        let expect: Vec<u64> = blocks.iter().map(|&b| cipher.encrypt_block(b)).collect();
+        for width in LaneWidth::ALL {
+            let mut got = blocks.clone();
+            cipher.encrypt_blocks_with(&mut got, width);
+            prop_assert_eq!(&got, &expect);
+            cipher.decrypt_blocks_with(&mut got, inverse_width);
+            prop_assert_eq!(&got, &blocks);
+        }
+    }
+
+    /// Width sweep for decryption against the scalar oracle.
+    #[test]
+    fn decrypt_blocks_matches_scalar_at_every_width(
+        key in any::<u64>(),
+        blocks in proptest::collection::vec(any::<u64>(), 0..150),
+    ) {
+        let cipher = Rectangle::new(&Key80::from_seed(key));
+        let expect: Vec<u64> = blocks.iter().map(|&b| cipher.decrypt_block(b)).collect();
+        for width in LaneWidth::ALL {
+            let mut got = blocks.clone();
+            cipher.decrypt_blocks_with(&mut got, width);
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+
+    /// The CTR keystream is width-invariant and oracle-exact: the same
+    /// pads fall out of every lane width.
+    #[test]
+    fn ctr_keystream_matches_scalar_at_every_width(
+        key in any::<u64>(),
+        nonce in any::<u16>(),
+        edges in proptest::collection::vec((0u32..1 << 24, 0u32..1 << 24), 0..100),
+    ) {
+        let cipher = Rectangle::new(&Key80::from_seed(key));
+        let counters: Vec<CounterBlock> = edges
+            .iter()
+            .map(|&(prev, pc)| CounterBlock::from_edge(Nonce::new(nonce), prev << 2, pc << 2))
+            .collect();
+        let expect: Vec<u32> = counters.iter().map(|&c| ctr::pad(&cipher, c)).collect();
+        for width in LaneWidth::ALL {
+            prop_assert_eq!(ctr::pads_with(&cipher, &counters, width), expect.clone());
+        }
+    }
+
+    /// `apply_batch` round-trips across *mixed* widths: words encrypted
+    /// at one width decrypt at any other (XOR with identical pads).
+    #[test]
+    fn ctr_apply_batch_roundtrips_across_widths(
+        key in any::<u64>(),
+        enc_width in any_width(),
+        dec_width in any_width(),
+        edges in proptest::collection::vec(
+            ((0u32..1 << 24, 0u32..1 << 24), any::<u32>()), 0..60),
+    ) {
+        let cipher = Rectangle::new(&Key80::from_seed(key));
+        let counters: Vec<CounterBlock> = edges
+            .iter()
+            .map(|&((prev, pc), _)| CounterBlock::from_edge(Nonce::new(5), prev << 2, pc << 2))
+            .collect();
+        let plain: Vec<u32> = edges.iter().map(|&(_, w)| w).collect();
+        let mut words = plain.clone();
+        ctr::apply_batch_with(&cipher, &counters, &mut words, enc_width);
+        ctr::apply_batch_with(&cipher, &counters, &mut words, dec_width);
+        prop_assert_eq!(words, plain);
+    }
+
+    /// Lane-parallel CBC-MAC is width-invariant and oracle-exact.
+    #[test]
+    fn cbc_mac_batch_matches_scalar_at_every_width(
+        key in any::<u64>(),
+        padded_pairs in 1usize..6,
+        messages in proptest::collection::vec(
+            proptest::collection::vec(any::<u32>(), 0..10), 0..70),
+    ) {
+        let cipher = Rectangle::new(&Key80::from_seed(key));
+        let padded_words = padded_pairs * 2;
+        let msgs: Vec<Vec<u32>> = messages
+            .into_iter()
+            .map(|mut m| {
+                m.truncate(padded_words);
+                m
+            })
+            .collect();
+        let slices: Vec<&[u32]> = msgs.iter().map(|m| m.as_slice()).collect();
+        let expect: Vec<_> = slices
+            .iter()
+            .map(|m| mac::mac_words(&cipher, m, padded_words))
+            .collect();
+        for width in LaneWidth::ALL {
+            prop_assert_eq!(
+                mac::mac_words_batch_with(&cipher, &slices, padded_words, width),
+                expect.clone()
+            );
+        }
+    }
+}
+
+/// The ISSUE's cross-width framing, pinned directly: a 32-lane pass over
+/// 32 blocks equals two 16-lane passes over the halves (and the 64-lane
+/// pass equals all four quarters) — lane independence means width only
+/// changes how many blocks share a sweep, never any block's value.
+#[test]
+fn wider_pass_equals_stacked_narrow_passes() {
+    let cipher = Rectangle::new(&Key80::from_seed(0x57AC));
+    let blocks: Vec<u64> = (0..64u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let mut narrow = blocks.clone();
+    for half in narrow.chunks_mut(16) {
+        cipher.encrypt_blocks_with(half, LaneWidth::W16);
+    }
+    let mut mid = blocks.clone();
+    for half in mid.chunks_mut(32) {
+        cipher.encrypt_blocks_with(half, LaneWidth::W32);
+    }
+    let mut wide = blocks.clone();
+    cipher.encrypt_blocks_with(&mut wide, LaneWidth::W64);
+    assert_eq!(mid, narrow, "one 32-lane pass == two 16-lane passes");
+    assert_eq!(wide, narrow, "one 64-lane pass == four 16-lane passes");
 }
 
 /// The keyset-level sanity check: all three expanded ciphers drive the

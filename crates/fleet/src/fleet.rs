@@ -1,20 +1,21 @@
 //! The fleet service: tenants, the shared seal cache, the worker pool
 //! and the two scheduling disciplines.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use sofia_core::machine::{RunOutcome, SliceOutcome, SofiaMachine};
 use sofia_core::{ResetPolicy, SofiaConfig};
 use sofia_crypto::KeySet;
-use sofia_transform::cache::{ImageCache, ImageCacheStats};
+use sofia_transform::cache::{image_key, ImageCache, ImageCacheStats, ImageKey};
 use sofia_transform::SecureImage;
 
 use crate::checkpoint::{AdoptError, JobCheckpoint};
 use crate::job::{JobId, JobOutcome, JobRecord, JobSpec, Sabotage, TenantId};
 use crate::quarantine::{QuarantinePolicy, TenantState};
 use crate::schedule::price_schedule;
+use crate::seal_farm::{SealFarm, SealVerdict};
 use crate::stats::{FleetStats, TenantStats};
 
 /// How the worker pool shares machine time between jobs.
@@ -54,16 +55,43 @@ pub enum PoolMode {
     WorkStealing,
 }
 
+/// How a batch's cold images get sealed.
+///
+/// Purely a **host**-side choice, like [`PoolMode`]: seals are
+/// deterministic, so both modes produce bit-identical images, job
+/// records, per-tenant statistics and cache counters (pinned by the
+/// workspace `seal_farm` suite). The modes only move *when* the
+/// transformer runs and on which thread.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SealMode {
+    /// Each job seals lazily on its first quantum. A multi-tenant
+    /// cold-start wave convoys: workers stall on their own jobs'
+    /// installs, and duplicate requests queue on the cache's
+    /// single-flight marker. Kept as the contention baseline the host
+    /// bench measures against.
+    Inline,
+    /// Batch admission pre-seals the wave's distinct cold images across
+    /// a [`crate::SealFarm`] before any job runs (the default). Jobs
+    /// then find their image ready — the first job of each freshly
+    /// sealed image adopts it directly, every other job takes the now
+    /// guaranteed-warm cache path, keeping attribution and cache
+    /// counters bit-identical to [`SealMode::Inline`].
+    #[default]
+    Farm,
+}
+
 /// Full configuration of a [`Fleet`].
 #[derive(Clone, Copy, Debug)]
 pub struct FleetConfig {
     /// Worker threads in the pool (clamped to ≥ 1). Also the worker
-    /// count of the virtual-time schedule model.
+    /// count of the virtual-time schedule model and of the seal farm.
     pub workers: usize,
     /// Scheduling discipline.
     pub mode: SchedMode,
     /// Host work-distribution strategy for the worker pool.
     pub pool: PoolMode,
+    /// Host strategy for sealing a batch's cold images.
+    pub seal: SealMode,
     /// Containment for violating tenants.
     pub quarantine: QuarantinePolicy,
     /// The SOFIA machine configuration every job runs under.
@@ -76,6 +104,7 @@ impl Default for FleetConfig {
             workers: 4,
             mode: SchedMode::default(),
             pool: PoolMode::default(),
+            seal: SealMode::default(),
             quarantine: QuarantinePolicy::default(),
             sofia: SofiaConfig::default(),
         }
@@ -311,13 +340,51 @@ impl Fleet {
         for run in &mut self.queue {
             run.quanta_this_batch = 0;
         }
-        let runs = std::mem::take(&mut self.queue);
+        let mut runs = std::mem::take(&mut self.queue);
         self.batches += 1;
         if runs.is_empty() {
             self.last_makespan_cycles = 0;
             self.last_ticks = 0;
             self.last_steals = 0;
             return Vec::new();
+        }
+        // Farm mode: pre-seal the wave's distinct cold images in
+        // parallel, before any worker takes a job. The first job of each
+        // sealed image adopts it (with the farm's fresh/shared verdict as
+        // its cache attribution); every later duplicate is left to the
+        // normal cache path, which the farm just guaranteed is warm —
+        // so records and cache counters are bit-identical to
+        // [`SealMode::Inline`], only the convoy is gone. Failed seals
+        // assign nothing: the job path re-attempts and fails identically
+        // (seals are deterministic), preserving record parity.
+        if self.config.seal == SealMode::Farm {
+            let requests: Vec<(&KeySet, &str)> = runs
+                .iter()
+                .filter(|r| r.machine.is_none() && r.image.is_none())
+                .map(|r| (&r.keys, r.spec.source.as_str()))
+                .collect();
+            if !requests.is_empty() {
+                let farm = SealFarm::new(&self.cache, self.config.workers);
+                let wave = farm.seal_wave(&requests);
+                let mut claimed: HashSet<ImageKey> = HashSet::new();
+                for run in &mut runs {
+                    if run.machine.is_some() || run.image.is_some() {
+                        continue;
+                    }
+                    let key = image_key(&run.keys, &run.spec.source);
+                    if !claimed.insert(key) {
+                        continue;
+                    }
+                    if let Some(SealVerdict {
+                        image: Ok(image),
+                        fresh,
+                    }) = wave.verdicts.get(&key)
+                    {
+                        run.image = Some(Arc::clone(image));
+                        run.seal_cache_hit = !fresh;
+                    }
+                }
+            }
         }
         let n = runs.len();
         let workers = self.config.workers.max(1).min(n);
@@ -769,20 +836,27 @@ fn service_quantum(
 ) -> Option<JobRecord> {
     run.quanta_this_batch += 1;
     if run.machine.is_none() {
-        let (image, hit) = match cache.get_or_seal_traced(&run.keys, &run.spec.source) {
-            Ok(sealed) => sealed,
-            Err(e) => {
-                // A zero-cost quantum so the schedule model still gives
-                // the job its admission tick.
-                run.slices += 1;
-                run.slice_cycles.push(0);
-                return Some(finish(run, JobOutcome::SealFailed(e.to_string())));
+        // The seal farm may have pre-sealed this job's image (and set
+        // its cache attribution) at batch admission; only seal here if
+        // the job arrived at its first quantum still cold.
+        if run.image.is_none() {
+            match cache.get_or_seal_traced(&run.keys, &run.spec.source) {
+                Ok((image, hit)) => {
+                    run.seal_cache_hit = hit;
+                    run.image = Some(image);
+                }
+                Err(e) => {
+                    // A zero-cost quantum so the schedule model still
+                    // gives the job its admission tick.
+                    run.slices += 1;
+                    run.slice_cycles.push(0);
+                    return Some(finish(run, JobOutcome::SealFailed(e.to_string())));
+                }
             }
-        };
-        let mut machine = SofiaMachine::with_config(&image, &run.keys, &config.sofia);
+        }
+        let image = run.image.as_ref().expect("image sealed above");
+        let mut machine = SofiaMachine::with_config(image, &run.keys, &config.sofia);
         apply_sabotage(&mut machine, run.spec.sabotage);
-        run.seal_cache_hit = hit;
-        run.image = Some(image);
         run.machine = Some(machine);
     }
     let quantum = match config.mode {

@@ -72,10 +72,12 @@ mod fleet;
 mod job;
 mod quarantine;
 pub mod schedule;
+mod seal_farm;
 mod stats;
 
 pub use checkpoint::{AdoptError, JobCheckpoint};
-pub use fleet::{Fleet, FleetConfig, FleetError, PoolMode, SchedMode};
+pub use fleet::{Fleet, FleetConfig, FleetError, PoolMode, SchedMode, SealMode};
 pub use job::{JobId, JobOutcome, JobRecord, JobSpec, Sabotage, TenantId};
 pub use quarantine::{QuarantinePolicy, TenantState};
+pub use seal_farm::{SealFarm, SealVerdict, SealWave};
 pub use stats::{FleetStats, TenantStats};

@@ -157,7 +157,7 @@ impl ImageCache {
         keys: &KeySet,
         source: &str,
     ) -> Result<(Arc<SecureImage>, bool), SealError> {
-        let key = (fingerprint_keys(keys), hash64(source.as_bytes()));
+        let ImageKey(key) = image_key(keys, source);
         // Claim the key (or wait for / reuse whoever already did).
         let mut state = self.inner.lock().expect("image cache poisoned");
         loop {
@@ -264,6 +264,24 @@ const _: () = {
     assert_send_sync::<SecureImage>();
     assert_send_sync::<ImageCache>();
 };
+
+/// The cache's identity for one `(device keys, program source)` seal
+/// request — the unit of single-flight deduplication.
+///
+/// Opaque by design: it reveals nothing about the key material (a
+/// fingerprint, not the keys) and is `Copy`+`Hash`+`Ord`, so schedulers
+/// above the cache (the fleet's seal farm) can group, sort and dedup
+/// seal requests without holding key material or source text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ImageKey((u64, u64));
+
+/// The [`ImageKey`] that [`ImageCache::get_or_seal`] files `(keys,
+/// source)` under. Equal keys always collapse to one seal; distinct
+/// requests get distinct keys (up to fingerprint collision, which only
+/// costs an extra cache share, never cross-domain ciphertext).
+pub fn image_key(keys: &KeySet, source: &str) -> ImageKey {
+    ImageKey((fingerprint_keys(keys), hash64(source.as_bytes())))
+}
 
 /// FNV-1a over the concatenated key material — an identity fingerprint
 /// (not a security boundary; the keys themselves never leave the cache's

@@ -14,6 +14,7 @@ fn main() {
         workers: 4,
         mode: SchedMode::FuelSliced { slice: 2_000 },
         pool: sofia::prelude::PoolMode::WorkStealing,
+        seal: sofia::fleet::SealMode::Farm,
         quarantine: QuarantinePolicy::Suspend,
         sofia: SofiaConfig {
             // Every device ships the verified-block cache.

@@ -1,0 +1,240 @@
+//! The seal-farm regression suite: pre-sealing a cold-start wave through
+//! [`sofia::fleet::SealFarm`] is a host-side optimisation only. For a
+//! wave of K distinct tenants (plus duplicate submissions within and
+//! across tenants), farm-sealed batches must be **bit-identical** to the
+//! inline serial-seal path — records, per-tenant statistics, virtual-time
+//! ticks, per-job cache attribution and the image cache's own counters —
+//! at every worker count and in both scheduling modes.
+
+use sofia::crypto::KeySet;
+use sofia::fleet::{Fleet, FleetConfig, JobRecord, JobSpec, SchedMode, SealMode, TenantId};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// K distinct tenants, each submitting one program cold, plus repeat
+/// submissions — a provider-side cold-start wave.
+fn wave_jobs(tenants: usize) -> (Vec<(TenantId, KeySet)>, Vec<JobSpec>) {
+    let keys: Vec<(TenantId, KeySet)> = (0..tenants)
+        .map(|t| (TenantId(t as u32 + 1), KeySet::from_seed(0xFA12 + t as u64)))
+        .collect();
+    let mut jobs = Vec::new();
+    for (i, (id, _)) in keys.iter().enumerate() {
+        let n = 6 + i as u32;
+        let src = format!(
+            "main: li t0, {n}
+                   li t1, 1
+             loop: mul t1, t1, t0
+                   subi t0, t0, 1
+                   bnez t0, loop
+                   li a0, 0xFFFF0000
+                   sw t1, 0(a0)
+                   halt"
+        );
+        jobs.push(JobSpec::new(*id, src.clone(), 1_000_000));
+        // Duplicate submission of the same image in the same wave: the
+        // farm's single-flight must collapse it, attribution must not.
+        if i % 2 == 0 {
+            jobs.push(JobSpec::new(*id, src, 1_000_000));
+        }
+    }
+    // One program two tenants share by *source* — never by image.
+    for (id, _) in keys.iter().take(2) {
+        jobs.push(JobSpec::new(*id, "main: li t2, 3\n halt", 1_000));
+    }
+    (keys, jobs)
+}
+
+fn run_wave(
+    seal: SealMode,
+    workers: usize,
+    mode: SchedMode,
+) -> (
+    Vec<JobRecord>,
+    sofia::fleet::FleetStats,
+    sofia::transform::cache::ImageCacheStats,
+) {
+    let (tenants, jobs) = wave_jobs(6);
+    let mut fleet = Fleet::new(FleetConfig {
+        workers,
+        mode,
+        seal,
+        ..Default::default()
+    });
+    for (id, keys) in &tenants {
+        fleet.register_tenant(*id, keys.clone()).unwrap();
+    }
+    for job in jobs {
+        fleet.submit(job).unwrap();
+    }
+    let records = fleet.run_batch();
+    (records, fleet.stats(), fleet.seal_cache_stats())
+}
+
+type WaveResult = (
+    Vec<JobRecord>,
+    sofia::fleet::FleetStats,
+    sofia::transform::cache::ImageCacheStats,
+);
+
+/// `strict_attribution`: whether per-job `seal_cache_hit` must match.
+/// The farm assigns it deterministically (first job of an image in
+/// submission order is the miss), so farm runs are held to it at every
+/// worker count. Inline runs at >1 workers race duplicate jobs on the
+/// cache's single-flight marker — *which* duplicate observes the miss is
+/// host scheduling — so only the per-tenant counts (deterministic: one
+/// miss per distinct image) are pinned for them.
+fn assert_identical(a: &WaveResult, b: &WaveResult, strict_attribution: bool, label: &str) {
+    assert_eq!(a.0.len(), b.0.len(), "{label}: record count");
+    for (x, y) in a.0.iter().zip(&b.0) {
+        assert_eq!(x.job, y.job, "{label}");
+        assert_eq!(x.tenant, y.tenant, "{label}");
+        assert_eq!(x.outcome, y.outcome, "{label}: {:?}", x.job);
+        assert_eq!(x.out_words, y.out_words, "{label}: {:?}", x.job);
+        assert_eq!(x.violations, y.violations, "{label}: {:?}", x.job);
+        assert_eq!(x.stats, y.stats, "{label}: {:?}", x.job);
+        if strict_attribution {
+            assert_eq!(
+                x.seal_cache_hit, y.seal_cache_hit,
+                "{label}: cache attribution of {:?}",
+                x.job
+            );
+        }
+        assert_eq!(x.slices, y.slices, "{label}: {:?}", x.job);
+        assert_eq!(x.slice_cycles, y.slice_cycles, "{label}: {:?}", x.job);
+    }
+    if strict_attribution {
+        // Queue latency is summed start ticks — priced per worker count,
+        // so it is pinned separately at matching counts below.
+        let detick = |m: &std::collections::BTreeMap<u32, sofia::fleet::TenantStats>| {
+            let mut m = m.clone();
+            for s in m.values_mut() {
+                s.queue_latency_ticks = 0;
+            }
+            m
+        };
+        assert_eq!(
+            detick(&a.1.tenants),
+            detick(&b.1.tenants),
+            "{label}: per-tenant stats"
+        );
+    } else {
+        for (tenant, stats) in &a.1.tenants {
+            let other = &b.1.tenants[tenant];
+            assert_eq!(
+                stats.seal_cache_hits, other.seal_cache_hits,
+                "{label}: tenant#{tenant} seal-cache hit count"
+            );
+            assert_eq!(
+                stats.seal_cache_misses, other.seal_cache_misses,
+                "{label}: tenant#{tenant} seal-cache miss count"
+            );
+        }
+    }
+    assert_eq!(
+        (a.2.hits, a.2.misses, a.2.entries),
+        (b.2.hits, b.2.misses, b.2.entries),
+        "{label}: image cache counters"
+    );
+}
+
+/// The tentpole invariant: the farm path is bit-identical to the inline
+/// serial-seal path at every worker count, in both scheduling modes —
+/// same records, same per-tenant stats, same cache counters. The farm is
+/// additionally held to *stronger* determinism than inline: per-job
+/// cache attribution matches the serial reference at every worker count
+/// (inline mode races it across workers).
+#[test]
+fn farm_wave_is_bit_identical_to_inline_at_any_worker_count() {
+    for mode in [
+        SchedMode::RunToCompletion,
+        SchedMode::FuelSliced { slice: 300 },
+    ] {
+        // The one-worker inline run is the serial-seal reference.
+        let reference = run_wave(SealMode::Inline, 1, mode);
+        for workers in WORKER_COUNTS {
+            let inline = run_wave(SealMode::Inline, workers, mode);
+            let farm = run_wave(SealMode::Farm, workers, mode);
+            let strict = workers == 1;
+            assert_identical(
+                &inline,
+                &reference,
+                strict,
+                &format!("inline w{workers} {mode:?}"),
+            );
+            assert_identical(
+                &farm,
+                &reference,
+                true,
+                &format!("farm w{workers} {mode:?}"),
+            );
+            // Virtual-time ticks are priced per worker count, so they
+            // are pinned farm-vs-inline at the *same* count: sealing
+            // earlier on the host must not move simulated admission.
+            for (x, y) in farm.0.iter().zip(&inline.0) {
+                assert_eq!(
+                    (x.start_tick, x.end_tick),
+                    (y.start_tick, y.end_tick),
+                    "w{workers} {mode:?}: ticks of {:?}",
+                    x.job
+                );
+            }
+            for (tenant, stats) in &farm.1.tenants {
+                assert_eq!(
+                    stats.queue_latency_ticks, inline.1.tenants[tenant].queue_latency_ticks,
+                    "w{workers} {mode:?}: queue latency of tenant#{tenant}"
+                );
+            }
+        }
+    }
+}
+
+/// Cold-wave accounting: K distinct tenants (each with 2 distinct-by-key
+/// images for the shared trailer program) seal exactly once per image,
+/// and only the first job of each image is a miss.
+#[test]
+fn cold_wave_seals_each_distinct_image_exactly_once() {
+    for workers in WORKER_COUNTS {
+        let (records, _, cache) = run_wave(SealMode::Farm, workers, SchedMode::RunToCompletion);
+        // 6 tenants × 1 program + 2 tenants × shared-source trailer
+        // (distinct keys ⇒ distinct images) = 8 distinct images.
+        assert_eq!(cache.misses, 8, "w{workers}");
+        assert_eq!(cache.entries, 8, "w{workers}");
+        let misses = records.iter().filter(|r| !r.seal_cache_hit).count();
+        assert_eq!(misses, 8, "w{workers}: one attributed miss per image");
+        assert!(records.iter().all(|r| r.outcome.is_halted()), "w{workers}");
+    }
+}
+
+/// Seal failures flow through the farm unchanged: the bad program fails
+/// identically in both modes, is not cached, and healthy jobs in the
+/// same wave are untouched.
+#[test]
+fn farm_preserves_seal_failures_bit_for_bit() {
+    for seal in [SealMode::Inline, SealMode::Farm] {
+        let mut fleet = Fleet::new(FleetConfig {
+            workers: 4,
+            seal,
+            ..Default::default()
+        });
+        let good = TenantId(1);
+        let bad = TenantId(2);
+        fleet.register_tenant(good, KeySet::from_seed(1)).unwrap();
+        fleet.register_tenant(bad, KeySet::from_seed(2)).unwrap();
+        fleet
+            .submit(JobSpec::new(good, "main: li t0, 4\n halt", 1_000))
+            .unwrap();
+        fleet
+            .submit(JobSpec::new(bad, "main: bogus t9", 1_000))
+            .unwrap();
+        let records = fleet.run_batch();
+        assert!(records[0].outcome.is_halted(), "{seal:?}");
+        let sofia::fleet::JobOutcome::SealFailed(msg) = &records[1].outcome else {
+            panic!(
+                "{seal:?}: expected SealFailed, got {:?}",
+                records[1].outcome
+            );
+        };
+        assert!(msg.contains("parse"), "{seal:?}: {msg}");
+        assert_eq!(fleet.seal_cache_stats().entries, 1, "{seal:?}");
+    }
+}
