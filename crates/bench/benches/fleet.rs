@@ -12,9 +12,14 @@
 
 use criterion::{black_box, criterion_group, Criterion, Throughput};
 use sofia_bench::{
-    fleet_json, fleet_mix, fleet_mix_tenants, fleet_scaling_series, FLEET_BENCH_SLICE,
+    async_wfq_report, fleet_json, fleet_mix, fleet_mix_tenants, fleet_scaling_series,
+    FLEET_BENCH_SLICE,
 };
 use sofia_fleet::{Fleet, FleetConfig, SchedMode};
+
+/// Tenants the async serving section runs with — the 1k point of the
+/// ISSUE's 1k–10k range; `repro -- fleet` sweeps further.
+const ASYNC_TENANTS: usize = 1_000;
 
 fn bench_fleet(c: &mut Criterion) {
     let mut g = c.benchmark_group("fleet");
@@ -72,7 +77,22 @@ fn emit_bench_json() {
             }
         }
     }
-    let json = fleet_json(&rtc, &sliced);
+    // The async serving section, with its own determinism gate: the
+    // full report — per-class p50/p99, driver counters, and the FNV
+    // digest over every record and rejection — must be bit-identical
+    // across host thread counts before it is allowed into the record.
+    let wfq_serial = async_wfq_report(ASYNC_TENANTS, 1);
+    let wfq = async_wfq_report(ASYNC_TENANTS, 4);
+    assert_eq!(
+        (&wfq_serial.stats, &wfq_serial.classes, wfq_serial.digest),
+        (&wfq.stats, &wfq.classes, wfq.digest),
+        "async driver results depend on the host thread count"
+    );
+    assert!(
+        wfq.stats.rejected > 0,
+        "no admission backpressure exercised"
+    );
+    let json = fleet_json(&rtc, &sliced, &wfq);
     // The workspace root, so the trajectory file sits next to CHANGES.md.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
     match std::fs::write(path, &json) {

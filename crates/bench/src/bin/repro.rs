@@ -418,6 +418,43 @@ fn fleet_eval() {
     }
     println!("  (total simulated cycles are identical at every worker count — the");
     println!("   determinism invariant; jobs/sec is priced at the Table I SOFIA clock)");
+
+    banner("fleet: async serving (WFQ admission-controlled open/closed loop)");
+    for tenants in [1_000usize, 4_000] {
+        let serial = sofia_bench::async_wfq_report(tenants, 1);
+        let report = sofia_bench::async_wfq_report(tenants, 4);
+        assert_eq!(
+            (&serial.stats, &serial.classes, serial.digest),
+            (&report.stats, &report.classes, report.digest),
+            "async driver results depend on the host thread count"
+        );
+        let s = report.stats;
+        println!(
+            "  {tenants} tenants: {} finished, {} rejected, {} ticks, makespan {} cyc",
+            s.finished, s.rejected, s.ticks, s.makespan_cycles
+        );
+        println!(
+            "    parks {} / revives {} / peak resident machines {}  digest {:#018x}",
+            s.parks, s.revives, s.peak_resident_machines, report.digest
+        );
+        println!(
+            "    {:>12} {:>7} {:>8} {:>9} {:>15} {:>15}",
+            "class", "weight", "finished", "rejected", "p50 sojourn", "p99 sojourn"
+        );
+        for c in &report.classes {
+            println!(
+                "    {:>12} {:>7} {:>8} {:>9} {:>15} {:>15}",
+                c.label,
+                c.weight,
+                c.finished,
+                c.rejected,
+                c.p50_sojourn_cycles,
+                c.p99_sojourn_cycles
+            );
+        }
+    }
+    println!("  (bit-identical at 1 and 4 host threads — asserted above; latency is");
+    println!("   virtual-time sojourn on the tick-synchronous schedule model)");
 }
 
 /// Extension — host throughput: the wall-clock table behind

@@ -354,8 +354,312 @@ pub fn fleet_scaling_series(
 /// The fuel slice the fleet experiment runs its preemptive mode at.
 pub const FLEET_BENCH_SLICE: u64 = 2_000;
 
-/// Serialises the two mode series to the `BENCH_fleet.json` schema.
-pub fn fleet_json(rtc: &[FleetScalingPoint], sliced: &[FleetScalingPoint]) -> String {
+// ---------------------------------------------------------------------
+// Async serving (`BENCH_fleet.json` § "async_wfq")
+//
+// The 1k-tenant open/closed-loop workload for the `AsyncFleet` driver:
+// three weighted service classes, deterministic LCG arrivals, admission
+// caps tight enough to produce typed rejections. All latency figures are
+// virtual-time (simulated cycles on the tick-synchronous model), so the
+// per-class p50/p99 rows reproduce bit-for-bit on any host at any
+// `threads` count — the bench asserts exactly that before emitting.
+// ---------------------------------------------------------------------
+
+/// The fuel slice the async serving experiment runs at — short enough
+/// that the WFQ scheduler interleaves classes within single jobs.
+pub const ASYNC_BENCH_SLICE: u64 = 150;
+
+/// Virtual lanes the async serving experiment multiplexes onto.
+pub const ASYNC_BENCH_WORKERS: usize = 8;
+
+/// One service class's latency roll-up from the async workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsyncWfqClassRow {
+    /// Raw class id.
+    pub class: u8,
+    /// Human label ("interactive" / "batch" / "best_effort").
+    pub label: &'static str,
+    /// WFQ weight.
+    pub weight: u64,
+    /// Tenants registered into the class.
+    pub tenants: usize,
+    /// Jobs that ran to a record.
+    pub finished: usize,
+    /// Typed admission rejections charged to the class.
+    pub rejected: usize,
+    /// Median sojourn (arrival → completion) in simulated cycles.
+    pub p50_sojourn_cycles: u64,
+    /// 99th-percentile sojourn in simulated cycles.
+    pub p99_sojourn_cycles: u64,
+}
+
+/// The async serving experiment's result: driver counters, per-class
+/// latency rows, and an order-sensitive FNV-1a digest over every record
+/// and rejection — one number that must match across thread counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AsyncWfqReport {
+    /// Tenants registered.
+    pub tenants: usize,
+    /// Host OS threads the driver multiplexed over.
+    pub threads: usize,
+    /// Driver counters at drain.
+    pub stats: sofia_fleet::AsyncStats,
+    /// Per-class rows, ascending class id.
+    pub classes: Vec<AsyncWfqClassRow>,
+    /// FNV-1a over all records and rejections, in completion order.
+    pub digest: u64,
+}
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x100000001b3);
+    }
+}
+
+/// A short counted loop that stores its (zero) counter on the MMIO word
+/// port — the async workload's unit of work, sized by `n`.
+fn wfq_job_src(n: u32) -> String {
+    format!(
+        "main: li t0, {n}
+         loop: subi t0, t0, 1
+               bnez t0, loop
+               li a0, 0xFFFF0000
+               sw t0, 0(a0)
+               halt"
+    )
+}
+
+/// Runs the async serving workload: `tenants` tenants split 70/20/10
+/// over three classes —
+///
+/// * **interactive** (weight 8, open loop): two short jobs per tenant,
+///   arrival ticks drawn from a deterministic LCG over a 400-tick
+///   horizon;
+/// * **batch** (weight 2, closed loop): three medium jobs per tenant,
+///   each resubmitted the tick its predecessor completes;
+/// * **best_effort** (weight 1, open loop, bursty): one job per tenant,
+///   the whole class arriving at tick zero against a class queue cap of
+///   half the class — the admission-control rejection pressure.
+///
+/// # Panics
+///
+/// Panics if the workload produces zero rejections or any non-halted
+/// record — the experiment must exercise both admission backpressure
+/// and clean completion.
+pub fn async_wfq_report(tenants: usize, threads: usize) -> AsyncWfqReport {
+    use sofia_fleet::{
+        AdmissionConfig, AsyncConfig, AsyncFleet, ClassConfig, ClassId, JobSpec, SchedMode,
+        TenantId,
+    };
+    use std::collections::BTreeMap;
+    assert!(
+        tenants >= 20,
+        "the 70/20/10 split needs at least 20 tenants"
+    );
+    let n_interactive = tenants * 7 / 10;
+    let n_batch = tenants * 2 / 10;
+    let n_best = tenants - n_interactive - n_batch;
+
+    const CLASS_META: [(u8, &str, u64); 3] = [
+        (0, "interactive", 8),
+        (1, "batch", 2),
+        (2, "best_effort", 1),
+    ];
+    let mut admission = AdmissionConfig::default();
+    for (id, _, weight) in CLASS_META {
+        admission.classes.insert(
+            id,
+            ClassConfig {
+                weight,
+                ..Default::default()
+            },
+        );
+    }
+    // The backpressure knob: the best-effort burst (the whole class at
+    // tick zero) must not fit — half of it is turned away, typed.
+    if let Some(best) = admission.classes.get_mut(&2) {
+        best.queue_cap = (n_best / 2).max(1);
+    }
+    let mut fleet = AsyncFleet::new(AsyncConfig {
+        threads,
+        workers: ASYNC_BENCH_WORKERS,
+        mode: SchedMode::FuelSliced {
+            slice: ASYNC_BENCH_SLICE,
+        },
+        admission,
+        ..Default::default()
+    });
+
+    let class_of = |id: u32| -> u8 {
+        let id = id as usize - 1;
+        if id < n_interactive {
+            0
+        } else if id < n_interactive + n_batch {
+            1
+        } else {
+            2
+        }
+    };
+    for id in 1..=tenants as u32 {
+        fleet
+            .register_tenant(
+                TenantId(id),
+                KeySet::from_seed(0x5EED_0000 + id as u64),
+                ClassId(class_of(id)),
+            )
+            .expect("fresh driver");
+    }
+
+    // Deterministic arrival generator (64-bit LCG, fixed seed).
+    let mut lcg: u64 = 0x2545F491_4F6CDD1D;
+    let mut draw = move |bound: u64| {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (lcg >> 33) % bound
+    };
+
+    const HORIZON: u64 = 400;
+    let batch_job = |id: u32, round: u32| {
+        JobSpec::new(
+            TenantId(id),
+            wfq_job_src(120 + (id % 7) * 10 + round * 3),
+            200_000,
+        )
+    };
+    // Open-loop arrivals, pre-loaded.
+    for id in 1..=tenants as u32 {
+        match class_of(id) {
+            0 => {
+                for _ in 0..2 {
+                    let spec = JobSpec::new(TenantId(id), wfq_job_src(8 + (id % 16)), 100_000);
+                    let tick = draw(HORIZON);
+                    fleet.submit_at(spec, tick);
+                }
+            }
+            1 => {
+                // Closed loop: the first job arrives at once; rounds 1–2
+                // are resubmitted on completion below.
+                fleet.submit_at(batch_job(id, 0), draw(8));
+            }
+            _ => {
+                let spec = JobSpec::new(TenantId(id), wfq_job_src(40 + (id % 11)), 150_000);
+                fleet.submit_at(spec, 0);
+            }
+        }
+    }
+
+    // Drive the clock; feed the closed loop as its jobs complete.
+    let mut rounds_left: BTreeMap<u32, u32> = (1..=tenants as u32)
+        .filter(|&id| class_of(id) == 1)
+        .map(|id| (id, 2))
+        .collect();
+    let mut records = Vec::new();
+    loop {
+        fleet.tick();
+        for r in fleet.drain_finished() {
+            if let Some(left) = rounds_left.get_mut(&r.tenant.0) {
+                if *left > 0 {
+                    let round = 3 - *left;
+                    *left -= 1;
+                    fleet
+                        .submit(batch_job(r.tenant.0, round))
+                        .expect("closed-loop batch tenant is active and under quota");
+                }
+            }
+            records.push(r);
+        }
+        if fleet.queued_jobs() == 0 && fleet.pending_arrivals() == 0 {
+            break;
+        }
+    }
+    let rejections = fleet.drain_rejected();
+    assert!(
+        !rejections.is_empty(),
+        "the best-effort burst must trip admission control"
+    );
+    for r in &records {
+        assert!(r.outcome.is_halted(), "{}: {:?}", r.job, r.outcome);
+    }
+
+    // The determinism digest: everything each record and rejection
+    // claims, in completion order.
+    let mut digest: u64 = 0xcbf29ce484222325;
+    for r in &records {
+        for word in [
+            r.job.0,
+            r.tenant.0 as u64,
+            r.stats.exec.cycles,
+            r.stats.exec.instret,
+            r.arrival_tick,
+            r.start_tick,
+            r.end_tick,
+            r.sojourn_cycles,
+            r.slices as u64,
+        ] {
+            fnv1a(&mut digest, &word.to_le_bytes());
+        }
+        fnv1a(&mut digest, format!("{:?}", r.outcome).as_bytes());
+        for w in &r.out_words {
+            fnv1a(&mut digest, &w.to_le_bytes());
+        }
+    }
+    for rej in &rejections {
+        fnv1a(&mut digest, &rej.job.0.to_le_bytes());
+        fnv1a(&mut digest, &rej.tick.to_le_bytes());
+        fnv1a(&mut digest, format!("{}", rej.error).as_bytes());
+    }
+
+    let tenant_counts = [n_interactive, n_batch, n_best];
+    let classes = CLASS_META
+        .iter()
+        .map(|&(class, label, weight)| {
+            let mut sojourns: Vec<u64> = records
+                .iter()
+                .filter(|r| class_of(r.tenant.0) == class)
+                .map(|r| r.sojourn_cycles)
+                .collect();
+            sojourns.sort_unstable();
+            let pct = |p: usize| -> u64 {
+                if sojourns.is_empty() {
+                    0
+                } else {
+                    sojourns[(sojourns.len() - 1) * p / 100]
+                }
+            };
+            AsyncWfqClassRow {
+                class,
+                label,
+                weight,
+                tenants: tenant_counts[class as usize],
+                finished: sojourns.len(),
+                rejected: rejections
+                    .iter()
+                    .filter(|rej| class_of(rej.tenant.0) == class)
+                    .count(),
+                p50_sojourn_cycles: pct(50),
+                p99_sojourn_cycles: pct(99),
+            }
+        })
+        .collect();
+
+    AsyncWfqReport {
+        tenants,
+        threads,
+        stats: fleet.stats(),
+        classes,
+        digest,
+    }
+}
+
+/// Serialises the two mode series and the async serving report to the
+/// `BENCH_fleet.json` schema.
+pub fn fleet_json(
+    rtc: &[FleetScalingPoint],
+    sliced: &[FleetScalingPoint],
+    wfq: &AsyncWfqReport,
+) -> String {
     let (_, sofia_hw) = sofia_hwmodel::table1();
     let series = |points: &[FleetScalingPoint]| {
         let mut out = String::from("[\n");
@@ -374,15 +678,56 @@ pub fn fleet_json(rtc: &[FleetScalingPoint], sliced: &[FleetScalingPoint]) -> St
         out.push_str("    ]");
         out
     };
+    let mut class_rows = String::from("[\n");
+    for (i, c) in wfq.classes.iter().enumerate() {
+        class_rows.push_str(&format!(
+            "      {{ \"class\": {}, \"label\": \"{}\", \"weight\": {}, \"tenants\": {}, \
+             \"finished\": {}, \"rejected\": {}, \"p50_sojourn_cycles\": {}, \
+             \"p99_sojourn_cycles\": {} }}{}\n",
+            c.class,
+            c.label,
+            c.weight,
+            c.tenants,
+            c.finished,
+            c.rejected,
+            c.p50_sojourn_cycles,
+            c.p99_sojourn_cycles,
+            if i + 1 == wfq.classes.len() { "" } else { "," }
+        ));
+    }
+    class_rows.push_str("    ]");
+    let s = wfq.stats;
+    let async_wfq = format!(
+        "{{\n    \"tenants\": {}, \"workers\": {}, \"slice_slots\": {},\n    \
+         \"ticks\": {}, \"makespan_cycles\": {}, \"admitted\": {}, \"finished\": {}, \
+         \"rejected\": {},\n    \"parks\": {}, \"revives\": {}, \
+         \"peak_resident_machines\": {},\n    \"digest\": \"{:#018x}\",\n    \
+         \"classes\": {}\n  }}",
+        wfq.tenants,
+        ASYNC_BENCH_WORKERS,
+        ASYNC_BENCH_SLICE,
+        s.ticks,
+        s.makespan_cycles,
+        s.admitted,
+        s.finished,
+        s.rejected,
+        s.parks,
+        s.revives,
+        s.peak_resident_machines,
+        wfq.digest,
+        class_rows,
+    );
     format!(
         "{{\n  \"bench\": \"fleet\",\n  \"jobs\": {},\n  \"tenants\": 3,\n  \
          \"sofia_clock_mhz\": {:.1},\n  \"slice_slots\": {},\n  \"modes\": {{\n    \
-         \"run_to_completion\": {},\n    \"fuel_sliced\": {}\n  }}\n}}\n",
+         \"run_to_completion\": {},\n    \"fuel_sliced\": {}\n  }},\n  \
+         \"async_wfq\": {}\n}}\n",
         rtc.first().map_or(0, |p| p.jobs),
         sofia_hw.clock_mhz(),
         FLEET_BENCH_SLICE,
         series(rtc),
         series(sliced),
+        async_wfq,
     )
 }
 
@@ -748,15 +1093,43 @@ pub fn host_seal_farm_points(
         .collect()
 }
 
+/// Parses a `SOFIA_BENCH_MAX_WORKERS` value. `None` input (the variable
+/// is unset) means "no cap". A set-but-unparsable value is an **error**,
+/// not a silent no-cap: the old `.ok()` chain swallowed typos like
+/// `SOFIA_BENCH_MAX_WORKERS=fouR`, letting a CI matrix leg record
+/// full-nproc numbers while claiming to be capped.
+///
+/// # Errors
+///
+/// A human-readable message naming the bad value.
+pub fn parse_worker_cap(raw: Option<&str>) -> Result<Option<usize>, String> {
+    match raw {
+        None => Ok(None),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) => Ok(Some(n.max(1))),
+            Err(e) => Err(format!(
+                "SOFIA_BENCH_MAX_WORKERS={v:?} is not a worker count ({e}); \
+                 unset it for no cap or set a positive integer"
+            )),
+        },
+    }
+}
+
 /// Worker counts the host sweeps run at: 1/2/4/8, capped by the
 /// `SOFIA_BENCH_MAX_WORKERS` environment variable (the CI matrix knob —
 /// `=1` pins the whole experiment to the serial points).
+///
+/// # Panics
+///
+/// Panics if the variable is set to something [`parse_worker_cap`]
+/// rejects — a misconfigured cap must fail the run, not silently
+/// measure at full width.
 pub fn host_worker_counts() -> Vec<usize> {
-    let cap = std::env::var("SOFIA_BENCH_MAX_WORKERS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(usize::MAX)
-        .max(1);
+    let raw = std::env::var("SOFIA_BENCH_MAX_WORKERS").ok();
+    let cap = match parse_worker_cap(raw.as_deref()) {
+        Ok(cap) => cap.unwrap_or(usize::MAX),
+        Err(msg) => panic!("{msg}"),
+    };
     [1usize, 2, 4, 8]
         .into_iter()
         .filter(|&w| w <= cap)
@@ -974,6 +1347,59 @@ mod tests {
             "\"pool\": \"stealing\"",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+
+    #[test]
+    fn async_wfq_workload_is_thread_invariant_and_backpressured() {
+        // A scaled-down point (the bench emits the 1k-tenant one): the
+        // full report must be bit-identical across host thread counts,
+        // rejections must flow, and the heavy class must see lower tail
+        // latency than the light one.
+        let serial = async_wfq_report(60, 1);
+        let threaded = async_wfq_report(60, 4);
+        // Everything but the host-side `threads` knob must match.
+        assert_eq!(
+            (&serial.stats, &serial.classes, serial.digest),
+            (&threaded.stats, &threaded.classes, threaded.digest)
+        );
+        assert!(serial.stats.rejected > 0);
+        assert_eq!(serial.classes.len(), 3);
+        let interactive = &serial.classes[0];
+        let best_effort = &serial.classes[2];
+        assert!(interactive.rejected == 0, "interactive class was capped");
+        assert!(best_effort.rejected > 0, "burst class was never capped");
+        assert!(
+            interactive.p99_sojourn_cycles < best_effort.p99_sojourn_cycles,
+            "weight 8 class no faster than weight 1: {} vs {}",
+            interactive.p99_sojourn_cycles,
+            best_effort.p99_sojourn_cycles
+        );
+        let json = fleet_json(&[], &[], &serial);
+        for field in [
+            "\"async_wfq\"",
+            "\"label\": \"interactive\"",
+            "\"p99_sojourn_cycles\"",
+            "\"digest\": \"0x",
+        ] {
+            assert!(json.contains(field), "missing {field}");
+        }
+    }
+
+    #[test]
+    fn worker_cap_parsing_is_loud_about_garbage() {
+        assert_eq!(parse_worker_cap(None), Ok(None));
+        assert_eq!(parse_worker_cap(Some("4")), Ok(Some(4)));
+        assert_eq!(parse_worker_cap(Some(" 8 ")), Ok(Some(8)));
+        // Zero workers is nonsense; clamp to the serial point.
+        assert_eq!(parse_worker_cap(Some("0")), Ok(Some(1)));
+        // The regression: these used to silently mean "no cap".
+        for bad in ["fouR", "", "4x", "-1", "1e3"] {
+            let err = parse_worker_cap(Some(bad)).unwrap_err();
+            assert!(
+                err.contains("SOFIA_BENCH_MAX_WORKERS") && err.contains(bad),
+                "unhelpful error for {bad:?}: {err}"
+            );
         }
     }
 

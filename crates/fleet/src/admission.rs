@@ -1,0 +1,218 @@
+//! Admission control for the async driver: typed backpressure instead
+//! of silent queueing.
+//!
+//! The batch [`crate::Fleet`] can afford an unbounded queue — its caller
+//! owns the whole job set. An open-loop arrival stream cannot: a
+//! misbehaving (or merely popular) tenant class would grow the queue
+//! without bound, and every other class's latency with it. The async
+//! driver therefore prices admission at three gates, each with a typed
+//! reject so callers (and the bench's workload generators) can tell *why*
+//! a job bounced:
+//!
+//! 1. a **global** queue-depth cap across all classes;
+//! 2. a **per-class** queue-depth cap, so one class saturating its own
+//!    budget cannot consume the global one;
+//! 3. a **per-tenant outstanding-fuel quota** — fuel, not job count,
+//!    because one 10M-fuel job is a bigger claim on the fleet than a
+//!    hundred 1k-fuel jobs.
+//!
+//! All three are deterministic functions of the queue state at the
+//! arrival tick, so rejections are part of the driver's reproducible
+//! surface (the bench records them next to p50/p99).
+
+use std::collections::BTreeMap;
+
+use crate::job::{JobId, TenantId};
+
+/// A tenant service class: the unit of weighted fair queueing and of
+/// admission budgets. Classes are caller-defined (e.g. `0` = interactive,
+/// `1` = batch, `2` = best-effort); every tenant joins exactly one at
+/// registration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub u8);
+
+impl std::fmt::Display for ClassId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+/// Scheduling weight and admission budgets for one class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassConfig {
+    /// Weighted-fair-queueing weight (clamped to ≥ 1): a class with
+    /// weight 4 receives 4× the virtual-time service of a weight-1 class
+    /// while both are backlogged.
+    pub weight: u64,
+    /// Maximum jobs queued in this class at once; arrivals beyond it
+    /// reject with [`AdmitError::ClassQueueFull`].
+    pub queue_cap: usize,
+    /// Maximum *outstanding fuel* (sum of the fuel budgets of a tenant's
+    /// queued + running jobs) per tenant of this class; arrivals beyond
+    /// it reject with [`AdmitError::OverFuelQuota`].
+    pub tenant_fuel_quota: u64,
+}
+
+impl Default for ClassConfig {
+    fn default() -> Self {
+        ClassConfig {
+            weight: 1,
+            queue_cap: usize::MAX,
+            tenant_fuel_quota: u64::MAX,
+        }
+    }
+}
+
+/// The async driver's admission policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum jobs queued across *all* classes; arrivals beyond it
+    /// reject with [`AdmitError::QueueFull`].
+    pub global_queue_cap: usize,
+    /// Budget for classes without an explicit entry in `classes`.
+    pub default_class: ClassConfig,
+    /// Per-class overrides, keyed by raw [`ClassId`].
+    pub classes: BTreeMap<u8, ClassConfig>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            global_queue_cap: usize::MAX,
+            default_class: ClassConfig::default(),
+            classes: BTreeMap::new(),
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// The effective budget for `class` (the override, or the default).
+    pub fn class(&self, class: ClassId) -> &ClassConfig {
+        self.classes.get(&class.0).unwrap_or(&self.default_class)
+    }
+}
+
+/// Why the async driver refused a job — the typed backpressure signal.
+/// Rejection is immediate (on [`crate::AsyncFleet::submit`]) or deferred
+/// to the arrival tick (on [`crate::AsyncFleet::submit_at`], surfaced as
+/// a [`Rejection`]); it is never silent queueing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The tenant was never registered.
+    UnknownTenant(TenantId),
+    /// The tenant is suspended by its quarantine.
+    Quarantined(TenantId),
+    /// The tenant was evicted; this driver will not serve it again.
+    Evicted(TenantId),
+    /// The global queue is at [`AdmissionConfig::global_queue_cap`].
+    QueueFull {
+        /// Jobs queued across all classes at the arrival tick.
+        queued: usize,
+        /// The configured global cap.
+        cap: usize,
+    },
+    /// The tenant's class queue is at [`ClassConfig::queue_cap`].
+    ClassQueueFull {
+        /// The saturated class.
+        class: ClassId,
+        /// Jobs queued in that class at the arrival tick.
+        queued: usize,
+        /// The configured per-class cap.
+        cap: usize,
+    },
+    /// Admitting the job would push the tenant past its class's
+    /// [`ClassConfig::tenant_fuel_quota`].
+    OverFuelQuota {
+        /// The over-quota tenant.
+        tenant: TenantId,
+        /// Fuel already outstanding (queued + running jobs).
+        outstanding: u64,
+        /// Fuel the rejected job asked for.
+        requested: u64,
+        /// The configured quota.
+        quota: u64,
+    },
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::UnknownTenant(t) => write!(f, "{t} is not registered"),
+            AdmitError::Quarantined(t) => write!(f, "{t} is quarantined"),
+            AdmitError::Evicted(t) => write!(f, "{t} was evicted"),
+            AdmitError::QueueFull { queued, cap } => {
+                write!(f, "global queue full ({queued} queued, cap {cap})")
+            }
+            AdmitError::ClassQueueFull { class, queued, cap } => {
+                write!(f, "{class} queue full ({queued} queued, cap {cap})")
+            }
+            AdmitError::OverFuelQuota {
+                tenant,
+                outstanding,
+                requested,
+                quota,
+            } => write!(
+                f,
+                "{tenant} over fuel quota ({outstanding} outstanding + {requested} requested > {quota})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// A deferred admission rejection: a [`crate::AsyncFleet::submit_at`]
+/// arrival that bounced when its tick came. Collected via
+/// [`crate::AsyncFleet::drain_rejected`] — deterministic, like every
+/// record the driver emits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rejection {
+    /// The id the job was assigned at submission.
+    pub job: JobId,
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// The tick at which admission was refused.
+    pub tick: u64,
+    /// Why.
+    pub error: AdmitError,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_lookup_falls_back_to_default() {
+        let mut config = AdmissionConfig {
+            global_queue_cap: 10,
+            ..Default::default()
+        };
+        config.classes.insert(
+            2,
+            ClassConfig {
+                weight: 8,
+                ..Default::default()
+            },
+        );
+        assert_eq!(config.class(ClassId(2)).weight, 8);
+        assert_eq!(config.class(ClassId(7)).weight, 1);
+    }
+
+    #[test]
+    fn admit_errors_render() {
+        let e = AdmitError::OverFuelQuota {
+            tenant: TenantId(3),
+            outstanding: 900,
+            requested: 200,
+            quota: 1000,
+        };
+        assert!(e.to_string().contains("tenant#3"));
+        assert!(e.to_string().contains("1000"));
+        let e = AdmitError::ClassQueueFull {
+            class: ClassId(1),
+            queued: 64,
+            cap: 64,
+        };
+        assert!(e.to_string().contains("class#1"));
+    }
+}

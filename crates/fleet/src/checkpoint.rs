@@ -78,6 +78,7 @@ impl JobCheckpoint {
                 w.u64(word as u64);
                 w.u32(mask);
             }
+            Some(Sabotage::PanicInWorker) => w.u8(2),
         }
         w.u64(self.remaining);
         w.bool(self.retried);
@@ -134,6 +135,7 @@ impl JobCheckpoint {
                 word: r.u64()? as usize,
                 mask: r.u32()?,
             }),
+            2 => Some(Sabotage::PanicInWorker),
             tag => {
                 return Err(DecodeError::BadTag {
                     field: "sabotage",

@@ -1,0 +1,955 @@
+//! The opt-in async driver: thousands of tenant jobs multiplexed over a
+//! few OS threads.
+//!
+//! The batch [`crate::Fleet`] keeps every queued job's machine live and
+//! spins one pool per batch — fine for hundreds of jobs, wrong for the
+//! ROADMAP's "millions of users" shape where tenants are mostly idle.
+//! [`AsyncFleet`] is a hand-rolled executor (no external runtime) built
+//! on three existing seams:
+//!
+//! * **Yield point** — the engine's fuel-slice seam
+//!   ([`sofia_core::SofiaMachine::run_slice`] / cooperative preemption
+//!   on [`sofia_core::ResumeEdge`]): a job runs one quantum, then the
+//!   driver decides who runs next. No job ever owns an OS thread.
+//! * **Cold parking** — a job that waits too long has its machine
+//!   serialised to `SOFS1` snapshot bytes
+//!   ([`sofia_core::MachineSnapshot`]) and dropped; it revives on its
+//!   next quantum. Suspend→restore is bit-identical to uninterrupted
+//!   execution (pinned by the snapshot differential suite), so parking
+//!   is invisible to results — it only trades revive latency for
+//!   resident memory.
+//! * **Virtual time** — ticks are priced exactly like the batch model
+//!   (tick cost = max quantum cost among the lanes served, see
+//!   [`crate::schedule`]), so p50/p99 sojourn per class is a
+//!   deterministic, host-independent number.
+//!
+//! ## Scheduling
+//!
+//! Each tick the driver admits due arrivals (typed backpressure — see
+//! [`crate::admission`]), then fills up to `workers` **lanes** by
+//! weighted fair queueing across tenant classes: repeatedly pick the
+//! backlogged class with the least weighted virtual service
+//! (`vservice / weight`, compared exactly via u128 cross-multiply),
+//! take the head of its FIFO, and charge it provisionally; after the
+//! lanes run, charges are trued up with the actual simulated cycles.
+//! Classes are FIFO inside, fair across — a weight-4 class gets 4× the
+//! service of a weight-1 class while both are backlogged.
+//!
+//! ## Determinism
+//!
+//! `threads` (host parallelism) and `workers` (virtual lanes per tick)
+//! are deliberately separate knobs. Everything that affects results —
+//! admission, lane selection, tick pricing, the fold order of finished
+//! records — is computed on the coordinator from queue state alone;
+//! host threads only execute the selected quanta, each on a job-owned
+//! machine. The async ≡ serial bit-identity invariant therefore holds
+//! at any thread count *by construction*, and the `fleet_async` suite
+//! pins it.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+use sofia_core::MachineSnapshot;
+use sofia_crypto::KeySet;
+use sofia_transform::cache::{image_key, ImageCache, ImageKey};
+
+use crate::admission::{AdmissionConfig, AdmitError, ClassId, Rejection};
+use crate::fleet::{
+    catch_quantum, finish, lock_clean, needs_containment, restore_against, FleetConfig, FleetError,
+    JobRun, SchedMode,
+};
+use crate::job::{JobId, JobOutcome, JobRecord, JobSpec, TenantId};
+use crate::quarantine::{QuarantinePolicy, TenantState};
+use crate::seal_farm::{SealFarm, SealVerdict};
+use crate::stats::TenantStats;
+
+/// Full configuration of an [`AsyncFleet`].
+#[derive(Clone, Debug)]
+pub struct AsyncConfig {
+    /// Host OS threads executing quanta (clamped to ≥ 1). Pure host
+    /// parallelism: provably cannot affect results, records or virtual
+    /// time — only wall-clock.
+    pub threads: usize,
+    /// Virtual lanes served per tick (clamped to ≥ 1) — the async
+    /// analogue of [`FleetConfig::workers`]. Part of the deterministic
+    /// surface: changing it changes the schedule (but never what any
+    /// job computes).
+    pub workers: usize,
+    /// Scheduling discipline. [`SchedMode::FuelSliced`] is the point of
+    /// the async driver; run-to-completion still works (each quantum is
+    /// a whole job).
+    pub mode: SchedMode,
+    /// Containment for violating (or worker-crashing) tenants.
+    pub quarantine: QuarantinePolicy,
+    /// The SOFIA machine configuration every job runs under.
+    pub sofia: sofia_core::SofiaConfig,
+    /// Admission policy: queue caps, class weights, fuel quotas.
+    pub admission: AdmissionConfig,
+    /// Park a waiting job's machine to `SOFS1` bytes after this many
+    /// consecutive unserved ticks (`None` = never park). Parking is
+    /// invisible to results; it bounds resident machines.
+    pub park_after: Option<u64>,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig {
+            threads: 4,
+            workers: 4,
+            mode: SchedMode::FuelSliced { slice: 500 },
+            quarantine: QuarantinePolicy::default(),
+            sofia: sofia_core::SofiaConfig::default(),
+            admission: AdmissionConfig::default(),
+            park_after: Some(8),
+        }
+    }
+}
+
+/// Driver-level counters (host-independent, deterministic).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AsyncStats {
+    /// Ticks driven so far.
+    pub ticks: u64,
+    /// Sum of tick costs so far — the virtual clock, in simulated
+    /// cycles.
+    pub makespan_cycles: u64,
+    /// Jobs admitted (immediately or at their arrival tick).
+    pub admitted: u64,
+    /// Jobs that finished with a record.
+    pub finished: u64,
+    /// Jobs refused by admission control at their arrival tick.
+    pub rejected: u64,
+    /// Scheduler quanta served.
+    pub quanta: u64,
+    /// Machines parked to snapshot bytes.
+    pub parks: u64,
+    /// Machines revived from snapshot bytes.
+    pub revives: u64,
+    /// Jobs that ended in [`JobOutcome::WorkerPanic`].
+    pub worker_panics: u64,
+    /// Peak count of live (unparked) machines resident across queued
+    /// jobs at a tick boundary.
+    pub peak_resident_machines: u64,
+}
+
+/// One queued job plus its async bookkeeping. Travels whole to a pool
+/// thread for its quantum and comes back in the lane's result.
+struct Pending {
+    run: JobRun,
+    /// `SOFS1` bytes of the parked machine (`run.machine` is `None`
+    /// while this is `Some`).
+    parked: Option<Vec<u8>>,
+    class: ClassId,
+    arrival_tick: u64,
+    /// Virtual-clock reading at admission — the sojourn baseline.
+    arrival_cycles: u64,
+    start_tick: Option<u64>,
+    /// Consecutive ticks queued without service (parking trigger).
+    idle_ticks: u64,
+}
+
+/// Per-class WFQ state.
+struct ClassState {
+    /// Total virtual service charged, in simulated cycles.
+    vservice: u64,
+    queue: VecDeque<Pending>,
+}
+
+struct AsyncTenant {
+    keys: KeySet,
+    class: ClassId,
+    state: TenantState,
+    stats: TenantStats,
+    /// Fuel budgets of the tenant's queued + running jobs (the quota
+    /// admission gate).
+    outstanding_fuel: u64,
+}
+
+/// A job scheduled for a future tick, awaiting admission.
+struct Arrival {
+    job: JobId,
+    spec: JobSpec,
+}
+
+/// One lane's work for a tick.
+struct LaneTask {
+    pending: Pending,
+    /// The WFQ charge applied at selection, to true up after the run.
+    provisional: u64,
+}
+
+struct LaneResult {
+    pending: Pending,
+    provisional: u64,
+    record: Option<JobRecord>,
+    revived: bool,
+}
+
+/// Revives a parked run in place. Any failure is a *host* fault (the
+/// snapshot was produced by this very driver), reported as the typed
+/// [`JobOutcome::WorkerPanic`] — never a security verdict.
+fn revive(run: &mut JobRun, bytes: &[u8]) -> Result<(), String> {
+    let snap = MachineSnapshot::from_bytes(bytes).map_err(|e| format!("revive decode: {e}"))?;
+    let Some(image) = run.image.clone() else {
+        return Err("parked job lost its sealed image".to_string());
+    };
+    let machine = restore_against(&image, &run.keys, &snap, run.spec.sabotage)
+        .map_err(|e| format!("revive restore: {e:?}"))?;
+    run.machine = Some(machine);
+    Ok(())
+}
+
+/// Serves one lane: revive if parked, then one quantum through the
+/// panic barrier. Runs on a pool thread (or inline when `threads == 1`).
+fn run_lane(mut task: LaneTask, config: &FleetConfig, cache: &ImageCache) -> LaneResult {
+    let run = &mut task.pending.run;
+    run.quanta_this_batch = 0;
+    let mut revived = false;
+    if let Some(bytes) = task.pending.parked.take() {
+        match revive(run, &bytes) {
+            Ok(()) => revived = true,
+            Err(msg) => {
+                // Mirror a seal failure's accounting: one zero-cost
+                // quantum so the schedule model still prices the tick.
+                run.slices += 1;
+                run.slice_cycles.push(0);
+                let record = finish(run, JobOutcome::WorkerPanic(msg));
+                return LaneResult {
+                    pending: task.pending,
+                    provisional: task.provisional,
+                    record: Some(record),
+                    revived: false,
+                };
+            }
+        }
+    }
+    let record = catch_quantum(run, config, cache);
+    LaneResult {
+        pending: task.pending,
+        provisional: task.provisional,
+        record,
+        revived,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The persistent thread pool.
+// ---------------------------------------------------------------------
+
+/// Shared state between the coordinator and the pool threads. One
+/// dispatch wave at a time: the coordinator publishes `tasks`, workers
+/// claim indices, the coordinator blocks on `done` until every lane
+/// settles. Poisoning is shrugged off everywhere ([`lock_clean`]) — a
+/// panicking quantum is already contained by [`catch_quantum`], and a
+/// poisoned flag must not take the driver down (the whole point of the
+/// panic-isolation fix).
+struct PoolShared {
+    config: FleetConfig,
+    cache: Arc<ImageCache>,
+    state: Mutex<PoolState>,
+    /// Signalled when a wave is published or on shutdown.
+    work: Condvar,
+    /// Signalled when the last lane of a wave settles.
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct PoolState {
+    tasks: Vec<Option<LaneTask>>,
+    next: usize,
+    settled: usize,
+    results: Vec<Option<LaneResult>>,
+    shutdown: bool,
+}
+
+struct Pool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    fn new(threads: usize, config: FleetConfig, cache: Arc<ImageCache>) -> Pool {
+        let shared = Arc::new(PoolShared {
+            config,
+            cache,
+            state: Mutex::new(PoolState::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Pool { shared, handles }
+    }
+
+    /// Runs one wave of lanes and returns their results in lane order.
+    fn dispatch(&self, tasks: Vec<LaneTask>) -> Vec<LaneResult> {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut state = lock_clean(&self.shared.state);
+        state.tasks = tasks.into_iter().map(Some).collect();
+        state.results = (0..n).map(|_| None).collect();
+        state.next = 0;
+        state.settled = 0;
+        self.shared.work.notify_all();
+        while state.settled < n {
+            state = self
+                .shared
+                .done
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        state.tasks.clear();
+        let results = std::mem::take(&mut state.results);
+        results.into_iter().flatten().collect()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut state = lock_clean(&self.shared.state);
+            state.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            // A worker that somehow died outside the quantum barrier
+            // has nothing left to tell us; the driver is shutting down.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut state = lock_clean(&shared.state);
+    loop {
+        if state.shutdown {
+            return;
+        }
+        if state.next < state.tasks.len() {
+            let i = state.next;
+            state.next += 1;
+            let Some(task) = state.tasks[i].take() else {
+                continue;
+            };
+            drop(state);
+            let result = run_lane(task, &shared.config, &shared.cache);
+            state = lock_clean(&shared.state);
+            state.results[i] = Some(result);
+            state.settled += 1;
+            if state.settled == state.tasks.len() {
+                shared.done.notify_all();
+            }
+        } else {
+            // Checked `next < tasks.len()` under the same lock the
+            // dispatcher publishes under — no lost wakeup.
+            state = shared
+                .work
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The driver.
+// ---------------------------------------------------------------------
+
+/// The async multi-tenant driver. See the [module docs](self) for the
+/// architecture; the API shape mirrors the batch [`crate::Fleet`]
+/// (register, submit, drive, drain) with two async additions: a virtual
+/// clock ([`AsyncFleet::tick`] / [`AsyncFleet::now`]) and scheduled
+/// arrivals with deferred typed rejection ([`AsyncFleet::submit_at`] /
+/// [`AsyncFleet::drain_rejected`]).
+///
+/// # Examples
+///
+/// ```
+/// use sofia_crypto::KeySet;
+/// use sofia_fleet::{AsyncConfig, AsyncFleet, ClassId, JobSpec, TenantId};
+///
+/// let mut fleet = AsyncFleet::new(AsyncConfig {
+///     threads: 2,
+///     workers: 2,
+///     ..Default::default()
+/// });
+/// let alice = TenantId(1);
+/// fleet.register_tenant(alice, KeySet::from_seed(0xA11CE), ClassId(0))?;
+/// fleet.submit(JobSpec::new(
+///     alice,
+///     "main: li t0, 6
+///            li t1, 7
+///            mul t2, t0, t1
+///            li a0, 0xFFFF0000
+///            sw t2, 0(a0)
+///            halt",
+///     10_000,
+/// ))?;
+/// fleet.run_until_idle();
+/// let records = fleet.drain_finished();
+/// assert_eq!(records[0].out_words, vec![42]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct AsyncFleet {
+    config: AsyncConfig,
+    /// The per-quantum configuration shared verbatim with the batch
+    /// fleet's quantum loop — the seam that makes per-job execution
+    /// bit-identical across the two drivers.
+    fleet_config: FleetConfig,
+    cache: Arc<ImageCache>,
+    /// Lazily spawned on the first multi-threaded dispatch.
+    pool: Option<Pool>,
+    tenants: BTreeMap<u32, AsyncTenant>,
+    classes: BTreeMap<u8, ClassState>,
+    /// Future arrivals, keyed by arrival tick (FIFO within a tick).
+    arrivals: BTreeMap<u64, Vec<Arrival>>,
+    next_job: u64,
+    now: u64,
+    finished: Vec<JobRecord>,
+    rejected: Vec<Rejection>,
+    stats: AsyncStats,
+}
+
+impl AsyncFleet {
+    /// An empty driver.
+    pub fn new(config: AsyncConfig) -> AsyncFleet {
+        let fleet_config = FleetConfig {
+            workers: config.workers.max(1),
+            mode: config.mode,
+            quarantine: config.quarantine,
+            sofia: config.sofia,
+            ..FleetConfig::default()
+        };
+        AsyncFleet {
+            config,
+            fleet_config,
+            cache: Arc::new(ImageCache::default()),
+            pool: None,
+            tenants: BTreeMap::new(),
+            classes: BTreeMap::new(),
+            arrivals: BTreeMap::new(),
+            next_job: 0,
+            now: 0,
+            finished: Vec::new(),
+            rejected: Vec::new(),
+            stats: AsyncStats::default(),
+        }
+    }
+
+    /// Registers a tenant's device keys into service class `class`.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::TenantExists`] if the id is taken.
+    pub fn register_tenant(
+        &mut self,
+        id: TenantId,
+        keys: KeySet,
+        class: ClassId,
+    ) -> Result<(), FleetError> {
+        if self.tenants.contains_key(&id.0) {
+            return Err(FleetError::TenantExists(id));
+        }
+        self.tenants.insert(
+            id.0,
+            AsyncTenant {
+                keys,
+                class,
+                state: TenantState::Active,
+                stats: TenantStats::default(),
+                outstanding_fuel: 0,
+            },
+        );
+        self.classes.entry(class.0).or_insert_with(|| ClassState {
+            vservice: 0,
+            queue: VecDeque::new(),
+        });
+        Ok(())
+    }
+
+    /// Submits a job arriving *now*: admission is decided immediately.
+    ///
+    /// # Errors
+    ///
+    /// The typed [`AdmitError`] backpressure signal — the job was not
+    /// queued.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, AdmitError> {
+        let job = JobId(self.next_job);
+        self.admit(job, spec)?;
+        self.next_job += 1;
+        Ok(job)
+    }
+
+    /// Schedules a job to arrive at virtual `tick` (clamped to the
+    /// present). Admission is decided when the tick is driven; a refusal
+    /// surfaces as a [`Rejection`] via [`AsyncFleet::drain_rejected`].
+    /// This is the open-loop seam: the bench's arrival generators
+    /// pre-load thousands of these.
+    pub fn submit_at(&mut self, spec: JobSpec, tick: u64) -> JobId {
+        let job = JobId(self.next_job);
+        self.next_job += 1;
+        self.arrivals
+            .entry(tick.max(self.now))
+            .or_default()
+            .push(Arrival { job, spec });
+        job
+    }
+
+    /// The virtual clock: ticks driven so far.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The virtual clock in simulated cycles (sum of tick costs).
+    pub fn clock_cycles(&self) -> u64 {
+        self.stats.makespan_cycles
+    }
+
+    /// Jobs currently queued across all classes.
+    pub fn queued_jobs(&self) -> usize {
+        self.classes.values().map(|c| c.queue.len()).sum()
+    }
+
+    /// Jobs currently parked as `SOFS1` bytes.
+    pub fn parked_jobs(&self) -> usize {
+        self.classes
+            .values()
+            .flat_map(|c| c.queue.iter())
+            .filter(|p| p.parked.is_some())
+            .count()
+    }
+
+    /// Arrivals scheduled for future ticks.
+    pub fn pending_arrivals(&self) -> usize {
+        self.arrivals.values().map(Vec::len).sum()
+    }
+
+    /// Driver counters.
+    pub fn stats(&self) -> AsyncStats {
+        self.stats
+    }
+
+    /// Per-tenant roll-ups, keyed by raw tenant id (same shape as the
+    /// batch fleet's).
+    pub fn tenant_stats(&self) -> BTreeMap<u32, TenantStats> {
+        self.tenants.iter().map(|(id, t)| (*id, t.stats)).collect()
+    }
+
+    /// A tenant's service state.
+    pub fn tenant_state(&self, id: TenantId) -> Option<TenantState> {
+        self.tenants.get(&id.0).map(|t| t.state)
+    }
+
+    /// Lifts a suspension. Returns whether the tenant went back to
+    /// [`TenantState::Active`] (evicted tenants never do).
+    pub fn release(&mut self, id: TenantId) -> bool {
+        match self.tenants.get_mut(&id.0) {
+            Some(t) if t.state == TenantState::Suspended => {
+                t.state = TenantState::Active;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Takes every record finished since the last drain, in completion
+    /// order (deterministic: tick order, lane order within a tick).
+    pub fn drain_finished(&mut self) -> Vec<JobRecord> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Takes every deferred admission rejection since the last drain.
+    pub fn drain_rejected(&mut self) -> Vec<Rejection> {
+        std::mem::take(&mut self.rejected)
+    }
+
+    /// Seal-cache counters (shared across all tenants of this driver).
+    pub fn seal_cache_stats(&self) -> sofia_transform::cache::ImageCacheStats {
+        self.cache.stats()
+    }
+
+    /// Drives ticks until no job is queued and no arrival is scheduled.
+    /// Returns the number of jobs finished along the way.
+    pub fn run_until_idle(&mut self) -> usize {
+        let mut finished = 0;
+        while self.queued_jobs() > 0 || !self.arrivals.is_empty() {
+            finished += self.tick();
+        }
+        finished
+    }
+
+    /// Drives one virtual tick: admit due arrivals, WFQ-select up to
+    /// `workers` lanes, execute their quanta (in parallel over the host
+    /// pool — results provably independent of `threads`), price the
+    /// tick, fold finished records, park the cold. Returns the number
+    /// of jobs that finished this tick.
+    pub fn tick(&mut self) -> usize {
+        let now = self.now;
+        self.admit_due(now);
+        let lanes = self.select_lanes();
+        let results = self.execute(lanes);
+        let finished = self.settle(now, results);
+        self.park_pass();
+        self.now += 1;
+        self.stats.ticks += 1;
+        finished
+    }
+
+    /// Admission gate for one job at the current tick.
+    fn admit(&mut self, job: JobId, spec: JobSpec) -> Result<(), AdmitError> {
+        let queued_total: usize = self.classes.values().map(|c| c.queue.len()).sum();
+        let Some(tenant) = self.tenants.get_mut(&spec.tenant.0) else {
+            return Err(AdmitError::UnknownTenant(spec.tenant));
+        };
+        match tenant.state {
+            TenantState::Active => {}
+            TenantState::Suspended => return Err(AdmitError::Quarantined(spec.tenant)),
+            TenantState::Evicted => return Err(AdmitError::Evicted(spec.tenant)),
+        }
+        let class = tenant.class;
+        let budget = *self.config.admission.class(class);
+        if queued_total >= self.config.admission.global_queue_cap {
+            return Err(AdmitError::QueueFull {
+                queued: queued_total,
+                cap: self.config.admission.global_queue_cap,
+            });
+        }
+        let class_queued = self
+            .classes
+            .get(&class.0)
+            .map(|c| c.queue.len())
+            .unwrap_or(0);
+        if class_queued >= budget.queue_cap {
+            return Err(AdmitError::ClassQueueFull {
+                class,
+                queued: class_queued,
+                cap: budget.queue_cap,
+            });
+        }
+        if tenant.outstanding_fuel.saturating_add(spec.fuel) > budget.tenant_fuel_quota {
+            return Err(AdmitError::OverFuelQuota {
+                tenant: spec.tenant,
+                outstanding: tenant.outstanding_fuel,
+                requested: spec.fuel,
+                quota: budget.tenant_fuel_quota,
+            });
+        }
+        tenant.outstanding_fuel += spec.fuel;
+        let keys = tenant.keys.clone();
+        let run = JobRun::new(0, job, keys, spec);
+        let arrival_cycles = self.stats.makespan_cycles;
+        let floor = self.backlog_vservice_floor();
+        let Some(state) = self.classes.get_mut(&class.0) else {
+            // `register_tenant` creates the class entry; its absence is
+            // a driver bug, but never worth a panic at admission.
+            debug_assert!(false, "missing class state for {class}");
+            return Err(AdmitError::UnknownTenant(run.spec.tenant));
+        };
+        if state.queue.is_empty() {
+            // WFQ catch-up: a class going idle must not bank unbounded
+            // credit against classes that kept working. On re-backlog
+            // its virtual service jumps forward to the working floor.
+            if let Some(floor) = floor {
+                let weight = budget.weight.max(1);
+                state.vservice = state.vservice.max(floor.saturating_mul(weight));
+            }
+        }
+        state.queue.push_back(Pending {
+            run,
+            parked: None,
+            class,
+            arrival_tick: self.now,
+            arrival_cycles,
+            start_tick: None,
+            idle_ticks: 0,
+        });
+        self.stats.admitted += 1;
+        Ok(())
+    }
+
+    /// Minimum weighted virtual service (`vservice / weight`) among the
+    /// currently backlogged classes, or `None` if none are.
+    fn backlog_vservice_floor(&self) -> Option<u64> {
+        self.classes
+            .iter()
+            .filter(|(_, c)| !c.queue.is_empty())
+            .map(|(id, c)| {
+                let weight = self.config.admission.class(ClassId(*id)).weight.max(1);
+                c.vservice / weight
+            })
+            .min()
+    }
+
+    /// Admits every arrival scheduled at or before `now`, in tick order
+    /// then submission order; refusals become [`Rejection`]s.
+    fn admit_due(&mut self, now: u64) {
+        let due: Vec<u64> = self.arrivals.range(..=now).map(|(tick, _)| *tick).collect();
+        for tick in due {
+            let Some(batch) = self.arrivals.remove(&tick) else {
+                continue;
+            };
+            for arrival in batch {
+                let tenant = arrival.spec.tenant;
+                if let Err(error) = self.admit(arrival.job, arrival.spec) {
+                    self.stats.rejected += 1;
+                    self.rejected.push(Rejection {
+                        job: arrival.job,
+                        tenant,
+                        tick: now,
+                        error,
+                    });
+                }
+            }
+        }
+    }
+
+    /// WFQ lane selection: fills up to `workers` lanes, cheapest
+    /// weighted class first, FIFO within a class. The provisional
+    /// charge (the quantum's fuel ceiling) is applied at selection so
+    /// one tick's picks rotate across classes instead of draining the
+    /// cheapest one; it is trued up with actual cycles in
+    /// [`AsyncFleet::settle`].
+    fn select_lanes(&mut self) -> Vec<LaneTask> {
+        let workers = self.config.workers.max(1);
+        let mut lanes: Vec<LaneTask> = Vec::new();
+        for _ in 0..workers {
+            let Some(class_id) = self.cheapest_backlogged_class() else {
+                break;
+            };
+            let Some(state) = self.classes.get_mut(&class_id) else {
+                break;
+            };
+            let Some(pending) = state.queue.pop_front() else {
+                break;
+            };
+            let provisional = match self.config.mode {
+                SchedMode::FuelSliced { slice } => slice.max(1).min(pending.run.remaining.max(1)),
+                SchedMode::RunToCompletion => pending.run.remaining.max(1),
+            };
+            state.vservice = state.vservice.saturating_add(provisional);
+            lanes.push(LaneTask {
+                pending,
+                provisional,
+            });
+        }
+        lanes
+    }
+
+    /// The backlogged class with minimum `vservice / weight`, compared
+    /// exactly (u128 cross-multiply); ties break to the lower class id.
+    fn cheapest_backlogged_class(&self) -> Option<u8> {
+        let mut best: Option<(u8, u64, u64)> = None;
+        for (&id, state) in &self.classes {
+            if state.queue.is_empty() {
+                continue;
+            }
+            let weight = self.config.admission.class(ClassId(id)).weight.max(1);
+            let better = match best {
+                None => true,
+                Some((_, best_vs, best_w)) => {
+                    (state.vservice as u128) * (best_w as u128)
+                        < (best_vs as u128) * (weight as u128)
+                }
+            };
+            if better {
+                best = Some((id, state.vservice, weight));
+            }
+        }
+        best.map(|(id, _, _)| id)
+    }
+
+    /// Runs the selected lanes' quanta: pre-seals the wave's distinct
+    /// cold images through the [`SealFarm`] (deterministic attribution,
+    /// claimed in lane order — exactly the batch fleet's farm protocol),
+    /// then executes each lane on the host pool. Results come back in
+    /// lane order regardless of thread interleaving.
+    fn execute(&mut self, mut lanes: Vec<LaneTask>) -> Vec<LaneResult> {
+        if lanes.is_empty() {
+            return Vec::new();
+        }
+        self.preseal_wave(&mut lanes);
+        let threads = self.config.threads.max(1);
+        if threads <= 1 || lanes.len() <= 1 {
+            return lanes
+                .into_iter()
+                .map(|t| run_lane(t, &self.fleet_config, &self.cache))
+                .collect();
+        }
+        if self.pool.is_none() {
+            self.pool = Some(Pool::new(
+                threads,
+                self.fleet_config,
+                Arc::clone(&self.cache),
+            ));
+        }
+        match &self.pool {
+            Some(pool) => pool.dispatch(lanes),
+            // Assigned just above; kept total rather than panicking.
+            None => Vec::new(),
+        }
+    }
+
+    /// Farm-seals the wave's distinct cold images before dispatch, with
+    /// the batch fleet's claim protocol: the first lane of each freshly
+    /// sealed image adopts it (fresh/shared verdict as its attribution);
+    /// duplicates and failures fall through to the job path, which the
+    /// farm just made warm (or which fails identically — seals are
+    /// deterministic). This keeps `seal_cache_hit` a lane-order
+    /// function, independent of thread timing.
+    fn preseal_wave(&mut self, lanes: &mut [LaneTask]) {
+        let requests: Vec<(&KeySet, &str)> = lanes
+            .iter()
+            .filter(|t| t.pending.run.machine.is_none() && t.pending.run.image.is_none())
+            .map(|t| (&t.pending.run.keys, t.pending.run.spec.source.as_str()))
+            .collect();
+        if requests.is_empty() {
+            return;
+        }
+        let farm = SealFarm::new(&self.cache, self.config.threads.max(1));
+        let wave = farm.seal_wave(&requests);
+        let mut claimed: HashSet<ImageKey> = HashSet::new();
+        for task in lanes.iter_mut() {
+            let run = &mut task.pending.run;
+            if run.machine.is_some() || run.image.is_some() {
+                continue;
+            }
+            let key = image_key(&run.keys, &run.spec.source);
+            if !claimed.insert(key) {
+                continue;
+            }
+            if let Some(SealVerdict {
+                image: Ok(image),
+                fresh,
+            }) = wave.verdicts.get(&key)
+            {
+                run.image = Some(Arc::clone(image));
+                run.seal_cache_hit = !fresh;
+            }
+        }
+    }
+
+    /// Prices the tick and folds its lane results, in lane order:
+    /// finished records gain their arrival/sojourn fields and fold into
+    /// stats + quarantine; preempted runs re-queue FIFO in their class.
+    fn settle(&mut self, now: u64, results: Vec<LaneResult>) -> usize {
+        // Tick cost: max quantum cost among the served lanes — the
+        // barrier-synchronous pricing rule of `crate::schedule`.
+        let lane_cost = |r: &LaneResult| match &r.record {
+            Some(record) => record.slice_cycles.last().copied().unwrap_or(0),
+            None => r.pending.run.slice_cycles.last().copied().unwrap_or(0),
+        };
+        let tick_cost = results.iter().map(lane_cost).max().unwrap_or(0);
+        self.stats.makespan_cycles += tick_cost;
+        let clock = self.stats.makespan_cycles;
+
+        let mut finished = 0usize;
+        for result in results {
+            self.stats.quanta += 1;
+            self.stats.revives += result.revived as u64;
+            let actual = lane_cost(&result);
+            let mut pending = result.pending;
+            if let Some(state) = self.classes.get_mut(&pending.class.0) {
+                // True up the WFQ charge with the quantum's actual cost.
+                state.vservice = state
+                    .vservice
+                    .saturating_add(actual)
+                    .saturating_sub(result.provisional);
+            }
+            pending.idle_ticks = 0;
+            if pending.start_tick.is_none() {
+                pending.start_tick = Some(now);
+            }
+            match result.record {
+                Some(mut record) => {
+                    record.arrival_tick = pending.arrival_tick;
+                    record.start_tick = pending.start_tick.unwrap_or(now);
+                    record.end_tick = now + 1;
+                    record.sojourn_cycles = clock.saturating_sub(pending.arrival_cycles);
+                    if matches!(record.outcome, JobOutcome::WorkerPanic(_)) {
+                        self.stats.worker_panics += 1;
+                    }
+                    self.fold_finished(&record, pending.run.spec.fuel);
+                    self.finished.push(record);
+                    finished += 1;
+                }
+                None => {
+                    if let Some(state) = self.classes.get_mut(&pending.class.0) {
+                        state.queue.push_back(pending);
+                    } else {
+                        debug_assert!(false, "missing class state for {}", pending.class);
+                    }
+                }
+            }
+        }
+        self.stats.finished += finished as u64;
+        finished
+    }
+
+    /// Stats + quarantine fold for one finished record (deterministic:
+    /// called in tick order, lane order). Containment matches the batch
+    /// fleet's contract: jobs already admitted still run — their results
+    /// stay bit-identical to serial execution — and only *future*
+    /// admission is refused, with the typed [`AdmitError`].
+    fn fold_finished(&mut self, record: &JobRecord, fuel: u64) {
+        let Some(tenant) = self.tenants.get_mut(&record.tenant.0) else {
+            debug_assert!(false, "record for unregistered {}", record.tenant);
+            return;
+        };
+        tenant.stats.absorb(record);
+        tenant.outstanding_fuel = tenant.outstanding_fuel.saturating_sub(fuel);
+        if !needs_containment(record) {
+            return;
+        }
+        match self.config.quarantine {
+            QuarantinePolicy::Suspend | QuarantinePolicy::RetryWithReboot { .. } => {
+                if tenant.state == TenantState::Active {
+                    tenant.state = TenantState::Suspended;
+                }
+            }
+            QuarantinePolicy::Evict => {
+                if tenant.state != TenantState::Evicted {
+                    tenant.state = TenantState::Evicted;
+                    self.cache.purge(&tenant.keys);
+                }
+            }
+        }
+    }
+
+    /// Ages the still-queued jobs and parks the cold ones to `SOFS1`
+    /// bytes. Also tracks the peak count of resident live machines —
+    /// the number the "thousands of tenants on a few threads" claim
+    /// stands on.
+    fn park_pass(&mut self) {
+        let park_after = self.config.park_after;
+        let mut resident = 0u64;
+        let mut parks = 0u64;
+        for state in self.classes.values_mut() {
+            for pending in state.queue.iter_mut() {
+                pending.idle_ticks += 1;
+                let cold = park_after.is_some_and(|after| pending.idle_ticks >= after);
+                if cold {
+                    if let Some(machine) = pending.run.machine.take() {
+                        let snap = machine.snapshot(pending.run.remaining);
+                        pending.parked = Some(snap.to_bytes());
+                        parks += 1;
+                    }
+                } else if pending.run.machine.is_some() {
+                    resident += 1;
+                }
+            }
+        }
+        self.stats.parks += parks;
+        self.stats.peak_resident_machines = self.stats.peak_resident_machines.max(resident);
+    }
+}
+
+// Compile-time guarantee: the driver crosses thread boundaries.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<AsyncFleet>();
+};

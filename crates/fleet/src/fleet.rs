@@ -2,8 +2,9 @@
 //! and the two scheduling disciplines.
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use sofia_core::machine::{RunOutcome, SliceOutcome, SofiaMachine};
 use sofia_core::{ResetPolicy, SofiaConfig};
@@ -147,25 +148,71 @@ struct Tenant {
     stats: TenantStats,
 }
 
+/// Locks a mutex, shrugging off poisoning. Every shared structure the
+/// pools guard (queues, record slots, settled counters) is only ever
+/// mutated by whole-value pushes and assignments, so a panic on another
+/// worker cannot leave it half-written — the poison flag carries no
+/// information here, and propagating it is exactly the cascade the
+/// panic-isolation suite pins against: one bad job must not take the
+/// batch (or a later batch on the same fleet) down with it.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`Mutex::into_inner`] with the same poison-shrugging rationale as
+/// [`lock_clean`].
+pub(crate) fn into_clean<T>(m: Mutex<T>) -> T {
+    m.into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// One queued job plus the run state it accumulates across quanta.
-struct JobRun {
-    idx: usize,
-    id: JobId,
-    spec: JobSpec,
-    keys: KeySet,
-    image: Option<Arc<SecureImage>>,
-    machine: Option<SofiaMachine>,
-    remaining: u64,
-    seal_cache_hit: bool,
-    retried: bool,
+///
+/// `pub(crate)` seam: the batch [`Fleet`] and the async
+/// [`crate::AsyncFleet`] driver share this state machine (and
+/// [`service_quantum`]), which is what keeps their per-job execution —
+/// sealing, sabotage, slicing, reboot-retries, record assembly —
+/// bit-identical by construction.
+pub(crate) struct JobRun {
+    pub(crate) idx: usize,
+    pub(crate) id: JobId,
+    pub(crate) spec: JobSpec,
+    pub(crate) keys: KeySet,
+    pub(crate) image: Option<Arc<SecureImage>>,
+    pub(crate) machine: Option<SofiaMachine>,
+    pub(crate) remaining: u64,
+    pub(crate) seal_cache_hit: bool,
+    pub(crate) retried: bool,
     /// Violations and statistics of the first (violating) run, parked
     /// while the reboot-retry runs — merged into the final record.
-    prior: Option<(Vec<sofia_core::Violation>, sofia_core::SofiaStats)>,
-    slices: u32,
-    slice_cycles: Vec<u64>,
+    pub(crate) prior: Option<(Vec<sofia_core::Violation>, sofia_core::SofiaStats)>,
+    pub(crate) slices: u32,
+    pub(crate) slice_cycles: Vec<u64>,
     /// Quanta served in the current batch call — the counter
     /// [`Fleet::run_batch_capped`] caps to suspend jobs mid-flight.
-    quanta_this_batch: u32,
+    pub(crate) quanta_this_batch: u32,
+}
+
+impl JobRun {
+    /// A fresh, never-serviced run for an admitted spec.
+    pub(crate) fn new(idx: usize, id: JobId, keys: KeySet, spec: JobSpec) -> JobRun {
+        let remaining = spec.fuel;
+        JobRun {
+            idx,
+            id,
+            keys,
+            spec,
+            image: None,
+            machine: None,
+            remaining,
+            seal_cache_hit: false,
+            retried: false,
+            prior: None,
+            slices: 0,
+            slice_cycles: Vec::new(),
+            quanta_this_batch: 0,
+        }
+    }
 }
 
 /// The multi-tenant sealed-program execution service.
@@ -295,22 +342,8 @@ impl Fleet {
         }
         let id = JobId(self.next_job);
         self.next_job += 1;
-        let remaining = spec.fuel;
-        self.queue.push(JobRun {
-            idx: self.queue.len(),
-            id,
-            keys: tenant.keys.clone(),
-            spec,
-            image: None,
-            machine: None,
-            remaining,
-            seal_cache_hit: false,
-            retried: false,
-            prior: None,
-            slices: 0,
-            slice_cycles: Vec::new(),
-            quanta_this_batch: 0,
-        });
+        self.queue
+            .push(JobRun::new(self.queue.len(), id, tenant.keys.clone(), spec));
         Ok(id)
     }
 
@@ -416,18 +449,13 @@ impl Fleet {
         };
         // Suspended jobs go back on the queue in submission order, ready
         // for the next batch call or a checkpoint.
-        let mut parked = suspended.into_inner().expect("fleet suspended poisoned");
+        let mut parked = into_clean(suspended);
         parked.sort_by_key(|r| r.idx);
         for (i, mut run) in parked.into_iter().enumerate() {
             run.idx = i;
             self.queue.push(run);
         }
-        let mut records: Vec<JobRecord> = slots
-            .into_inner()
-            .expect("fleet records poisoned")
-            .into_iter()
-            .flatten()
-            .collect();
+        let mut records: Vec<JobRecord> = into_clean(slots).into_iter().flatten().collect();
         // Every job settles exactly one way: a record or a suspension.
         // A mismatch can only mean a worker-pool bug lost a run — fail
         // loudly rather than silently dropping a job (and possibly a
@@ -447,16 +475,21 @@ impl Fleet {
         for (record, ticks) in records.iter_mut().zip(&schedule.per_job) {
             record.start_tick = ticks.start;
             record.end_tick = ticks.end;
+            // Batch jobs all arrive at tick 0 of the batch's virtual
+            // clock, so the sojourn is the completion instant itself.
+            record.sojourn_cycles = ticks.end_cycles;
         }
         self.last_makespan_cycles = schedule.makespan_cycles;
         self.last_ticks = schedule.ticks;
 
         // Deterministic fold: stats and quarantine in submission order.
         for record in &records {
-            let tenant = self
-                .tenants
-                .get_mut(&record.tenant.0)
-                .expect("record for unregistered tenant");
+            let Some(tenant) = self.tenants.get_mut(&record.tenant.0) else {
+                // Admission guarantees every record's tenant is
+                // registered; an unknown one here is a fleet bug.
+                debug_assert!(false, "record for unregistered {}", record.tenant);
+                continue;
+            };
             tenant.stats.absorb(record);
             if needs_containment(record) {
                 match self.config.quarantine {
@@ -586,20 +619,8 @@ impl Fleet {
                     .cache
                     .get_or_seal_traced(&keys, &ckpt.source)
                     .map_err(AdoptError::Seal)?;
-                // The machine's ROM is the sealed image *as the job ran
-                // it*: re-apply any harness sabotage before the restore
-                // path re-verifies warm cache lines against it.
-                let machine = match ckpt.sabotage {
-                    Some(Sabotage::FlipRomWord { word, mask }) => {
-                        let mut tampered = (*image).clone();
-                        if let Some(w) = tampered.ctext.get_mut(word) {
-                            *w ^= mask;
-                        }
-                        SofiaMachine::restore(&tampered, &keys, snap)
-                    }
-                    None => SofiaMachine::restore(&image, &keys, snap),
-                }
-                .map_err(AdoptError::Restore)?;
+                let machine = restore_against(&image, &keys, snap, ckpt.sabotage)
+                    .map_err(AdoptError::Restore)?;
                 (Some(image), Some(machine), hit)
             }
         };
@@ -657,6 +678,29 @@ impl Fleet {
     }
 }
 
+/// Restores a suspended machine against its sealed image, re-applying
+/// any harness sabotage first: the machine's ROM is the image *as the
+/// job ran it*, and the restore path re-verifies warm cache lines
+/// against that ROM. Shared by [`Fleet::adopt_job`] (cross-fleet
+/// migration) and the async driver's park/revive path.
+pub(crate) fn restore_against(
+    image: &SecureImage,
+    keys: &KeySet,
+    snap: &sofia_core::MachineSnapshot,
+    sabotage: Option<Sabotage>,
+) -> Result<SofiaMachine, sofia_core::RestoreError> {
+    match sabotage {
+        Some(Sabotage::FlipRomWord { word, mask }) => {
+            let mut tampered = image.clone();
+            if let Some(w) = tampered.ctext.get_mut(word) {
+                *w ^= mask;
+            }
+            SofiaMachine::restore(&tampered, keys, snap)
+        }
+        Some(Sabotage::PanicInWorker) | None => SofiaMachine::restore(image, keys, snap),
+    }
+}
+
 // Compile-time guarantee: the service and its job records cross thread
 // boundaries.
 const _: () = {
@@ -684,14 +728,13 @@ fn run_pool_shared(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                let mut guard = queue.lock().expect("fleet queue poisoned");
+                let mut guard = lock_clean(&queue);
                 loop {
                     if let Some(mut run) = guard.pop_front() {
                         drop(guard);
-                        match service_quantum(&mut run, config, cache) {
+                        match catch_quantum(&mut run, config, cache) {
                             Some(record) => {
-                                slots.lock().expect("fleet records poisoned")[run.idx] =
-                                    Some(record);
+                                lock_clean(slots)[run.idx] = Some(record);
                                 settled.fetch_add(1, Ordering::SeqCst);
                                 // The batch may be complete: wake the
                                 // parked workers so they can exit. The
@@ -699,30 +742,31 @@ fn run_pool_shared(
                                 // worker can slip between its emptiness
                                 // check and `wait` and sleep through
                                 // the final notification.
-                                let _guard = queue.lock().expect("fleet queue poisoned");
+                                let _guard = lock_clean(&queue);
                                 wakeup.notify_all();
                             }
                             None if run.quanta_this_batch >= cap => {
-                                suspended
-                                    .lock()
-                                    .expect("fleet suspended poisoned")
-                                    .push(run);
+                                lock_clean(suspended).push(run);
                                 settled.fetch_add(1, Ordering::SeqCst);
-                                let _guard = queue.lock().expect("fleet queue poisoned");
+                                let _guard = lock_clean(&queue);
                                 wakeup.notify_all();
                             }
                             None => {
-                                queue.lock().expect("fleet queue poisoned").push_back(run);
+                                lock_clean(&queue).push_back(run);
                                 wakeup.notify_one();
                             }
                         }
-                        guard = queue.lock().expect("fleet queue poisoned");
+                        guard = lock_clean(&queue);
                     } else if settled.load(Ordering::SeqCst) >= n {
                         break;
                     } else {
                         // Transiently empty: park until another worker
                         // re-queues a preempted job or ends the batch.
-                        guard = wakeup.wait(guard).expect("fleet queue poisoned");
+                        // Poisoning is shrugged off like everywhere else
+                        // in the pool (see `lock_clean`).
+                        guard = wakeup
+                            .wait(guard)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                     }
                 }
             });
@@ -757,14 +801,14 @@ fn run_pool_stealing(
     for (i, run) in runs.into_iter().enumerate() {
         deques[i % workers]
             .get_mut()
-            .expect("fresh deque")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push_back(run);
     }
     let deques = &deques;
     let sync = Mutex::new(0usize); // settled-job count (finished + suspended)
     let wakeup = Condvar::new();
     let steals = AtomicU64::new(0);
-    let lock_deque = |w: usize| deques[w].lock().expect("fleet deque poisoned");
+    let lock_deque = |w: usize| lock_clean(&deques[w]);
     std::thread::scope(|scope| {
         for w in 0..workers {
             let (sync, wakeup, steals) = (&sync, &wakeup, &steals);
@@ -785,30 +829,27 @@ fn run_pool_stealing(
                     });
                 }
                 match next {
-                    Some(mut run) => match service_quantum(&mut run, config, cache) {
+                    Some(mut run) => match catch_quantum(&mut run, config, cache) {
                         Some(record) => {
-                            slots.lock().expect("fleet records poisoned")[run.idx] = Some(record);
-                            let mut settled = sync.lock().expect("fleet sync poisoned");
+                            lock_clean(slots)[run.idx] = Some(record);
+                            let mut settled = lock_clean(sync);
                             *settled += 1;
                             wakeup.notify_all();
                         }
                         None if run.quanta_this_batch >= cap => {
-                            suspended
-                                .lock()
-                                .expect("fleet suspended poisoned")
-                                .push(run);
-                            let mut settled = sync.lock().expect("fleet sync poisoned");
+                            lock_clean(suspended).push(run);
+                            let mut settled = lock_clean(sync);
                             *settled += 1;
                             wakeup.notify_all();
                         }
                         None => {
                             lock_deque(w).push_back(run);
-                            let _sync = sync.lock().expect("fleet sync poisoned");
+                            let _sync = lock_clean(sync);
                             wakeup.notify_one();
                         }
                     },
                     None => {
-                        let mut settled = sync.lock().expect("fleet sync poisoned");
+                        let mut settled = lock_clean(sync);
                         loop {
                             if *settled >= n {
                                 return;
@@ -816,7 +857,9 @@ fn run_pool_stealing(
                             if (0..workers).any(|d| !lock_deque(d).is_empty()) {
                                 break; // re-queued while we were scanning
                             }
-                            settled = wakeup.wait(settled).expect("fleet sync poisoned");
+                            settled = wakeup
+                                .wait(settled)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
                         }
                     }
                 }
@@ -826,15 +869,66 @@ fn run_pool_stealing(
     steals.load(Ordering::Relaxed)
 }
 
+/// [`service_quantum`] behind a panic barrier: a panic anywhere in the
+/// quantum (the simulator, the sealer, a deliberate
+/// [`Sabotage::PanicInWorker`]) is caught on the worker and converted
+/// into a typed [`JobOutcome::WorkerPanic`] record, so one bad job
+/// degrades to a quarantined per-tenant failure instead of unwinding
+/// through the pool, poisoning the shared queue/record locks and
+/// aborting every other worker (plus every later batch on the same
+/// fleet) — the lock-poisoning cascade this PR's regression suite pins
+/// against.
+pub(crate) fn catch_quantum(
+    run: &mut JobRun,
+    config: &FleetConfig,
+    cache: &ImageCache,
+) -> Option<JobRecord> {
+    let slices_before = run.slices;
+    // `AssertUnwindSafe` is honest here: on unwind the run's machine is
+    // discarded wholesale below, so no torn machine state is ever
+    // observed.
+    match std::panic::catch_unwind(AssertUnwindSafe(|| service_quantum(run, config, cache))) {
+        Ok(settled) => settled,
+        Err(payload) => {
+            run.machine = None;
+            if run.slices == slices_before {
+                // The panic pre-empted the quantum's own accounting: a
+                // zero-cost quantum keeps the schedule model giving the
+                // job its admission tick (same as a seal failure).
+                run.slices += 1;
+                run.slice_cycles.push(0);
+            }
+            Some(finish(run, JobOutcome::WorkerPanic(panic_message(payload))))
+        }
+    }
+}
+
+/// Renders a panic payload for the [`JobOutcome::WorkerPanic`] record.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Serves one scheduler quantum of `run`: seals/builds on first service,
 /// then advances the machine by the mode's fuel slice. Returns the
 /// finished record, or `None` if the job was preempted and must re-queue.
-fn service_quantum(
+///
+/// Workers never call this bare — always through [`catch_quantum`], so a
+/// panicking quantum is quarantined instead of poisoning the pool.
+pub(crate) fn service_quantum(
     run: &mut JobRun,
     config: &FleetConfig,
     cache: &ImageCache,
 ) -> Option<JobRecord> {
     run.quanta_this_batch += 1;
+    if run.spec.sabotage == Some(Sabotage::PanicInWorker) {
+        panic!("sabotage: deliberate panic while servicing {}", run.id);
+    }
     if run.machine.is_none() {
         // The seal farm may have pre-sealed this job's image (and set
         // its cache attribution) at batch admission; only seal here if
@@ -854,8 +948,12 @@ fn service_quantum(
                 }
             }
         }
-        let image = run.image.as_ref().expect("image sealed above");
-        let mut machine = SofiaMachine::with_config(image, &run.keys, &config.sofia);
+        let mut machine = match run.image.as_ref() {
+            Some(image) => SofiaMachine::with_config(image, &run.keys, &config.sofia),
+            // Sealed or assigned just above; reaching this arm is a
+            // fleet bug, reported as the typed worker fault it is.
+            None => unreachable!("image sealed above"),
+        };
         apply_sabotage(&mut machine, run.spec.sabotage);
         run.machine = Some(machine);
     }
@@ -863,13 +961,14 @@ fn service_quantum(
         SchedMode::RunToCompletion => run.remaining,
         SchedMode::FuelSliced { slice } => slice.max(1).min(run.remaining),
     };
-    let machine = run.machine.as_mut().expect("machine built above");
+    let Some(machine) = run.machine.as_mut() else {
+        unreachable!("machine built above");
+    };
     let cycles_before = machine.stats().exec.cycles;
     let slice = machine.run_slice(quantum);
+    let cycles_after = machine.stats().exec.cycles;
     run.slices += 1;
-    let machine = run.machine.as_ref().expect("machine built above");
-    run.slice_cycles
-        .push(machine.stats().exec.cycles - cycles_before);
+    run.slice_cycles.push(cycles_after - cycles_before);
     match slice {
         Err(trap) => Some(finish(run, JobOutcome::Trapped(trap))),
         Ok(s) => {
@@ -907,22 +1006,26 @@ fn arm_retry(run: &mut JobRun, outcome: &JobOutcome, config: &FleetConfig) -> bo
     if !outcome.is_violation() || run.retried {
         return false;
     }
+    // A violation verdict implies the job ran, so machine and image are
+    // both present; their absence is a fleet bug (caught by the worker's
+    // panic barrier, not by poisoning the pool).
+    let (Some(first), Some(image)) = (run.machine.as_ref(), run.image.clone()) else {
+        unreachable!("retry after a sealed run");
+    };
     run.retried = true;
-    let first = run.machine.as_ref().expect("retry after a sealed run");
     run.prior = Some((first.violations().to_vec(), first.stats()));
     let config_reboot = SofiaConfig {
         reset_policy: ResetPolicy::Reboot { max_resets },
         ..config.sofia
     };
-    let image = run.image.as_ref().expect("retry after a sealed run");
-    let mut machine = SofiaMachine::with_config(image, &run.keys, &config_reboot);
+    let mut machine = SofiaMachine::with_config(&image, &run.keys, &config_reboot);
     apply_sabotage(&mut machine, run.spec.sabotage);
     run.machine = Some(machine);
     run.remaining = run.spec.fuel;
     true
 }
 
-fn finish(run: &mut JobRun, outcome: JobOutcome) -> JobRecord {
+pub(crate) fn finish(run: &mut JobRun, outcome: JobOutcome) -> JobRecord {
     let (out_words, mut violations, mut stats) = match run.machine.as_ref() {
         Some(m) => (
             m.mem().mmio.out_words.clone(),
@@ -954,19 +1057,26 @@ fn finish(run: &mut JobRun, outcome: JobOutcome) -> JobRecord {
         slice_cycles: std::mem::take(&mut run.slice_cycles),
         start_tick: 0,
         end_tick: 0,
+        arrival_tick: 0,
+        sojourn_cycles: 0,
     }
 }
 
 /// Whether a finished job triggers its tenant's quarantine: a violation
-/// verdict, or any run that *detected* violations and still did not end
-/// in a clean halt. The second arm closes the reboot-retry's fuel
-/// loophole — a retry that runs out of fuel mid-reboot-loop has not
-/// cleared the device, and a persistently tampered tenant must not stay
-/// in service just because its budget expired before its reset budget.
-/// (A retried run that reaches `halt` is the recovery the reboot policy
-/// exists for, and is not contained.)
-fn needs_containment(record: &JobRecord) -> bool {
-    record.outcome.is_violation() || (!record.outcome.is_halted() && !record.violations.is_empty())
+/// verdict, any run that *detected* violations and still did not end in
+/// a clean halt, or a worker fault. The second arm closes the
+/// reboot-retry's fuel loophole — a retry that runs out of fuel
+/// mid-reboot-loop has not cleared the device, and a persistently
+/// tampered tenant must not stay in service just because its budget
+/// expired before its reset budget. (A retried run that reaches `halt`
+/// is the recovery the reboot policy exists for, and is not contained.)
+/// The worker-panic arm is defensive, not a security verdict: a job
+/// that crashed its worker once can do it again, so its tenant is
+/// contained like a violator while the rest of the fleet keeps serving.
+pub(crate) fn needs_containment(record: &JobRecord) -> bool {
+    record.outcome.is_violation()
+        || (!record.outcome.is_halted() && !record.violations.is_empty())
+        || matches!(record.outcome, JobOutcome::WorkerPanic(_))
 }
 
 fn apply_sabotage(machine: &mut SofiaMachine, sabotage: Option<Sabotage>) {

@@ -40,6 +40,13 @@ pub enum Sabotage {
         /// Bits to flip.
         mask: u32,
     },
+    /// Panic on the worker thread the moment the job is serviced — the
+    /// host-fault channel. Not a security event (nothing simulated
+    /// misbehaves); it exists so the panic-isolation regression suite can
+    /// prove one faulting job degrades to a quarantined
+    /// [`JobOutcome::WorkerPanic`] record instead of poisoning the pool's
+    /// shared state and aborting the whole batch.
+    PanicInWorker,
 }
 
 /// One unit of work: a tenant's program plus its fuel budget.
@@ -89,6 +96,14 @@ pub enum JobOutcome {
     Trapped(Trap),
     /// The program never ran: it failed to parse or to seal.
     SealFailed(String),
+    /// The worker servicing the job faulted on the **host** side — a
+    /// panic in the simulator, or a park/revive round-trip that failed.
+    /// Never a security verdict (the simulated device did nothing
+    /// wrong), but the tenant is still contained per the quarantine
+    /// policy: a job that can crash a worker once can do it again, and
+    /// degrading to a per-tenant failure is exactly the blast-radius
+    /// guarantee the fleet exists for.
+    WorkerPanic(String),
 }
 
 impl JobOutcome {
@@ -148,14 +163,24 @@ pub struct JobRecord {
     pub start_tick: u64,
     /// Scheduler tick after the one in which the job finished.
     pub end_tick: u64,
+    /// Virtual tick at which the job arrived. Always 0 under the batch
+    /// [`crate::Fleet`] (a batch's jobs all arrive at tick 0); the
+    /// [`crate::AsyncFleet`] driver records the real arrival tick of its
+    /// open/closed-loop workloads here.
+    pub arrival_tick: u64,
+    /// Simulated cycles between the job's arrival and its completion on
+    /// the virtual-time model — the deterministic sojourn latency the
+    /// per-class p50/p99 figures in `BENCH_fleet.json` are built from.
+    pub sojourn_cycles: u64,
 }
 
 impl JobRecord {
-    /// Ticks the job waited before first service — zero-cost admission
-    /// would be `start_tick == 0` (jobs are all submitted at tick 0 of
-    /// their batch).
+    /// Ticks the job waited between arrival and first service —
+    /// zero-cost admission would be `start_tick == arrival_tick` (under
+    /// the batch [`crate::Fleet`] every job arrives at tick 0, so this
+    /// is simply `start_tick`).
     pub fn queue_latency_ticks(&self) -> u64 {
-        self.start_tick
+        self.start_tick.saturating_sub(self.arrival_tick)
     }
 
     /// Simulated cycles the job consumed in total.

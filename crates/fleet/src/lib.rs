@@ -18,6 +18,12 @@
 //!   suspending jobs between blocks on the fetch unit's edge registers
 //!   ([`sofia_core::ResumeEdge`]) so a long ADPCM job cannot starve
 //!   short ones.
+//! * **Async serving**: the opt-in [`AsyncFleet`] driver multiplexes
+//!   thousands of tenants over a few OS threads — weighted fair
+//!   queueing across service classes ([`admission`]), typed
+//!   admission-control backpressure, cold jobs parked to `SOFS1`
+//!   snapshot bytes — with results bit-identical to serial execution
+//!   at any thread count.
 //! * **Quarantine**: a violation (MAC mismatch, forged edge) contains
 //!   exactly one tenant per the configured [`QuarantinePolicy`] —
 //!   suspend, retry-with-reboot, or evict — while the rest of the fleet
@@ -66,8 +72,17 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// A fleet exists to contain per-tenant faults; an `unwrap`/`expect` on a
+// shared lock is how one tenant's panic became a fleet-wide abort (the
+// lock-poisoning cascade this crate's panic-isolation suite pins
+// against). Non-test code must route every lock through
+// `fleet::lock_clean`/`into_clean` and every "impossible" state through
+// a typed record or `unreachable!` with a stated invariant.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod admission;
 mod checkpoint;
+mod executor;
 mod fleet;
 mod job;
 mod quarantine;
@@ -75,7 +90,9 @@ pub mod schedule;
 mod seal_farm;
 mod stats;
 
+pub use admission::{AdmissionConfig, AdmitError, ClassConfig, ClassId, Rejection};
 pub use checkpoint::{AdoptError, JobCheckpoint};
+pub use executor::{AsyncConfig, AsyncFleet, AsyncStats};
 pub use fleet::{Fleet, FleetConfig, FleetError, PoolMode, SchedMode, SealMode};
 pub use job::{JobId, JobOutcome, JobRecord, JobSpec, Sabotage, TenantId};
 pub use quarantine::{QuarantinePolicy, TenantState};

@@ -22,14 +22,37 @@
 //! worker count, scheduling mode), so "jobs/sec at N workers" in
 //! `BENCH_fleet.json` is as reproducible as every other number this
 //! repo records.
+//!
+//! A job with **no recorded quanta never ran**: it settles as a
+//! zero-width interval (`start == end == 0`, [`JobTicks::ran`] false)
+//! without occupying a worker slot, distinguishable from a job that ran
+//! one free quantum (`end == start + 1`). The batch fleet gives every
+//! settled job at least one quantum (seal failures record a zero-cost
+//! one for their admission tick), so the zero-width case is the
+//! admission-rejected / never-admitted representation.
 
 /// Virtual-time placement of one job.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct JobTicks {
     /// Tick in which the job's first quantum ran.
     pub start: u64,
-    /// Tick *after* the one in which its last quantum ran.
+    /// Tick *after* the one in which its last quantum ran — equal to
+    /// `start` for a job that never ran a quantum at all.
     pub end: u64,
+    /// Cumulative makespan cycles at the end of the job's last tick —
+    /// its completion instant on the virtual clock (0 for a job that
+    /// never ran).
+    pub end_cycles: u64,
+}
+
+impl JobTicks {
+    /// Whether the job ran at least one quantum. `false` is the explicit
+    /// "admitted nothing" representation: an admission-rejected or
+    /// never-serviced job prices as a zero-width interval, not as one
+    /// free quantum.
+    pub fn ran(&self) -> bool {
+        self.end > self.start
+    }
 }
 
 /// What pricing a batch yields.
@@ -44,12 +67,16 @@ pub struct ScheduleReport {
 }
 
 /// Prices a batch: `quanta[j]` is job `j`'s recorded per-quantum cycle
-/// costs, in submission order. `workers` is clamped to at least 1.
+/// costs, in submission order. `workers` is clamped to at least 1. Jobs
+/// with an empty quantum list settle immediately as zero-width intervals
+/// (see [`JobTicks::ran`]) and consume no worker slots.
 pub fn price_schedule(workers: usize, quanta: &[Vec<u64>]) -> ScheduleReport {
     let workers = workers.max(1);
     let mut per_job = vec![JobTicks::default(); quanta.len()];
     let mut next_quantum = vec![0usize; quanta.len()];
-    let mut ready: std::collections::VecDeque<usize> = (0..quanta.len()).collect();
+    let mut ready: std::collections::VecDeque<usize> = (0..quanta.len())
+        .filter(|&j| !quanta[j].is_empty())
+        .collect();
     let mut makespan = 0u64;
     let mut tick = 0u64;
     while !ready.is_empty() {
@@ -65,14 +92,15 @@ pub fn price_schedule(workers: usize, quanta: &[Vec<u64>]) -> ScheduleReport {
             tick_cost = tick_cost.max(quanta[j].get(q).copied().unwrap_or(0));
             next_quantum[j] += 1;
         }
+        makespan += tick_cost;
         for &j in &served {
-            if next_quantum[j] >= quanta[j].len().max(1) {
+            if next_quantum[j] >= quanta[j].len() {
                 per_job[j].end = tick + 1;
+                per_job[j].end_cycles = makespan;
             } else {
                 ready.push_back(j);
             }
         }
-        makespan += tick_cost;
         tick += 1;
     }
     ScheduleReport {
@@ -91,7 +119,14 @@ mod tests {
         let r = price_schedule(1, &[vec![10], vec![20], vec![30]]);
         assert_eq!(r.makespan_cycles, 60);
         assert_eq!(r.ticks, 3);
-        assert_eq!(r.per_job[2], JobTicks { start: 2, end: 3 });
+        assert_eq!(
+            r.per_job[2],
+            JobTicks {
+                start: 2,
+                end: 3,
+                end_cycles: 60
+            }
+        );
     }
 
     #[test]
@@ -113,17 +148,68 @@ mod tests {
         // order long, s1, s2, long, long.
         let r = price_schedule(1, &[vec![5, 5, 5], vec![1], vec![1]]);
         assert_eq!(r.ticks, 5);
-        assert_eq!(r.per_job[1], JobTicks { start: 1, end: 2 });
-        assert_eq!(r.per_job[2], JobTicks { start: 2, end: 3 });
+        assert_eq!(
+            r.per_job[1],
+            JobTicks {
+                start: 1,
+                end: 2,
+                end_cycles: 6
+            }
+        );
+        assert_eq!(
+            r.per_job[2],
+            JobTicks {
+                start: 2,
+                end: 3,
+                end_cycles: 7
+            }
+        );
         assert_eq!(r.per_job[0].end, 5);
+        assert_eq!(r.per_job[0].end_cycles, 17);
         assert_eq!(r.makespan_cycles, 17);
     }
 
+    /// The zero-quantum satellite: a job that never ran is explicitly a
+    /// zero-width interval, distinguishable from a job that ran one free
+    /// (zero-cost) quantum, and it consumes no worker slot — so
+    /// admission-rejected jobs price as "ran nothing", not as a free
+    /// tick.
     #[test]
-    fn zero_cost_and_empty_jobs_still_get_ticks() {
+    fn zero_quantum_jobs_are_explicitly_never_run() {
         let r = price_schedule(2, &[vec![], vec![0]]);
+        // The empty job settles instantly, zero-width, without a slot…
+        assert_eq!(
+            r.per_job[0],
+            JobTicks {
+                start: 0,
+                end: 0,
+                end_cycles: 0
+            }
+        );
+        assert!(!r.per_job[0].ran());
+        // …while the zero-*cost* job really ran a quantum.
+        assert_eq!(
+            r.per_job[1],
+            JobTicks {
+                start: 0,
+                end: 1,
+                end_cycles: 0
+            }
+        );
+        assert!(r.per_job[1].ran());
         assert_eq!(r.ticks, 1);
         assert_eq!(r.makespan_cycles, 0);
-        assert_eq!(r.per_job[0].end, 1);
+    }
+
+    /// Empty jobs do not perturb the placement of real ones: with one
+    /// worker, a leading never-run job must not steal the first slot.
+    #[test]
+    fn zero_quantum_jobs_occupy_no_worker_slot() {
+        let with_empty = price_schedule(1, &[vec![], vec![7], vec![9]]);
+        let without = price_schedule(1, &[vec![7], vec![9]]);
+        assert_eq!(with_empty.ticks, without.ticks);
+        assert_eq!(with_empty.makespan_cycles, without.makespan_cycles);
+        assert_eq!(with_empty.per_job[1], without.per_job[0]);
+        assert_eq!(with_empty.per_job[2], without.per_job[1]);
     }
 }

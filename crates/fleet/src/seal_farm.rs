@@ -32,8 +32,11 @@
 //! identically, seals are deterministic — wherever it is retried.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use crate::fleet::{into_clean, lock_clean};
 
 use sofia_crypto::KeySet;
 use sofia_transform::cache::{image_key, ImageCache, ImageKey, SealError};
@@ -122,24 +125,34 @@ impl<'a> SealFarm<'a> {
         }
         let distinct = tasks.len();
 
+        // The transformer is pure library code, but a panic inside it
+        // must not cost the wave its worker (and, through the poisoned
+        // verdict lock, the whole farm): a panicking seal task is caught
+        // and simply yields no verdict, so the requesting job re-seals
+        // inline — where the same panic becomes that one job's typed
+        // `WorkerPanic` record instead of a farm-wide abort.
         let seal_one = |(key, keys, source): (ImageKey, &KeySet, &str)| {
-            let (image, from_cache) = match self.cache.get_or_seal_traced(keys, source) {
+            let sealed = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                self.cache.get_or_seal_traced(keys, source)
+            }))
+            .ok()?;
+            let (image, from_cache) = match sealed {
                 Ok((image, from_cache)) => (Ok(image), from_cache),
                 Err(e) => (Err(e), false),
             };
-            (
+            Some((
                 key,
                 SealVerdict {
                     image,
                     fresh: !from_cache,
                 },
-            )
+            ))
         };
 
         let workers = self.workers.min(distinct);
         if workers <= 1 {
             return SealWave {
-                verdicts: tasks.into_iter().map(seal_one).collect(),
+                verdicts: tasks.into_iter().filter_map(seal_one).collect(),
                 requests: total,
                 distinct,
                 steals: 0,
@@ -155,13 +168,13 @@ impl<'a> SealFarm<'a> {
         for (i, task) in tasks.into_iter().enumerate() {
             deques[i % workers]
                 .get_mut()
-                .expect("fresh deque")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .push_back(task);
         }
         let deques = &deques;
         let verdicts: Mutex<HashMap<ImageKey, SealVerdict>> = Mutex::new(HashMap::new());
         let steals = AtomicU64::new(0);
-        let lock_deque = |w: usize| deques[w].lock().expect("seal farm deque poisoned");
+        let lock_deque = |w: usize| lock_clean(&deques[w]);
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let (verdicts, steals, seal_one) = (&verdicts, &steals, &seal_one);
@@ -178,11 +191,9 @@ impl<'a> SealFarm<'a> {
                     }
                     match next {
                         Some(task) => {
-                            let (key, verdict) = seal_one(task);
-                            verdicts
-                                .lock()
-                                .expect("seal farm verdicts poisoned")
-                                .insert(key, verdict);
+                            if let Some((key, verdict)) = seal_one(task) {
+                                lock_clean(verdicts).insert(key, verdict);
+                            }
                         }
                         None => return,
                     }
@@ -190,7 +201,7 @@ impl<'a> SealFarm<'a> {
             }
         });
         SealWave {
-            verdicts: verdicts.into_inner().expect("seal farm verdicts poisoned"),
+            verdicts: into_clean(verdicts),
             requests: total,
             distinct,
             steals: steals.load(Ordering::Relaxed),

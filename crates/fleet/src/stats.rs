@@ -23,6 +23,9 @@ pub struct TenantStats {
     pub out_of_fuel: u64,
     /// Jobs that failed to parse or seal.
     pub seal_failures: u64,
+    /// Jobs whose servicing worker faulted on the host side (panic,
+    /// failed park/revive) — contained per tenant, never fleet-fatal.
+    pub worker_panics: u64,
     /// Simulated cycles consumed.
     pub cycles: u64,
     /// Instruction slots retired.
@@ -75,6 +78,7 @@ impl TenantStats {
             JobOutcome::Completed(_) => {}
             JobOutcome::Trapped(_) => self.traps += 1,
             JobOutcome::SealFailed(_) => self.seal_failures += 1,
+            JobOutcome::WorkerPanic(_) => self.worker_panics += 1,
         }
         if r.outcome.is_violation() {
             self.violating_jobs += 1;
@@ -84,8 +88,11 @@ impl TenantStats {
         self.instret += r.stats.exec.instret;
         self.vcache_hits += r.stats.vcache_hits;
         self.vcache_misses += r.stats.vcache_misses;
-        if matches!(r.outcome, JobOutcome::SealFailed(_)) {
-            // No image was produced; the seal counters stay untouched.
+        if matches!(
+            r.outcome,
+            JobOutcome::SealFailed(_) | JobOutcome::WorkerPanic(_)
+        ) {
+            // No image reached the job; the seal counters stay untouched.
         } else if r.seal_cache_hit {
             self.seal_cache_hits += 1;
         } else {
@@ -104,6 +111,7 @@ impl TenantStats {
         self.traps += other.traps;
         self.out_of_fuel += other.out_of_fuel;
         self.seal_failures += other.seal_failures;
+        self.worker_panics += other.worker_panics;
         self.cycles += other.cycles;
         self.instret += other.instret;
         self.vcache_hits += other.vcache_hits;

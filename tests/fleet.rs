@@ -78,6 +78,7 @@ fn record_result(r: &JobRecord) -> SerialResult {
             JobOutcome::Completed(o) => format!("{o:?}"),
             JobOutcome::Trapped(t) => format!("trap: {t:?}"),
             JobOutcome::SealFailed(e) => format!("seal failed: {e}"),
+            JobOutcome::WorkerPanic(e) => format!("worker panic: {e}"),
         },
         out_words: r.out_words.clone(),
         violations: r.violations.iter().map(|v| format!("{v:?}")).collect(),

@@ -1,0 +1,236 @@
+//! The panic-isolation regression suite.
+//!
+//! Before the fix, a panic inside one worker's quantum poisoned the
+//! pool's shared mutexes and every other worker — plus any later batch
+//! on the same `Fleet` — died via `.expect("… poisoned")`. These tests
+//! pin the repaired contract: a deliberately panicking job
+//! ([`Sabotage::PanicInWorker`]) degrades to a typed
+//! [`JobOutcome::WorkerPanic`] record, its tenant is contained like a
+//! violator, bystander tenants' records stay **bit-identical** with or
+//! without the saboteur aboard, and the fleet serves the next batch —
+//! in both pool modes, at several worker counts, and under the async
+//! driver.
+
+use sofia::crypto::KeySet;
+use sofia::fleet::{
+    AsyncConfig, AsyncFleet, ClassId, Fleet, FleetConfig, JobOutcome, JobRecord, JobSpec, PoolMode,
+    Sabotage, SchedMode, TenantId, TenantState,
+};
+
+const POOLS: [PoolMode; 2] = [PoolMode::SharedQueue, PoolMode::WorkStealing];
+
+fn product_src(a: u32, b: u32) -> String {
+    format!(
+        "main: li t0, {a}
+               li t1, {b}
+               mul t2, t0, t1
+               li a0, 0xFFFF0000
+               sw t2, 0(a0)
+               halt"
+    )
+}
+
+fn bystander_tenants() -> Vec<(TenantId, KeySet)> {
+    (1..=3u32)
+        .map(|id| (TenantId(id), KeySet::from_seed(0x1000 + id as u64)))
+        .collect()
+}
+
+fn bystander_jobs() -> Vec<JobSpec> {
+    (1..=3u32)
+        .flat_map(|tenant| {
+            (0..3u32).map(move |round| {
+                JobSpec::new(TenantId(tenant), product_src(tenant, 10 + round), 50_000)
+            })
+        })
+        .collect()
+}
+
+/// A comparable digest of everything a record claims about its job.
+fn digest(r: &JobRecord) -> (String, Vec<u32>, Vec<String>, u64, u64) {
+    (
+        format!("{:?}", r.outcome),
+        r.out_words.clone(),
+        r.violations.iter().map(|v| format!("{v:?}")).collect(),
+        r.stats.exec.cycles,
+        r.stats.exec.instret,
+    )
+}
+
+fn run_batch(pool: PoolMode, workers: usize, with_saboteur: bool) -> (Fleet, Vec<JobRecord>) {
+    let mut fleet = Fleet::new(FleetConfig {
+        workers,
+        pool,
+        mode: SchedMode::FuelSliced { slice: 300 },
+        ..Default::default()
+    });
+    for (id, keys) in bystander_tenants() {
+        fleet.register_tenant(id, keys.clone()).unwrap();
+    }
+    let mallory = TenantId(66);
+    if with_saboteur {
+        fleet
+            .register_tenant(mallory, KeySet::from_seed(0x666))
+            .unwrap();
+    }
+    for (i, job) in bystander_jobs().into_iter().enumerate() {
+        fleet.submit(job).unwrap();
+        // Interleave the saboteur's jobs between bystanders so its
+        // panics land mid-batch on every pool shape.
+        if with_saboteur && i % 4 == 1 {
+            fleet
+                .submit(
+                    JobSpec::new(mallory, product_src(6, 7), 50_000)
+                        .with_sabotage(Sabotage::PanicInWorker),
+                )
+                .unwrap();
+        }
+    }
+    let records = fleet.run_batch();
+    (fleet, records)
+}
+
+#[test]
+fn panicking_job_degrades_to_a_typed_record() {
+    for pool in POOLS {
+        for workers in [1, 2, 4] {
+            let (fleet, records) = run_batch(pool, workers, true);
+            let panics: Vec<&JobRecord> = records
+                .iter()
+                .filter(|r| matches!(r.outcome, JobOutcome::WorkerPanic(_)))
+                .collect();
+            assert!(
+                !panics.is_empty(),
+                "saboteur produced no WorkerPanic under {pool:?}/{workers}"
+            );
+            for r in &panics {
+                assert_eq!(r.tenant, TenantId(66));
+                let JobOutcome::WorkerPanic(msg) = &r.outcome else {
+                    unreachable!()
+                };
+                assert!(msg.contains("sabotage"), "lost the panic payload: {msg}");
+                // The host fault is not a security verdict…
+                assert!(r.violations.is_empty());
+            }
+            // …but the tenant is still contained, like a violator.
+            assert_eq!(
+                fleet.tenant_state(TenantId(66)),
+                Some(TenantState::Suspended),
+                "{pool:?}/{workers}"
+            );
+            assert_eq!(
+                fleet.stats().tenants[&66].worker_panics,
+                panics.len() as u64
+            );
+        }
+    }
+}
+
+#[test]
+fn bystanders_are_bit_identical_with_and_without_the_saboteur() {
+    for pool in POOLS {
+        for workers in [1, 2, 4] {
+            let (_, with) = run_batch(pool, workers, true);
+            let (_, without) = run_batch(pool, workers, false);
+            let bystanders: Vec<_> = with
+                .iter()
+                .filter(|r| r.tenant != TenantId(66))
+                .map(digest)
+                .collect();
+            let reference: Vec<_> = without.iter().map(digest).collect();
+            assert_eq!(
+                bystanders, reference,
+                "saboteur perturbed bystanders under {pool:?}/{workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fleet_serves_the_next_batch_after_a_panic() {
+    for pool in POOLS {
+        let (mut fleet, first) = run_batch(pool, 4, true);
+        assert!(first
+            .iter()
+            .any(|r| matches!(r.outcome, JobOutcome::WorkerPanic(_))));
+        // The poisoned-mutex cascade used to kill exactly this call.
+        for job in bystander_jobs() {
+            fleet.submit(job).unwrap();
+        }
+        let second = fleet.run_batch();
+        assert_eq!(second.len(), bystander_jobs().len());
+        assert!(
+            second.iter().all(|r| r.outcome.is_halted()),
+            "second batch degraded under {pool:?}"
+        );
+        // The contained saboteur stays out until an operator releases it.
+        assert!(fleet
+            .submit(JobSpec::new(TenantId(66), product_src(1, 1), 1_000))
+            .is_err());
+        assert!(fleet.release(TenantId(66)));
+    }
+}
+
+#[test]
+fn async_driver_contains_a_panicking_tenant() {
+    for threads in [1, 4] {
+        let mut fleet = AsyncFleet::new(AsyncConfig {
+            threads,
+            workers: 2,
+            ..Default::default()
+        });
+        for (id, keys) in bystander_tenants() {
+            fleet.register_tenant(id, keys.clone(), ClassId(0)).unwrap();
+        }
+        let mallory = TenantId(66);
+        fleet
+            .register_tenant(mallory, KeySet::from_seed(0x666), ClassId(0))
+            .unwrap();
+        for job in bystander_jobs() {
+            fleet.submit(job).unwrap();
+        }
+        fleet
+            .submit(
+                JobSpec::new(mallory, product_src(6, 7), 50_000)
+                    .with_sabotage(Sabotage::PanicInWorker),
+            )
+            .unwrap();
+        // A second saboteur job, queued behind the first: admitted jobs
+        // still run (each panic is contained individually), and only
+        // *future* submissions are refused.
+        fleet
+            .submit(
+                JobSpec::new(mallory, product_src(7, 8), 50_000)
+                    .with_sabotage(Sabotage::PanicInWorker),
+            )
+            .unwrap();
+        fleet.run_until_idle();
+        let records = fleet.drain_finished();
+        let panics = records
+            .iter()
+            .filter(|r| matches!(r.outcome, JobOutcome::WorkerPanic(_)))
+            .count();
+        assert_eq!(panics, 2, "threads={threads}");
+        assert_eq!(fleet.tenant_state(mallory), Some(TenantState::Suspended));
+        assert_eq!(
+            fleet
+                .submit(JobSpec::new(mallory, product_src(1, 1), 1_000))
+                .unwrap_err(),
+            sofia::fleet::AdmitError::Quarantined(mallory)
+        );
+        // Every bystander job still halted cleanly.
+        let clean = records
+            .iter()
+            .filter(|r| r.tenant != mallory && r.outcome.is_halted())
+            .count();
+        assert_eq!(clean, bystander_jobs().len(), "threads={threads}");
+        // The driver keeps serving after the panic.
+        fleet
+            .submit(JobSpec::new(TenantId(1), product_src(9, 9), 50_000))
+            .unwrap();
+        fleet.run_until_idle();
+        let more = fleet.drain_finished();
+        assert_eq!(more.len(), 1);
+        assert!(more[0].outcome.is_halted());
+    }
+}
