@@ -17,7 +17,10 @@
 //!   snapshots (the suspend/migrate deployment surface): caught by edge
 //!   verification on the first resumed fetch;
 //! * [`confidentiality`] — the copyright-protection claim: ciphertext
-//!   images are high-entropy and disassemble to noise.
+//!   images are high-entropy and disassemble to noise;
+//! * [`xbackend`] — the same adversary against the alternative backends
+//!   (`sofia-backends`), with a finer verdict scale that captures
+//!   deferred detection (compromised-but-flagged vs silent).
 //!
 //! Verdicts are classified by *observable effect* (did the actuator
 //! receive the attacker's value? was the run detected?), so experiments
@@ -33,6 +36,7 @@ pub mod injection;
 pub mod migration;
 pub mod relocation;
 pub mod victims;
+pub mod xbackend;
 
 use std::fmt;
 

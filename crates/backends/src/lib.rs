@@ -1,0 +1,67 @@
+//! # sofia-backends — alternative integrity backends
+//!
+//! Two complete code-integrity schemes from the literature, implemented
+//! behind the same [`FetchUnit`] seam (and sharing the same
+//! [`Pipeline`] engine) as SOFIA itself, so the three can be compared
+//! attack-for-attack and cycle-for-cycle on identical workloads:
+//!
+//! * [`SpongeFetch`] / [`SpongeMachine`] — **sponge-based control-flow
+//!   protection** (Werner et al., SCFP). The text is encrypted against a
+//!   running sponge state that absorbs every fetched word; control-flow
+//!   edges carry public patch values that re-align the state across
+//!   joins. There is no MAC: a tampered word or an out-of-CFG fetch
+//!   desynchronises the state, and everything after it decrypts to
+//!   garbage that fails instruction decode — *implicit* integrity with a
+//!   short probabilistic detection latency, paid for with a serial
+//!   permutation on the fetch critical path.
+//!
+//! * [`FipacFetch`] / [`FipacMachine`] — **FIPAC-style keyed CFI state**
+//!   (Nasahl et al.). The text stays in plaintext; a CBC-MAC-style keyed
+//!   state over executed words (patched across edges the same way) is
+//!   compared against installed signatures at justifying check points
+//!   (returns and exits). Near-zero fetch overhead — the state update
+//!   pipelines off the critical path — but detection is deferred to the
+//!   next check, so tampered instructions *execute* before being caught.
+//!
+//! Both installers live in `sofia_transform` ([`seal_sponge`],
+//! [`install_fipac`]) and share one chain/patch pass; neither needs
+//! SOFIA's block packing or mux trees, which is the structural contrast
+//! the comparison harness (`tests/`, `BENCH_backends.json`) quantifies.
+//!
+//! # Examples
+//!
+//! ```
+//! use sofia_backends::SpongeMachine;
+//! use sofia_crypto::{KeySet, Nonce};
+//! use sofia_isa::asm;
+//! use sofia_transform::seal_sponge;
+//!
+//! let keys = KeySet::from_seed(3);
+//! let module = asm::parse(
+//!     "main: li t0, 5
+//!            li a0, 0xFFFF0000
+//!            sw t0, 0(a0)
+//!            halt",
+//! )?;
+//! let image = seal_sponge(&module, &keys, Nonce::new(1))?;
+//! let mut m = SpongeMachine::new(&image, &keys);
+//! assert!(m.run(10_000)?.is_halted());
+//! assert_eq!(m.mem().mmio.out_words, vec![5]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`FetchUnit`]: sofia_cpu::FetchUnit
+//! [`Pipeline`]: sofia_cpu::engine::Pipeline
+//! [`seal_sponge`]: sofia_transform::seal_sponge
+//! [`install_fipac`]: sofia_transform::install_fipac
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fipac;
+pub mod machine;
+pub mod sponge;
+
+pub use fipac::{FipacFetch, FipacStats, FipacTiming, FipacViolation};
+pub use machine::{BackendConfig, BackendMachine, BackendOutcome, FipacMachine, SpongeMachine};
+pub use sponge::{SpongeFetch, SpongeStats, SpongeTiming, SpongeViolation};

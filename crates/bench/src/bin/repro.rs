@@ -38,6 +38,7 @@ fn main() {
             "vcache",
             "fleet",
             "host",
+            "backends",
             "ablate-block",
             "ablate-unroll",
             "ablate-sched",
@@ -66,6 +67,7 @@ fn main() {
             "vcache" => vcache_eval(),
             "fleet" => fleet_eval(),
             "host" => host_eval(),
+            "backends" => backends_eval(),
             "ablate-block" => ablate_block(),
             "ablate-unroll" => ablate_unroll(),
             "ablate-sched" => ablate_sched(),
@@ -420,7 +422,16 @@ fn fleet_eval() {
     println!("   determinism invariant; jobs/sec is priced at the Table I SOFIA clock)");
 
     banner("fleet: async serving (WFQ admission-controlled open/closed loop)");
-    for tenants in [1_000usize, 4_000] {
+    // The arrival horizon scales with tenant count, so the 10k point is
+    // a genuinely wider open-loop window, not a denser burst. It takes
+    // minutes in debug builds — opt in via SOFIA_BENCH_FLEET_10K=1.
+    let mut tenant_points = vec![1_000usize, 4_000];
+    match sofia_bench::parse_fleet_10k(std::env::var("SOFIA_BENCH_FLEET_10K").ok().as_deref()) {
+        Ok(true) => tenant_points.push(10_000),
+        Ok(false) => {}
+        Err(e) => panic!("{e}"),
+    }
+    for tenants in tenant_points {
         let serial = sofia_bench::async_wfq_report(tenants, 1);
         let report = sofia_bench::async_wfq_report(tenants, 4);
         assert_eq!(
@@ -535,6 +546,63 @@ fn host_eval() {
     println!("  (wall-clock, informational: scaling needs real cores; simulated-cycle");
     println!("   trajectories live in BENCH_vcache.json / BENCH_fleet.json)");
     sofia_bench::write_host_json(&sofia_bench::host_json(&report));
+}
+
+/// Extension — the cross-backend comparison: SOFIA vs the sponge-CFP
+/// and FIPAC fetch units on cycles, area, detection latency and the
+/// attack matrix (emits `BENCH_backends.json`).
+fn backends_eval() {
+    banner("backends: pluggable integrity backends (sofia / sponge-CFP / FIPAC)");
+    let keys = KeySet::from_seed(0x5EC6);
+    let w = sofia_workloads::kernels::crc32(512);
+    let report = sofia_bench::backends_report(&w, &keys);
+
+    println!(
+        "  cycle overhead ({}, vanilla {} cycles):",
+        report.workload, report.vanilla_cycles
+    );
+    for p in &report.overhead {
+        println!(
+            "    {:<8} {:>12} cycles  {:>+8.1}%",
+            p.backend, p.cycles, p.overhead_pct
+        );
+    }
+    println!("  hardware (Table-I model):");
+    for p in &report.hardware {
+        println!(
+            "    {:<8} {:>6.0} slices  {:>6.1} MHz  area {:>+7.1}%",
+            p.backend, p.slices, p.clock_mhz, p.area_overhead_pct
+        );
+    }
+    println!(
+        "  detection latency ({}-word sled, tamper at word {}):",
+        sofia_bench::BACKENDS_SLED_WORDS,
+        sofia_bench::BACKENDS_TAMPER_WORD
+    );
+    for p in &report.detection {
+        println!(
+            "    {:<8} {:>4} instructions retired before the flag",
+            p.backend, p.latency_instructions
+        );
+    }
+    println!("  attack matrix:");
+    println!(
+        "    {:<16} {:<22} {:<22} {:<22}",
+        "attack", "sofia", "sponge", "fipac"
+    );
+    for row in &report.matrix {
+        println!(
+            "    {:<16} {:<22} {:<22} {:<22}",
+            row.attack,
+            row.sofia.label(),
+            row.sponge.label(),
+            row.fipac.label()
+        );
+    }
+    println!("  (sponge: implicit detection, serial permute on the fetch path; FIPAC:");
+    println!("   plaintext fetch at the vanilla clock, detection deferred to the next");
+    println!("   signature point — the latency column is the price of that deferral)");
+    sofia_bench::write_backends_json(&sofia_bench::backends_json(&report));
 }
 
 /// Extension — the same overheads across the whole kernel suite.

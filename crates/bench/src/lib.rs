@@ -520,7 +520,12 @@ pub fn async_wfq_report(tenants: usize, threads: usize) -> AsyncWfqReport {
         (lcg >> 33) % bound
     };
 
-    const HORIZON: u64 = 400;
+    // The arrival horizon scales with the fleet: the pinned 1k-tenant
+    // point keeps its historical 400-tick window, and larger fleets
+    // spread their open-loop arrivals proportionally instead of
+    // compressing ever more load into a fixed window (which would turn
+    // a 10k-tenant run into a pure tick-zero burst).
+    let horizon: u64 = 400u64.max(400 * tenants as u64 / 1000);
     let batch_job = |id: u32, round: u32| {
         JobSpec::new(
             TenantId(id),
@@ -534,7 +539,7 @@ pub fn async_wfq_report(tenants: usize, threads: usize) -> AsyncWfqReport {
             0 => {
                 for _ in 0..2 {
                     let spec = JobSpec::new(TenantId(id), wfq_job_src(8 + (id % 16)), 100_000);
-                    let tick = draw(HORIZON);
+                    let tick = draw(horizon);
                     fleet.submit_at(spec, tick);
                 }
             }
@@ -729,6 +734,334 @@ pub fn fleet_json(
         series(sliced),
         async_wfq,
     )
+}
+
+// ---------------------------------------------------------------------
+// Cross-backend comparison (`BENCH_backends.json`)
+//
+// The same workload, the same tamper and the same attack rows against
+// all three integrity backends — SOFIA, the sponge-CFP fetch unit and
+// the FIPAC-style fetch unit — reduced to the four numbers that separate
+// the schemes: cycle overhead, hardware area, detection latency in
+// instructions, and the attack-matrix verdicts.
+// ---------------------------------------------------------------------
+
+use sofia_attacks::xbackend::{self, XRow};
+use sofia_backends::{BackendOutcome, FipacMachine, SpongeMachine};
+use sofia_crypto::Nonce;
+use sofia_isa::{asm, Instruction, Reg};
+use sofia_transform::{install_fipac, seal_sponge};
+
+/// Cycle cost of one backend on the comparison workload.
+#[derive(Clone, Debug)]
+pub struct BackendCyclePoint {
+    /// Backend label (`sofia`, `sponge`, `fipac`).
+    pub backend: &'static str,
+    /// Simulated cycles for the workload.
+    pub cycles: u64,
+    /// Overhead versus the vanilla machine, in percent.
+    pub overhead_pct: f64,
+}
+
+/// Hardware price of one backend under the Table-I area/clock model.
+#[derive(Clone, Debug)]
+pub struct BackendHwPoint {
+    /// Design label (`vanilla`, `sofia`, `sponge`, `fipac`).
+    pub backend: &'static str,
+    /// Estimated slices.
+    pub slices: f64,
+    /// Estimated clock in MHz.
+    pub clock_mhz: f64,
+    /// Area overhead versus vanilla, in percent.
+    pub area_overhead_pct: f64,
+}
+
+/// Instructions that retire between the tampered word's issue slot and
+/// the scheme flagging the run (0 = caught before the tampered slot).
+#[derive(Clone, Debug)]
+pub struct DetectionLatencyPoint {
+    /// Backend label.
+    pub backend: &'static str,
+    /// Detection latency in retired instructions.
+    pub latency_instructions: u64,
+}
+
+/// Everything `BENCH_backends.json` records.
+pub struct BackendsReport {
+    /// Comparison workload name.
+    pub workload: &'static str,
+    /// Baseline cycles on the vanilla machine.
+    pub vanilla_cycles: u64,
+    /// Per-backend cycles and overhead.
+    pub overhead: Vec<BackendCyclePoint>,
+    /// Per-design area and clock.
+    pub hardware: Vec<BackendHwPoint>,
+    /// Per-backend detection latency on the nop-sled tamper.
+    pub detection: Vec<DetectionLatencyPoint>,
+    /// The cross-backend attack matrix.
+    pub matrix: Vec<XRow>,
+}
+
+/// Nop-sled length for the detection-latency experiment.
+pub const BACKENDS_SLED_WORDS: usize = 64;
+/// Linear word index the experiment tampers.
+pub const BACKENDS_TAMPER_WORD: usize = 8;
+
+/// A straight-line victim: `nops` no-ops, one real write, `halt`. Its
+/// only justifying signature point is the final halt, so FIPAC's
+/// detection latency grows linearly with the tamper distance while
+/// SOFIA and the sponge stay at (essentially) zero.
+fn sled_victim(nops: usize) -> String {
+    let mut src = String::from("main:\n");
+    for _ in 0..nops {
+        src.push_str("    nop\n");
+    }
+    src.push_str("    addi v0, zero, 7\n    halt\n");
+    src
+}
+
+/// Runs the comparison workload on every backend, checking outputs
+/// against the golden model, and returns the baseline cycles plus the
+/// per-backend points.
+///
+/// # Panics
+///
+/// Panics if any backend misbehaves — measurement runs must be correct
+/// runs (same contract as [`measure_with`]).
+pub fn backend_cycle_points(workload: &Workload, keys: &KeySet) -> (u64, Vec<BackendCyclePoint>) {
+    let row = measure(workload, keys);
+    let vanilla = row.vanilla_cycles;
+    let pct = |cycles: u64| (cycles as f64 / vanilla as f64 - 1.0) * 100.0;
+    let mut points = vec![BackendCyclePoint {
+        backend: "sofia",
+        cycles: row.sofia_cycles,
+        overhead_pct: pct(row.sofia_cycles),
+    }];
+    let module = workload.module();
+
+    let image = seal_sponge(&module, keys, Nonce::new(1)).expect("workload seals for the sponge");
+    let mut m = SpongeMachine::new(&image, keys);
+    let outcome = m.run(FUEL).expect("sponge run traps");
+    assert!(
+        matches!(outcome, BackendOutcome::Halted),
+        "{}: sponge outcome {outcome:?}",
+        workload.name
+    );
+    assert_eq!(
+        m.mem().mmio.out_words,
+        workload.expected,
+        "{}: sponge output mismatch",
+        workload.name
+    );
+    points.push(BackendCyclePoint {
+        backend: "sponge",
+        cycles: m.stats().cycles,
+        overhead_pct: pct(m.stats().cycles),
+    });
+
+    let image = install_fipac(&module, keys, Nonce::new(1)).expect("workload installs for FIPAC");
+    let mut m = FipacMachine::new(&image, keys);
+    let outcome = m.run(FUEL).expect("fipac run traps");
+    assert!(
+        matches!(outcome, BackendOutcome::Halted),
+        "{}: fipac outcome {outcome:?}",
+        workload.name
+    );
+    assert_eq!(
+        m.mem().mmio.out_words,
+        workload.expected,
+        "{}: fipac output mismatch",
+        workload.name
+    );
+    points.push(BackendCyclePoint {
+        backend: "fipac",
+        cycles: m.stats().cycles,
+        overhead_pct: pct(m.stats().cycles),
+    });
+
+    (vanilla, points)
+}
+
+/// The four Table-I-model rows of the comparison.
+pub fn backend_hw_points() -> Vec<BackendHwPoint> {
+    let vanilla = sofia_hwmodel::vanilla();
+    [
+        ("vanilla", vanilla),
+        ("sofia", sofia_hwmodel::sofia(sofia_hwmodel::PAPER_UNROLL)),
+        ("sponge", sofia_hwmodel::sponge_cfp()),
+        ("fipac", sofia_hwmodel::fipac()),
+    ]
+    .into_iter()
+    .map(|(backend, hw)| BackendHwPoint {
+        backend,
+        slices: hw.slices,
+        clock_mhz: hw.clock_mhz(),
+        area_overhead_pct: hw.area_overhead_vs(&vanilla),
+    })
+    .collect()
+}
+
+/// The detection-latency experiment: replace the sled word at
+/// [`BACKENDS_TAMPER_WORD`] with a register write and count how many
+/// instructions retire before each scheme flags the run.
+///
+/// # Panics
+///
+/// Panics if any backend fails to flag the tamper.
+pub fn detection_latency_points(keys: &KeySet) -> Vec<DetectionLatencyPoint> {
+    let src = sled_victim(BACKENDS_SLED_WORDS);
+    let module = asm::parse(&src).expect("sled victim parses");
+    let k = BACKENDS_TAMPER_WORD;
+    let evil = Instruction::Addi {
+        rt: Reg::T5,
+        rs: Reg::T5,
+        imm: 1,
+    }
+    .encode();
+    let latency = |instret: u64| instret.saturating_sub(k as u64);
+    let mut points = Vec::new();
+
+    // SOFIA's stored layout is block-structured: the word holding linear
+    // instruction k sits after the two MAC words of its block.
+    let image = Transformer::new(keys.clone())
+        .transform(&module)
+        .expect("sled victim transforms");
+    let block_words = image.format.block_words();
+    let per_block = block_words - 2;
+    let stored = (k / per_block) * block_words + 2 + (k % per_block);
+    let mut m = SofiaMachine::new(&image, keys);
+    m.mem_mut().rom_mut()[stored] = evil;
+    let outcome = m.run(FUEL).expect("sofia run traps");
+    assert!(!outcome.is_halted(), "sofia missed the sled tamper");
+    points.push(DetectionLatencyPoint {
+        backend: "sofia",
+        latency_instructions: latency(m.stats().exec.instret),
+    });
+
+    let image = seal_sponge(&module, keys, Nonce::new(1)).expect("sled victim seals");
+    let mut m = SpongeMachine::new(&image, keys);
+    m.mem_mut().rom_mut()[k] = evil;
+    let outcome = m.run(FUEL).expect("sponge run traps");
+    assert!(
+        matches!(outcome, BackendOutcome::ViolationStop(_)),
+        "sponge missed the sled tamper: {outcome:?}"
+    );
+    points.push(DetectionLatencyPoint {
+        backend: "sponge",
+        latency_instructions: latency(m.stats().instret),
+    });
+
+    let image = install_fipac(&module, keys, Nonce::new(1)).expect("sled victim installs");
+    let mut m = FipacMachine::new(&image, keys);
+    m.mem_mut().rom_mut()[k] = evil;
+    let outcome = m.run(FUEL).expect("fipac run traps");
+    assert!(
+        matches!(outcome, BackendOutcome::ViolationStop(_)),
+        "fipac missed the sled tamper: {outcome:?}"
+    );
+    points.push(DetectionLatencyPoint {
+        backend: "fipac",
+        latency_instructions: latency(m.stats().instret),
+    });
+
+    points
+}
+
+/// Assembles the full cross-backend report on `workload`.
+pub fn backends_report(workload: &Workload, keys: &KeySet) -> BackendsReport {
+    let (vanilla_cycles, overhead) = backend_cycle_points(workload, keys);
+    BackendsReport {
+        workload: workload.name,
+        vanilla_cycles,
+        overhead,
+        hardware: backend_hw_points(),
+        detection: detection_latency_points(keys),
+        matrix: xbackend::matrix(keys),
+    }
+}
+
+/// Serialises a [`BackendsReport`] to the `BENCH_backends.json` schema.
+pub fn backends_json(report: &BackendsReport) -> String {
+    let mut out = String::from("{\n  \"bench\": \"backends\",\n");
+    out.push_str(&format!(
+        "  \"workload\": \"{}\",\n  \"vanilla_cycles\": {},\n",
+        report.workload, report.vanilla_cycles
+    ));
+    out.push_str("  \"overhead\": [\n");
+    for (i, p) in report.overhead.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"backend\": \"{}\", \"cycles\": {}, \"cycle_overhead_pct\": {:.1} }}{}\n",
+            p.backend,
+            p.cycles,
+            p.overhead_pct,
+            if i + 1 == report.overhead.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ],\n  \"hardware\": [\n");
+    for (i, p) in report.hardware.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"backend\": \"{}\", \"slices\": {:.0}, \"clock_mhz\": {:.1}, \
+             \"area_overhead_pct\": {:.1} }}{}\n",
+            p.backend,
+            p.slices,
+            p.clock_mhz,
+            p.area_overhead_pct,
+            if i + 1 == report.hardware.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"detection_latency\": {{ \"sled_words\": {}, \"tamper_word\": {}, \
+         \"points\": [\n",
+        BACKENDS_SLED_WORDS, BACKENDS_TAMPER_WORD
+    ));
+    for (i, p) in report.detection.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"backend\": \"{}\", \"latency_instructions\": {} }}{}\n",
+            p.backend,
+            p.latency_instructions,
+            if i + 1 == report.detection.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ] },\n  \"attack_matrix\": [\n");
+    for (i, row) in report.matrix.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"attack\": \"{}\", \"sofia\": \"{}\", \"sponge\": \"{}\", \
+             \"fipac\": \"{}\" }}{}\n",
+            row.attack,
+            row.sofia.label(),
+            row.sponge.label(),
+            row.fipac.label(),
+            if i + 1 == report.matrix.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `json` to `BENCH_backends.json` at the workspace root, like the
+/// sibling bench emitters.
+pub fn write_backends_json(json: &str) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_backends.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("BENCH_backends.json not written: {e}"),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1115,6 +1448,29 @@ pub fn parse_worker_cap(raw: Option<&str>) -> Result<Option<usize>, String> {
     }
 }
 
+/// Parses a `SOFIA_BENCH_FLEET_10K` value — the opt-in for the
+/// 10,000-tenant async serving point, which takes minutes in debug
+/// builds and so stays off the default `repro -- fleet` path. Unset
+/// means off; like [`parse_worker_cap`], a set-but-unrecognised value is
+/// an **error**, not a silent off.
+///
+/// # Errors
+///
+/// A human-readable message naming the bad value.
+pub fn parse_fleet_10k(raw: Option<&str>) -> Result<bool, String> {
+    match raw {
+        None => Ok(false),
+        Some(v) => match v.trim() {
+            "1" | "true" | "yes" | "on" => Ok(true),
+            "0" | "false" | "no" | "off" => Ok(false),
+            other => Err(format!(
+                "SOFIA_BENCH_FLEET_10K={other:?} is not a boolean flag; \
+                 set 1/true/yes/on to include the 10k-tenant point"
+            )),
+        },
+    }
+}
+
 /// Worker counts the host sweeps run at: 1/2/4/8, capped by the
 /// `SOFIA_BENCH_MAX_WORKERS` environment variable (the CI matrix knob —
 /// `=1` pins the whole experiment to the serial points).
@@ -1404,6 +1760,22 @@ mod tests {
     }
 
     #[test]
+    fn fleet_10k_flag_parsing_is_loud_about_garbage() {
+        assert_eq!(parse_fleet_10k(None), Ok(false));
+        for on in ["1", "true", " yes ", "on"] {
+            assert_eq!(parse_fleet_10k(Some(on)), Ok(true), "{on:?}");
+        }
+        for off in ["0", "false", "no", "off"] {
+            assert_eq!(parse_fleet_10k(Some(off)), Ok(false), "{off:?}");
+        }
+        let err = parse_fleet_10k(Some("maybe")).unwrap_err();
+        assert!(
+            err.contains("SOFIA_BENCH_FLEET_10K") && err.contains("maybe"),
+            "unhelpful error: {err}"
+        );
+    }
+
+    #[test]
     fn host_worker_counts_honour_the_env_cap() {
         // The env var is process-global, so only pin the shape this
         // process actually sees (CI sets the cap in its own process).
@@ -1412,6 +1784,65 @@ mod tests {
         assert!(counts.iter().all(|&w| [1, 2, 4, 8].contains(&w)));
         if std::env::var("SOFIA_BENCH_MAX_WORKERS").is_err() {
             assert_eq!(counts, vec![1, 2, 4, 8]);
+        }
+    }
+
+    #[test]
+    fn backends_report_orders_the_schemes_and_pins_the_schema() {
+        let keys = KeySet::from_seed(0x5EC6);
+        let w = sofia_workloads::kernels::crc32(16);
+        let report = backends_report(&w, &keys);
+
+        // Cycles: vanilla < fipac < sponge (the serial permute is the
+        // most expensive fetch path; FIPAC's check is off it).
+        let cycles: std::collections::BTreeMap<&str, u64> = report
+            .overhead
+            .iter()
+            .map(|p| (p.backend, p.cycles))
+            .collect();
+        assert!(report.vanilla_cycles < cycles["fipac"]);
+        assert!(cycles["fipac"] < cycles["sponge"]);
+        assert!(report.overhead.iter().all(|p| p.overhead_pct > 0.0));
+
+        // Area: vanilla < fipac < sponge < sofia; FIPAC keeps the
+        // vanilla clock.
+        let hw: std::collections::BTreeMap<&str, &BackendHwPoint> =
+            report.hardware.iter().map(|p| (p.backend, p)).collect();
+        assert!(hw["fipac"].slices < hw["sponge"].slices);
+        assert!(hw["sponge"].slices < hw["sofia"].slices);
+        assert!((hw["fipac"].clock_mhz - hw["vanilla"].clock_mhz).abs() < 1e-9);
+
+        // Detection latency: SOFIA refuses the block before the tampered
+        // slot, the sponge flags within a couple of garbage decodes, and
+        // FIPAC runs to the halt signature — the deferral is the entire
+        // remaining sled.
+        let lat: std::collections::BTreeMap<&str, u64> = report
+            .detection
+            .iter()
+            .map(|p| (p.backend, p.latency_instructions))
+            .collect();
+        assert_eq!(lat["sofia"], 0);
+        assert!(lat["sponge"] <= 4, "sponge latency {}", lat["sponge"]);
+        assert_eq!(
+            lat["fipac"],
+            (BACKENDS_SLED_WORDS + 1 - BACKENDS_TAMPER_WORD) as u64
+        );
+
+        let json = backends_json(&report);
+        for field in [
+            "\"bench\": \"backends\"",
+            "\"workload\": \"crc32\"",
+            "\"overhead\"",
+            "\"backend\": \"sponge\"",
+            "\"backend\": \"fipac\"",
+            "\"hardware\"",
+            "\"detection_latency\"",
+            "\"sled_words\": 64",
+            "\"attack_matrix\"",
+            "\"attack\": \"word-tamper\"",
+            "\"fipac\": \"compromised-flagged\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
         }
     }
 

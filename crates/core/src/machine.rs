@@ -32,9 +32,10 @@ pub enum ResetPolicy {
 
 impl ResetPolicy {
     /// What this policy does about a violation after `resets_so_far`
-    /// resets — the single dispatch both [`SofiaMachine::step_block`] and
-    /// [`SofiaMachine::run`] apply.
-    fn dispose(self, resets_so_far: u64) -> Disposition {
+    /// resets — the single dispatch [`SofiaMachine::step_block`],
+    /// [`SofiaMachine::run`] and the alternative-backend machines
+    /// (`sofia-backends`) all apply.
+    pub fn dispose(self, resets_so_far: u64) -> Disposition {
         match self {
             ResetPolicy::HaltAndReport => Disposition::Stop,
             ResetPolicy::Reboot { max_resets } if resets_so_far >= max_resets as u64 => {

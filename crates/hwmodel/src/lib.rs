@@ -176,6 +176,55 @@ pub fn sofia_with_vcache(unroll: u32, entries: u32) -> HwEstimate {
     }
 }
 
+/// Fixed area of the sponge-CFP fetch path beyond the permutation
+/// rounds: the state register, the XOR whitening into decode and the
+/// patch-application mux (no MAC unit, no mux-block steering).
+pub const SPONGE_FIXED_SLICES: f64 = 250.0;
+
+/// Fixed area of the FIPAC check unit: the running-state register, the
+/// signature comparator and the trap line (the update logic itself is
+/// the round slices).
+pub const FIPAC_FIXED_SLICES: f64 = 200.0;
+
+/// Rounds per cycle the FIPAC state-update pipeline is provisioned with.
+/// The update has a whole basic block to settle before the next check
+/// can consult it, so a narrow iterative datapath suffices.
+pub const FIPAC_UNROLL: u32 = 5;
+
+/// A sponge-CFP core (Werner et al., SCFP): the permutation sits on the
+/// fetch critical path exactly like SOFIA's decrypt — same unrolled
+/// datapath, same period — but the scheme needs no CBC-MAC unit and no
+/// multiplexor-block steering, so the fixed overhead is smaller. The
+/// chain is serial per word, so the datapath cannot be operated as an
+/// issue-per-cycle pipeline: `pipelined` is false at every unroll.
+pub fn sponge_cfp() -> HwEstimate {
+    let unroll = PAPER_UNROLL;
+    let cipher_path = CIPHER_FIXED_NS + unroll as f64 * ROUND_DELAY_NS;
+    HwEstimate {
+        name: "sponge-cfp",
+        unroll,
+        slices: LEON3_SLICES + SPONGE_FIXED_SLICES + unroll as f64 * ROUND_SLICES,
+        period_ns: cipher_path.max(LEON3_PERIOD_NS),
+        cycles_per_op: (ROUNDS as u32 + 1).div_ceil(unroll),
+        pipelined: false,
+    }
+}
+
+/// A FIPAC-style core (Nasahl et al.): plaintext fetch, so the cipher is
+/// *off* the critical path and the core keeps the vanilla clock; the
+/// keyed state update runs on a narrow iterative datapath
+/// ([`FIPAC_UNROLL`] rounds/cycle) beside the pipeline.
+pub fn fipac() -> HwEstimate {
+    HwEstimate {
+        name: "fipac",
+        unroll: FIPAC_UNROLL,
+        slices: LEON3_SLICES + FIPAC_FIXED_SLICES + FIPAC_UNROLL as f64 * ROUND_SLICES,
+        period_ns: LEON3_PERIOD_NS,
+        cycles_per_op: (ROUNDS as u32 + 1).div_ceil(FIPAC_UNROLL),
+        pipelined: false,
+    }
+}
+
 /// Table I, regenerated: the vanilla row and the SOFIA row at the paper's
 /// 13× design point.
 pub fn table1() -> (HwEstimate, HwEstimate) {
@@ -271,5 +320,38 @@ mod tests {
     #[should_panic(expected = "entries")]
     fn zero_entry_vcache_rejected() {
         let _ = sofia_with_vcache(PAPER_UNROLL, 0);
+    }
+
+    #[test]
+    fn backend_area_ordering() {
+        // vanilla < fipac < sponge < sofia: each scheme adds hardware in
+        // proportion to what it enforces.
+        let v = vanilla();
+        let f = fipac();
+        let sp = sponge_cfp();
+        let so = sofia(PAPER_UNROLL);
+        assert!(v.slices < f.slices);
+        assert!(f.slices < sp.slices);
+        assert!(sp.slices < so.slices);
+    }
+
+    #[test]
+    fn fipac_keeps_the_vanilla_clock() {
+        // The keyed update is off the critical path.
+        let v = vanilla();
+        let f = fipac();
+        assert_eq!(f.period_ns, v.period_ns);
+        assert!(f.clock_slowdown_vs(&v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sponge_pays_the_cipher_critical_path() {
+        // Same unrolled permutation on the fetch path as SOFIA's decrypt
+        // → same period, but the serial chain can never pipeline.
+        let sp = sponge_cfp();
+        let so = sofia(PAPER_UNROLL);
+        assert_eq!(sp.period_ns, so.period_ns);
+        assert!(!sp.pipelined);
+        assert!(so.pipelined);
     }
 }

@@ -1,5 +1,9 @@
 //! Disassembly of machine words back into readable assembly.
 
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+use crate::asm::Assembly;
 use crate::Instruction;
 
 /// Disassembles a single word at address `pc`, annotating branch and jump
@@ -64,6 +68,100 @@ pub fn region(words: &[u32], base: u32) -> String {
         out.push_str(&format!("{pc:#010x}:  {w:08x}  {}\n", word(w, pc)));
     }
     out
+}
+
+/// Reassembles a laid-out [`Assembly`] into source the parser accepts,
+/// closing the asm → encode → disasm → asm loop.
+///
+/// [`inst_at`] renders branch and jump targets as absolute hex addresses,
+/// which the parser (label targets only) rejects; this function instead
+/// labels every transfer target `L_<addr>` and emits label operands, plus
+/// a `.global` for the entry point and the data section as verbatim
+/// `.byte` runs. Reassembling the result with the same bases reproduces
+/// `words`, `data` and `entry` bit-for-bit.
+///
+/// Returns `None` if a word does not decode or a transfer targets an
+/// address outside the text section — neither occurs for assembler
+/// output, but both do for tampered or ciphertext images.
+///
+/// # Examples
+///
+/// ```
+/// use sofia_isa::{asm, disasm};
+///
+/// let a = asm::assemble("main: addi t0, zero, 1\nbeq t0, zero, main\nhalt")?;
+/// let src = disasm::reassemble(&a).expect("assembler output reassembles");
+/// assert_eq!(asm::assemble(&src)?.words, a.words);
+/// # Ok::<(), sofia_isa::error::AsmError>(())
+/// ```
+pub fn reassemble(assembly: &Assembly) -> Option<String> {
+    use Instruction::*;
+
+    let base = assembly.text_base;
+    let end = base + (assembly.words.len() as u32) * 4;
+    let insts: Vec<Instruction> = assembly
+        .words
+        .iter()
+        .map(|&w| Instruction::decode(w).ok())
+        .collect::<Option<_>>()?;
+
+    let in_text = |addr: u32| addr >= base && addr < end && addr % 4 == 0;
+    if !in_text(assembly.entry) {
+        return None;
+    }
+
+    // Every address that needs a label: the entry plus each static target.
+    let mut targets = BTreeSet::new();
+    targets.insert(assembly.entry);
+    for (i, inst) in insts.iter().enumerate() {
+        if inst.is_branch() || inst.is_direct_jump() {
+            let target = inst.static_target(base + (i as u32) * 4)?;
+            if !in_text(target) {
+                return None;
+            }
+            targets.insert(target);
+        }
+    }
+
+    let label = |addr: u32| format!("L_{addr:08x}");
+    let mut out = String::new();
+    out.push_str(".text\n");
+    let _ = writeln!(out, ".global {}", label(assembly.entry));
+    for (i, inst) in insts.iter().enumerate() {
+        let pc = base + (i as u32) * 4;
+        if targets.contains(&pc) {
+            let _ = writeln!(out, "{}:", label(pc));
+        }
+        let line = match *inst {
+            Beq { rs, rt, .. }
+            | Bne { rs, rt, .. }
+            | Blt { rs, rt, .. }
+            | Bge { rs, rt, .. }
+            | Bltu { rs, rt, .. }
+            | Bgeu { rs, rt, .. } => {
+                let target = inst.static_target(pc).expect("branches have targets");
+                format!("{} {rs}, {rt}, {}", inst.mnemonic(), label(target))
+            }
+            J { .. } | Jal { .. } => {
+                let target = inst.static_target(pc).expect("jumps have targets");
+                format!("{} {}", inst.mnemonic(), label(target))
+            }
+            _ => inst.to_string(),
+        };
+        let _ = writeln!(out, "    {line}");
+    }
+
+    // Data re-emitted as verbatim bytes: `.word label` references and
+    // alignment padding are already resolved into the byte image, so a
+    // flat `.byte` run reproduces it exactly at the same base.
+    if !assembly.data.is_empty() {
+        out.push_str(".data\n");
+        for chunk in assembly.data.chunks(16) {
+            let bytes: Vec<String> = chunk.iter().map(|b| b.to_string()).collect();
+            let _ = writeln!(out, "    .byte {}", bytes.join(", "));
+        }
+    }
+    Some(out)
 }
 
 /// The fraction of `words` that decode to legal instructions.

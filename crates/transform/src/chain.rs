@@ -1,0 +1,113 @@
+//! Shared machinery for the *state-chained* integrity backends (sponge
+//! CFP and FIPAC): a keyed running state walked over the linear text,
+//! plus per-edge **patch values** that reconcile the state across control
+//! transfers.
+//!
+//! Both alternative backends replace SOFIA's per-edge seals with one
+//! canonical chain: the state before word *i* is
+//!
+//! ```text
+//! S₀    = P(init)
+//! Sᵢ₊₁  = P(Sᵢ ⊕ wordᵢ)
+//! ```
+//!
+//! where `P` is a keyed permutation (RECTANGLE under a device key) and
+//! `wordᵢ` is the *plaintext* instruction word. Sequential execution
+//! keeps the runtime state in sync for free; every non-fall-through CFG
+//! edge `a → t` gets a public patch
+//!
+//! ```text
+//! patch(a, t) = S(a)⁺ ⊕ S(t)
+//! ```
+//!
+//! (`S(a)⁺` = state after absorbing the transferring word) that the fetch
+//! unit XORs in when control actually takes the edge. A transfer along an
+//! edge the installer never enumerated finds no patch, so the runtime
+//! state diverges from the canonical chain — which is exactly the
+//! detection mechanism of both schemes (garbage decryption for the
+//! sponge, a failed signature check for FIPAC).
+//!
+//! Unlike SOFIA's sealer, no dispatch ladders or multiplexer trees are
+//! needed: a block with many predecessors simply carries one patch per
+//! incoming edge. The price is paid elsewhere — detection is no longer
+//! immediate (see the backend docs).
+
+use std::collections::BTreeMap;
+
+use sofia_cfg::{Cfg, EdgeKind};
+use sofia_isa::asm::{Assembly, LayoutOptions, Module};
+
+use crate::error::TransformError;
+
+/// The canonical chain of a laid-out module: the plain [`Assembly`], the
+/// state *before* each text word, and the patch table over all
+/// non-fall-through CFG edges (keyed by `(from_pc, to_pc)` and including
+/// the reset edge `(RESET_PREV_PC, entry)`).
+pub(crate) struct Chain {
+    pub assembly: Assembly,
+    /// `states[i]` is the canonical state before absorbing word `i`;
+    /// `states[n]` is the state after the final word.
+    pub states: Vec<u64>,
+    pub patches: BTreeMap<(u32, u32), u64>,
+}
+
+/// Lays out `module` with the plain assembler rules and walks the keyed
+/// chain over its text.
+///
+/// * `permute` — the keyed permutation `P`;
+/// * `init` — the pre-permutation seed of the canonical chain;
+/// * `reset_state` — the state the *fetch unit* boots with (it must be
+///   derivable from public image fields alone); the reset edge's patch
+///   moves it onto the canonical chain at the entry word.
+pub(crate) fn build_chain(
+    module: &Module,
+    permute: &dyn Fn(u64) -> u64,
+    init: u64,
+    reset_state: u64,
+) -> Result<Chain, TransformError> {
+    if module.text.is_empty() {
+        return Err(TransformError::EmptyProgram);
+    }
+    let cfg = Cfg::build(module)?;
+    let assembly = module
+        .layout(&LayoutOptions::default())
+        .map_err(TransformError::Layout)?;
+
+    let n = assembly.words.len();
+    let mut states = Vec::with_capacity(n + 1);
+    let mut s = permute(init);
+    for &w in &assembly.words {
+        states.push(s);
+        s = permute(s ^ u64::from(w));
+    }
+    states.push(s);
+
+    let addr = |i: usize| assembly.text_base + 4 * i as u32;
+    let mut patches = BTreeMap::new();
+    for i in 0..n {
+        for e in cfg.succs(i) {
+            if e.kind == EdgeKind::FallThrough {
+                continue;
+            }
+            // State after the transferring word, onto the state before
+            // the destination word.
+            patches.insert(
+                (addr(e.from), addr(e.to)),
+                states[e.from + 1] ^ states[e.to],
+            );
+        }
+    }
+    // The reset edge: the fetch unit derives `reset_state` from public
+    // header fields and patches onto the canonical entry state.
+    let entry_index = (assembly.entry - assembly.text_base) / 4;
+    patches.insert(
+        (crate::RESET_PREV_PC, assembly.entry),
+        reset_state ^ states[entry_index as usize],
+    );
+
+    Ok(Chain {
+        assembly,
+        states,
+        patches,
+    })
+}

@@ -43,19 +43,24 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+mod chain;
 pub mod decode;
 mod error;
+pub mod fipac;
 mod format;
 mod image;
 mod lower;
 mod mux;
 mod pack;
 mod seal;
+pub mod sponge;
 
 pub use decode::DecodeError;
 pub use error::TransformError;
+pub use fipac::{install_fipac, FipacImage};
 pub use format::{BlockFormat, BlockKind, RESET_PREV_PC, UNREACHABLE_PREV_PC};
 pub use image::{SecureImage, TransformReport};
+pub use sponge::{seal_sponge, SpongeImage};
 
 use sofia_cfg::Cfg;
 use sofia_crypto::{CryptoEngine, KeySet, Nonce};

@@ -23,6 +23,7 @@
 //! | [`cpu`] | the vanilla 7-stage pipeline simulator (LEON3-like baseline) |
 //! | [`transform`] | the secure installer (blocks, mux trees, MAC-then-Encrypt) |
 //! | [`core`] | the SOFIA machine: CFI decrypt + SI verify + reset logic |
+//! | [`backends`] | alternative integrity backends (sponge CFP, FIPAC) behind the same fetch seam |
 //! | [`workloads`] | ADPCM and other embedded kernels with golden models |
 //! | [`attacks`] | the adversary harness (injection, relocation, hijack, forgery) |
 //! | [`hwmodel`] | the calibrated FPGA area / critical-path cost model |
@@ -60,6 +61,7 @@
 //! ```
 
 pub use sofia_attacks as attacks;
+pub use sofia_backends as backends;
 pub use sofia_cfg as cfg;
 pub use sofia_core as core;
 pub use sofia_cpu as cpu;
@@ -72,6 +74,7 @@ pub use sofia_workloads as workloads;
 
 /// The most commonly used types, re-exported for `use sofia::prelude::*`.
 pub mod prelude {
+    pub use sofia_backends::{FipacMachine, SpongeMachine};
     pub use sofia_core::{
         machine::{RunOutcome, SofiaMachine},
         security, ResumeEdge, SliceOutcome, SofiaConfig, VCacheConfig, Violation,
@@ -86,5 +89,8 @@ pub mod prelude {
         asm::{self, Module},
         Instruction, Reg,
     };
-    pub use sofia_transform::{BlockFormat, SecureImage, TransformReport, Transformer};
+    pub use sofia_transform::{
+        install_fipac, seal_sponge, BlockFormat, FipacImage, SecureImage, SpongeImage,
+        TransformReport, Transformer,
+    };
 }

@@ -144,3 +144,132 @@ pub fn assert_invisible(what: &str, src: &str, keys: &KeySet) {
         .unwrap_or_else(|e| panic!("{what}: transform: {e:?}"));
     assert_invisible_across(what, &image, keys, &config_family());
 }
+
+// ---------------------------------------------------------------------
+// Cross-backend harness: the same programs, tampers and attack rows run
+// against SOFIA and the two alternative backends (`sofia-backends`),
+// reduced to the same string-typed [`ArchResult`] so one assertion
+// vocabulary covers all three.
+// ---------------------------------------------------------------------
+
+use sofia::backends::{BackendMachine, BackendOutcome, FipacMachine, SpongeMachine};
+use sofia::cpu::FetchUnit;
+use sofia::crypto::Nonce;
+
+/// The three integrity schemes under comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The paper's machine: MAC-then-Encrypt blocks, immediate detection.
+    Sofia,
+    /// Sponge-based CFP: implicit integrity via decrypt-absorb.
+    Sponge,
+    /// FIPAC-style keyed CFI state: deferred detection at check points.
+    Fipac,
+}
+
+impl Backend {
+    /// Every backend, in comparison order.
+    pub const ALL: [Backend; 3] = [Backend::Sofia, Backend::Sponge, Backend::Fipac];
+
+    /// Stable label for failure messages and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Sofia => "sofia",
+            Backend::Sponge => "sponge",
+            Backend::Fipac => "fipac",
+        }
+    }
+}
+
+/// Cycle counts alongside the architectural result, for the overhead
+/// invariants (which, unlike [`ArchResult`], ARE backend-specific).
+pub struct BackendRun {
+    /// Architecturally visible results.
+    pub arch: ArchResult,
+    /// Simulated cycles.
+    pub cycles: u64,
+}
+
+fn reduce_backend<F>(mut m: BackendMachine<F>, fuel: u64) -> BackendRun
+where
+    F: FetchUnit,
+    F::Violation: std::fmt::Debug,
+{
+    let outcome = match m.run(fuel) {
+        Ok(o) => match o {
+            // Render through RunOutcome's vocabulary so results compare
+            // 1:1 with SOFIA runs reduced by `run_config`.
+            BackendOutcome::Halted => "Halted".to_string(),
+            BackendOutcome::OutOfFuel => "OutOfFuel".to_string(),
+            BackendOutcome::ViolationStop(v) => format!("ViolationStop({v:?})"),
+            BackendOutcome::ResetLoop { resets } => format!("ResetLoop {{ resets: {resets} }}"),
+        },
+        Err(t) => format!("trap: {t:?}"),
+    };
+    BackendRun {
+        arch: ArchResult {
+            outcome,
+            mmio: m.mem().mmio.out_words.clone(),
+            actuators: m.mem().mmio.actuator_writes.clone(),
+            instret: m.stats().instret,
+            violations: m.violations().iter().map(|v| format!("{v:?}")).collect(),
+        },
+        cycles: m.stats().cycles,
+    }
+}
+
+/// Installs `src` for `backend`, applies `prepare` to the ROM words
+/// (identity for clean runs; 1:1 word indexing holds for the sponge and
+/// FIPAC images, while SOFIA's block layout gets the tamper at the same
+/// *stored-word* index), runs, and reduces the run.
+pub fn run_backend_with(
+    backend: Backend,
+    src: &str,
+    keys: &KeySet,
+    fuel: u64,
+    prepare: &dyn Fn(&mut Vec<u32>),
+) -> BackendRun {
+    let module = asm::parse(src).unwrap_or_else(|e| panic!("{}: parse: {e:?}", backend.label()));
+    match backend {
+        Backend::Sofia => {
+            let image = Transformer::new(keys.clone())
+                .transform(&module)
+                .unwrap_or_else(|e| panic!("sofia: transform: {e:?}"));
+            let mut m = SofiaMachine::new(&image, keys);
+            prepare(m.mem_mut().rom_mut());
+            let outcome = match m.run(fuel) {
+                Ok(o) => format!("{o:?}"),
+                Err(t) => format!("trap: {t:?}"),
+            };
+            BackendRun {
+                arch: ArchResult {
+                    outcome,
+                    mmio: m.mem().mmio.out_words.clone(),
+                    actuators: m.mem().mmio.actuator_writes.clone(),
+                    instret: m.stats().exec.instret,
+                    violations: m.violations().iter().map(|v| format!("{v:?}")).collect(),
+                },
+                cycles: m.stats().exec.cycles,
+            }
+        }
+        Backend::Sponge => {
+            let image = seal_sponge(&module, keys, Nonce::new(1))
+                .unwrap_or_else(|e| panic!("sponge: seal: {e:?}"));
+            let mut m = SpongeMachine::new(&image, keys);
+            prepare(m.mem_mut().rom_mut());
+            reduce_backend(m, fuel)
+        }
+        Backend::Fipac => {
+            let image = install_fipac(&module, keys, Nonce::new(1))
+                .unwrap_or_else(|e| panic!("fipac: install: {e:?}"));
+            let mut m = FipacMachine::new(&image, keys);
+            prepare(m.mem_mut().rom_mut());
+            reduce_backend(m, fuel)
+        }
+    }
+}
+
+/// Clean run of `src` on `backend`.
+pub fn run_backend(backend: Backend, src: &str, keys: &KeySet, fuel: u64) -> BackendRun {
+    run_backend_with(backend, src, keys, fuel, &|_| {})
+}

@@ -8,6 +8,9 @@
 //! so the same corpus drives the verified-block-cache differential suite
 //! (`vcache_differential.rs`); any divergence replays from its seed.
 
+mod common;
+
+use common::Backend;
 use proptest::prelude::*;
 use sofia::crypto::KeySet;
 use sofia::prelude::*;
@@ -55,5 +58,61 @@ proptest! {
         prop_assert_eq!(cm.stats().exec.instret, sm.stats().exec.instret);
         prop_assert!(cm.stats().exec.cycles <= sm.stats().exec.cycles);
         prop_assert!(cm.stats().exec.cycles > vm.stats().cycles);
+    }
+
+    /// Every backend — SOFIA, sponge-CFP, FIPAC — is architecturally
+    /// transparent on the same generated corpus, and their overheads
+    /// order as the hardware model predicts: the sponge's serial permute
+    /// is the most expensive fetch path, FIPAC's off-critical-path check
+    /// the cheapest protected one.
+    #[test]
+    fn all_backends_are_architecturally_transparent(seed in any::<u64>()) {
+        let src = random_program(seed);
+        let plain = asm::assemble(&src).expect("generated program assembles");
+        let mut vm = VanillaMachine::new(&plain);
+        let v = vm.run(5_000_000).expect("vanilla trap");
+        prop_assert!(v.is_halted(), "vanilla did not halt");
+
+        let keys = KeySet::from_seed(0xD1FF);
+        let mut cycles = std::collections::HashMap::new();
+        for backend in Backend::ALL {
+            let run = common::run_backend(backend, &src, &keys, 20_000_000);
+            prop_assert!(
+                run.arch.outcome == "Halted",
+                "{}: outcome {}", backend.label(), &run.arch.outcome
+            );
+            prop_assert!(
+                run.arch.mmio == vm.mem().mmio.out_words,
+                "{}: output diverged", backend.label()
+            );
+            prop_assert!(
+                run.arch.violations.is_empty(),
+                "{}: spurious violations {:?}", backend.label(), run.arch.violations
+            );
+            // Protection is never free...
+            prop_assert!(run.cycles > vm.stats().cycles, "{}", backend.label());
+            cycles.insert(backend.label(), run.cycles);
+        }
+        // ...and the sponge's serial chain costs more than FIPAC's
+        // plaintext fetch on every program.
+        prop_assert!(cycles["fipac"] < cycles["sponge"]);
+    }
+
+    /// The differential corpus round-trips through the disassembler: the
+    /// relabeling reassembler (`disasm::reassemble`) reproduces every
+    /// generated program's binary bit-for-bit, so the corpus seeding this
+    /// suite also seeds the isa round-trip suite
+    /// (`crates/isa/tests/roundtrip.rs`) — one loop, checked from both
+    /// ends.
+    #[test]
+    fn differential_corpus_roundtrips_through_the_disassembler(seed in any::<u64>()) {
+        use sofia::isa::disasm;
+        let src = random_program(seed);
+        let a = asm::assemble(&src).expect("generated program assembles");
+        let rsrc = disasm::reassemble(&a).expect("assembler output reassembles");
+        let b = asm::assemble(&rsrc).expect("reassembled source assembles");
+        prop_assert!(a.words == b.words, "text diverged");
+        prop_assert!(a.data == b.data, "data diverged");
+        prop_assert!(a.entry == b.entry, "entry diverged");
     }
 }

@@ -13,7 +13,7 @@
 
 mod common;
 
-use common::tamper_configs;
+use common::{tamper_configs, Backend};
 use proptest::prelude::*;
 use sofia::crypto::KeySet;
 use sofia::prelude::*;
@@ -152,6 +152,46 @@ proptest! {
                 other => prop_assert!(false, "{}: unexpected outcome {:?}", label, other),
             }
         }
+    }
+
+    /// The cross-backend fault contract: a random single-bit flip in the
+    /// stored image never yields a *silent wrong result* on any backend.
+    /// What "never" buys differs per scheme — the point of the matrix:
+    ///
+    /// * SOFIA: detected before execution, or the flip was never fetched
+    ///   (exact output) — pinned more tightly by the sweeps above;
+    /// * sponge: the flip desynchronises the chain — garbage decode, a
+    ///   trap from a garbled-but-decodable prefix, or a garbage loop.
+    ///   A completed run must carry the exact honest output;
+    /// * FIPAC: the tampered words *execute* (deferred detection), but a
+    ///   run that reaches a justifying check point is flagged there — a
+    ///   silent `Halted` is only legitimate with the exact honest output.
+    #[test]
+    fn bit_flips_never_silently_corrupt_any_backend(
+        word in 0usize..100,
+        bit in 0u32..32,
+        backend_idx in 0usize..3,
+    ) {
+        let backend = Backend::ALL[backend_idx];
+        let w = sofia_workloads::kernels::crc32(16);
+        let keys = KeySet::from_seed(0xFA017);
+        // Modest fuel: the honest run needs a few thousand slots, and a
+        // garbage loop only has to *reach* OutOfFuel, not tour it — the
+        // sponge pays one permutation per fetched word, so large budgets
+        // turn each diverged case into seconds of host time.
+        let run = common::run_backend_with(backend, &w.source, &keys, 2_000_000, &|rom| {
+            let idx = word % rom.len();
+            rom[idx] ^= 1 << bit;
+        });
+        if run.arch.outcome == "Halted" && run.arch.violations.is_empty() {
+            prop_assert!(
+                run.arch.mmio == w.expected,
+                "{}: silent corruption: {:?} != {:?}",
+                backend.label(), run.arch.mmio, w.expected
+            );
+        }
+        // Everything else — ViolationStop, trap, OutOfFuel (a garbage
+        // loop), ResetLoop — is a contained failure, never silent.
     }
 }
 

@@ -1,6 +1,7 @@
 //! Integration: the attack matrix — every attack class against every
 //! machine configuration, asserting the paper's security claims.
 
+use sofia::attacks::xbackend::{self, XVerdict};
 use sofia::attacks::{forgery, hijack, injection, migration, relocation};
 use sofia::crypto::KeySet;
 use sofia::prelude::*;
@@ -104,6 +105,79 @@ fn forgery_acceptance_scales_as_two_to_minus_n() {
     // And the full 64-bit MAC never accepts.
     let full = forgery::run_campaign(&keys, 64, 1 << 12, 5);
     assert_eq!(full.accepted, 0);
+}
+
+#[test]
+fn backend_matrix_rows_discriminate_the_schemes() {
+    // The cross-backend rows: the same adversary against SOFIA, the
+    // sponge-CFP backend and the FIPAC backend. The schemes must NOT
+    // produce identical rows — their detection models genuinely differ,
+    // and the matrix is the executable record of how.
+    let keys = KeySet::from_seed(0x5EC6);
+    let rows = xbackend::matrix(&keys);
+    assert_eq!(rows.len(), 3);
+
+    let tamper = &rows[0];
+    assert_eq!(tamper.attack, "word-tamper");
+    // SOFIA refuses the block before execution.
+    assert!(
+        matches!(tamper.sofia, XVerdict::Detected(_)),
+        "{}",
+        tamper.sofia
+    );
+    // The sponge flags it (garbage decode) without the effect landing.
+    assert!(
+        tamper.sponge.is_flagged() && !tamper.sponge.is_compromised(),
+        "{}",
+        tamper.sponge
+    );
+    // FIPAC executes the tampered word — the effect lands — and flags
+    // at the next signature point: deferred, not silent.
+    assert!(
+        matches!(tamper.fipac, XVerdict::CompromisedFlagged(_)),
+        "{}",
+        tamper.fipac
+    );
+
+    let hijack_row = &rows[1];
+    assert_eq!(hijack_row.attack, "gadget-hijack");
+    assert!(!hijack_row.sofia.is_compromised(), "{}", hijack_row.sofia);
+    assert!(
+        hijack_row.sponge.is_flagged() && !hijack_row.sponge.is_compromised(),
+        "{}",
+        hijack_row.sponge
+    );
+    assert!(hijack_row.fipac.is_flagged(), "{}", hijack_row.fipac);
+
+    let elision = &rows[2];
+    assert_eq!(elision.attack, "check-elision");
+    // Faulting the comparator defeats SOFIA (the SI compare) and FIPAC
+    // (the signature compare) — but the sponge has no comparator to
+    // fault: detection is implicit in decode, and it still fires.
+    assert!(
+        matches!(elision.sofia, XVerdict::CompromisedSilent(_)),
+        "{}",
+        elision.sofia
+    );
+    assert!(
+        elision.sponge.is_flagged() && !elision.sponge.is_compromised(),
+        "{}",
+        elision.sponge
+    );
+    assert!(
+        matches!(elision.fipac, XVerdict::CompromisedSilent(_)),
+        "{}",
+        elision.fipac
+    );
+
+    // Non-identical rows: every row separates at least two backends.
+    for row in &rows {
+        assert!(
+            !(row.sofia == row.sponge && row.sponge == row.fipac),
+            "{}: all three backends produced the identical verdict",
+            row.attack
+        );
+    }
 }
 
 #[test]
