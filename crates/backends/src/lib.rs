@@ -57,6 +57,12 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Same wall as `sofia-fleet`: a backend is a comparison *subject*, and a
+// stray `unwrap` in one scheme's fetch path would abort the whole
+// cross-backend harness instead of producing that scheme's typed
+// `BackendOutcome`. Non-test code routes every fallible step through the
+// typed error surface.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod fipac;
 pub mod machine;

@@ -39,6 +39,7 @@ fn main() {
             "fleet",
             "host",
             "backends",
+            "chaos",
             "ablate-block",
             "ablate-unroll",
             "ablate-sched",
@@ -68,6 +69,7 @@ fn main() {
             "fleet" => fleet_eval(),
             "host" => host_eval(),
             "backends" => backends_eval(),
+            "chaos" => chaos_eval(),
             "ablate-block" => ablate_block(),
             "ablate-unroll" => ablate_unroll(),
             "ablate-sched" => ablate_sched(),
@@ -603,6 +605,56 @@ fn backends_eval() {
     println!("   plaintext fetch at the vanilla clock, detection deferred to the next");
     println!("   signature point — the latency column is the price of that deferral)");
     sofia_bench::write_backends_json(&sofia_bench::backends_json(&report));
+}
+
+/// Extension — chaos & resilience: the serving workload under seeded
+/// host-fault injection with the self-healing ladder armed, across a
+/// fault-rate sweep (emits `BENCH_chaos.json`). Every point asserts
+/// bit-identical results at 1 and 4 host threads, and the zero-fault
+/// point asserts bit-identical records against a driver without the
+/// chaos/resilience machinery — the `ChaosPlan::none()` invisibility
+/// invariant at bench scale.
+fn chaos_eval() {
+    banner("chaos: host-fault injection + self-healing fleet (sweep 0 / 1e-3 / 1e-2)");
+    let report = sofia_bench::chaos_report(4);
+    println!(
+        "  {} honest tenants + {} storm tenants, seed {:#x}",
+        report.tenants, report.storm_tenants, report.seed
+    );
+    println!(
+        "  {:>8} {:>7} {:>7} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6}",
+        "rate_ppm", "avail", "miss", "faults", "retry", "shed", "late", "break", "mttr", "degr"
+    );
+    for p in &report.points {
+        let r = p.res;
+        println!(
+            "  {:>8} {:>7.4} {:>7.4} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7.1} {:>6}",
+            p.rate_ppm,
+            p.availability,
+            p.deadline_miss_rate,
+            r.faults_injected,
+            r.retries_scheduled,
+            r.deadline_shed + r.load_shed,
+            r.deadline_late,
+            r.breaker_opens,
+            p.mttr_ticks,
+            r.vcache_off_tenants + r.scalar_fallbacks + r.inline_seal_fallbacks,
+        );
+        for c in &p.classes {
+            println!(
+                "           {:>12}: {:>5} finished, p50 {:>8}, p99 {:>8}  (cycles)",
+                c.label, c.finished, c.p50_sojourn_cycles, c.p99_sojourn_cycles
+            );
+        }
+    }
+    let zero = &report.points[0];
+    assert_eq!(
+        zero.availability, 1.0,
+        "zero fault rate must serve everything it accepted"
+    );
+    println!("  (bit-identical at 1 and 4 host threads at every rate; the zero point is");
+    println!("   bit-identical to a driver without the chaos/resilience machinery)");
+    sofia_bench::write_chaos_json(&sofia_bench::chaos_json(&report));
 }
 
 /// Extension — the same overheads across the whole kernel suite.

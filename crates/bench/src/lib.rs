@@ -7,6 +7,11 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Same wall as `sofia-fleet`: measurement code is the evidence chain for
+// every number the repo publishes, and a bare `unwrap`/`expect` dies
+// without saying *which* workload or machine misbehaved. Non-test code
+// panics through `unwrap_or_else` with the failing value in the message.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use sofia_core::machine::SofiaMachine;
 use sofia_core::{SofiaConfig, SofiaStats, VCacheConfig};
@@ -78,7 +83,9 @@ pub fn measure_with(
     // the comparison isolates the security architecture).
     let assembly = workload.assembly();
     let mut vm = VanillaMachine::with_config(&assembly, &config.machine);
-    let vr = vm.run(FUEL).expect("vanilla run traps");
+    let vr = vm
+        .run(FUEL)
+        .unwrap_or_else(|e| panic!("vanilla run traps: {e:?}"));
     assert!(vr.is_halted(), "{}: vanilla did not halt", workload.name);
     assert_eq!(
         vm.mem().mmio.out_words,
@@ -91,10 +98,12 @@ pub fn measure_with(
     let image = Transformer::new(keys.clone())
         .with_format(format)
         .transform(&workload.module())
-        .expect("workload transforms");
+        .unwrap_or_else(|e| panic!("workload transforms: {e:?}"));
     let report = image.report.clone();
     let mut sm = SofiaMachine::with_config(&image, keys, config);
-    let sr = sm.run(FUEL).expect("sofia run traps");
+    let sr = sm
+        .run(FUEL)
+        .unwrap_or_else(|e| panic!("sofia run traps: {e:?}"));
     assert!(sr.is_halted(), "{}: sofia outcome {sr:?}", workload.name);
     assert_eq!(
         sm.mem().mmio.out_words,
@@ -184,17 +193,23 @@ impl VCacheRow {
 pub fn vcache_row(workload: &Workload, keys: &KeySet, vcache: VCacheConfig) -> VCacheRow {
     let vanilla = workload
         .verify_on_vanilla()
-        .expect("vanilla verifies")
+        .unwrap_or_else(|e| panic!("vanilla verifies: {e:?}"))
         .cycles;
     let image = workload.secure_image(keys);
     let mut uncached = SofiaMachine::new(&image, keys);
-    assert!(uncached.run(FUEL).expect("uncached traps").is_halted());
+    assert!(uncached
+        .run(FUEL)
+        .unwrap_or_else(|e| panic!("uncached traps: {e:?}"))
+        .is_halted());
     let config = SofiaConfig {
         vcache,
         ..Default::default()
     };
     let mut cached = SofiaMachine::with_config(&image, keys, &config);
-    assert!(cached.run(FUEL).expect("cached traps").is_halted());
+    assert!(cached
+        .run(FUEL)
+        .unwrap_or_else(|e| panic!("cached traps: {e:?}"))
+        .is_halted());
     assert_eq!(
         cached.mem().mmio.out_words,
         workload.expected,
@@ -300,7 +315,7 @@ pub fn fleet_mix_tenants(fleet: &mut sofia_fleet::Fleet) {
     for (id, seed) in [(1u32, 0xF1Bu64), (2, 0xC3C32), (3, 0xADBC)] {
         fleet
             .register_tenant(TenantId(id), KeySet::from_seed(seed))
-            .expect("fresh fleet");
+            .unwrap_or_else(|e| panic!("fresh fleet: {e:?}"));
     }
 }
 
@@ -321,7 +336,9 @@ pub fn fleet_scaling_point(workers: usize, mode: sofia_fleet::SchedMode) -> Flee
     let specs = fleet_mix();
     let jobs = specs.len();
     for spec in specs {
-        fleet.submit(spec).expect("mix tenants are registered");
+        fleet
+            .submit(spec)
+            .unwrap_or_else(|e| panic!("mix tenants are registered: {e:?}"));
     }
     let records = fleet.run_batch();
     for r in &records {
@@ -508,7 +525,7 @@ pub fn async_wfq_report(tenants: usize, threads: usize) -> AsyncWfqReport {
                 KeySet::from_seed(0x5EED_0000 + id as u64),
                 ClassId(class_of(id)),
             )
-            .expect("fresh driver");
+            .unwrap_or_else(|e| panic!("fresh driver: {e:?}"));
     }
 
     // Deterministic arrival generator (64-bit LCG, fixed seed).
@@ -570,7 +587,9 @@ pub fn async_wfq_report(tenants: usize, threads: usize) -> AsyncWfqReport {
                     *left -= 1;
                     fleet
                         .submit(batch_job(r.tenant.0, round))
-                        .expect("closed-loop batch tenant is active and under quota");
+                        .unwrap_or_else(|e| {
+                            panic!("closed-loop batch tenant is active and under quota: {e:?}")
+                        });
                 }
             }
             records.push(r);
@@ -839,9 +858,12 @@ pub fn backend_cycle_points(workload: &Workload, keys: &KeySet) -> (u64, Vec<Bac
     }];
     let module = workload.module();
 
-    let image = seal_sponge(&module, keys, Nonce::new(1)).expect("workload seals for the sponge");
+    let image = seal_sponge(&module, keys, Nonce::new(1))
+        .unwrap_or_else(|e| panic!("workload seals for the sponge: {e:?}"));
     let mut m = SpongeMachine::new(&image, keys);
-    let outcome = m.run(FUEL).expect("sponge run traps");
+    let outcome = m
+        .run(FUEL)
+        .unwrap_or_else(|e| panic!("sponge run traps: {e:?}"));
     assert!(
         matches!(outcome, BackendOutcome::Halted),
         "{}: sponge outcome {outcome:?}",
@@ -859,9 +881,12 @@ pub fn backend_cycle_points(workload: &Workload, keys: &KeySet) -> (u64, Vec<Bac
         overhead_pct: pct(m.stats().cycles),
     });
 
-    let image = install_fipac(&module, keys, Nonce::new(1)).expect("workload installs for FIPAC");
+    let image = install_fipac(&module, keys, Nonce::new(1))
+        .unwrap_or_else(|e| panic!("workload installs for FIPAC: {e:?}"));
     let mut m = FipacMachine::new(&image, keys);
-    let outcome = m.run(FUEL).expect("fipac run traps");
+    let outcome = m
+        .run(FUEL)
+        .unwrap_or_else(|e| panic!("fipac run traps: {e:?}"));
     assert!(
         matches!(outcome, BackendOutcome::Halted),
         "{}: fipac outcome {outcome:?}",
@@ -910,7 +935,7 @@ pub fn backend_hw_points() -> Vec<BackendHwPoint> {
 /// Panics if any backend fails to flag the tamper.
 pub fn detection_latency_points(keys: &KeySet) -> Vec<DetectionLatencyPoint> {
     let src = sled_victim(BACKENDS_SLED_WORDS);
-    let module = asm::parse(&src).expect("sled victim parses");
+    let module = asm::parse(&src).unwrap_or_else(|e| panic!("sled victim parses: {e:?}"));
     let k = BACKENDS_TAMPER_WORD;
     let evil = Instruction::Addi {
         rt: Reg::T5,
@@ -925,23 +950,28 @@ pub fn detection_latency_points(keys: &KeySet) -> Vec<DetectionLatencyPoint> {
     // instruction k sits after the two MAC words of its block.
     let image = Transformer::new(keys.clone())
         .transform(&module)
-        .expect("sled victim transforms");
+        .unwrap_or_else(|e| panic!("sled victim transforms: {e:?}"));
     let block_words = image.format.block_words();
     let per_block = block_words - 2;
     let stored = (k / per_block) * block_words + 2 + (k % per_block);
     let mut m = SofiaMachine::new(&image, keys);
     m.mem_mut().rom_mut()[stored] = evil;
-    let outcome = m.run(FUEL).expect("sofia run traps");
+    let outcome = m
+        .run(FUEL)
+        .unwrap_or_else(|e| panic!("sofia run traps: {e:?}"));
     assert!(!outcome.is_halted(), "sofia missed the sled tamper");
     points.push(DetectionLatencyPoint {
         backend: "sofia",
         latency_instructions: latency(m.stats().exec.instret),
     });
 
-    let image = seal_sponge(&module, keys, Nonce::new(1)).expect("sled victim seals");
+    let image = seal_sponge(&module, keys, Nonce::new(1))
+        .unwrap_or_else(|e| panic!("sled victim seals: {e:?}"));
     let mut m = SpongeMachine::new(&image, keys);
     m.mem_mut().rom_mut()[k] = evil;
-    let outcome = m.run(FUEL).expect("sponge run traps");
+    let outcome = m
+        .run(FUEL)
+        .unwrap_or_else(|e| panic!("sponge run traps: {e:?}"));
     assert!(
         matches!(outcome, BackendOutcome::ViolationStop(_)),
         "sponge missed the sled tamper: {outcome:?}"
@@ -951,10 +981,13 @@ pub fn detection_latency_points(keys: &KeySet) -> Vec<DetectionLatencyPoint> {
         latency_instructions: latency(m.stats().instret),
     });
 
-    let image = install_fipac(&module, keys, Nonce::new(1)).expect("sled victim installs");
+    let image = install_fipac(&module, keys, Nonce::new(1))
+        .unwrap_or_else(|e| panic!("sled victim installs: {e:?}"));
     let mut m = FipacMachine::new(&image, keys);
     m.mem_mut().rom_mut()[k] = evil;
-    let outcome = m.run(FUEL).expect("fipac run traps");
+    let outcome = m
+        .run(FUEL)
+        .unwrap_or_else(|e| panic!("fipac run traps: {e:?}"));
     assert!(
         matches!(outcome, BackendOutcome::ViolationStop(_)),
         "fipac missed the sled tamper: {outcome:?}"
@@ -1290,19 +1323,28 @@ pub fn host_mips(reps: u32) -> Vec<HostMipsRow> {
     let mut instret = 0;
     let secs = best_secs(reps, || {
         let mut m = VanillaMachine::new(&assembly);
-        assert!(m.run(FUEL).expect("vanilla traps").is_halted());
+        assert!(m
+            .run(FUEL)
+            .unwrap_or_else(|e| panic!("vanilla traps: {e:?}"))
+            .is_halted());
         instret = m.stats().instret;
     });
     push("vanilla", instret, secs);
     let secs = best_secs(reps, || {
         let mut m = SofiaMachine::new(&image, &keys);
-        assert!(m.run(FUEL).expect("sofia traps").is_halted());
+        assert!(m
+            .run(FUEL)
+            .unwrap_or_else(|e| panic!("sofia traps: {e:?}"))
+            .is_halted());
         instret = m.stats().exec.instret;
     });
     push("sofia-uncached", instret, secs);
     let secs = best_secs(reps, || {
         let mut m = SofiaMachine::with_config(&image, &keys, &cached);
-        assert!(m.run(FUEL).expect("sofia cached traps").is_halted());
+        assert!(m
+            .run(FUEL)
+            .unwrap_or_else(|e| panic!("sofia cached traps: {e:?}"))
+            .is_halted());
         instret = m.stats().exec.instret;
     });
     push("sofia-cached", instret, secs);
@@ -1322,7 +1364,11 @@ pub fn host_seal_rates(reps: u32) -> SealRates {
     let rate = |engine: sofia_crypto::CryptoEngine| {
         let transformer = Transformer::new(keys.clone()).with_engine(engine);
         1.0 / best_secs(reps, || {
-            std::hint::black_box(transformer.transform(&module).expect("adpcm seals"));
+            std::hint::black_box(
+                transformer
+                    .transform(&module)
+                    .unwrap_or_else(|e| panic!("adpcm seals: {e:?}")),
+            );
         })
     };
     SealRates {
@@ -1367,7 +1413,9 @@ pub fn host_fleet_points(workers_list: &[usize], reps: u32) -> Vec<FleetHostPoin
                     let specs = fleet_mix();
                     jobs = specs.len();
                     for spec in specs {
-                        fleet.submit(spec).expect("mix tenants are registered");
+                        fleet
+                            .submit(spec)
+                            .unwrap_or_else(|e| panic!("mix tenants are registered: {e:?}"));
                     }
                     let t = Instant::now();
                     let records = fleet.run_batch();
@@ -1612,6 +1660,539 @@ pub fn write_host_json(json: &str) {
     match std::fs::write(path, json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("BENCH_host.json not written: {e}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chaos & resilience (`BENCH_chaos.json`)
+//
+// The WFQ serving workload re-run under seeded host-fault injection
+// (`sofia_fleet::ChaosPlan`) with the self-healing ladder armed
+// (`sofia_fleet::ResilienceConfig::standard` plus per-class deadlines):
+// what fraction of accepted honest work the fleet still serves to a
+// halted completion, what it sheds, and how fast the breaker recovers,
+// across a fault-rate sweep. Everything is virtual-time deterministic —
+// every point asserts bit-identical digests at 1 and N host threads,
+// and the zero-fault point asserts bit-identical records against a
+// driver with the chaos and resilience machinery entirely absent (the
+// `ChaosPlan::none()` invisibility invariant, at bench scale).
+// ---------------------------------------------------------------------
+
+/// Fault rates (ppm per draw) the sweep runs: none, 1e-3, 1e-2.
+pub const CHAOS_BENCH_RATES_PPM: [u32; 3] = [0, 1_000, 10_000];
+/// Seed of every sweep point's [`sofia_fleet::ChaosPlan`].
+pub const CHAOS_BENCH_SEED: u64 = 0xC4A0_5EED;
+/// Honest tenants of the chaos workload (70/20/10 class split, same
+/// shape as [`async_wfq_report`]).
+pub const CHAOS_BENCH_TENANTS: usize = 200;
+/// Hostile "storm" tenants the [`sofia_fleet::Seam::Storm`] process
+/// drives: their sabotaged bursts exercise quarantine under chaos and
+/// are excluded from the availability denominator.
+pub const CHAOS_BENCH_STORM_TENANTS: usize = 6;
+/// Per-class sojourn deadlines in virtual cycles, `(class, deadline)`.
+/// Comfortably above the zero-fault maximum (so the zero point has no
+/// deadline events — the zero-point assertions pin exactly that) and
+/// tight enough that stall taxes and retry backoffs at the 1e-2 rate
+/// push jobs past them.
+pub const CHAOS_BENCH_DEADLINES: [(u8, u64); 2] = [(0, 6_000), (1, 60_000)];
+
+/// One service class's latency roll-up at one fault rate (honest
+/// tenants only).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosClassRow {
+    /// Raw class id.
+    pub class: u8,
+    /// Human label.
+    pub label: &'static str,
+    /// Honest records of the class.
+    pub finished: usize,
+    /// Median sojourn in simulated cycles.
+    pub p50_sojourn_cycles: u64,
+    /// 99th-percentile sojourn in simulated cycles.
+    pub p99_sojourn_cycles: u64,
+}
+
+/// One point of the fault-rate sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosPoint {
+    /// Per-draw fault probability of every seam, in ppm.
+    pub rate_ppm: u32,
+    /// Driver counters at drain.
+    pub stats: sofia_fleet::AsyncStats,
+    /// Resilience counters (faults, retries, sheds, breaker,
+    /// degradations).
+    pub res: sofia_fleet::ResilienceStats,
+    /// Honest records (jobs the fleet accepted and drove to *some*
+    /// typed record — the availability denominator; intentional
+    /// admission rejections are counted separately in `stats`).
+    pub accepted: usize,
+    /// Honest records that halted cleanly.
+    pub served: usize,
+    /// `served / accepted` — 1.0 at zero fault rate, pinned by CI.
+    pub availability: f64,
+    /// `(deadline_shed + deadline_late) / accepted`.
+    pub deadline_miss_rate: f64,
+    /// Mean breaker open→close span in ticks (0 when it never closed).
+    pub mttr_ticks: f64,
+    /// Per-class sojourn rows, ascending class id.
+    pub classes: Vec<ChaosClassRow>,
+    /// FNV-1a over all records and rejections — identical at any host
+    /// thread count (asserted before this point is built).
+    pub digest: u64,
+}
+
+/// Everything `BENCH_chaos.json` records.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosReport {
+    /// Honest tenants.
+    pub tenants: usize,
+    /// Storm tenants (excluded from availability).
+    pub storm_tenants: usize,
+    /// Host threads of the non-serial leg of each determinism check.
+    pub threads: usize,
+    /// Chaos seed of every point.
+    pub seed: u64,
+    /// One point per entry of [`CHAOS_BENCH_RATES_PPM`].
+    pub points: Vec<ChaosPoint>,
+}
+
+/// One full drive of the chaos workload.
+struct ChaosRun {
+    stats: sofia_fleet::AsyncStats,
+    res: sofia_fleet::ResilienceStats,
+    records: Vec<sofia_fleet::JobRecord>,
+    digest: u64,
+}
+
+/// Drives the chaos workload once: the [`async_wfq_report`] tenant mix
+/// (scaled to [`CHAOS_BENCH_TENANTS`]) plus storm tenants, under
+/// `rate_ppm` on every seam. `resilient` arms the recovery ladder —
+/// `false` is the machinery-off baseline the zero point is pinned
+/// against.
+///
+/// # Panics
+///
+/// Panics if a resilience counter and its typed event stream disagree —
+/// the "every fault accounted for by exactly one typed event" contract.
+fn chaos_run(rate_ppm: u32, threads: usize, resilient: bool) -> ChaosRun {
+    use sofia_fleet::{
+        AdmissionConfig, AsyncConfig, AsyncFleet, ChaosPlan, ClassConfig, ClassId, FaultRate,
+        JobSpec, ResilienceConfig, ResilienceEvent, Sabotage, SchedMode, Seam, TenantId,
+    };
+    use std::collections::BTreeMap;
+    let tenants = CHAOS_BENCH_TENANTS;
+    let n_interactive = tenants * 7 / 10;
+    let n_batch = tenants * 2 / 10;
+    let n_best = tenants - n_interactive - n_batch;
+    const CLASS_META: [(u8, &str, u64); 3] = [
+        (0, "interactive", 8),
+        (1, "batch", 2),
+        (2, "best_effort", 1),
+    ];
+    let mut admission = AdmissionConfig::default();
+    for (id, _, weight) in CLASS_META {
+        admission.classes.insert(
+            id,
+            ClassConfig {
+                weight,
+                ..Default::default()
+            },
+        );
+    }
+    if let Some(best) = admission.classes.get_mut(&2) {
+        best.queue_cap = (n_best / 2).max(1);
+    }
+    let plan = ChaosPlan::uniform(CHAOS_BENCH_SEED, FaultRate::ppm(rate_ppm));
+    let mut resilience = ResilienceConfig::default();
+    if resilient {
+        resilience = ResilienceConfig::standard();
+        for (class, deadline) in CHAOS_BENCH_DEADLINES {
+            resilience.deadlines.insert(ClassId(class), deadline);
+        }
+        // A tighter trip wire than the serving preset: at 1e-2 per
+        // lane-tick the fleet sees ~0.1 faults/tick, and the bench
+        // wants the breaker's open→close span (the MTTR column) on the
+        // record, not just in the drill.
+        if let Some(b) = resilience.breaker.as_mut() {
+            b.fault_threshold = 3;
+        }
+    }
+    let mut fleet = AsyncFleet::new(AsyncConfig {
+        threads,
+        workers: ASYNC_BENCH_WORKERS,
+        mode: SchedMode::FuelSliced {
+            slice: ASYNC_BENCH_SLICE,
+        },
+        admission,
+        chaos: plan.clone(),
+        resilience,
+        ..Default::default()
+    });
+
+    let class_of = |id: u32| -> u8 {
+        let id = id as usize - 1;
+        if id < n_interactive {
+            0
+        } else if id < n_interactive + n_batch {
+            1
+        } else {
+            2
+        }
+    };
+    for id in 1..=tenants as u32 {
+        fleet
+            .register_tenant(
+                TenantId(id),
+                KeySet::from_seed(0x5EED_0000 + id as u64),
+                ClassId(class_of(id)),
+            )
+            .unwrap_or_else(|e| panic!("fresh driver: {e:?}"));
+    }
+    for s in 0..CHAOS_BENCH_STORM_TENANTS as u32 {
+        let id = tenants as u32 + 1 + s;
+        fleet
+            .register_tenant(
+                TenantId(id),
+                KeySet::from_seed(0x5709_0000 + id as u64),
+                ClassId(2),
+            )
+            .unwrap_or_else(|e| panic!("fresh driver: {e:?}"));
+    }
+
+    // Deterministic arrival generator — same LCG and split as the WFQ
+    // bench, so the zero-chaos point is the familiar serving workload.
+    let mut lcg: u64 = 0x2545F491_4F6CDD1D;
+    let mut draw = move |bound: u64| {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (lcg >> 33) % bound
+    };
+    let horizon: u64 = 400u64.max(400 * tenants as u64 / 1000);
+    let batch_job = |id: u32, round: u32| {
+        JobSpec::new(
+            TenantId(id),
+            wfq_job_src(120 + (id % 7) * 10 + round * 3),
+            200_000,
+        )
+    };
+    for id in 1..=tenants as u32 {
+        match class_of(id) {
+            0 => {
+                for _ in 0..2 {
+                    let spec = JobSpec::new(TenantId(id), wfq_job_src(8 + (id % 16)), 100_000);
+                    let tick = draw(horizon);
+                    fleet.submit_at(spec, tick);
+                }
+            }
+            1 => {
+                fleet.submit_at(batch_job(id, 0), draw(8));
+            }
+            _ => {
+                let spec = JobSpec::new(TenantId(id), wfq_job_src(40 + (id % 11)), 150_000);
+                fleet.submit_at(spec, 0);
+            }
+        }
+    }
+
+    let mut rounds_left: BTreeMap<u32, u32> = (1..=tenants as u32)
+        .filter(|&id| class_of(id) == 1)
+        .map(|id| (id, 2))
+        .collect();
+    let mut records = Vec::new();
+    loop {
+        // The storm process: per tick, per storm tenant, a seeded draw
+        // decides whether a sabotaged burst job arrives. Harness-drawn
+        // (the fleet cannot invent tenants), so the harness also files
+        // the typed fault event.
+        let now = fleet.now();
+        if now < horizon {
+            for s in 0..CHAOS_BENCH_STORM_TENANTS as u32 {
+                let id = tenants as u32 + 1 + s;
+                if plan.strikes(Seam::Storm, now, 0x5702_0000 + s as u64) {
+                    fleet.note_harness_fault(Seam::Storm, None, Some(TenantId(id)));
+                    let spec = JobSpec::new(TenantId(id), wfq_job_src(24), 150_000)
+                        .with_sabotage(Sabotage::FlipRomWord { word: 9, mask: 1 });
+                    fleet.submit_at(spec, now + 1);
+                }
+            }
+        }
+        fleet.tick();
+        for r in fleet.drain_finished() {
+            if let Some(left) = rounds_left.get_mut(&r.tenant.0) {
+                if *left > 0 {
+                    let round = 3 - *left;
+                    *left -= 1;
+                    fleet.submit_at(batch_job(r.tenant.0, round), fleet.now());
+                }
+            }
+            records.push(r);
+        }
+        if fleet.queued_jobs() == 0 && fleet.pending_arrivals() == 0 && fleet.now() >= horizon {
+            break;
+        }
+    }
+    let rejections = fleet.drain_rejected();
+
+    // Every fault strike must be accounted for by exactly one typed
+    // event — the chaos layer's accounting contract.
+    let events = fleet.drain_resilience_events();
+    let fault_events = events
+        .iter()
+        .filter(|e| matches!(e, ResilienceEvent::FaultInjected { .. }))
+        .count() as u64;
+    let res = fleet.resilience_stats();
+    assert_eq!(
+        res.faults_injected, fault_events,
+        "every injected fault must land exactly one typed event"
+    );
+
+    let mut digest: u64 = 0xcbf29ce484222325;
+    for r in &records {
+        for word in [
+            r.job.0,
+            r.tenant.0 as u64,
+            r.stats.exec.cycles,
+            r.stats.exec.instret,
+            r.arrival_tick,
+            r.start_tick,
+            r.end_tick,
+            r.sojourn_cycles,
+            r.slices as u64,
+        ] {
+            fnv1a(&mut digest, &word.to_le_bytes());
+        }
+        fnv1a(&mut digest, format!("{:?}", r.outcome).as_bytes());
+        for w in &r.out_words {
+            fnv1a(&mut digest, &w.to_le_bytes());
+        }
+    }
+    for rej in &rejections {
+        fnv1a(&mut digest, &rej.job.0.to_le_bytes());
+        fnv1a(&mut digest, &rej.tick.to_le_bytes());
+        fnv1a(&mut digest, format!("{}", rej.error).as_bytes());
+    }
+    ChaosRun {
+        stats: fleet.stats(),
+        res,
+        records,
+        digest,
+    }
+}
+
+/// Runs the chaos sweep: every rate of [`CHAOS_BENCH_RATES_PPM`], each
+/// point asserted bit-identical at 1 and `threads` host threads, and
+/// the zero point asserted bit-identical against a driver with the
+/// chaos and resilience machinery absent.
+///
+/// # Panics
+///
+/// Panics if any determinism or accounting assertion fails, if the zero
+/// point serves less than everything it accepted, or if the top rate
+/// injects no faults.
+pub fn chaos_report(threads: usize) -> ChaosReport {
+    const CLASS_META: [(u8, &str); 3] = [(0, "interactive"), (1, "batch"), (2, "best_effort")];
+    let honest = |tenant: u32| tenant as usize <= CHAOS_BENCH_TENANTS;
+    let mut points = Vec::new();
+    for rate_ppm in CHAOS_BENCH_RATES_PPM {
+        let serial = chaos_run(rate_ppm, 1, true);
+        let run = chaos_run(rate_ppm, threads, true);
+        assert_eq!(
+            (&serial.stats, &serial.res, serial.digest),
+            (&run.stats, &run.res, run.digest),
+            "chaos results at rate {rate_ppm} ppm depend on the host thread count"
+        );
+        if rate_ppm == 0 {
+            let baseline = chaos_run(0, threads, false);
+            assert_eq!(
+                baseline.digest, run.digest,
+                "ChaosPlan::none + idle resilience must be bit-identical to \
+                 a driver without the machinery"
+            );
+            assert_eq!(run.res.faults_injected, 0);
+            for r in &run.records {
+                assert!(
+                    r.outcome.is_halted(),
+                    "{}: {:?} at zero fault rate",
+                    r.job,
+                    r.outcome
+                );
+            }
+        }
+        let accepted = run.records.iter().filter(|r| honest(r.tenant.0)).count();
+        let served = run
+            .records
+            .iter()
+            .filter(|r| honest(r.tenant.0) && r.outcome.is_halted())
+            .count();
+        let availability = served as f64 / accepted.max(1) as f64;
+        let res = run.res;
+        let deadline_miss_rate =
+            (res.deadline_shed + res.deadline_late) as f64 / accepted.max(1) as f64;
+        let mttr_ticks = if res.breaker_closes == 0 {
+            0.0
+        } else {
+            res.breaker_open_ticks as f64 / res.breaker_closes as f64
+        };
+        let classes = CLASS_META
+            .iter()
+            .map(|&(class, label)| {
+                let mut sojourns: Vec<u64> = run
+                    .records
+                    .iter()
+                    .filter(|r| honest(r.tenant.0) && chaos_class_of(r.tenant.0) == class)
+                    .map(|r| r.sojourn_cycles)
+                    .collect();
+                sojourns.sort_unstable();
+                let pct = |p: usize| -> u64 {
+                    if sojourns.is_empty() {
+                        0
+                    } else {
+                        sojourns[(sojourns.len() - 1) * p / 100]
+                    }
+                };
+                ChaosClassRow {
+                    class,
+                    label,
+                    finished: sojourns.len(),
+                    p50_sojourn_cycles: pct(50),
+                    p99_sojourn_cycles: pct(99),
+                }
+            })
+            .collect();
+        points.push(ChaosPoint {
+            rate_ppm,
+            stats: run.stats,
+            res,
+            accepted,
+            served,
+            availability,
+            deadline_miss_rate,
+            mttr_ticks,
+            classes,
+            digest: run.digest,
+        });
+    }
+    let top = points
+        .last()
+        .unwrap_or_else(|| panic!("sweep produced no points"));
+    assert!(
+        top.res.faults_injected > 0,
+        "the top rate must actually inject faults"
+    );
+    assert!(
+        top.availability > 0.0,
+        "the fleet must keep serving through the top fault rate"
+    );
+    ChaosReport {
+        tenants: CHAOS_BENCH_TENANTS,
+        storm_tenants: CHAOS_BENCH_STORM_TENANTS,
+        threads,
+        seed: CHAOS_BENCH_SEED,
+        points,
+    }
+}
+
+/// The class of an honest chaos-workload tenant (mirrors the 70/20/10
+/// split used at submission).
+fn chaos_class_of(tenant: u32) -> u8 {
+    let n_interactive = CHAOS_BENCH_TENANTS * 7 / 10;
+    let n_batch = CHAOS_BENCH_TENANTS * 2 / 10;
+    let id = tenant as usize - 1;
+    if id < n_interactive {
+        0
+    } else if id < n_interactive + n_batch {
+        1
+    } else {
+        2
+    }
+}
+
+/// Serialises a [`ChaosReport`] to the `BENCH_chaos.json` schema.
+/// `availability` is formatted to four places so CI can grep the
+/// zero-rate pin literally (`"availability": 1.0000`).
+pub fn chaos_json(report: &ChaosReport) -> String {
+    let mut out = String::from("{\n  \"bench\": \"chaos\",\n");
+    out.push_str(&format!(
+        "  \"tenants\": {}, \"storm_tenants\": {}, \"threads\": {},\n  \"seed\": {},\n",
+        report.tenants, report.storm_tenants, report.threads, report.seed
+    ));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in report.points.iter().enumerate() {
+        let s = p.stats;
+        let r = p.res;
+        out.push_str(&format!(
+            "    {{ \"rate_ppm\": {}, \"availability\": {:.4}, \"deadline_miss_rate\": {:.4},\n      \
+             \"served\": {}, \"accepted\": {}, \"rejected\": {}, \"ticks\": {}, \
+             \"makespan_cycles\": {},\n      \
+             \"faults_injected\": {}, \"seal_faults\": {}, \"snapshot_corruptions\": {}, \
+             \"worker_stalls\": {}, \"worker_panics_injected\": {}, \"storm_bursts\": {},\n      \
+             \"retries_scheduled\": {}, \"retries_exhausted\": {}, \"deadline_shed\": {}, \
+             \"deadline_late\": {}, \"load_shed\": {},\n      \
+             \"breaker_opens\": {}, \"breaker_closes\": {}, \"breaker_open_ticks\": {}, \
+             \"mttr_ticks\": {:.1},\n      \
+             \"vcache_off_tenants\": {}, \"scalar_fallbacks\": {}, \"inline_seal_fallbacks\": {},\n      \
+             \"digest\": \"{:#018x}\",\n      \"classes\": [\n",
+            p.rate_ppm,
+            p.availability,
+            p.deadline_miss_rate,
+            p.served,
+            p.accepted,
+            s.rejected,
+            s.ticks,
+            s.makespan_cycles,
+            r.faults_injected,
+            r.seal_faults,
+            r.snapshot_corruptions,
+            r.worker_stalls,
+            r.worker_panics_injected,
+            r.storm_bursts,
+            r.retries_scheduled,
+            r.retries_exhausted,
+            r.deadline_shed,
+            r.deadline_late,
+            r.load_shed,
+            r.breaker_opens,
+            r.breaker_closes,
+            r.breaker_open_ticks,
+            p.mttr_ticks,
+            r.vcache_off_tenants,
+            r.scalar_fallbacks,
+            r.inline_seal_fallbacks,
+            p.digest,
+        ));
+        for (j, c) in p.classes.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{ \"class\": {}, \"label\": \"{}\", \"finished\": {}, \
+                 \"p50_sojourn_cycles\": {}, \"p99_sojourn_cycles\": {} }}{}\n",
+                c.class,
+                c.label,
+                c.finished,
+                c.p50_sojourn_cycles,
+                c.p99_sojourn_cycles,
+                if j + 1 == p.classes.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "      ] }}{}\n",
+            if i + 1 == report.points.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `json` to `BENCH_chaos.json` at the workspace root, like the
+/// sibling bench emitters.
+pub fn write_chaos_json(json: &str) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_chaos.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("BENCH_chaos.json not written: {e}"),
     }
 }
 

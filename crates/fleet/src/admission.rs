@@ -120,6 +120,16 @@ pub enum AdmitError {
         /// The configured per-class cap.
         cap: usize,
     },
+    /// The resilience circuit breaker is open and this job's class is
+    /// light enough (WFQ weight ≤ the breaker's `shed_max_weight`) to
+    /// shed: the fleet is trading best-effort admissions for interactive
+    /// SLOs while fault pressure drains (see [`crate::resilience`]).
+    LoadShed {
+        /// The shed tenant.
+        tenant: TenantId,
+        /// Its (light) class.
+        class: ClassId,
+    },
     /// Admitting the job would push the tenant past its class's
     /// [`ClassConfig::tenant_fuel_quota`].
     OverFuelQuota {
@@ -145,6 +155,9 @@ impl std::fmt::Display for AdmitError {
             }
             AdmitError::ClassQueueFull { class, queued, cap } => {
                 write!(f, "{class} queue full ({queued} queued, cap {cap})")
+            }
+            AdmitError::LoadShed { tenant, class } => {
+                write!(f, "{tenant} shed: circuit breaker open for {class}")
             }
             AdmitError::OverFuelQuota {
                 tenant,

@@ -54,12 +54,14 @@ use sofia_crypto::KeySet;
 use sofia_transform::cache::{image_key, ImageCache, ImageKey};
 
 use crate::admission::{AdmissionConfig, AdmitError, ClassId, Rejection};
+use crate::chaos::{ChaosPlan, InjectedFault, Seam};
 use crate::fleet::{
     catch_quantum, finish, lock_clean, needs_containment, restore_against, FleetConfig, FleetError,
     JobRun, SchedMode,
 };
 use crate::job::{JobId, JobOutcome, JobRecord, JobSpec, TenantId};
 use crate::quarantine::{QuarantinePolicy, TenantState};
+use crate::resilience::{ResilienceConfig, ResilienceEvent, ResilienceState, ResilienceStats};
 use crate::seal_farm::{SealFarm, SealVerdict};
 use crate::stats::TenantStats;
 
@@ -89,6 +91,13 @@ pub struct AsyncConfig {
     /// consecutive unserved ticks (`None` = never park). Parking is
     /// invisible to results; it bounds resident machines.
     pub park_after: Option<u64>,
+    /// Seeded host-fault injection. [`ChaosPlan::none`] (the default)
+    /// is bit-for-bit invisible — the chaos suite pins this.
+    pub chaos: ChaosPlan,
+    /// Recovery policy: deadlines, retry budgets, circuit breaking,
+    /// graceful degradation. [`ResilienceConfig::default`] (the
+    /// default) turns all of it off.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for AsyncConfig {
@@ -101,6 +110,8 @@ impl Default for AsyncConfig {
             sofia: sofia_core::SofiaConfig::default(),
             admission: AdmissionConfig::default(),
             park_after: Some(8),
+            chaos: ChaosPlan::none(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -127,6 +138,10 @@ pub struct AsyncStats {
     pub revives: u64,
     /// Jobs that ended in [`JobOutcome::WorkerPanic`].
     pub worker_panics: u64,
+    /// Jobs whose parked snapshot failed revival
+    /// ([`JobOutcome::RevivalFailed`]) — counted at the settle that
+    /// produced the record, whether or not a retry then rescued the job.
+    pub revival_failures: u64,
     /// Peak count of live (unparked) machines resident across queued
     /// jobs at a tick boundary.
     pub peak_resident_machines: u64,
@@ -176,6 +191,9 @@ struct LaneTask {
     pending: Pending,
     /// The WFQ charge applied at selection, to true up after the run.
     provisional: u64,
+    /// The fault the chaos plan assigned to this lane, if any. Decided
+    /// on the coordinator (deterministic), applied on the lane runner.
+    fault: Option<InjectedFault>,
 }
 
 struct LaneResult {
@@ -186,8 +204,9 @@ struct LaneResult {
 }
 
 /// Revives a parked run in place. Any failure is a *host* fault (the
-/// snapshot was produced by this very driver), reported as the typed
-/// [`JobOutcome::WorkerPanic`] — never a security verdict.
+/// snapshot was produced by this very driver, so corruption means the
+/// bytes rotted in storage or transit), reported as the typed
+/// [`JobOutcome::RevivalFailed`] — never a security verdict.
 fn revive(run: &mut JobRun, bytes: &[u8]) -> Result<(), String> {
     let snap = MachineSnapshot::from_bytes(bytes).map_err(|e| format!("revive decode: {e}"))?;
     let Some(image) = run.image.clone() else {
@@ -199,8 +218,9 @@ fn revive(run: &mut JobRun, bytes: &[u8]) -> Result<(), String> {
     Ok(())
 }
 
-/// Serves one lane: revive if parked, then one quantum through the
-/// panic barrier. Runs on a pool thread (or inline when `threads == 1`).
+/// Serves one lane: revive if parked, apply any injected fault, then
+/// one quantum through the panic barrier. Runs on a pool thread (or
+/// inline when `threads == 1`).
 fn run_lane(mut task: LaneTask, config: &FleetConfig, cache: &ImageCache) -> LaneResult {
     let run = &mut task.pending.run;
     run.quanta_this_batch = 0;
@@ -213,7 +233,7 @@ fn run_lane(mut task: LaneTask, config: &FleetConfig, cache: &ImageCache) -> Lan
                 // quantum so the schedule model still prices the tick.
                 run.slices += 1;
                 run.slice_cycles.push(0);
-                let record = finish(run, JobOutcome::WorkerPanic(msg));
+                let record = finish(run, JobOutcome::RevivalFailed(msg));
                 return LaneResult {
                     pending: task.pending,
                     provisional: task.provisional,
@@ -223,7 +243,52 @@ fn run_lane(mut task: LaneTask, config: &FleetConfig, cache: &ImageCache) -> Lan
             }
         }
     }
-    let record = catch_quantum(run, config, cache);
+    let record = match task.fault.take() {
+        // An injected farm fault: the job's fresh seal "failed" — the
+        // same typed, zero-cost-quantum shape as a real seal error.
+        Some(InjectedFault::SealFault) => {
+            run.slices += 1;
+            run.slice_cycles.push(0);
+            Some(finish(
+                run,
+                JobOutcome::SealFailed("chaos: injected seal-farm fault".to_string()),
+            ))
+        }
+        // An injected worker death: no real panic ever unwinds (the
+        // "never a panic" contract) — the machine is dropped and the
+        // same typed record a caught panic would produce is emitted.
+        Some(InjectedFault::WorkerPanic) => {
+            run.machine = None;
+            run.slices += 1;
+            run.slice_cycles.push(0);
+            Some(finish(
+                run,
+                JobOutcome::WorkerPanic("chaos: injected worker fault".to_string()),
+            ))
+        }
+        // An injected stall: the quantum runs normally, then its lane
+        // cost is taxed in *virtual* cycles, so the schedule model (and
+        // every sojourn derived from it) prices the slow host. The
+        // machine's own simulated cycles are untouched — a stall is
+        // scheduler time, not device work.
+        Some(InjectedFault::Stall { cycles }) => {
+            let mut record = catch_quantum(run, config, cache);
+            match record.as_mut() {
+                Some(r) => {
+                    if let Some(last) = r.slice_cycles.last_mut() {
+                        *last = last.saturating_add(cycles);
+                    }
+                }
+                None => {
+                    if let Some(last) = run.slice_cycles.last_mut() {
+                        *last = last.saturating_add(cycles);
+                    }
+                }
+            }
+            record
+        }
+        None => catch_quantum(run, config, cache),
+    };
     LaneResult {
         pending: task.pending,
         provisional: task.provisional,
@@ -413,6 +478,13 @@ pub struct AsyncFleet {
     finished: Vec<JobRecord>,
     rejected: Vec<Rejection>,
     stats: AsyncStats,
+    /// The active fault-injection plan (swappable mid-run via
+    /// [`AsyncFleet::set_chaos_plan`] — an operator seam, and what the
+    /// warm-then-storm chaos tests drive).
+    chaos: ChaosPlan,
+    /// The recovery state machine: retry ledgers, breaker window,
+    /// degradation rungs, the typed event log.
+    res: ResilienceState,
 }
 
 impl AsyncFleet {
@@ -425,6 +497,8 @@ impl AsyncFleet {
             sofia: config.sofia,
             ..FleetConfig::default()
         };
+        let chaos = config.chaos.clone();
+        let res = ResilienceState::new(config.resilience.clone());
         AsyncFleet {
             config,
             fleet_config,
@@ -438,6 +512,8 @@ impl AsyncFleet {
             finished: Vec::new(),
             rejected: Vec::new(),
             stats: AsyncStats::default(),
+            chaos,
+            res,
         }
     }
 
@@ -534,6 +610,41 @@ impl AsyncFleet {
         self.stats
     }
 
+    /// Resilience counters: faults injected, retries, sheds, breaker
+    /// transitions, degradations. All zeros unless chaos or a
+    /// non-default [`ResilienceConfig`] is active.
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.res.stats
+    }
+
+    /// Takes every typed fault/recovery event since the last drain, in
+    /// coordinator (deterministic) order.
+    pub fn drain_resilience_events(&mut self) -> Vec<ResilienceEvent> {
+        self.res.drain_events()
+    }
+
+    /// The active fault-injection plan.
+    pub fn chaos_plan(&self) -> &ChaosPlan {
+        &self.chaos
+    }
+
+    /// Swaps the fault-injection plan from the next tick on — the
+    /// operator seam for drills ("warm the fleet, then storm it").
+    /// Installing [`ChaosPlan::none`] stops injection immediately.
+    pub fn set_chaos_plan(&mut self, plan: ChaosPlan) {
+        self.chaos = plan;
+    }
+
+    /// Records a fault the *harness* drew (the stream-scoped seams —
+    /// [`Seam::Checkpoint`] truncation, [`Seam::Storm`] bursts — are
+    /// injected outside the driver, but their typed events belong in
+    /// the same ledger as the driver's own strikes, so "every fault has
+    /// exactly one typed event" holds across the whole experiment).
+    pub fn note_harness_fault(&mut self, seam: Seam, job: Option<JobId>, tenant: Option<TenantId>) {
+        let now = self.now;
+        self.res.note_fault(now, seam, job, tenant);
+    }
+
     /// Per-tenant roll-ups, keyed by raw tenant id (same shape as the
     /// batch fleet's).
     pub fn tenant_stats(&self) -> BTreeMap<u32, TenantStats> {
@@ -583,21 +694,148 @@ impl AsyncFleet {
         finished
     }
 
-    /// Drives one virtual tick: admit due arrivals, WFQ-select up to
-    /// `workers` lanes, execute their quanta (in parallel over the host
-    /// pool — results provably independent of `threads`), price the
-    /// tick, fold finished records, park the cold. Returns the number
-    /// of jobs that finished this tick.
+    /// Drives one virtual tick: run the resilience pass (breaker
+    /// cooldown, deadline sheds), admit due arrivals, WFQ-select up to
+    /// `workers` lanes, draw the chaos plan against them, execute their
+    /// quanta (in parallel over the host pool — results provably
+    /// independent of `threads`), price the tick, fold finished records
+    /// (intercepting retryable faults), park the cold. Returns the
+    /// number of jobs that finished this tick (shed jobs included —
+    /// they finish with a typed [`JobOutcome::DeadlineMissed`] record).
     pub fn tick(&mut self) -> usize {
         let now = self.now;
+        let shed = self.resilience_pass(now);
         self.admit_due(now);
-        let lanes = self.select_lanes();
+        let mut lanes = self.select_lanes();
+        self.inject_faults(now, &mut lanes);
         let results = self.execute(lanes);
         let finished = self.settle(now, results);
         self.park_pass();
         self.now += 1;
         self.stats.ticks += 1;
-        finished
+        shed + finished
+    }
+
+    /// The per-tick recovery pass, run before admissions so a breaker
+    /// close (or a deadline shed freeing queue room) takes effect for
+    /// this tick's arrivals: closes the breaker when its cooldown has
+    /// elapsed, then sheds every queued job whose virtual-time wait has
+    /// exceeded its class deadline. Shed jobs finish with a typed
+    /// [`JobOutcome::DeadlineMissed`] record — no quarantine (the job
+    /// never ran; the fleet was slow, not the tenant hostile).
+    fn resilience_pass(&mut self, now: u64) -> usize {
+        self.res.breaker_tick(now);
+        if self.res.config.deadlines.is_empty() {
+            return 0;
+        }
+        let clock = self.stats.makespan_cycles;
+        let mut shed: Vec<(Pending, u64, u64)> = Vec::new();
+        for (&class_id, state) in self.classes.iter_mut() {
+            let Some(deadline) = self.res.deadline(ClassId(class_id)) else {
+                continue;
+            };
+            let mut kept = VecDeque::with_capacity(state.queue.len());
+            for pending in state.queue.drain(..) {
+                let waited = clock.saturating_sub(pending.arrival_cycles);
+                if waited > deadline {
+                    shed.push((pending, waited, deadline));
+                } else {
+                    kept.push_back(pending);
+                }
+            }
+            state.queue = kept;
+        }
+        let count = shed.len();
+        for (mut pending, waited, deadline) in shed {
+            let job = pending.run.id;
+            let tenant = pending.run.spec.tenant;
+            self.res
+                .note_deadline_shed(now, job, tenant, waited, deadline);
+            self.res.finish_job(job);
+            // The record of a job that never ran: empty outputs, zero
+            // machine work, sojourn = the wait that killed it.
+            pending.run.machine = None;
+            let record = JobRecord {
+                job,
+                tenant,
+                outcome: JobOutcome::DeadlineMissed {
+                    deadline_cycles: deadline,
+                },
+                out_words: Vec::new(),
+                violations: Vec::new(),
+                stats: Default::default(),
+                seal_cache_hit: false,
+                retried: false,
+                slices: pending.run.slices,
+                slice_cycles: std::mem::take(&mut pending.run.slice_cycles),
+                start_tick: pending.start_tick.unwrap_or(now),
+                end_tick: now,
+                arrival_tick: pending.arrival_tick,
+                sojourn_cycles: waited,
+            };
+            self.fold_finished(&record, pending.run.spec.fuel);
+            self.finished.push(record);
+        }
+        self.stats.finished += count as u64;
+        count
+    }
+
+    /// Draws the chaos plan against this tick's selected lanes, on the
+    /// coordinator — the decisions are functions of `(seed, tick, job)`
+    /// only, so they replay identically at any thread count. At most
+    /// one fault strikes a lane per tick (seam priority: snapshot →
+    /// seal → panic → stall), and every strike lands exactly one typed
+    /// [`ResilienceEvent::FaultInjected`].
+    fn inject_faults(&mut self, now: u64, lanes: &mut [LaneTask]) {
+        if self.chaos.is_none() {
+            return;
+        }
+        for task in lanes.iter_mut() {
+            let job = task.pending.run.id;
+            let tenant = task.pending.run.spec.tenant;
+            if task.pending.parked.is_some() && self.chaos.strikes(Seam::Snapshot, now, job.0) {
+                if let Some(bytes) = task.pending.parked.as_mut() {
+                    self.chaos.corrupt_snapshot(bytes, now, job.0);
+                }
+                self.res
+                    .note_fault(now, Seam::Snapshot, Some(job), Some(tenant));
+                continue;
+            }
+            // Seal faults strike only *fresh* transforms: a lane whose
+            // image is already sealed (or cached) has no farm work for
+            // the fault to hit — which is exactly why a 100%-seal-fault
+            // storm still serves warm tenants.
+            let cold = task.pending.run.machine.is_none() && task.pending.run.image.is_none();
+            if cold
+                && !self.cache.contains(&image_key(
+                    &task.pending.run.keys,
+                    &task.pending.run.spec.source,
+                ))
+                && self.chaos.strikes(Seam::Seal, now, job.0)
+            {
+                task.fault = Some(InjectedFault::SealFault);
+                let actions = self
+                    .res
+                    .note_fault(now, Seam::Seal, Some(job), Some(tenant));
+                if actions.engage_scalar {
+                    self.cache.set_engine(sofia_crypto::CryptoEngine::Scalar);
+                }
+                continue;
+            }
+            if self.chaos.strikes(Seam::Panic, now, job.0) {
+                task.fault = Some(InjectedFault::WorkerPanic);
+                self.res
+                    .note_fault(now, Seam::Panic, Some(job), Some(tenant));
+                continue;
+            }
+            if self.chaos.strikes(Seam::Stall, now, job.0) {
+                task.fault = Some(InjectedFault::Stall {
+                    cycles: self.chaos.stall_cycles,
+                });
+                self.res
+                    .note_fault(now, Seam::Stall, Some(job), Some(tenant));
+            }
+        }
     }
 
     /// Admission gate for one job at the current tick.
@@ -613,6 +851,15 @@ impl AsyncFleet {
         }
         let class = tenant.class;
         let budget = *self.config.admission.class(class);
+        if self.res.sheds(budget.weight.max(1)) {
+            // The circuit breaker is open and this class is light
+            // enough to shed: refuse before any queue/fuel accounting.
+            self.res.note_load_shed(self.now, spec.tenant, class);
+            return Err(AdmitError::LoadShed {
+                tenant: spec.tenant,
+                class,
+            });
+        }
         if queued_total >= self.config.admission.global_queue_cap {
             return Err(AdmitError::QueueFull {
                 queued: queued_total,
@@ -641,7 +888,16 @@ impl AsyncFleet {
         }
         tenant.outstanding_fuel += spec.fuel;
         let keys = tenant.keys.clone();
-        let run = JobRun::new(0, job, keys, spec);
+        let mut run = JobRun::new(0, job, keys, spec);
+        if self.res.vcache_degraded(run.spec.tenant) {
+            // Degradation rung: this tenant's snapshots kept failing
+            // revival, so its machines run vcache-off — less parked
+            // state to rot, at re-verification cost. Correctness is
+            // untouched (the vcache is a performance memo).
+            let mut sofia = self.config.sofia;
+            sofia.vcache.enabled = false;
+            run.sofia_override = Some(sofia);
+        }
         let arrival_cycles = self.stats.makespan_cycles;
         let floor = self.backlog_vservice_floor();
         let Some(state) = self.classes.get_mut(&class.0) else {
@@ -735,6 +991,7 @@ impl AsyncFleet {
             lanes.push(LaneTask {
                 pending,
                 provisional,
+                fault: None,
             });
         }
         lanes
@@ -772,7 +1029,9 @@ impl AsyncFleet {
         if lanes.is_empty() {
             return Vec::new();
         }
-        self.preseal_wave(&mut lanes);
+        if !self.res.inline_seal_engaged() {
+            self.preseal_wave(&mut lanes);
+        }
         let threads = self.config.threads.max(1);
         if threads <= 1 || lanes.len() <= 1 {
             return lanes
@@ -804,6 +1063,9 @@ impl AsyncFleet {
     fn preseal_wave(&mut self, lanes: &mut [LaneTask]) {
         let requests: Vec<(&KeySet, &str)> = lanes
             .iter()
+            // A lane marked with an injected seal fault must not be
+            // pre-sealed — its transform is the thing that "failed".
+            .filter(|t| t.fault != Some(InjectedFault::SealFault))
             .filter(|t| t.pending.run.machine.is_none() && t.pending.run.image.is_none())
             .map(|t| (&t.pending.run.keys, t.pending.run.spec.source.as_str()))
             .collect();
@@ -814,6 +1076,9 @@ impl AsyncFleet {
         let wave = farm.seal_wave(&requests);
         let mut claimed: HashSet<ImageKey> = HashSet::new();
         for task in lanes.iter_mut() {
+            if task.fault == Some(InjectedFault::SealFault) {
+                continue;
+            }
             let run = &mut task.pending.run;
             if run.machine.is_some() || run.image.is_some() {
                 continue;
@@ -870,8 +1135,74 @@ impl AsyncFleet {
                     record.start_tick = pending.start_tick.unwrap_or(now);
                     record.end_tick = now + 1;
                     record.sojourn_cycles = clock.saturating_sub(pending.arrival_cycles);
-                    if matches!(record.outcome, JobOutcome::WorkerPanic(_)) {
-                        self.stats.worker_panics += 1;
+                    let infra_fault = matches!(
+                        record.outcome,
+                        JobOutcome::SealFailed(_)
+                            | JobOutcome::WorkerPanic(_)
+                            | JobOutcome::RevivalFailed(_)
+                    );
+                    match &record.outcome {
+                        JobOutcome::WorkerPanic(_) => self.stats.worker_panics += 1,
+                        JobOutcome::RevivalFailed(_) => {
+                            self.stats.revival_failures += 1;
+                            self.res.note_revival_failure(now, record.tenant);
+                        }
+                        _ => {}
+                    }
+                    if infra_fault {
+                        // One breaker feed per fault *record* — retried
+                        // or not, the infrastructure failed once.
+                        self.res.feed_breaker(now);
+                        if let Some(attempt) = self.res.take_retry(now, record.job, record.tenant) {
+                            // Retry instead of finishing: release the
+                            // fuel claim (the retry arrival re-charges
+                            // it) and re-queue the job with backoff +
+                            // seeded jitter. The record is discarded —
+                            // its fault is already accounted for by the
+                            // typed FaultInjected/RetryScheduled events
+                            // and the breaker feed.
+                            if let Some(t) = self.tenants.get_mut(&record.tenant.0) {
+                                t.outstanding_fuel =
+                                    t.outstanding_fuel.saturating_sub(pending.run.spec.fuel);
+                            }
+                            let base = self.res.config.backoff_base_ticks.max(1);
+                            let backoff = base
+                                .checked_shl(attempt.saturating_sub(1))
+                                .unwrap_or(u64::MAX);
+                            let jitter = self.chaos.jitter(
+                                self.res.config.backoff_jitter_ticks,
+                                now,
+                                record.job.0 ^ ((attempt as u64) << 48),
+                            );
+                            let resume = now
+                                .saturating_add(1)
+                                .saturating_add(backoff)
+                                .saturating_add(jitter);
+                            self.res.note_retry_scheduled(
+                                now,
+                                record.job,
+                                record.tenant,
+                                attempt,
+                                resume,
+                            );
+                            self.arrivals.entry(resume).or_default().push(Arrival {
+                                job: record.job,
+                                spec: pending.run.spec.clone(),
+                            });
+                            continue;
+                        }
+                    }
+                    self.res.finish_job(record.job);
+                    if let Some(deadline) = self.res.deadline(pending.class) {
+                        if record.sojourn_cycles > deadline {
+                            self.res.note_deadline_late(
+                                now,
+                                record.job,
+                                record.tenant,
+                                record.sojourn_cycles,
+                                deadline,
+                            );
+                        }
                     }
                     self.fold_finished(&record, pending.run.spec.fuel);
                     self.finished.push(record);

@@ -191,6 +191,11 @@ pub(crate) struct JobRun {
     /// Quanta served in the current batch call — the counter
     /// [`Fleet::run_batch_capped`] caps to suspend jobs mid-flight.
     pub(crate) quanta_this_batch: u32,
+    /// Per-run SOFIA configuration override. `None` (always, outside
+    /// the resilience ladder) means the fleet-wide `config.sofia` —
+    /// the async driver sets this for tenants degraded to vcache-off
+    /// after repeated revival failures (see [`crate::resilience`]).
+    pub(crate) sofia_override: Option<SofiaConfig>,
 }
 
 impl JobRun {
@@ -211,7 +216,13 @@ impl JobRun {
             slices: 0,
             slice_cycles: Vec::new(),
             quanta_this_batch: 0,
+            sofia_override: None,
         }
+    }
+
+    /// The SOFIA configuration this run's machines are built under.
+    pub(crate) fn effective_sofia<'a>(&'a self, config: &'a FleetConfig) -> &'a SofiaConfig {
+        self.sofia_override.as_ref().unwrap_or(&config.sofia)
     }
 }
 
@@ -645,6 +656,7 @@ impl Fleet {
             slices: ckpt.slices,
             slice_cycles: ckpt.slice_cycles,
             quanta_this_batch: 0,
+            sofia_override: None,
         });
         Ok(id)
     }
@@ -949,7 +961,7 @@ pub(crate) fn service_quantum(
             }
         }
         let mut machine = match run.image.as_ref() {
-            Some(image) => SofiaMachine::with_config(image, &run.keys, &config.sofia),
+            Some(image) => SofiaMachine::with_config(image, &run.keys, run.effective_sofia(config)),
             // Sealed or assigned just above; reaching this arm is a
             // fleet bug, reported as the typed worker fault it is.
             None => unreachable!("image sealed above"),
@@ -1016,7 +1028,7 @@ fn arm_retry(run: &mut JobRun, outcome: &JobOutcome, config: &FleetConfig) -> bo
     run.prior = Some((first.violations().to_vec(), first.stats()));
     let config_reboot = SofiaConfig {
         reset_policy: ResetPolicy::Reboot { max_resets },
-        ..config.sofia
+        ..*run.effective_sofia(config)
     };
     let mut machine = SofiaMachine::with_config(&image, &run.keys, &config_reboot);
     apply_sabotage(&mut machine, run.spec.sabotage);
@@ -1073,10 +1085,18 @@ pub(crate) fn finish(run: &mut JobRun, outcome: JobOutcome) -> JobRecord {
 /// The worker-panic arm is defensive, not a security verdict: a job
 /// that crashed its worker once can do it again, so its tenant is
 /// contained like a violator while the rest of the fleet keeps serving.
+/// A failed revival ([`JobOutcome::RevivalFailed`]) is contained for
+/// the same reason — a tenant whose snapshots keep rotting keeps
+/// costing revive attempts. A deadline shed is *not* contained: the
+/// job never ran, and being queued behind a slow fleet is not the
+/// tenant's fault.
 pub(crate) fn needs_containment(record: &JobRecord) -> bool {
     record.outcome.is_violation()
         || (!record.outcome.is_halted() && !record.violations.is_empty())
-        || matches!(record.outcome, JobOutcome::WorkerPanic(_))
+        || matches!(
+            record.outcome,
+            JobOutcome::WorkerPanic(_) | JobOutcome::RevivalFailed(_)
+        )
 }
 
 fn apply_sabotage(machine: &mut SofiaMachine, sabotage: Option<Sabotage>) {

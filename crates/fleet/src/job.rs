@@ -104,6 +104,23 @@ pub enum JobOutcome {
     /// degrading to a per-tenant failure is exactly the blast-radius
     /// guarantee the fleet exists for.
     WorkerPanic(String),
+    /// A parked snapshot failed to revive — its `SOFS1` bytes were
+    /// corrupted or its MAC re-verification failed under the tenant's
+    /// keys. Like [`JobOutcome::WorkerPanic`] this is a host-side fault
+    /// (the simulated device did nothing wrong), contained to the one
+    /// job/tenant whose snapshot rotted; unlike a worker panic it names
+    /// the storage seam, so operators (and the resilience ladder's
+    /// vcache-off rung) can react to snapshot rot specifically.
+    RevivalFailed(String),
+    /// The job was shed from the queue because its virtual-time sojourn
+    /// exceeded its service class's deadline — an availability decision
+    /// by [`crate::resilience`], not a security verdict, and the only
+    /// outcome produced without the job ever running. The tenant is
+    /// *not* quarantined (the job did nothing; the fleet was slow).
+    DeadlineMissed {
+        /// The class deadline the job exceeded, in virtual cycles.
+        deadline_cycles: u64,
+    },
 }
 
 impl JobOutcome {

@@ -81,20 +81,26 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod admission;
+pub mod chaos;
 mod checkpoint;
 mod executor;
 mod fleet;
 mod job;
 mod quarantine;
+pub mod resilience;
 pub mod schedule;
 mod seal_farm;
 mod stats;
 
 pub use admission::{AdmissionConfig, AdmitError, ClassConfig, ClassId, Rejection};
+pub use chaos::{ChaosPlan, FaultRate, Seam};
 pub use checkpoint::{AdoptError, JobCheckpoint};
 pub use executor::{AsyncConfig, AsyncFleet, AsyncStats};
 pub use fleet::{Fleet, FleetConfig, FleetError, PoolMode, SchedMode, SealMode};
 pub use job::{JobId, JobOutcome, JobRecord, JobSpec, Sabotage, TenantId};
 pub use quarantine::{QuarantinePolicy, TenantState};
+pub use resilience::{
+    BreakerConfig, DegradeMode, ResilienceConfig, ResilienceEvent, ResilienceStats,
+};
 pub use seal_farm::{SealFarm, SealVerdict, SealWave};
 pub use stats::{FleetStats, TenantStats};

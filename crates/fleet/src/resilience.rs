@@ -1,0 +1,678 @@
+//! Self-healing policy for the async fleet: deadlines, retry budgets,
+//! circuit breaking and graceful degradation — every decision a typed
+//! event, never a panic.
+//!
+//! [`crate::chaos`] decides *what breaks*; this module decides *what
+//! the fleet does about it*. The two are deliberately separate: chaos
+//! is a test-harness concern (default [`crate::ChaosPlan::none`]),
+//! resilience is a serving-policy concern (default
+//! [`ResilienceConfig::default`], everything off) — and both defaults
+//! compose to a driver bit-identical with the pre-chaos fleet.
+//!
+//! The recovery ladder, in escalation order:
+//!
+//! 1. **Retry with backoff** — a job finishing with an infrastructure
+//!    fault outcome (`SealFailed` / `WorkerPanic` / `RevivalFailed`) is
+//!    re-queued `base << attempt` ticks later (plus seeded jitter) until
+//!    its per-job budget runs out. Transient faults cost latency, not
+//!    availability.
+//! 2. **Deadlines** — queued work whose sojourn exceeds its class
+//!    deadline (priced in *virtual* cycles) is shed with a typed
+//!    [`crate::JobOutcome::DeadlineMissed`] record instead of rotting in
+//!    queue and dragging every later arrival past its own SLO.
+//! 3. **Circuit breaker** — a burst of faults inside a sliding window
+//!    opens a class-level breaker that sheds best-effort admissions
+//!    (weight ≤ `shed_max_weight`) for a cooldown, protecting
+//!    interactive SLOs with capacity instead of hope. Open → close
+//!    spans are the MTTR the bench reports.
+//! 4. **Graceful degradation** — repeated faults on one path flip a
+//!    cheaper-but-correct fallback: vcache-off for a tenant whose
+//!    snapshots keep failing revival, `CryptoEngine::Scalar` after
+//!    bitslice-path seal faults, Farm→Inline sealing after farm faults.
+//!    All three fallbacks are bit-identical on the record surface (the
+//!    engine and seal-placement invariants are pinned elsewhere), so
+//!    degradation trades host throughput, never correctness.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::chaos::Seam;
+use crate::job::{JobId, TenantId};
+use crate::ClassId;
+
+/// Class-level circuit-breaker policy. The breaker is global (faults
+/// anywhere open it) but sheds only low-weight classes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Sliding window, in ticks, over which faults are counted.
+    pub window_ticks: u64,
+    /// Faults inside the window that trip the breaker open.
+    pub fault_threshold: u32,
+    /// Ticks the breaker stays open once tripped.
+    pub cooldown_ticks: u64,
+    /// Classes with WFQ weight ≤ this are shed while open; heavier
+    /// (interactive) classes keep admitting.
+    pub shed_max_weight: u64,
+}
+
+/// Recovery policy knobs. `Default` turns *everything* off so the
+/// plain fleet is untouched; [`ResilienceConfig::standard`] is the
+/// preset the bench and drills use.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Per-class sojourn deadline in virtual cycles (arrival → finish).
+    /// Classes absent from the map have no deadline.
+    pub deadlines: BTreeMap<ClassId, u64>,
+    /// Retries a job may consume before its fault outcome sticks.
+    pub max_retries: u32,
+    /// Backoff base: retry `n` waits `base << (n-1)` ticks (saturating).
+    pub backoff_base_ticks: u64,
+    /// Upper bound on the seeded jitter added to each backoff.
+    pub backoff_jitter_ticks: u64,
+    /// Circuit-breaker policy; `None` never sheds.
+    pub breaker: Option<BreakerConfig>,
+    /// After this many revival failures for one tenant, its future jobs
+    /// run with the verification cache disabled (`None` = never).
+    pub vcache_off_after: Option<u32>,
+    /// After this many seal-path faults fleet-wide, image sealing drops
+    /// to `CryptoEngine::Scalar` (`None` = never).
+    pub scalar_crypto_after: Option<u32>,
+    /// After this many seal-path faults fleet-wide, presealing via the
+    /// farm is bypassed in favour of inline lane seals (`None` = never).
+    pub inline_seal_after: Option<u32>,
+}
+
+impl ResilienceConfig {
+    /// The survival preset: bounded retries with jittered backoff, a
+    /// breaker shedding weight-1 classes, and the full degradation
+    /// ladder armed. Deadlines are left to the caller (they depend on
+    /// workload scale).
+    pub fn standard() -> ResilienceConfig {
+        ResilienceConfig {
+            deadlines: BTreeMap::new(),
+            max_retries: 2,
+            backoff_base_ticks: 2,
+            backoff_jitter_ticks: 3,
+            breaker: Some(BreakerConfig {
+                window_ticks: 32,
+                fault_threshold: 10,
+                cooldown_ticks: 24,
+                shed_max_weight: 1,
+            }),
+            vcache_off_after: Some(2),
+            scalar_crypto_after: Some(3),
+            inline_seal_after: Some(3),
+        }
+    }
+
+    pub(crate) fn retryable(&self) -> bool {
+        self.max_retries > 0
+    }
+}
+
+/// A degradation rung that has been stepped down to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradeMode {
+    /// One tenant's jobs now run with the verification cache off.
+    VcacheOff,
+    /// Image sealing fell back to the scalar crypto engine.
+    ScalarCrypto,
+    /// Farm presealing is bypassed; lanes seal inline.
+    InlineSeal,
+}
+
+/// One fault or recovery decision, in coordinator (deterministic)
+/// order. The event log is the accounting surface the acceptance
+/// criterion "every fault accounted for by a typed event" pins.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResilienceEvent {
+    /// The chaos plan struck a seam.
+    FaultInjected {
+        /// Virtual tick of the strike.
+        tick: u64,
+        /// Which fault process fired.
+        seam: Seam,
+        /// The struck job, when the seam is job-scoped.
+        job: Option<JobId>,
+        /// Its tenant.
+        tenant: Option<TenantId>,
+    },
+    /// A faulted job was re-queued instead of finished.
+    RetryScheduled {
+        /// Tick the fault outcome settled.
+        tick: u64,
+        /// The retried job.
+        job: JobId,
+        /// Its tenant.
+        tenant: TenantId,
+        /// 1-based retry number.
+        attempt: u32,
+        /// Tick the retry re-arrives at.
+        resume_tick: u64,
+    },
+    /// A job consumed its whole retry budget; the fault outcome stands.
+    RetriesExhausted {
+        /// Tick of the final fault.
+        tick: u64,
+        /// The job whose budget ran out.
+        job: JobId,
+        /// Its tenant.
+        tenant: TenantId,
+        /// Retries consumed.
+        attempts: u32,
+    },
+    /// A queued job blew its class deadline and was shed with a typed
+    /// `DeadlineMissed` record.
+    DeadlineShed {
+        /// Tick of the shed.
+        tick: u64,
+        /// The shed job.
+        job: JobId,
+        /// Its tenant.
+        tenant: TenantId,
+        /// Queue cycles it had accrued.
+        waited_cycles: u64,
+        /// The class deadline it exceeded.
+        deadline_cycles: u64,
+    },
+    /// A job *finished*, but past its class deadline (served late, not
+    /// shed — the SLO metric distinguishes the two).
+    DeadlineLate {
+        /// Tick it finished.
+        tick: u64,
+        /// The late job.
+        job: JobId,
+        /// Its tenant.
+        tenant: TenantId,
+        /// Arrival → finish, in virtual cycles.
+        sojourn_cycles: u64,
+        /// The deadline it exceeded.
+        deadline_cycles: u64,
+    },
+    /// The breaker shed an admission.
+    LoadShed {
+        /// Tick of the rejected admission.
+        tick: u64,
+        /// The shed tenant.
+        tenant: TenantId,
+        /// Its class.
+        class: ClassId,
+    },
+    /// Fault pressure tripped the breaker open.
+    BreakerOpened {
+        /// Tick it opened.
+        tick: u64,
+        /// Tick it will close (cooldown end).
+        until_tick: u64,
+        /// Faults inside the window that tripped it.
+        recent_faults: u32,
+    },
+    /// The breaker's cooldown elapsed.
+    BreakerClosed {
+        /// Tick it closed.
+        tick: u64,
+        /// Tick it had opened (close − open = recovery span).
+        opened_tick: u64,
+    },
+    /// A degradation rung engaged (each rung fires at most once per
+    /// scope — once per tenant for vcache, once fleet-wide otherwise).
+    Degraded {
+        /// Tick the fallback engaged.
+        tick: u64,
+        /// Which rung.
+        mode: DegradeMode,
+        /// The scoped tenant (vcache rung only).
+        tenant: Option<TenantId>,
+    },
+}
+
+/// Counters over the resilience event stream — the roll-up
+/// `BENCH_chaos.json` and operators read. Every counter here has a
+/// corresponding typed [`ResilienceEvent`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Total chaos strikes across all seams.
+    pub faults_injected: u64,
+    /// Seal-seam strikes.
+    pub seal_faults: u64,
+    /// Snapshot-corruption strikes.
+    pub snapshot_corruptions: u64,
+    /// Worker-stall strikes.
+    pub worker_stalls: u64,
+    /// Worker-death strikes.
+    pub worker_panics_injected: u64,
+    /// Checkpoint-truncation strikes (harness-drawn).
+    pub checkpoint_truncations: u64,
+    /// Storm-burst strikes (harness-drawn).
+    pub storm_bursts: u64,
+    /// Retries scheduled.
+    pub retries_scheduled: u64,
+    /// Jobs whose retry budget ran out.
+    pub retries_exhausted: u64,
+    /// Jobs shed from queue past deadline.
+    pub deadline_shed: u64,
+    /// Jobs finished past deadline.
+    pub deadline_late: u64,
+    /// Admissions shed by the open breaker.
+    pub load_shed: u64,
+    /// Breaker open transitions.
+    pub breaker_opens: u64,
+    /// Breaker close transitions.
+    pub breaker_closes: u64,
+    /// Ticks spent open across all open→close spans (MTTR numerator).
+    pub breaker_open_ticks: u64,
+    /// Tenants degraded to vcache-off.
+    pub vcache_off_tenants: u64,
+    /// Scalar-crypto fallback engaged (0 or 1).
+    pub scalar_fallbacks: u64,
+    /// Inline-seal fallback engaged (0 or 1).
+    pub inline_seal_fallbacks: u64,
+}
+
+/// Degradation actions the executor must apply after feeding a seal
+/// fault in (the state machine decides, the executor owns the cache).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct DegradeActions {
+    pub(crate) engage_scalar: bool,
+    pub(crate) engage_inline_seal: bool,
+}
+
+/// Coordinator-side resilience state machine. All mutation happens on
+/// the driver thread, so the event order is deterministic.
+#[derive(Debug)]
+pub(crate) struct ResilienceState {
+    pub(crate) config: ResilienceConfig,
+    pub(crate) stats: ResilienceStats,
+    events: Vec<ResilienceEvent>,
+    /// Per-job retry attempts consumed (keyed by raw job id).
+    attempts: BTreeMap<u64, u32>,
+    /// Ticks of recent breaker-feeding faults (sliding window).
+    fault_ticks: VecDeque<u64>,
+    /// `(opened_tick, until_tick)` while the breaker is open.
+    breaker_open: Option<(u64, u64)>,
+    /// Seal-path faults seen (drives the crypto/seal rungs).
+    seal_faults_seen: u32,
+    /// Revival failures per tenant (drives the vcache rung).
+    revival_failures: BTreeMap<u32, u32>,
+    /// Tenants stepped down to vcache-off.
+    vcache_degraded: BTreeSet<u32>,
+    scalar_engaged: bool,
+    inline_seal_engaged: bool,
+}
+
+impl ResilienceState {
+    pub(crate) fn new(config: ResilienceConfig) -> ResilienceState {
+        ResilienceState {
+            config,
+            stats: ResilienceStats::default(),
+            events: Vec::new(),
+            attempts: BTreeMap::new(),
+            fault_ticks: VecDeque::new(),
+            breaker_open: None,
+            seal_faults_seen: 0,
+            revival_failures: BTreeMap::new(),
+            vcache_degraded: BTreeSet::new(),
+            scalar_engaged: false,
+            inline_seal_engaged: false,
+        }
+    }
+
+    pub(crate) fn drain_events(&mut self) -> Vec<ResilienceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Record a chaos strike: one typed event + the per-seam counter.
+    /// For [`Seam::Seal`] the return value tells the executor which
+    /// degradation rungs just engaged.
+    pub(crate) fn note_fault(
+        &mut self,
+        tick: u64,
+        seam: Seam,
+        job: Option<JobId>,
+        tenant: Option<TenantId>,
+    ) -> DegradeActions {
+        self.stats.faults_injected += 1;
+        match seam {
+            Seam::Seal => self.stats.seal_faults += 1,
+            Seam::Snapshot => self.stats.snapshot_corruptions += 1,
+            Seam::Stall => self.stats.worker_stalls += 1,
+            Seam::Panic => self.stats.worker_panics_injected += 1,
+            Seam::Checkpoint => self.stats.checkpoint_truncations += 1,
+            Seam::Storm => self.stats.storm_bursts += 1,
+        }
+        self.events.push(ResilienceEvent::FaultInjected {
+            tick,
+            seam,
+            job,
+            tenant,
+        });
+        if seam == Seam::Seal {
+            self.seal_faults_seen = self.seal_faults_seen.saturating_add(1);
+            return self.seal_degradations(tick);
+        }
+        DegradeActions::default()
+    }
+
+    fn seal_degradations(&mut self, tick: u64) -> DegradeActions {
+        let mut actions = DegradeActions::default();
+        if let Some(after) = self.config.scalar_crypto_after {
+            if !self.scalar_engaged && self.seal_faults_seen >= after {
+                self.scalar_engaged = true;
+                self.stats.scalar_fallbacks += 1;
+                self.events.push(ResilienceEvent::Degraded {
+                    tick,
+                    mode: DegradeMode::ScalarCrypto,
+                    tenant: None,
+                });
+                actions.engage_scalar = true;
+            }
+        }
+        if let Some(after) = self.config.inline_seal_after {
+            if !self.inline_seal_engaged && self.seal_faults_seen >= after {
+                self.inline_seal_engaged = true;
+                self.stats.inline_seal_fallbacks += 1;
+                self.events.push(ResilienceEvent::Degraded {
+                    tick,
+                    mode: DegradeMode::InlineSeal,
+                    tenant: None,
+                });
+                actions.engage_inline_seal = true;
+            }
+        }
+        actions
+    }
+
+    /// Whether farm presealing is currently bypassed.
+    pub(crate) fn inline_seal_engaged(&self) -> bool {
+        self.inline_seal_engaged
+    }
+
+    /// Record a revival failure for `tenant`; returns `true` when this
+    /// failure steps the tenant down to vcache-off (fires once).
+    pub(crate) fn note_revival_failure(&mut self, tick: u64, tenant: TenantId) -> bool {
+        let after = match self.config.vcache_off_after {
+            Some(after) => after,
+            None => return false,
+        };
+        let seen = self.revival_failures.entry(tenant.0).or_insert(0);
+        *seen = seen.saturating_add(1);
+        if *seen >= after && self.vcache_degraded.insert(tenant.0) {
+            self.stats.vcache_off_tenants += 1;
+            self.events.push(ResilienceEvent::Degraded {
+                tick,
+                mode: DegradeMode::VcacheOff,
+                tenant: Some(tenant),
+            });
+            return true;
+        }
+        false
+    }
+
+    /// Whether `tenant`'s jobs should run with the vcache disabled.
+    pub(crate) fn vcache_degraded(&self, tenant: TenantId) -> bool {
+        self.vcache_degraded.contains(&tenant.0)
+    }
+
+    /// Feed one fault *record* (settled fault outcome, retried or not)
+    /// into the breaker window; may trip it open.
+    pub(crate) fn feed_breaker(&mut self, tick: u64) {
+        let breaker = match &self.config.breaker {
+            Some(b) => b.clone(),
+            None => return,
+        };
+        self.fault_ticks.push_back(tick);
+        while let Some(&front) = self.fault_ticks.front() {
+            if front + breaker.window_ticks <= tick {
+                self.fault_ticks.pop_front();
+            } else {
+                break;
+            }
+        }
+        let recent = self.fault_ticks.len() as u32;
+        if self.breaker_open.is_none() && recent >= breaker.fault_threshold {
+            let until = tick + breaker.cooldown_ticks;
+            self.breaker_open = Some((tick, until));
+            self.stats.breaker_opens += 1;
+            self.events.push(ResilienceEvent::BreakerOpened {
+                tick,
+                until_tick: until,
+                recent_faults: recent,
+            });
+        }
+    }
+
+    /// Close the breaker if its cooldown has elapsed (called at the top
+    /// of every tick, before admissions).
+    pub(crate) fn breaker_tick(&mut self, tick: u64) {
+        if let Some((opened, until)) = self.breaker_open {
+            if tick >= until {
+                self.breaker_open = None;
+                self.stats.breaker_closes += 1;
+                self.stats.breaker_open_ticks += until - opened;
+                self.events.push(ResilienceEvent::BreakerClosed {
+                    tick,
+                    opened_tick: opened,
+                });
+            }
+        }
+    }
+
+    /// Whether an admission for a class of `weight` should be shed.
+    pub(crate) fn sheds(&self, weight: u64) -> bool {
+        match (&self.breaker_open, &self.config.breaker) {
+            (Some(_), Some(b)) => weight <= b.shed_max_weight,
+            _ => false,
+        }
+    }
+
+    pub(crate) fn note_load_shed(&mut self, tick: u64, tenant: TenantId, class: ClassId) {
+        self.stats.load_shed += 1;
+        self.events.push(ResilienceEvent::LoadShed {
+            tick,
+            tenant,
+            class,
+        });
+    }
+
+    /// Consume one retry from `job`'s budget. Returns
+    /// `Some(attempt_number)` if the job may retry, `None` (plus the
+    /// exhaustion event, when the budget existed) if the fault stands.
+    pub(crate) fn take_retry(&mut self, tick: u64, job: JobId, tenant: TenantId) -> Option<u32> {
+        if !self.config.retryable() {
+            return None;
+        }
+        let used = self.attempts.entry(job.0).or_insert(0);
+        if *used < self.config.max_retries {
+            *used += 1;
+            let attempt = *used;
+            self.stats.retries_scheduled += 1;
+            Some(attempt)
+        } else {
+            let attempts = *used;
+            self.attempts.remove(&job.0);
+            self.stats.retries_exhausted += 1;
+            self.events.push(ResilienceEvent::RetriesExhausted {
+                tick,
+                job,
+                tenant,
+                attempts,
+            });
+            None
+        }
+    }
+
+    pub(crate) fn note_retry_scheduled(
+        &mut self,
+        tick: u64,
+        job: JobId,
+        tenant: TenantId,
+        attempt: u32,
+        resume_tick: u64,
+    ) {
+        self.events.push(ResilienceEvent::RetryScheduled {
+            tick,
+            job,
+            tenant,
+            attempt,
+            resume_tick,
+        });
+    }
+
+    /// Forget a job's retry ledger once it finishes for good.
+    pub(crate) fn finish_job(&mut self, job: JobId) {
+        self.attempts.remove(&job.0);
+    }
+
+    /// The deadline for `class`, if one is configured.
+    pub(crate) fn deadline(&self, class: ClassId) -> Option<u64> {
+        self.config.deadlines.get(&class).copied()
+    }
+
+    pub(crate) fn note_deadline_shed(
+        &mut self,
+        tick: u64,
+        job: JobId,
+        tenant: TenantId,
+        waited_cycles: u64,
+        deadline_cycles: u64,
+    ) {
+        self.stats.deadline_shed += 1;
+        self.events.push(ResilienceEvent::DeadlineShed {
+            tick,
+            job,
+            tenant,
+            waited_cycles,
+            deadline_cycles,
+        });
+    }
+
+    pub(crate) fn note_deadline_late(
+        &mut self,
+        tick: u64,
+        job: JobId,
+        tenant: TenantId,
+        sojourn_cycles: u64,
+        deadline_cycles: u64,
+    ) {
+        self.stats.deadline_late += 1;
+        self.events.push(ResilienceEvent::DeadlineLate {
+            tick,
+            job,
+            tenant,
+            sojourn_cycles,
+            deadline_cycles,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_inert() {
+        let cfg = ResilienceConfig::default();
+        assert!(!cfg.retryable());
+        assert!(cfg.deadlines.is_empty());
+        assert!(cfg.breaker.is_none());
+        let mut state = ResilienceState::new(cfg);
+        state.feed_breaker(5);
+        assert!(!state.sheds(1));
+        assert!(state.take_retry(5, JobId(1), TenantId(1)).is_none());
+        assert!(state.drain_events().is_empty());
+        assert_eq!(state.stats, ResilienceStats::default());
+    }
+
+    #[test]
+    fn breaker_opens_sheds_and_closes() {
+        let mut cfg = ResilienceConfig::standard();
+        cfg.breaker = Some(BreakerConfig {
+            window_ticks: 10,
+            fault_threshold: 3,
+            cooldown_ticks: 5,
+            shed_max_weight: 1,
+        });
+        let mut state = ResilienceState::new(cfg);
+        state.feed_breaker(1);
+        state.feed_breaker(2);
+        assert!(!state.sheds(1));
+        state.feed_breaker(3);
+        assert!(state.sheds(1), "third fault in window trips the breaker");
+        assert!(!state.sheds(4), "heavy classes keep admitting");
+        state.breaker_tick(7);
+        assert!(state.sheds(1), "cooldown not elapsed");
+        state.breaker_tick(8);
+        assert!(!state.sheds(1), "cooldown elapsed");
+        assert_eq!(state.stats.breaker_opens, 1);
+        assert_eq!(state.stats.breaker_closes, 1);
+        assert_eq!(state.stats.breaker_open_ticks, 5);
+        let events = state.drain_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ResilienceEvent::BreakerOpened { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ResilienceEvent::BreakerClosed { .. })));
+    }
+
+    #[test]
+    fn retry_budget_is_per_job_and_exhausts() {
+        let mut cfg = ResilienceConfig::standard();
+        cfg.max_retries = 2;
+        let mut state = ResilienceState::new(cfg);
+        let (job, tenant) = (JobId(9), TenantId(3));
+        assert_eq!(state.take_retry(1, job, tenant), Some(1));
+        assert_eq!(state.take_retry(2, job, tenant), Some(2));
+        assert_eq!(state.take_retry(3, job, tenant), None);
+        assert_eq!(state.stats.retries_scheduled, 2);
+        assert_eq!(state.stats.retries_exhausted, 1);
+        // A different job has its own budget.
+        assert_eq!(state.take_retry(4, JobId(10), tenant), Some(1));
+    }
+
+    #[test]
+    fn seal_faults_walk_the_degradation_ladder_once() {
+        let mut cfg = ResilienceConfig::standard();
+        cfg.scalar_crypto_after = Some(2);
+        cfg.inline_seal_after = Some(3);
+        let mut state = ResilienceState::new(cfg);
+        let a1 = state.note_fault(1, Seam::Seal, None, None);
+        assert!(!a1.engage_scalar && !a1.engage_inline_seal);
+        let a2 = state.note_fault(2, Seam::Seal, None, None);
+        assert!(a2.engage_scalar && !a2.engage_inline_seal);
+        let a3 = state.note_fault(3, Seam::Seal, None, None);
+        assert!(!a3.engage_scalar && a3.engage_inline_seal);
+        let a4 = state.note_fault(4, Seam::Seal, None, None);
+        assert_eq!(a4, DegradeActions::default(), "each rung fires once");
+        assert_eq!(state.stats.scalar_fallbacks, 1);
+        assert_eq!(state.stats.inline_seal_fallbacks, 1);
+        assert!(state.inline_seal_engaged());
+    }
+
+    #[test]
+    fn vcache_rung_is_per_tenant() {
+        let mut cfg = ResilienceConfig::standard();
+        cfg.vcache_off_after = Some(2);
+        let mut state = ResilienceState::new(cfg);
+        assert!(!state.note_revival_failure(1, TenantId(7)));
+        assert!(state.note_revival_failure(2, TenantId(7)));
+        assert!(!state.note_revival_failure(3, TenantId(7)), "fires once");
+        assert!(state.vcache_degraded(TenantId(7)));
+        assert!(!state.vcache_degraded(TenantId(8)));
+        assert_eq!(state.stats.vcache_off_tenants, 1);
+    }
+
+    #[test]
+    fn every_counter_bump_has_a_typed_event() {
+        let mut state = ResilienceState::new(ResilienceConfig::standard());
+        state.note_fault(1, Seam::Snapshot, Some(JobId(1)), Some(TenantId(1)));
+        state.note_deadline_shed(2, JobId(2), TenantId(1), 900, 500);
+        state.note_deadline_late(3, JobId(3), TenantId(1), 700, 500);
+        state.note_load_shed(4, TenantId(2), ClassId(0));
+        let events = state.drain_events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(state.stats.faults_injected, 1);
+        assert_eq!(state.stats.deadline_shed, 1);
+        assert_eq!(state.stats.deadline_late, 1);
+        assert_eq!(state.stats.load_shed, 1);
+    }
+}

@@ -26,6 +26,13 @@ pub struct TenantStats {
     /// Jobs whose servicing worker faulted on the host side (panic,
     /// failed park/revive) — contained per tenant, never fleet-fatal.
     pub worker_panics: u64,
+    /// Jobs whose parked snapshot failed to revive (corrupted bytes or
+    /// MAC mismatch under the tenant's keys) — the storage-seam sibling
+    /// of `worker_panics`, contained the same way.
+    pub revival_failures: u64,
+    /// Jobs shed unrun because their queue sojourn exceeded the class
+    /// deadline (see [`crate::resilience`]). Not a quarantine trigger.
+    pub deadline_missed: u64,
     /// Simulated cycles consumed.
     pub cycles: u64,
     /// Instruction slots retired.
@@ -79,6 +86,8 @@ impl TenantStats {
             JobOutcome::Trapped(_) => self.traps += 1,
             JobOutcome::SealFailed(_) => self.seal_failures += 1,
             JobOutcome::WorkerPanic(_) => self.worker_panics += 1,
+            JobOutcome::RevivalFailed(_) => self.revival_failures += 1,
+            JobOutcome::DeadlineMissed { .. } => self.deadline_missed += 1,
         }
         if r.outcome.is_violation() {
             self.violating_jobs += 1;
@@ -90,7 +99,10 @@ impl TenantStats {
         self.vcache_misses += r.stats.vcache_misses;
         if matches!(
             r.outcome,
-            JobOutcome::SealFailed(_) | JobOutcome::WorkerPanic(_)
+            JobOutcome::SealFailed(_)
+                | JobOutcome::WorkerPanic(_)
+                | JobOutcome::RevivalFailed(_)
+                | JobOutcome::DeadlineMissed { .. }
         ) {
             // No image reached the job; the seal counters stay untouched.
         } else if r.seal_cache_hit {
@@ -112,6 +124,8 @@ impl TenantStats {
         self.out_of_fuel += other.out_of_fuel;
         self.seal_failures += other.seal_failures;
         self.worker_panics += other.worker_panics;
+        self.revival_failures += other.revival_failures;
+        self.deadline_missed += other.deadline_missed;
         self.cycles += other.cycles;
         self.instret += other.instret;
         self.vcache_hits += other.vcache_hits;

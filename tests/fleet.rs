@@ -79,6 +79,10 @@ fn record_result(r: &JobRecord) -> SerialResult {
             JobOutcome::Trapped(t) => format!("trap: {t:?}"),
             JobOutcome::SealFailed(e) => format!("seal failed: {e}"),
             JobOutcome::WorkerPanic(e) => format!("worker panic: {e}"),
+            JobOutcome::RevivalFailed(e) => format!("revival failed: {e}"),
+            JobOutcome::DeadlineMissed { deadline_cycles } => {
+                format!("deadline missed: {deadline_cycles}")
+            }
         },
         out_words: r.out_words.clone(),
         violations: r.violations.iter().map(|v| format!("{v:?}")).collect(),
