@@ -1,0 +1,847 @@
+//! Fleet-scale attack campaigns: §IV-A economics at the service boundary.
+//!
+//! The paper prices a forgery in *offline* terms — an `n`-bit MAC costs
+//! `2^{n-1}` expected trials. A fleet changes the units: the attacker is
+//! a **tenant**, every trial is a **job submission** through admission
+//! control, every detection triggers a [`QuarantinePolicy`] that decides
+//! how soon (and at what price) the next trial can run. These campaigns
+//! drive the adversary through the real fleet API and measure that
+//! price per policy:
+//!
+//! * [`probe_campaign`] — one attacker tenant sprays tampered images
+//!   while honest tenants serve, measuring detections, oracle queries,
+//!   lockouts, burned identities and — the isolation claim — that
+//!   bystander results stay bit-identical to an attacker-free fleet;
+//! * [`forgery_scaling`] — the truncated-MAC Monte-Carlo of
+//!   [`crate::forgery`] re-priced per policy: `RetryWithReboot` hands
+//!   the attacker extra verification queries per submission (the reboot
+//!   budget re-verifies the same tampered image), `Evict` cuts the
+//!   sweep off when the identity budget runs dry (`completed < trials`);
+//! * [`migration_sweep`] — snapshot-in-transit tampering over the
+//!   `checkpoint_job`/`adopt_job` migration path, classifying *where*
+//!   each tamper is caught and what the adopting fleet's policy does to
+//!   the tenant afterwards;
+//! * [`expected_work`] — the closed-form §IV-A attacker work per
+//!   compromised tenant, extended with the per-policy service costs the
+//!   campaigns measure.
+
+use sofia_crypto::KeySet;
+use sofia_fleet::{
+    AdmitError, AsyncConfig, AsyncFleet, ClassId, Fleet, FleetConfig, JobCheckpoint, JobRecord,
+    JobSpec, QuarantinePolicy, Sabotage, SchedMode, TenantId, TenantState,
+};
+
+use crate::forgery::{run_campaign_capped, ForgeryCampaign};
+use crate::victims;
+
+/// The three policies every campaign sweeps, in emission order.
+pub const POLICIES: [QuarantinePolicy; 3] = [
+    QuarantinePolicy::Suspend,
+    QuarantinePolicy::RetryWithReboot { max_resets: 3 },
+    QuarantinePolicy::Evict,
+];
+
+/// Stable lower-case label for a policy (JSON keys, table rows).
+pub fn policy_label(policy: QuarantinePolicy) -> &'static str {
+    match policy {
+        QuarantinePolicy::Suspend => "suspend",
+        QuarantinePolicy::RetryWithReboot { .. } => "retry_with_reboot",
+        QuarantinePolicy::Evict => "evict",
+    }
+}
+
+/// Operator model: a suspended tenant is investigated and released this
+/// many ticks after its quarantine — the lockout a probing attacker
+/// pays per detection under [`QuarantinePolicy::Suspend`] (and after a
+/// failed reboot-retry).
+pub const RELEASE_LATENCY_TICKS: u64 = 16;
+
+/// Cost model: ticks to acquire a fresh tenant identity after an
+/// eviction. Pricier than waiting out a release — identities are the
+/// scarce resource `Evict` spends the attacker down on.
+pub const IDENTITY_COST_TICKS: u64 = 64;
+
+/// Online identity budget assumed for an [`QuarantinePolicy::Evict`]
+/// sweep: each identity buys the probes until its first detection, and
+/// the campaign stops when the budget is gone.
+pub const EVICT_IDENTITY_BUDGET: u64 = 1 << 10;
+
+/// Fuel per probe / honest job in the campaigns.
+const CAMPAIGN_FUEL: u64 = 2_000_000;
+
+/// Deterministic LCG over campaign decisions (arrival ticks, probe
+/// tamper positions). Same constants as the WFQ bench generator.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// A short counted loop storing its result — the honest tenants' unit
+/// of work, sized by `n` so records differ across jobs.
+fn honest_src(n: u32) -> String {
+    format!(
+        "main: li t0, {n}
+         li t1, 0
+         loop: add t1, t1, t0
+               subi t0, t0, 1
+               bnez t0, loop
+               li a0, 0xFFFF0000
+               sw t1, 0(a0)
+               halt"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Probing at scale
+// ---------------------------------------------------------------------
+
+/// Configuration of one [`probe_campaign`] run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeCampaignConfig {
+    /// Quarantine policy under test.
+    pub policy: QuarantinePolicy,
+    /// Honest tenants serving while the attacker probes.
+    pub honest_tenants: u32,
+    /// Attacker probe budget: the campaign runs until this many probes
+    /// were *admitted* and resolved (refused attempts don't count —
+    /// they are part of the price, tallied separately).
+    pub probes: u32,
+    /// Host threads for the async driver — results must be identical at
+    /// any value; the bench asserts 1 ≡ 4 before emission.
+    pub threads: usize,
+    /// Seed for arrivals and tamper positions.
+    pub seed: u64,
+}
+
+/// What one probing campaign measured.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbeCampaignReport {
+    /// Policy under test.
+    pub policy: QuarantinePolicy,
+    /// Probe submissions attempted (admitted or refused).
+    pub probes_submitted: u64,
+    /// Probes accepted by admission control.
+    pub probes_admitted: u64,
+    /// Probes refused at the submission boundary (quarantined/evicted
+    /// identity — the admission system doing the quarantine's work).
+    pub probes_refused: u64,
+    /// Probe records whose tampered image was detected (violations
+    /// logged or a violation verdict).
+    pub detections: u64,
+    /// Probe records that ran to a clean halt — a successful forgery.
+    /// Zero at the full 64-bit MAC; the CI pin.
+    pub successes: u64,
+    /// MAC-verification oracle queries the fleet granted the attacker:
+    /// total violations logged across probe records. `RetryWithReboot`
+    /// amplifies this — the reboot budget re-verifies the tampered
+    /// image `max_resets + 1` extra times per probe.
+    pub oracle_queries: u64,
+    /// Simulated cycles the fleet burned on attacker jobs.
+    pub attacker_cycles: u64,
+    /// Operator releases the attacker consumed (suspension lockouts
+    /// waited out).
+    pub releases: u64,
+    /// Attacker identities evicted and re-registered.
+    pub identities_burned: u64,
+    /// Ticks the whole campaign took.
+    pub wall_ticks: u64,
+    /// Honest jobs submitted / finished / finished-clean.
+    pub honest_submitted: u64,
+    /// Honest jobs that produced a record.
+    pub honest_finished: u64,
+    /// Honest records that halted clean.
+    pub honest_clean: u64,
+    /// `honest_finished / honest_submitted` — service availability for
+    /// bystanders while the campaign ran.
+    pub bystander_availability: f64,
+    /// Whether every honest record (outcome, outputs, violations,
+    /// cycles, instret) is bit-identical to the same workload on an
+    /// attacker-free fleet — the blast-radius claim under campaign load.
+    pub bystander_bit_identical: bool,
+}
+
+/// The schedule-independent face of one record: job id, typed outcome,
+/// outputs, violation count, cycles, instret, retried.
+type RecordSurface = (u64, String, Vec<u32>, usize, u64, u64, bool);
+
+/// Per-record surface compared between the campaign fleet and the
+/// attacker-free control fleet (schedule-visible fields excluded).
+fn record_surface(r: &JobRecord) -> RecordSurface {
+    (
+        r.job.0,
+        format!("{:?}", r.outcome),
+        r.out_words.clone(),
+        r.violations.len(),
+        r.stats.exec.cycles,
+        r.stats.exec.instret,
+        r.retried,
+    )
+}
+
+fn campaign_fleet(policy: QuarantinePolicy, threads: usize) -> AsyncFleet {
+    AsyncFleet::new(AsyncConfig {
+        threads,
+        workers: 4,
+        mode: SchedMode::FuelSliced { slice: 150 },
+        quarantine: policy,
+        ..Default::default()
+    })
+}
+
+/// Registers the honest tenants and schedules their jobs; returns the
+/// number of honest submissions. Submitted before any probe so honest
+/// job ids are identical with and without the attacker.
+fn seed_honest(fleet: &mut AsyncFleet, honest_tenants: u32, seed: u64) -> u64 {
+    let mut rng = seed;
+    let mut submitted = 0;
+    for t in 0..honest_tenants {
+        let id = TenantId(1_000 + t);
+        fleet
+            .register_tenant(id, KeySet::from_seed(0x600D ^ t as u64), ClassId(0))
+            .expect("honest tenant registers");
+        for _ in 0..2 {
+            let n = 30 + (lcg(&mut rng) % 60) as u32;
+            let tick = lcg(&mut rng) % 48;
+            fleet.submit_at(JobSpec::new(id, honest_src(n), CAMPAIGN_FUEL), tick);
+            submitted += 1;
+        }
+    }
+    submitted
+}
+
+/// One forged-edge probe: the attacker's job with a bit flipped in the
+/// sealed image it will run — to the device, a random forgery on the
+/// fetched block.
+fn probe_spec(attacker: TenantId, rng: &mut u64) -> JobSpec {
+    let word = 2 + (lcg(rng) % 16) as usize;
+    let mask = 1u32 << (lcg(rng) % 32);
+    JobSpec::new(attacker, victims::control_loop_victim(4), CAMPAIGN_FUEL)
+        .with_sabotage(Sabotage::FlipRomWord { word, mask })
+}
+
+/// Drives one multi-tenant probing campaign: one attacker tenant spraying
+/// forged edges (serially — one probe in flight at a time, so every
+/// quarantine's lockout is actually paid) while `honest_tenants` serve.
+///
+/// The attacker follows the policy's cheapest path back into service:
+/// waits [`RELEASE_LATENCY_TICKS`] for an operator release when
+/// suspended, re-registers a fresh identity when evicted.
+pub fn probe_campaign(config: &ProbeCampaignConfig) -> ProbeCampaignReport {
+    // Control run: the honest workload alone, for the bit-identity pin.
+    let mut control = campaign_fleet(config.policy, config.threads);
+    let honest_submitted = seed_honest(&mut control, config.honest_tenants, config.seed);
+    control.run_until_idle();
+    let mut control_records = control.drain_finished();
+    control_records.sort_by_key(|r| r.job.0);
+    let control_surface: Vec<_> = control_records.iter().map(record_surface).collect();
+
+    let mut fleet = campaign_fleet(config.policy, config.threads);
+    seed_honest(&mut fleet, config.honest_tenants, config.seed);
+
+    let attacker_base = 9_000u32;
+    let attacker_keys = |identity: u32| KeySet::from_seed(0xA77 ^ identity as u64);
+    let mut identity = 0u32;
+    let mut attacker = TenantId(attacker_base);
+    fleet
+        .register_tenant(attacker, attacker_keys(identity), ClassId(0))
+        .expect("attacker registers");
+    let is_attacker = |t: TenantId| t.0 >= attacker_base;
+
+    let mut report = ProbeCampaignReport {
+        policy: config.policy,
+        probes_submitted: 0,
+        probes_admitted: 0,
+        probes_refused: 0,
+        detections: 0,
+        successes: 0,
+        oracle_queries: 0,
+        attacker_cycles: 0,
+        releases: 0,
+        identities_burned: 0,
+        wall_ticks: 0,
+        honest_submitted,
+        honest_finished: 0,
+        honest_clean: 0,
+        bystander_availability: 0.0,
+        bystander_bit_identical: false,
+    };
+
+    let mut rng = config.seed ^ 0xA77ACC;
+    let mut probe_in_flight = false;
+    // Set when a typed refusal taught the attacker it is locked out;
+    // cleared by the operator release or a fresh identity.
+    let mut locked_out = false;
+    let mut release_due: Option<u64> = None;
+    let mut honest_surface: Vec<RecordSurface> = Vec::new();
+    let account = |r: JobRecord,
+                   report: &mut ProbeCampaignReport,
+                   probe_in_flight: &mut bool,
+                   honest_surface: &mut Vec<RecordSurface>| {
+        if is_attacker(r.tenant) {
+            *probe_in_flight = false;
+            report.attacker_cycles += r.stats.exec.cycles;
+            report.oracle_queries += r.violations.len() as u64;
+            if r.outcome.is_violation() || !r.violations.is_empty() {
+                report.detections += 1;
+            } else {
+                report.successes += 1;
+            }
+        } else {
+            report.honest_finished += 1;
+            if r.outcome.is_halted() && r.violations.is_empty() {
+                report.honest_clean += 1;
+            }
+            honest_surface.push(record_surface(&r));
+        }
+    };
+
+    // Budget guard: the campaign is deterministic, but cap the tick loop
+    // far above any legitimate run so a harness bug cannot spin forever.
+    let tick_cap = 10_000 + 200 * config.probes as u64;
+    while report.probes_admitted < config.probes as u64 || probe_in_flight {
+        let now = fleet.stats().ticks;
+        assert!(now < tick_cap, "campaign failed to converge");
+
+        // Operator model: lift the attacker's suspension once the
+        // investigation latency has elapsed.
+        if release_due.is_some_and(|due| now >= due) {
+            release_due = None;
+            if fleet.release(attacker) {
+                report.releases += 1;
+                locked_out = false;
+            }
+        }
+
+        // Attacker acts: one probe in flight at a time, learning its
+        // service state only from the typed admission errors.
+        if !probe_in_flight && !locked_out && report.probes_admitted < config.probes as u64 {
+            report.probes_submitted += 1;
+            match fleet.submit(probe_spec(attacker, &mut rng)) {
+                Ok(_) => {
+                    report.probes_admitted += 1;
+                    probe_in_flight = true;
+                }
+                Err(AdmitError::Quarantined(_)) => {
+                    report.probes_refused += 1;
+                    locked_out = true;
+                    release_due = Some(now + RELEASE_LATENCY_TICKS);
+                }
+                Err(AdmitError::Evicted(_)) => {
+                    // The identity is burnt for good: acquire a fresh
+                    // one and keep probing.
+                    report.probes_refused += 1;
+                    report.identities_burned += 1;
+                    identity += 1;
+                    attacker = TenantId(attacker_base + identity);
+                    fleet
+                        .register_tenant(attacker, attacker_keys(identity), ClassId(0))
+                        .expect("fresh identity registers");
+                }
+                Err(e) => panic!("unexpected admission refusal: {e}"),
+            }
+        }
+
+        fleet.tick();
+        for r in fleet.drain_finished() {
+            account(r, &mut report, &mut probe_in_flight, &mut honest_surface);
+        }
+    }
+
+    // The attacker is done; drain the honest tail (including arrivals
+    // still scheduled past the last probe).
+    fleet.run_until_idle();
+    for r in fleet.drain_finished() {
+        account(r, &mut report, &mut probe_in_flight, &mut honest_surface);
+    }
+
+    report.wall_ticks = fleet.stats().ticks;
+    report.bystander_availability = if honest_submitted == 0 {
+        1.0
+    } else {
+        report.honest_finished as f64 / honest_submitted as f64
+    };
+    honest_surface.sort_by_key(|s| s.0);
+    report.bystander_bit_identical = honest_surface == control_surface;
+    report
+}
+
+// ---------------------------------------------------------------------
+// Forgery-success scaling vs policy
+// ---------------------------------------------------------------------
+
+/// What one probe costs the fleet — and grants the attacker — under a
+/// policy, measured by running a single tampered probe through a
+/// one-worker fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OracleProfile {
+    /// Policy the profile was measured under.
+    pub policy: QuarantinePolicy,
+    /// MAC-verification queries one admitted probe yields the attacker
+    /// (violations logged on the probe's record). 1 under `Suspend` and
+    /// `Evict`; `2 + max_resets` under `RetryWithReboot`, whose reboot
+    /// budget re-verifies the same tampered image.
+    pub queries_per_probe: u64,
+    /// Ticks one probe occupies the fleet.
+    pub ticks_per_probe: u64,
+    /// Cycles one probe burns.
+    pub cycles_per_probe: u64,
+}
+
+/// Measures the per-probe oracle profile for `policy` empirically.
+pub fn oracle_profile(policy: QuarantinePolicy) -> OracleProfile {
+    let mut fleet = AsyncFleet::new(AsyncConfig {
+        threads: 1,
+        workers: 1,
+        mode: SchedMode::FuelSliced { slice: 150 },
+        quarantine: policy,
+        ..Default::default()
+    });
+    let attacker = TenantId(9_000);
+    fleet
+        .register_tenant(attacker, KeySet::from_seed(0xA77), ClassId(0))
+        .expect("attacker registers");
+    let mut rng = 0xA77ACCu64;
+    fleet
+        .submit(probe_spec(attacker, &mut rng))
+        .expect("probe admitted");
+    fleet.run_until_idle();
+    let records = fleet.drain_finished();
+    let r = records.first().expect("probe record");
+    assert!(!r.violations.is_empty(), "profile probe went undetected");
+    OracleProfile {
+        policy,
+        queries_per_probe: r.violations.len() as u64,
+        ticks_per_probe: fleet.stats().ticks,
+        cycles_per_probe: r.stats.exec.cycles,
+    }
+}
+
+/// One truncated-MAC Monte-Carlo campaign, re-priced for a policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PolicyForgeryRow {
+    /// The underlying Monte-Carlo campaign. Under `Evict`,
+    /// `campaign.completed < campaign.trials` when the identity budget
+    /// ran out mid-sweep.
+    pub campaign: ForgeryCampaign,
+    /// The §IV-A work estimate for a full forgery at this MAC length
+    /// under this policy.
+    pub work: ExpectedWork,
+}
+
+/// Expected attacker work per compromised tenant — §IV-A's `2^{n-1}`
+/// expected verification queries, converted to fleet units by a
+/// policy's [`OracleProfile`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExpectedWork {
+    /// Expected MAC-verification queries to the first accepted forgery
+    /// (`2^{n-1}`, the paper's convention).
+    pub oracle_queries: f64,
+    /// Expected probe submissions: queries divided by the policy's
+    /// per-probe query yield (`RetryWithReboot` needs fewer submissions
+    /// for the same queries — the defender-conservative reading of its
+    /// amplification).
+    pub probes: f64,
+    /// Expected tenant identities consumed (`Evict`: one per probe;
+    /// otherwise one total).
+    pub identities: f64,
+    /// Expected wall ticks: per-probe service plus the per-detection
+    /// lockout (release latency, or identity acquisition under `Evict`).
+    pub wall_ticks: f64,
+}
+
+/// Closed-form expected work to forge at `mac_bits` under the policy's
+/// measured profile.
+pub fn expected_work(profile: &OracleProfile, mac_bits: u32) -> ExpectedWork {
+    let queries = (2.0f64).powi(mac_bits as i32 - 1);
+    let probes = queries / profile.queries_per_probe as f64;
+    let (identities, lockout) = match profile.policy {
+        QuarantinePolicy::Evict => (probes, IDENTITY_COST_TICKS as f64),
+        QuarantinePolicy::Suspend | QuarantinePolicy::RetryWithReboot { .. } => {
+            (1.0, RELEASE_LATENCY_TICKS as f64)
+        }
+    };
+    ExpectedWork {
+        oracle_queries: queries,
+        probes,
+        identities,
+        wall_ticks: probes * (profile.ticks_per_probe as f64 + lockout),
+    }
+}
+
+/// Sweeps MAC lengths under one policy: the Monte-Carlo acceptance
+/// measurement (online-budget-capped where the policy caps it) plus the
+/// closed-form work estimate per length.
+pub fn forgery_scaling(
+    policy: QuarantinePolicy,
+    keys: &KeySet,
+    bits: &[u32],
+    trials: u64,
+    seed: u64,
+) -> Vec<PolicyForgeryRow> {
+    let profile = oracle_profile(policy);
+    // The online oracle budget the policy leaves the attacker: Suspend
+    // and RetryWithReboot lock the attacker out but never spend a finite
+    // resource — releases are unbounded, so the sweep completes. Evict
+    // burns an identity per detection; at truncated MAC lengths almost
+    // every probe is detected, so the sweep dies with the identity
+    // budget.
+    let budget = match policy {
+        QuarantinePolicy::Evict => EVICT_IDENTITY_BUDGET * profile.queries_per_probe,
+        _ => u64::MAX,
+    };
+    bits.iter()
+        .map(|&b| PolicyForgeryRow {
+            campaign: run_campaign_capped(keys, b, trials, seed ^ b as u64, budget),
+            work: expected_work(&profile, b),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Snapshot-in-transit tampering over the migration path
+// ---------------------------------------------------------------------
+
+/// How the serialized checkpoint is rewritten in transit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TamperVariant {
+    /// Honest control: the checkpoint travels untouched.
+    None,
+    /// A flipped byte without fixing the container checksum — transit
+    /// corruption, caught by the `SOFJ1` decode.
+    BitFlipInTransit,
+    /// The resume source rewritten to a neighbouring word, checksum
+    /// recomputed (the adversary, not line noise). On no sealed edge:
+    /// caught by MAC verification on the first resumed fetch.
+    ForgePrevPc,
+    /// The resume target redirected outside the image, checksum
+    /// recomputed. Caught by the fetch bounds check.
+    RedirectOutOfImage,
+}
+
+impl TamperVariant {
+    /// Stable label for table rows and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            TamperVariant::None => "honest",
+            TamperVariant::BitFlipInTransit => "bit_flip_in_transit",
+            TamperVariant::ForgePrevPc => "forge_prev_pc",
+            TamperVariant::RedirectOutOfImage => "redirect_out_of_image",
+        }
+    }
+}
+
+/// Where (whether) the migration pipeline caught the tamper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TamperOutcome {
+    /// The `SOFJ1` decode refused the bytes (checksum/parse).
+    DetectedInTransit,
+    /// `adopt_job` refused the checkpoint (restore-time verification).
+    RefusedAtAdopt,
+    /// The resumed run raised a violation on its first fetches.
+    DetectedOnResume,
+    /// The job completed with the victim's expected output and no
+    /// violations — the honest-control outcome.
+    CompletedClean,
+    /// The job completed with attacker-perturbed output and no
+    /// detection. Must never appear; the sweep asserts its absence.
+    CompromisedSilently,
+}
+
+impl TamperOutcome {
+    /// Stable label for table rows and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            TamperOutcome::DetectedInTransit => "detected_in_transit",
+            TamperOutcome::RefusedAtAdopt => "refused_at_adopt",
+            TamperOutcome::DetectedOnResume => "detected_on_resume",
+            TamperOutcome::CompletedClean => "completed_clean",
+            TamperOutcome::CompromisedSilently => "compromised_silently",
+        }
+    }
+}
+
+/// One tamper variant's trip through the migration path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MigrationTamperRow {
+    /// What was done to the checkpoint.
+    pub variant: TamperVariant,
+    /// Where the pipeline caught it (or didn't).
+    pub outcome: TamperOutcome,
+    /// Violations logged by the adopting fleet's run of the job.
+    pub violations: u64,
+    /// Whether the adopting fleet's quarantine spent a reboot-retry on
+    /// the job (`RetryWithReboot` re-runs the tampered-resume job from
+    /// scratch — and a fresh start is clean, so the retry completes).
+    pub retried: bool,
+    /// The tenant's state in the adopting fleet after the sweep — the
+    /// policy's verdict on a migration-tampered tenant.
+    pub tenant_after: TenantState,
+}
+
+/// The migration-tamper sweep under one policy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MigrationSweepReport {
+    /// Policy of the adopting fleet.
+    pub policy: QuarantinePolicy,
+    /// One row per [`TamperVariant`], honest control first.
+    pub rows: Vec<MigrationTamperRow>,
+}
+
+/// Suspends the two-phase victim mid-flight in a source fleet and
+/// returns its checkpoint bytes — the artifact that travels.
+fn checkpoint_in_transit(policy: QuarantinePolicy, keys: &KeySet, tenant: TenantId) -> Vec<u8> {
+    let mut source = Fleet::new(FleetConfig {
+        workers: 1,
+        mode: SchedMode::FuelSliced { slice: 60 },
+        quarantine: policy,
+        ..Default::default()
+    });
+    source
+        .register_tenant(tenant, keys.clone())
+        .expect("tenant registers in source fleet");
+    let id = source
+        .submit(JobSpec::new(
+            tenant,
+            victims::two_phase_victim(),
+            CAMPAIGN_FUEL,
+        ))
+        .expect("victim submits");
+    let finished = source.run_batch_capped(1);
+    assert!(finished.is_empty(), "victim finished before suspension");
+    source
+        .checkpoint_job(id)
+        .expect("suspended job checkpoints")
+        .to_bytes()
+}
+
+/// Runs one tamper variant through checkpoint → transit → adopt → resume
+/// and classifies the trip.
+fn migrate_tampered(
+    policy: QuarantinePolicy,
+    variant: TamperVariant,
+    seed: u64,
+) -> MigrationTamperRow {
+    let keys = KeySet::from_seed(seed);
+    let tenant = TenantId(7);
+    let bytes = checkpoint_in_transit(policy, &keys, tenant);
+
+    let row = |outcome, violations, retried, tenant_after| MigrationTamperRow {
+        variant,
+        outcome,
+        violations,
+        retried,
+        tenant_after,
+    };
+
+    // In transit: the attacker rewrites the container.
+    let tampered = match variant {
+        TamperVariant::None => bytes,
+        TamperVariant::BitFlipInTransit => {
+            let mut b = bytes;
+            let mid = b.len() / 2;
+            b[mid] ^= 0x20;
+            b
+        }
+        TamperVariant::ForgePrevPc | TamperVariant::RedirectOutOfImage => {
+            // The adversary decodes, rewrites the resume edge, and
+            // re-encodes — recomputing the container checksum, which
+            // detects corruption, not adversaries.
+            let mut ckpt = JobCheckpoint::from_bytes(&bytes).expect("attacker decodes");
+            let snap = ckpt.machine.as_mut().expect("suspended machine travels");
+            match variant {
+                TamperVariant::ForgePrevPc => snap.prev_pc ^= 4,
+                _ => snap.next_target = 0xDEAD_BEEC,
+            }
+            ckpt.to_bytes()
+        }
+    };
+
+    let ckpt = match JobCheckpoint::from_bytes(&tampered) {
+        Ok(c) => c,
+        Err(_) => {
+            return row(
+                TamperOutcome::DetectedInTransit,
+                0,
+                false,
+                TenantState::Active,
+            );
+        }
+    };
+
+    // The adopting fleet, running the policy under test.
+    let mut adopter = Fleet::new(FleetConfig {
+        workers: 1,
+        mode: SchedMode::FuelSliced { slice: 60 },
+        quarantine: policy,
+        ..Default::default()
+    });
+    adopter
+        .register_tenant(tenant, keys)
+        .expect("tenant registers in adopting fleet");
+    if adopter.adopt_job(ckpt).is_err() {
+        return row(TamperOutcome::RefusedAtAdopt, 0, false, TenantState::Active);
+    }
+    let records = adopter.run_batch();
+    let r = records.first().expect("adopted job record");
+    let tenant_after = adopter
+        .tenant_state(tenant)
+        .expect("tenant state after the run");
+    let outcome = if r.outcome.is_violation() || !r.violations.is_empty() {
+        TamperOutcome::DetectedOnResume
+    } else if r.outcome.is_halted() && r.out_words == victims::two_phase_expected() {
+        TamperOutcome::CompletedClean
+    } else {
+        TamperOutcome::CompromisedSilently
+    };
+    row(outcome, r.violations.len() as u64, r.retried, tenant_after)
+}
+
+/// Sweeps every [`TamperVariant`] through the migration path under one
+/// policy. Panics if any tamper lands [`TamperOutcome::CompromisedSilently`]
+/// — the architecture's claim is that the snapshot adds no silent
+/// forgery surface, and the sweep is its executable pin.
+pub fn migration_sweep(policy: QuarantinePolicy, seed: u64) -> MigrationSweepReport {
+    let rows: Vec<MigrationTamperRow> = [
+        TamperVariant::None,
+        TamperVariant::BitFlipInTransit,
+        TamperVariant::ForgePrevPc,
+        TamperVariant::RedirectOutOfImage,
+    ]
+    .into_iter()
+    .map(|variant| migrate_tampered(policy, variant, 0x4D17 ^ seed))
+    .collect();
+    for r in &rows {
+        assert_ne!(
+            r.outcome,
+            TamperOutcome::CompromisedSilently,
+            "{} compromised silently under {:?}",
+            r.variant.label(),
+            policy
+        );
+    }
+    MigrationSweepReport { policy, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_campaign_detects_everything_and_spares_bystanders() {
+        let config = ProbeCampaignConfig {
+            policy: QuarantinePolicy::Suspend,
+            honest_tenants: 4,
+            probes: 3,
+            threads: 2,
+            seed: 0xCA4,
+        };
+        let r = probe_campaign(&config);
+        assert_eq!(r.probes_admitted, 3);
+        assert_eq!(r.probes_submitted, r.probes_admitted + r.probes_refused);
+        assert!(r.probes_refused >= 1, "no typed refusal was ever issued");
+        assert_eq!(r.successes, 0, "64-bit MAC forgery landed");
+        assert_eq!(r.detections, r.probes_admitted);
+        assert!(r.releases >= 1, "suspensions were never released");
+        assert_eq!(r.identities_burned, 0);
+        assert_eq!(r.honest_finished, r.honest_submitted);
+        assert_eq!(r.honest_clean, r.honest_finished);
+        assert_eq!(r.bystander_availability, 1.0);
+        assert!(r.bystander_bit_identical, "attacker perturbed a bystander");
+    }
+
+    #[test]
+    fn probe_campaign_is_thread_count_invariant() {
+        for policy in POLICIES {
+            let config = ProbeCampaignConfig {
+                policy,
+                honest_tenants: 3,
+                probes: 2,
+                threads: 1,
+                seed: 0xCA5,
+            };
+            let serial = probe_campaign(&config);
+            let threaded = probe_campaign(&ProbeCampaignConfig {
+                threads: 4,
+                ..config
+            });
+            assert_eq!(serial, threaded, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn evict_burns_attacker_identities() {
+        let r = probe_campaign(&ProbeCampaignConfig {
+            policy: QuarantinePolicy::Evict,
+            honest_tenants: 2,
+            probes: 3,
+            threads: 2,
+            seed: 0xCA6,
+        });
+        assert_eq!(r.detections, r.probes_admitted);
+        assert_eq!(r.releases, 0, "evicted identities cannot be released");
+        assert!(r.identities_burned >= 2, "{}", r.identities_burned);
+    }
+
+    #[test]
+    fn retry_policy_amplifies_oracle_queries() {
+        let suspend = oracle_profile(QuarantinePolicy::Suspend);
+        let retry = oracle_profile(QuarantinePolicy::RetryWithReboot { max_resets: 3 });
+        assert_eq!(suspend.queries_per_probe, 1);
+        assert!(
+            retry.queries_per_probe > suspend.queries_per_probe,
+            "reboot budget grants no extra verifications: {retry:?}"
+        );
+        let ws = expected_work(&suspend, 16);
+        let wr = expected_work(&retry, 16);
+        assert_eq!(ws.oracle_queries, wr.oracle_queries);
+        assert!(wr.probes < ws.probes);
+    }
+
+    #[test]
+    fn evict_cuts_the_scaling_sweep_short() {
+        let keys = KeySet::from_seed(0x5EC7);
+        let trials = EVICT_IDENTITY_BUDGET * 4;
+        let rows = forgery_scaling(QuarantinePolicy::Evict, &keys, &[8], trials, 9);
+        let c = rows[0].campaign;
+        assert_eq!(c.trials, trials);
+        assert!(c.completed < c.trials, "identity budget never ran out");
+        assert!(c.measured_rate().is_finite());
+        let unlimited = forgery_scaling(QuarantinePolicy::Suspend, &keys, &[8], trials, 9);
+        assert_eq!(unlimited[0].campaign.completed, trials);
+    }
+
+    #[test]
+    fn migration_sweep_catches_every_tamper() {
+        for policy in POLICIES {
+            let report = migration_sweep(policy, 0);
+            assert_eq!(report.rows[0].outcome, TamperOutcome::CompletedClean);
+            assert_eq!(report.rows[1].outcome, TamperOutcome::DetectedInTransit);
+            for row in &report.rows[2..] {
+                assert_eq!(
+                    row.outcome,
+                    TamperOutcome::DetectedOnResume,
+                    "{} under {policy:?}",
+                    row.variant.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn migration_policy_decides_the_tenants_fate() {
+        let suspend = migration_sweep(QuarantinePolicy::Suspend, 0);
+        assert_eq!(suspend.rows[2].tenant_after, TenantState::Suspended);
+        let evict = migration_sweep(QuarantinePolicy::Evict, 0);
+        assert_eq!(evict.rows[2].tenant_after, TenantState::Evicted);
+        // RetryWithReboot re-runs the tampered-resume job from a fresh
+        // machine — the tamper was in the snapshot, not the image, so
+        // the retry completes and the tenant keeps serving: detection
+        // logged, service continuity kept.
+        let retry = migration_sweep(QuarantinePolicy::RetryWithReboot { max_resets: 3 }, 0);
+        assert_eq!(retry.rows[2].outcome, TamperOutcome::DetectedOnResume);
+        assert!(retry.rows[2].retried);
+        assert_eq!(retry.rows[2].tenant_after, TenantState::Active);
+    }
+}

@@ -16,18 +16,31 @@ use sofia_transform::{BlockFormat, BlockKind};
 pub struct ForgeryCampaign {
     /// MAC length in bits.
     pub mac_bits: u32,
-    /// Forgery attempts made.
+    /// Forgery attempts the campaign was asked for.
     pub trials: u64,
+    /// Attempts actually completed. Equal to `trials` unless the sweep
+    /// was cut short — an online campaign whose probing tenant is
+    /// evicted mid-sweep stops early, and rates must be honest about
+    /// the denominator that really ran.
+    pub completed: u64,
     /// Attempts that passed the (truncated) verification.
     pub accepted: u64,
-    /// Expected acceptances per the closed form.
+    /// Expected acceptances per the closed form, over the *completed*
+    /// trials.
     pub expected: f64,
 }
 
 impl ForgeryCampaign {
-    /// Measured acceptance probability.
+    /// Measured acceptance probability over the trials that actually
+    /// ran. An empty campaign (zero completed trials) measured nothing
+    /// and reports 0.0 — never NaN, which would poison every digest and
+    /// JSON row downstream.
     pub fn measured_rate(&self) -> f64 {
-        self.accepted as f64 / self.trials as f64
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.completed as f64
+        }
     }
 }
 
@@ -38,6 +51,21 @@ impl ForgeryCampaign {
 /// Each trial models the §IV-A adversary: submit a random ciphertext
 /// block at a fixed location and see whether verification passes.
 pub fn run_campaign(keys: &KeySet, mac_bits: u32, trials: u64, seed: u64) -> ForgeryCampaign {
+    run_campaign_capped(keys, mac_bits, trials, seed, u64::MAX)
+}
+
+/// As [`run_campaign`], but the defender cuts the attacker off after
+/// `oracle_budget` verification queries — the shape of an online sweep
+/// whose tenant is quarantined or evicted before the requested trial
+/// count: `completed` records how far the campaign actually got, and
+/// [`ForgeryCampaign::measured_rate`] divides by that, not by `trials`.
+pub fn run_campaign_capped(
+    keys: &KeySet,
+    mac_bits: u32,
+    trials: u64,
+    seed: u64,
+    oracle_budget: u64,
+) -> ForgeryCampaign {
     let format = BlockFormat::default();
     let expanded = keys.expand();
     let nonce = Nonce::new(0xA7);
@@ -45,7 +73,8 @@ pub fn run_campaign(keys: &KeySet, mac_bits: u32, trials: u64, seed: u64) -> For
     let mut rng = SplitMix64::new(seed);
     let mut accepted = 0u64;
     let bw = format.block_words();
-    for _ in 0..trials {
+    let completed = trials.min(oracle_budget);
+    for _ in 0..completed {
         // Random forged ciphertext block.
         let forged: Vec<u32> = (0..bw).map(|_| rng.next_u64() as u32).collect();
         // Defender decrypts along the exec-entry chain (prev = reset) and
@@ -74,8 +103,9 @@ pub fn run_campaign(keys: &KeySet, mac_bits: u32, trials: u64, seed: u64) -> For
     ForgeryCampaign {
         mac_bits,
         trials,
+        completed,
         accepted,
-        expected: trials as f64 * sofia_core::security::forgery_success_probability(mac_bits),
+        expected: completed as f64 * sofia_core::security::forgery_success_probability(mac_bits),
     }
 }
 
@@ -119,5 +149,35 @@ mod tests {
         let keys = KeySet::from_seed(0xF2);
         let c = run_campaign(&keys, 64, 1 << 12, 4);
         assert_eq!(c.accepted, 0);
+        assert_eq!(c.completed, c.trials);
+    }
+
+    #[test]
+    fn empty_campaign_measures_zero_not_nan() {
+        let keys = KeySet::from_seed(0xF3);
+        let c = run_campaign(&keys, 8, 0, 5);
+        assert_eq!((c.trials, c.completed, c.accepted), (0, 0, 0));
+        assert_eq!(c.measured_rate(), 0.0);
+        assert!(c.measured_rate().is_finite());
+    }
+
+    #[test]
+    fn capped_campaign_reports_honest_denominators() {
+        let keys = KeySet::from_seed(0xF4);
+        // The sweep asked for 4096 trials but the oracle cut it off at
+        // 512 — the evicted-mid-sweep shape.
+        let c = run_campaign_capped(&keys, 8, 1 << 12, 6, 512);
+        assert_eq!(c.trials, 1 << 12);
+        assert_eq!(c.completed, 512);
+        // The rate and the closed-form expectation both use the trials
+        // that ran, and the capped prefix is bit-identical to the same
+        // seed's uncapped prefix (the cap aborts, it does not reseed).
+        assert_eq!(c.expected, 2.0);
+        let full = run_campaign(&keys, 8, 512, 6);
+        assert_eq!(c.accepted, full.accepted);
+        // A zero-budget cut-off measures nothing and says so.
+        let none = run_campaign_capped(&keys, 8, 1 << 12, 6, 0);
+        assert_eq!(none.completed, 0);
+        assert_eq!(none.measured_rate(), 0.0);
     }
 }

@@ -20,7 +20,11 @@
 //!   images are high-entropy and disassemble to noise;
 //! * [`xbackend`] — the same adversary against the alternative backends
 //!   (`sofia-backends`), with a finer verdict scale that captures
-//!   deferred detection (compromised-but-flagged vs silent).
+//!   deferred detection (compromised-but-flagged vs silent);
+//! * [`campaigns`] — the adversary as a *tenant*: multi-tenant probing,
+//!   forgery-scaling and migration-tampering campaigns driven through
+//!   the `sofia-fleet` service API, pricing §IV-A's attacker work per
+//!   [`sofia_fleet::QuarantinePolicy`] at the service boundary.
 //!
 //! Verdicts are classified by *observable effect* (did the actuator
 //! receive the attacker's value? was the run detected?), so experiments
@@ -29,6 +33,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaigns;
 pub mod confidentiality;
 pub mod forgery;
 pub mod hijack;

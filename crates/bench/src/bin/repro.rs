@@ -40,6 +40,7 @@ fn main() {
             "host",
             "backends",
             "chaos",
+            "attacks",
             "ablate-block",
             "ablate-unroll",
             "ablate-sched",
@@ -70,6 +71,7 @@ fn main() {
             "host" => host_eval(),
             "backends" => backends_eval(),
             "chaos" => chaos_eval(),
+            "attacks" => attacks_eval(),
             "ablate-block" => ablate_block(),
             "ablate-unroll" => ablate_unroll(),
             "ablate-sched" => ablate_sched(),
@@ -655,6 +657,81 @@ fn chaos_eval() {
     println!("  (bit-identical at 1 and 4 host threads at every rate; the zero point is");
     println!("   bit-identical to a driver without the chaos/resilience machinery)");
     sofia_bench::write_chaos_json(&sofia_bench::chaos_json(&report));
+}
+
+fn attacks_eval() {
+    banner("attacks: fleet-scale attack economics (campaigns per quarantine policy)");
+    let report = sofia_bench::attacks_report(4);
+    println!(
+        "  {} honest tenants, {} admitted probes, {} forgery trials/length",
+        sofia_bench::ATTACKS_BENCH_HONEST_TENANTS,
+        sofia_bench::ATTACKS_BENCH_PROBES,
+        sofia_bench::ATTACKS_BENCH_TRIALS,
+    );
+    println!(
+        "  {:>18} {:>7} {:>7} {:>7} {:>8} {:>7} {:>7} {:>7} {:>7}",
+        "policy", "probes", "detect", "success", "queries", "release", "ident", "avail", "q/probe"
+    );
+    for row in &report.rows {
+        let p = &row.probe;
+        println!(
+            "  {:>18} {:>7} {:>7} {:>7} {:>8} {:>7} {:>7} {:>7.4} {:>7}",
+            row.label,
+            p.probes_admitted,
+            p.detections,
+            p.successes,
+            p.oracle_queries,
+            p.releases,
+            p.identities_burned,
+            p.bystander_availability,
+            row.profile.queries_per_probe,
+        );
+        assert_eq!(
+            p.successes, 0,
+            "a probe slipped through under {}",
+            row.label
+        );
+        for f in &row.forgery {
+            let c = f.campaign;
+            println!(
+                "      mac {:>2} bits: {:>5}/{:<5} trials, {:>3} accepted (rate {:.6}), \
+                 ~{:.3e} probes to win",
+                c.mac_bits,
+                c.completed,
+                c.trials,
+                c.accepted,
+                c.measured_rate(),
+                f.work.probes,
+            );
+        }
+        let full = row
+            .forgery
+            .iter()
+            .find(|f| f.campaign.mac_bits == 64)
+            .expect("64-bit row");
+        assert_eq!(full.campaign.accepted, 0, "64-bit MAC forgery accepted");
+        for m in &row.migration.rows {
+            println!(
+                "      migrate {:>22}: {:<20} tenant {:?}",
+                m.variant.label(),
+                m.outcome.label(),
+                m.tenant_after,
+            );
+        }
+        println!(
+            "      expected work at 64 bits: {:.3e} oracle queries, {:.3e} probes, \
+             {:.3e} identities, {:.3e} wall ticks",
+            row.expected_work_64.oracle_queries,
+            row.expected_work_64.probes,
+            row.expected_work_64.identities,
+            row.expected_work_64.wall_ticks,
+        );
+    }
+    println!(
+        "  digest {:#018x}  (bit-identical at 1 and 4 host threads)",
+        report.digest
+    );
+    sofia_bench::write_attacks_json(&sofia_bench::attacks_json(&report));
 }
 
 /// Extension — the same overheads across the whole kernel suite.

@@ -2196,6 +2196,223 @@ pub fn write_chaos_json(json: &str) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Attack economics: campaigns over the fleet, per quarantine policy
+// ---------------------------------------------------------------------
+
+/// Honest tenants serving while the attacks-bench probing campaign runs.
+pub const ATTACKS_BENCH_HONEST_TENANTS: u32 = 16;
+
+/// Admitted probes per policy in the attacks-bench probing campaign.
+pub const ATTACKS_BENCH_PROBES: u32 = 8;
+
+/// Monte-Carlo trials per MAC length in the forgery-scaling sweep.
+pub const ATTACKS_BENCH_TRIALS: u64 = 1 << 12;
+
+/// MAC lengths swept (64 is the paper's real parameter — the row the CI
+/// pins at zero acceptances).
+pub const ATTACKS_BENCH_MAC_BITS: [u32; 4] = [8, 10, 12, 64];
+
+/// Campaign seed.
+pub const ATTACKS_BENCH_SEED: u64 = 0xA77AC5;
+
+/// One quarantine policy's row set in the attacks report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttacksPolicyRow {
+    /// Stable policy label (`suspend` / `retry_with_reboot` / `evict`).
+    pub label: &'static str,
+    /// The multi-tenant probing campaign's measurements.
+    pub probe: sofia_attacks::campaigns::ProbeCampaignReport,
+    /// Per-probe oracle profile (queries/ticks/cycles per probe).
+    pub profile: sofia_attacks::campaigns::OracleProfile,
+    /// Truncated-MAC scaling rows, re-priced for the policy.
+    pub forgery: Vec<sofia_attacks::campaigns::PolicyForgeryRow>,
+    /// The migration-tamper sweep under the policy.
+    pub migration: sofia_attacks::campaigns::MigrationSweepReport,
+    /// Closed-form §IV-A work for the real 64-bit MAC under the policy.
+    pub expected_work_64: sofia_attacks::campaigns::ExpectedWork,
+}
+
+/// The full attacks report behind `BENCH_attacks.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttacksReport {
+    /// Host threads of the threaded run (results are asserted identical
+    /// to a serial run before this report exists).
+    pub threads: usize,
+    /// One row per [`sofia_attacks::campaigns::POLICIES`] entry.
+    pub rows: Vec<AttacksPolicyRow>,
+    /// FNV-1a digest over every row's content.
+    pub digest: u64,
+}
+
+/// Runs the three campaign families under every quarantine policy and
+/// folds them into one report. Every probing campaign is run at 1 host
+/// thread and at `threads`, and the two reports are asserted equal
+/// field-for-field before anything is emitted — the determinism
+/// invariant, applied to security measurements.
+pub fn attacks_report(threads: usize) -> AttacksReport {
+    use sofia_attacks::campaigns::{
+        expected_work, forgery_scaling, migration_sweep, oracle_profile, policy_label,
+        probe_campaign, ProbeCampaignConfig, POLICIES,
+    };
+    let keys = KeySet::from_seed(0x5EC8);
+    let mut rows = Vec::new();
+    for policy in POLICIES {
+        let config = ProbeCampaignConfig {
+            policy,
+            honest_tenants: ATTACKS_BENCH_HONEST_TENANTS,
+            probes: ATTACKS_BENCH_PROBES,
+            threads: 1,
+            seed: ATTACKS_BENCH_SEED,
+        };
+        let serial = probe_campaign(&config);
+        let probe = probe_campaign(&ProbeCampaignConfig { threads, ..config });
+        assert_eq!(
+            serial, probe,
+            "attack-campaign results under {policy:?} depend on the host thread count"
+        );
+        assert!(
+            probe.bystander_bit_identical,
+            "campaign under {policy:?} perturbed a bystander"
+        );
+        let profile = oracle_profile(policy);
+        rows.push(AttacksPolicyRow {
+            label: policy_label(policy),
+            probe,
+            profile,
+            forgery: forgery_scaling(
+                policy,
+                &keys,
+                &ATTACKS_BENCH_MAC_BITS,
+                ATTACKS_BENCH_TRIALS,
+                ATTACKS_BENCH_SEED,
+            ),
+            migration: migration_sweep(policy, 0),
+            expected_work_64: expected_work(&profile, 64),
+        });
+    }
+    let mut digest = 0xcbf29ce484222325u64;
+    for row in &rows {
+        fnv1a(&mut digest, format!("{row:?}").as_bytes());
+    }
+    AttacksReport {
+        threads,
+        rows,
+        digest,
+    }
+}
+
+/// Stable lower-case label for a tenant state in JSON rows.
+fn tenant_state_json(state: sofia_fleet::TenantState) -> &'static str {
+    match state {
+        sofia_fleet::TenantState::Active => "active",
+        sofia_fleet::TenantState::Suspended => "suspended",
+        sofia_fleet::TenantState::Evicted => "evicted",
+    }
+}
+
+/// Renders the attacks report as the `BENCH_attacks.json` document.
+pub fn attacks_json(report: &AttacksReport) -> String {
+    let mut out = String::from("{\n  \"bench\": \"attacks\",\n");
+    out.push_str(&format!(
+        "  \"threads\": {}, \"honest_tenants\": {}, \"probes\": {}, \"trials\": {},\n",
+        report.threads, ATTACKS_BENCH_HONEST_TENANTS, ATTACKS_BENCH_PROBES, ATTACKS_BENCH_TRIALS
+    ));
+    out.push_str("  \"policies\": [\n");
+    for (i, row) in report.rows.iter().enumerate() {
+        let p = &row.probe;
+        out.push_str(&format!(
+            "    {{ \"policy\": \"{}\",\n      \"probing\": {{ \"probes_submitted\": {}, \
+             \"probes_admitted\": {}, \"probes_refused\": {}, \"detections\": {}, \
+             \"successes\": {},\n        \"oracle_queries\": {}, \"attacker_cycles\": {}, \
+             \"releases\": {}, \"identities_burned\": {}, \"wall_ticks\": {},\n        \
+             \"honest_submitted\": {}, \"honest_finished\": {}, \"honest_clean\": {}, \
+             \"bystander_availability\": {:.4}, \"bystander_bit_identical\": {} }},\n",
+            row.label,
+            p.probes_submitted,
+            p.probes_admitted,
+            p.probes_refused,
+            p.detections,
+            p.successes,
+            p.oracle_queries,
+            p.attacker_cycles,
+            p.releases,
+            p.identities_burned,
+            p.wall_ticks,
+            p.honest_submitted,
+            p.honest_finished,
+            p.honest_clean,
+            p.bystander_availability,
+            p.bystander_bit_identical,
+        ));
+        out.push_str(&format!(
+            "      \"oracle_profile\": {{ \"queries_per_probe\": {}, \"ticks_per_probe\": {}, \
+             \"cycles_per_probe\": {} }},\n",
+            row.profile.queries_per_probe,
+            row.profile.ticks_per_probe,
+            row.profile.cycles_per_probe
+        ));
+        out.push_str("      \"forgery\": [\n");
+        for (j, f) in row.forgery.iter().enumerate() {
+            let c = f.campaign;
+            out.push_str(&format!(
+                "        {{ \"mac_bits\": {}, \"trials\": {}, \"completed\": {}, \
+                 \"accepted\": {}, \"measured_rate\": {:.6}, \"expected_probes\": {:.3e}, \
+                 \"expected_wall_ticks\": {:.3e} }}{}\n",
+                c.mac_bits,
+                c.trials,
+                c.completed,
+                c.accepted,
+                c.measured_rate(),
+                f.work.probes,
+                f.work.wall_ticks,
+                if j + 1 == row.forgery.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("      ],\n      \"migration\": [\n");
+        for (j, m) in row.migration.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{ \"variant\": \"{}\", \"outcome\": \"{}\", \"violations\": {}, \
+                 \"retried\": {}, \"tenant_after\": \"{}\" }}{}\n",
+                m.variant.label(),
+                m.outcome.label(),
+                m.violations,
+                m.retried,
+                tenant_state_json(m.tenant_after),
+                if j + 1 == row.migration.rows.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        let w = &row.expected_work_64;
+        out.push_str(&format!(
+            "      ],\n      \"expected_work_64\": {{ \"oracle_queries\": {:.3e}, \
+             \"probes\": {:.3e}, \"identities\": {:.3e}, \"wall_ticks\": {:.3e} }} }}{}\n",
+            w.oracle_queries,
+            w.probes,
+            w.identities,
+            w.wall_ticks,
+            if i + 1 == report.rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"digest\": \"{:#018x}\"\n}}\n",
+        report.digest
+    ));
+    out
+}
+
+/// Writes `BENCH_attacks.json` at the workspace root.
+pub fn write_attacks_json(json: &str) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_attacks.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("BENCH_attacks.json not written: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2425,6 +2642,55 @@ mod tests {
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }
+    }
+
+    #[test]
+    fn attacks_report_prices_every_policy_and_emits_a_stable_schema() {
+        let report = attacks_report(2);
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(
+            report.rows.iter().map(|r| r.label).collect::<Vec<_>>(),
+            ["suspend", "retry_with_reboot", "evict"]
+        );
+        for row in &report.rows {
+            assert_eq!(row.probe.successes, 0);
+            assert_eq!(row.probe.detections, row.probe.probes_admitted);
+            assert!(row.probe.bystander_bit_identical);
+            let full = row.forgery.iter().find(|f| f.campaign.mac_bits == 64);
+            assert_eq!(full.expect("64-bit row").campaign.accepted, 0);
+        }
+        // The retry policy hands the attacker the cheapest oracle; evict
+        // makes every probe cost a fresh identity.
+        let by_label = |l: &str| report.rows.iter().find(|r| r.label == l).unwrap();
+        assert!(
+            by_label("retry_with_reboot").profile.queries_per_probe
+                > by_label("suspend").profile.queries_per_probe
+        );
+        assert_eq!(by_label("evict").expected_work_64.identities, {
+            by_label("evict").expected_work_64.probes
+        });
+        assert_eq!(by_label("suspend").expected_work_64.identities, 1.0);
+
+        let json = attacks_json(&report);
+        for field in [
+            "\"bench\": \"attacks\"",
+            "\"policy\": \"suspend\"",
+            "\"policy\": \"retry_with_reboot\"",
+            "\"policy\": \"evict\"",
+            "\"probing\"",
+            "\"successes\": 0",
+            "\"bystander_bit_identical\": true",
+            "\"oracle_profile\"",
+            "\"mac_bits\": 64",
+            "\"variant\": \"bit_flip_in_transit\"",
+            "\"outcome\": \"detected_in_transit\"",
+            "\"expected_work_64\"",
+            "\"digest\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        // Same inputs, same digest: the report re-runs bit-identically.
+        assert_eq!(attacks_report(2).digest, report.digest);
     }
 
     #[test]

@@ -60,7 +60,7 @@ use crate::fleet::{
     JobRun, SchedMode,
 };
 use crate::job::{JobId, JobOutcome, JobRecord, JobSpec, TenantId};
-use crate::quarantine::{QuarantinePolicy, TenantState};
+use crate::quarantine::{fold_policy, QuarantinePolicy, TenantState};
 use crate::resilience::{ResilienceConfig, ResilienceEvent, ResilienceState, ResilienceStats};
 use crate::seal_farm::{SealFarm, SealVerdict};
 use crate::stats::TenantStats;
@@ -145,6 +145,11 @@ pub struct AsyncStats {
     /// Peak count of live (unparked) machines resident across queued
     /// jobs at a tick boundary.
     pub peak_resident_machines: u64,
+    /// Tenants newly suspended by the quarantine fold (`Suspend` and
+    /// post-retry `RetryWithReboot` containments).
+    pub quarantines: u64,
+    /// Tenants evicted by the quarantine fold.
+    pub evictions: u64,
 }
 
 /// One queued job plus its async bookkeeping. Travels whole to a pool
@@ -1233,21 +1238,25 @@ impl AsyncFleet {
         };
         tenant.stats.absorb(record);
         tenant.outstanding_fuel = tenant.outstanding_fuel.saturating_sub(fuel);
-        if !needs_containment(record) {
-            return;
+        let fold = fold_policy(
+            self.config.quarantine,
+            &mut tenant.state,
+            needs_containment(record),
+        );
+        if fold.suspended_now {
+            self.stats.quarantines += 1;
         }
-        match self.config.quarantine {
-            QuarantinePolicy::Suspend | QuarantinePolicy::RetryWithReboot { .. } => {
-                if tenant.state == TenantState::Active {
-                    tenant.state = TenantState::Suspended;
-                }
-            }
-            QuarantinePolicy::Evict => {
-                if tenant.state != TenantState::Evicted {
-                    tenant.state = TenantState::Evicted;
-                    self.cache.purge(&tenant.keys);
-                }
-            }
+        if fold.evicted_now {
+            self.stats.evictions += 1;
+        }
+        if fold.purge {
+            // Re-purge on *every* evicted-tenant record: jobs admitted
+            // before the eviction keep running (their results stay
+            // bit-identical to the batch driver's), and any of them can
+            // re-seal the tenant's image into the shared cache after the
+            // eviction-time purge. One purge per fold keeps the cache
+            // state identical to the batch fleet's end-of-batch fold.
+            self.cache.purge(&tenant.keys);
         }
     }
 

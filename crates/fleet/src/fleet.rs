@@ -14,7 +14,7 @@ use sofia_transform::SecureImage;
 
 use crate::checkpoint::{AdoptError, JobCheckpoint};
 use crate::job::{JobId, JobOutcome, JobRecord, JobSpec, Sabotage, TenantId};
-use crate::quarantine::{QuarantinePolicy, TenantState};
+use crate::quarantine::{fold_policy, QuarantinePolicy, TenantState};
 use crate::schedule::price_schedule;
 use crate::seal_farm::{SealFarm, SealVerdict};
 use crate::stats::{FleetStats, TenantStats};
@@ -502,21 +502,21 @@ impl Fleet {
                 continue;
             };
             tenant.stats.absorb(record);
-            if needs_containment(record) {
-                match self.config.quarantine {
-                    QuarantinePolicy::Suspend | QuarantinePolicy::RetryWithReboot { .. } => {
-                        if tenant.state == TenantState::Active {
-                            tenant.state = TenantState::Suspended;
-                        }
-                    }
-                    QuarantinePolicy::Evict => {
-                        if tenant.state != TenantState::Evicted {
-                            tenant.state = TenantState::Evicted;
-                            self.evicted += 1;
-                            self.cache.purge(&tenant.keys);
-                        }
-                    }
-                }
+            let fold = fold_policy(
+                self.config.quarantine,
+                &mut tenant.state,
+                needs_containment(record),
+            );
+            if fold.evicted_now {
+                self.evicted += 1;
+            }
+            if fold.purge {
+                // Every evicted-tenant record purges, not just the
+                // eviction: a job suspended by `run_batch_capped` and
+                // resumed after its tenant's eviction re-seals the image
+                // this very batch, and the entry must not outlive the
+                // fold.
+                self.cache.purge(&tenant.keys);
             }
         }
         records

@@ -52,3 +52,108 @@ impl TenantState {
         matches!(self, TenantState::Active)
     }
 }
+
+/// What one finished record did to its tenant's containment state — the
+/// return value of [`fold_policy`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct PolicyFold {
+    /// The tenant transitioned `Active → Suspended` on this record.
+    pub suspended_now: bool,
+    /// The tenant transitioned to `Evicted` on this record.
+    pub evicted_now: bool,
+    /// The tenant's sealed images must be purged from the shared cache.
+    /// True on *every* record an evicted tenant folds, not just the
+    /// eviction itself: jobs admitted before the eviction still run to
+    /// a record (their results must stay bit-identical to serial
+    /// execution), and any of them may have re-sealed the tenant's
+    /// program into the cache after the eviction purge.
+    pub purge: bool,
+}
+
+/// Folds one finished record's containment verdict into the tenant's
+/// state. This is **the** policy-semantics function, shared verbatim by
+/// the batch fleet's end-of-batch fold and the async driver's per-settle
+/// [`fold_finished`](crate::AsyncFleet) — both drivers must quarantine
+/// identically for the bit-for-bit parity contract to hold.
+///
+/// `contained` is [`crate::fleet::needs_containment`] for the record.
+/// Note [`QuarantinePolicy::RetryWithReboot`] intentionally folds like
+/// [`QuarantinePolicy::Suspend`] here: the reboot-retry itself is armed
+/// *during service* (in the shared `service_quantum` seam, before any
+/// record exists), so a record reaching the fold under that policy has
+/// already spent its retry — persistent tamper, suspend.
+pub(crate) fn fold_policy(
+    policy: QuarantinePolicy,
+    state: &mut TenantState,
+    contained: bool,
+) -> PolicyFold {
+    let mut fold = PolicyFold::default();
+    if contained {
+        match policy {
+            QuarantinePolicy::Suspend | QuarantinePolicy::RetryWithReboot { .. } => {
+                if *state == TenantState::Active {
+                    *state = TenantState::Suspended;
+                    fold.suspended_now = true;
+                }
+            }
+            QuarantinePolicy::Evict => {
+                if *state != TenantState::Evicted {
+                    *state = TenantState::Evicted;
+                    fold.evicted_now = true;
+                }
+            }
+        }
+    }
+    fold.purge = *state == TenantState::Evicted;
+    fold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_records_never_transition() {
+        for policy in [
+            QuarantinePolicy::Suspend,
+            QuarantinePolicy::RetryWithReboot { max_resets: 3 },
+            QuarantinePolicy::Evict,
+        ] {
+            let mut state = TenantState::Active;
+            let fold = fold_policy(policy, &mut state, false);
+            assert_eq!(state, TenantState::Active);
+            assert_eq!(fold, PolicyFold::default());
+        }
+    }
+
+    #[test]
+    fn retry_with_reboot_suspends_like_suspend_after_the_retry() {
+        for policy in [
+            QuarantinePolicy::Suspend,
+            QuarantinePolicy::RetryWithReboot { max_resets: 3 },
+        ] {
+            let mut state = TenantState::Active;
+            let fold = fold_policy(policy, &mut state, true);
+            assert_eq!(state, TenantState::Suspended);
+            assert!(fold.suspended_now && !fold.evicted_now && !fold.purge);
+            // A second violating record of the already-suspended tenant
+            // changes nothing.
+            let fold = fold_policy(policy, &mut state, true);
+            assert_eq!(fold, PolicyFold::default());
+        }
+    }
+
+    #[test]
+    fn every_evicted_tenant_record_asks_for_a_purge() {
+        let mut state = TenantState::Active;
+        let fold = fold_policy(QuarantinePolicy::Evict, &mut state, true);
+        assert_eq!(state, TenantState::Evicted);
+        assert!(fold.evicted_now && fold.purge);
+        // A straggler job of the evicted tenant — violating or clean —
+        // may have re-sealed its image; both must purge again.
+        for contained in [true, false] {
+            let fold = fold_policy(QuarantinePolicy::Evict, &mut state, contained);
+            assert!(!fold.evicted_now && fold.purge);
+        }
+    }
+}

@@ -3,10 +3,11 @@
 //! of the paper's per-device reset guarantee — and each
 //! [`QuarantinePolicy`] contains exactly the violating tenant.
 
+use proptest::prelude::*;
 use sofia::crypto::KeySet;
 use sofia::fleet::{
-    Fleet, FleetConfig, FleetError, JobOutcome, JobRecord, JobSpec, QuarantinePolicy, Sabotage,
-    SchedMode, TenantId,
+    AsyncConfig, AsyncFleet, ClassId, Fleet, FleetConfig, FleetError, JobOutcome, JobRecord,
+    JobSpec, QuarantinePolicy, Sabotage, SchedMode, TenantId,
 };
 use sofia::prelude::RunOutcome;
 use sofia_attacks::victims;
@@ -273,6 +274,173 @@ fn release_lifts_a_suspension() {
     assert!(records[0].outcome.is_halted());
     assert_eq!(records[0].out_words, victims::control_loop_expected(8));
     assert!(records[0].seal_cache_hit);
+}
+
+/// The shared sabotaged workload for the batch-vs-async parity checks:
+/// one sabotaged victim job, two bystander programs, and a second victim
+/// job that is already queued when the first one's verdict folds.
+fn parity_jobs(sabotage: Sabotage, seed: u64) -> Vec<JobSpec> {
+    let mut jobs = vec![
+        JobSpec::new(VICTIM, victims::control_loop_victim(8), 5_000_000).with_sabotage(sabotage),
+    ];
+    for j in 0..2 {
+        jobs.push(JobSpec::new(
+            BYSTANDER,
+            random_program(seed * 2 + j),
+            20_000_000,
+        ));
+    }
+    jobs.push(
+        JobSpec::new(VICTIM, victims::control_loop_victim(4), 5_000_000).with_sabotage(sabotage),
+    );
+    jobs
+}
+
+/// Everything a tenant can observe about a finished job, typed — no
+/// stringification, so a variant change can never hide a divergence.
+#[allow(clippy::type_complexity)]
+fn typed_surface(
+    r: &JobRecord,
+) -> (
+    u64,
+    JobOutcome,
+    Vec<u32>,
+    Vec<sofia::prelude::Violation>,
+    u64,
+    u64,
+    bool,
+) {
+    (
+        r.job.0,
+        r.outcome.clone(),
+        r.out_words.clone(),
+        r.violations.clone(),
+        r.stats.exec.cycles,
+        r.stats.exec.instret,
+        r.retried,
+    )
+}
+
+/// Runs the parity workload on both drivers under `policy` and returns
+/// `(records, victim state, bystander state, seal-cache entries)` per
+/// driver, records sorted by job id.
+#[allow(clippy::type_complexity)]
+fn run_both_drivers(
+    policy: QuarantinePolicy,
+    slice: u64,
+    sabotage: Sabotage,
+    seed: u64,
+) -> [(
+    Vec<(
+        u64,
+        JobOutcome,
+        Vec<u32>,
+        Vec<sofia::prelude::Violation>,
+        u64,
+        u64,
+        bool,
+    )>,
+    sofia::fleet::TenantState,
+    sofia::fleet::TenantState,
+    usize,
+); 2] {
+    let mut batch = Fleet::new(FleetConfig {
+        workers: 2,
+        mode: SchedMode::FuelSliced { slice },
+        quarantine: policy,
+        ..Default::default()
+    });
+    batch.register_tenant(VICTIM, victim_keys()).unwrap();
+    batch.register_tenant(BYSTANDER, bystander_keys()).unwrap();
+    for job in parity_jobs(sabotage, seed) {
+        batch.submit(job).unwrap();
+    }
+    let mut brec = batch.run_batch();
+    brec.sort_by_key(|r| r.job.0);
+
+    let mut afleet = AsyncFleet::new(AsyncConfig {
+        threads: 4,
+        workers: 2,
+        mode: SchedMode::FuelSliced { slice },
+        quarantine: policy,
+        park_after: Some(1),
+        ..Default::default()
+    });
+    afleet
+        .register_tenant(VICTIM, victim_keys(), ClassId(0))
+        .unwrap();
+    afleet
+        .register_tenant(BYSTANDER, bystander_keys(), ClassId(0))
+        .unwrap();
+    for job in parity_jobs(sabotage, seed) {
+        afleet.submit(job).unwrap();
+    }
+    afleet.run_until_idle();
+    let mut arec = afleet.drain_finished();
+    arec.sort_by_key(|r| r.job.0);
+
+    [
+        (
+            brec.iter().map(typed_surface).collect(),
+            batch.tenant_state(VICTIM).unwrap(),
+            batch.tenant_state(BYSTANDER).unwrap(),
+            batch.seal_cache_stats().entries,
+        ),
+        (
+            arec.iter().map(typed_surface).collect(),
+            afleet.tenant_state(VICTIM).unwrap(),
+            afleet.tenant_state(BYSTANDER).unwrap(),
+            afleet.seal_cache_stats().entries,
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The quarantine fold is driver-independent: the same sabotaged
+    /// workload, run under every policy on the batch `Fleet` and the
+    /// tick-driven `AsyncFleet`, yields identical typed outcomes,
+    /// identical bystander records, identical tenant states, and the
+    /// same sealed-image cache population (the purge side of the fold).
+    #[test]
+    fn batch_and_async_fleets_agree_under_every_policy(
+        word in 2usize..40,
+        bit in 0u32..32,
+        slice in 100u64..400,
+        seed in 0u64..1_000,
+    ) {
+        let sabotage = Sabotage::FlipRomWord { word, mask: 1 << bit };
+        for policy in [
+            QuarantinePolicy::Suspend,
+            QuarantinePolicy::RetryWithReboot { max_resets: 2 },
+            QuarantinePolicy::Evict,
+        ] {
+            let [batch, asynch] = run_both_drivers(policy, slice, sabotage, seed);
+            prop_assert!(batch == asynch, "divergence under {:?}", policy);
+        }
+    }
+}
+
+#[test]
+fn late_finishing_jobs_of_an_evicted_tenant_cannot_reseed_the_cache() {
+    // Regression: the async fold used to purge an evicted tenant's
+    // sealed images only at the eviction *transition*. A second job of
+    // the same tenant, admitted before the verdict and still in service,
+    // finished later and re-sealed its image into the shared cache —
+    // a stale entry the batch fleet does not have. The fold now requests
+    // the purge on every record of an evicted tenant.
+    let sabotage = Sabotage::FlipRomWord {
+        word: 20,
+        mask: 0x40,
+    };
+    let [(_, bv, _, bcache), (_, av, _, acache)] =
+        run_both_drivers(QuarantinePolicy::Evict, 150, sabotage, 20);
+    assert_eq!(bv, sofia::fleet::TenantState::Evicted);
+    assert_eq!(av, sofia::fleet::TenantState::Evicted);
+    // Only the two bystander images survive, on both drivers.
+    assert_eq!(bcache, 2, "batch kept a stale victim image");
+    assert_eq!(acache, 2, "async kept a stale victim image");
 }
 
 #[test]
